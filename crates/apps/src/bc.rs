@@ -1,0 +1,252 @@
+//! Betweenness centrality from a single source (§4): Brandes'
+//! algorithm as two engine phases — a forward BFS accumulating
+//! shortest-path counts (out-edges), then a level-by-level backward
+//! dependency propagation (in-edges). This is the paper's BC: "BFS
+//! from a vertex, followed by a back propagation", needing both edge
+//! directions.
+
+use fg_types::{EdgeDir, Result, VertexId};
+use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+
+/// Level marker for unreached vertices.
+const UNREACHED: u32 = u32::MAX;
+
+/// Per-vertex BC state, shared by both phases.
+#[derive(Debug, Clone, Copy)]
+pub struct BcState {
+    /// BFS level from the source (`u32::MAX` if unreached).
+    pub level: u32,
+    /// Number of shortest paths from the source through this vertex.
+    pub sigma: f64,
+    /// Accumulated dependency (the single-source BC contribution).
+    pub delta: f64,
+}
+
+impl Default for BcState {
+    fn default() -> Self {
+        BcState {
+            level: UNREACHED,
+            sigma: 0.0,
+            delta: 0.0,
+        }
+    }
+}
+
+/// Phase 1: level-synchronous BFS carrying σ along tree edges.
+struct BcForward {
+    source: VertexId,
+}
+
+impl VertexProgram for BcForward {
+    type State = BcState;
+    type Msg = f64; // σ contribution from a predecessor
+
+    fn run(&self, v: VertexId, state: &mut BcState, ctx: &mut VertexContext<'_, f64>) {
+        if state.level != UNREACHED {
+            return; // already settled in an earlier iteration
+        }
+        state.level = ctx.iteration();
+        if v == self.source && ctx.iteration() == 0 {
+            state.sigma = 1.0;
+        }
+        // σ was accumulated by run_on_message before this run.
+        ctx.request_edges(v, EdgeDir::Out);
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        state: &mut BcState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, f64>,
+    ) {
+        for dst in vertex.edges() {
+            ctx.send(dst, state.sigma);
+            ctx.activate(dst);
+        }
+    }
+
+    fn run_on_message(
+        &self,
+        _v: VertexId,
+        state: &mut BcState,
+        msg: &f64,
+        _ctx: &mut VertexContext<'_, f64>,
+    ) {
+        // Only contributions arriving before the vertex settles are
+        // from true shortest-path predecessors.
+        if state.level == UNREACHED {
+            state.sigma += *msg;
+        }
+    }
+}
+
+/// A backward contribution: the sender's level, σ, and δ.
+#[derive(Debug, Clone, Copy)]
+struct BackMsg {
+    level: u32,
+    sigma: f64,
+    delta: f64,
+}
+
+/// Phase 2: dependency accumulation, deepest level first. A vertex at
+/// level `l` takes its turn at iteration `lmax - l`, by which time
+/// every successor (level `l+1`, turn `lmax - l - 1`) has delivered
+/// its contribution.
+struct BcBackward {
+    lmax: u32,
+}
+
+impl VertexProgram for BcBackward {
+    type State = BcState;
+    type Msg = BackMsg;
+
+    fn run(&self, v: VertexId, state: &mut BcState, ctx: &mut VertexContext<'_, BackMsg>) {
+        if state.level == UNREACHED {
+            return;
+        }
+        let turn = self.lmax - state.level;
+        if ctx.iteration() < turn {
+            ctx.activate(v); // wait for our level's wave
+            return;
+        }
+        if ctx.iteration() == turn && state.level > 0 {
+            ctx.request_edges(v, EdgeDir::In);
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        state: &mut BcState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, BackMsg>,
+    ) {
+        let msg = BackMsg {
+            level: state.level,
+            sigma: state.sigma,
+            delta: state.delta,
+        };
+        let preds: Vec<VertexId> = vertex.edges().collect();
+        ctx.multicast(&preds, msg);
+    }
+
+    fn run_on_message(
+        &self,
+        _v: VertexId,
+        state: &mut BcState,
+        msg: &BackMsg,
+        _ctx: &mut VertexContext<'_, BackMsg>,
+    ) {
+        // Accept only true tree-successor contributions.
+        if state.level != UNREACHED && msg.level == state.level + 1 {
+            state.delta += state.sigma / msg.sigma * (1.0 + msg.delta);
+        }
+    }
+}
+
+/// Runs single-source betweenness centrality from `source`; returns
+/// each vertex's dependency δ (its BC contribution from this source)
+/// and the combined statistics of both phases.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn bc_single_source(
+    engine: &Engine<'_>,
+    source: VertexId,
+) -> Result<(Vec<f64>, RunStats)> {
+    let (states, mut stats) =
+        engine.run(&BcForward { source }, Init::Seeds(vec![source]))?;
+    let lmax = states
+        .iter()
+        .filter(|s| s.level != UNREACHED)
+        .map(|s| s.level)
+        .max()
+        .unwrap_or(0);
+    let (states, back_stats) =
+        engine.run_with_states(&BcBackward { lmax }, Init::All, states)?;
+    // Combine phase statistics into one report.
+    stats.iterations += back_stats.iterations;
+    stats.elapsed += back_stats.elapsed;
+    stats.compute_ns += back_stats.compute_ns;
+    stats.wait_ns += back_stats.wait_ns;
+    stats.activations += back_stats.activations;
+    stats.messages_sent += back_stats.messages_sent;
+    stats.vertices_processed += back_stats.vertices_processed;
+    stats.engine_requests += back_stats.engine_requests;
+    stats.issued_requests += back_stats.issued_requests;
+    stats.bytes_requested += back_stats.bytes_requested;
+    if let (Some(a), Some(b)) = (&mut stats.io, &back_stats.io) {
+        a.read_requests += b.read_requests;
+        a.pages_read += b.pages_read;
+        a.bytes_read += b.bytes_read;
+        a.max_busy_ns += b.max_busy_ns;
+        a.total_busy_ns += b.total_busy_ns;
+    }
+    stats
+        .per_iteration
+        .extend(back_stats.per_iteration.iter().cloned());
+    Ok((states.into_iter().map(|s| s.delta).collect(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{fixtures, gen};
+    use flashgraph::EngineConfig;
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < 1e-9, "vertex {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        let g = fixtures::diamond();
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (delta, _) = bc_single_source(&engine, VertexId(0)).unwrap();
+        assert_close(&delta, &fg_baselines::direct::bc_single_source(&g, VertexId(0)));
+        // Known values: each middle vertex carries half of two paths.
+        assert_eq!(delta[1], 1.0);
+        assert_eq!(delta[2], 1.0);
+        assert_eq!(delta[4], 0.0);
+    }
+
+    #[test]
+    fn path_dependencies() {
+        // On a path, delta(v_i) = number of vertices after i.
+        let g = fixtures::path(6);
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (delta, _) = bc_single_source(&engine, VertexId(0)).unwrap();
+        assert_close(&delta, &[5.0, 4.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_brandes_on_rmat() {
+        let g = gen::rmat(7, 4, gen::RmatSkew::default(), 23);
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        for src in [0u32, 5, 50] {
+            let (delta, _) = bc_single_source(&engine, VertexId(src)).unwrap();
+            let want = fg_baselines::direct::bc_single_source(&g, VertexId(src));
+            for v in g.vertices() {
+                assert!(
+                    (delta[v.index()] - want[v.index()]).abs() < 1e-6,
+                    "src {src} vertex {v}: {} vs {}",
+                    delta[v.index()],
+                    want[v.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreached_vertices_zero() {
+        let g = fixtures::two_components(3, 8);
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (delta, _) = bc_single_source(&engine, VertexId(0)).unwrap();
+        assert!(delta[3..].iter().all(|&d| d == 0.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Breadth-first search — the paper's Figure 4 example, verbatim in
+//! structure: an unvisited vertex requests its own out-edge list in
+//! `run`, and activates its neighbours in `run_on_vertex`.
+
+use fg_types::{EdgeDir, Result, VertexId};
+use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+
+/// The BFS vertex program.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsProgram {
+    /// Which edge direction to traverse (the paper's BFS uses out).
+    pub dir: EdgeDir,
+}
+
+/// Per-vertex BFS state: one byte of `visited` plus the level — the
+/// paper highlights that BFS needs only a byte per vertex; the level
+/// here is output, not algorithmic necessity.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BfsState {
+    /// BFS depth; valid when `visited`.
+    pub level: u32,
+    /// Whether the vertex was reached.
+    pub visited: bool,
+}
+
+impl VertexProgram for BfsProgram {
+    type State = BfsState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, state: &mut BfsState, ctx: &mut VertexContext<'_, ()>) {
+        if !state.visited {
+            state.visited = true;
+            state.level = ctx.iteration();
+            ctx.request_edges(v, self.dir);
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        _state: &mut BfsState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, ()>,
+    ) {
+        for dst in vertex.edges() {
+            ctx.activate(dst);
+        }
+    }
+}
+
+/// Runs BFS from `source`; returns per-vertex levels (`None` =
+/// unreached) and run statistics.
+///
+/// # Errors
+///
+/// Propagates engine errors (bad source, I/O failures).
+///
+/// # Example
+///
+/// ```
+/// use fg_graph::fixtures;
+/// use fg_types::VertexId;
+/// use flashgraph::{Engine, EngineConfig};
+///
+/// let g = fixtures::path(4);
+/// let engine = Engine::new_mem(&g, EngineConfig::default());
+/// let (levels, _) = fg_apps::bfs(&engine, VertexId(0))?;
+/// assert_eq!(levels, vec![Some(0), Some(1), Some(2), Some(3)]);
+/// # Ok::<(), fg_types::FgError>(())
+/// ```
+pub fn bfs(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<Option<u32>>, RunStats)> {
+    let program = BfsProgram { dir: EdgeDir::Out };
+    let (states, stats) = engine.run(&program, Init::Seeds(vec![source]))?;
+    Ok((
+        states
+            .into_iter()
+            .map(|s| s.visited.then_some(s.level))
+            .collect(),
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{fixtures, gen};
+    use flashgraph::EngineConfig;
+
+    #[test]
+    fn matches_direct_bfs_on_rmat() {
+        let g = gen::rmat(9, 5, gen::RmatSkew::default(), 77);
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (levels, _) = bfs(&engine, VertexId(3)).unwrap();
+        assert_eq!(levels, fg_baselines::direct::bfs_levels(&g, VertexId(3)));
+    }
+
+    #[test]
+    fn unreachable_stay_none() {
+        let g = fixtures::two_components(3, 8);
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (levels, _) = bfs(&engine, VertexId(5)).unwrap();
+        assert!(levels[..3].iter().all(|l| l.is_none()));
+        assert!(levels[3..].iter().all(|l| l.is_some()));
+    }
+
+    #[test]
+    fn frontier_trace_shows_wavefront() {
+        let g = fixtures::path(6);
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (_, stats) = bfs(&engine, VertexId(0)).unwrap();
+        let fronts: Vec<u64> = stats.per_iteration.iter().map(|i| i.frontier).collect();
+        assert_eq!(fronts, vec![1, 1, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Weakly connected components by min-label propagation (§4): every
+//! vertex starts as its own component, broadcasts its id to all
+//! neighbours (both edge directions — WCC ignores orientation), and
+//! adopts the smallest label it hears. A vertex that learns nothing
+//! new stays quiet.
+
+use fg_types::{EdgeDir, Result, VertexId};
+use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+
+/// The WCC vertex program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WccProgram;
+
+/// Per-vertex WCC state: the current component label (4 bytes).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WccState {
+    /// Smallest vertex id known in this vertex's component.
+    pub label: u32,
+}
+
+impl VertexProgram for WccProgram {
+    type State = WccState;
+    type Msg = u32;
+
+    fn init_state(&self, v: VertexId) -> WccState {
+        WccState { label: v.0 }
+    }
+
+    fn run(&self, v: VertexId, _state: &mut WccState, ctx: &mut VertexContext<'_, u32>) {
+        // Active means: label changed last iteration (or iteration 0).
+        // Broadcast to both directions.
+        ctx.request_edges(v, EdgeDir::Both);
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        state: &mut WccState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, u32>,
+    ) {
+        let neighbors: Vec<VertexId> = vertex.edges().collect();
+        ctx.multicast(&neighbors, state.label);
+    }
+
+    fn run_on_message(
+        &self,
+        v: VertexId,
+        state: &mut WccState,
+        msg: &u32,
+        ctx: &mut VertexContext<'_, u32>,
+    ) {
+        if *msg < state.label {
+            state.label = *msg;
+            ctx.activate(v);
+        }
+    }
+}
+
+/// Runs WCC; returns each vertex's component label (the smallest
+/// vertex id in its weakly connected component).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+///
+/// # Example
+///
+/// ```
+/// use fg_graph::fixtures;
+/// use flashgraph::{Engine, EngineConfig};
+///
+/// let g = fixtures::two_components(3, 7);
+/// let engine = Engine::new_mem(&g, EngineConfig::default());
+/// let (labels, _) = fg_apps::wcc(&engine)?;
+/// assert_eq!(labels, vec![0, 0, 0, 3, 3, 3, 3]);
+/// # Ok::<(), fg_types::FgError>(())
+/// ```
+pub fn wcc(engine: &Engine<'_>) -> Result<(Vec<u32>, RunStats)> {
+    let (states, stats) = engine.run(&WccProgram, Init::All)?;
+    Ok((states.into_iter().map(|s| s.label).collect(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{fixtures, gen};
+    use flashgraph::EngineConfig;
+
+    #[test]
+    fn matches_union_find_on_rmat() {
+        let g = gen::rmat(8, 3, gen::RmatSkew::default(), 19);
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (labels, _) = wcc(&engine).unwrap();
+        assert_eq!(labels, fg_baselines::direct::wcc_labels(&g));
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // A path is one weak component even though it is one-way.
+        let g = fixtures::path(9);
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (labels, _) = wcc(&engine).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn isolated_vertices_form_singletons() {
+        let mut b = fg_graph::GraphBuilder::directed();
+        b.add_edge(VertexId(0), VertexId(1));
+        b.reserve_vertices(5);
+        let g = b.build();
+        let engine = Engine::new_mem(&g, EngineConfig::small());
+        let (labels, _) = wcc(&engine).unwrap();
+        assert_eq!(labels, vec![0, 0, 2, 3, 4]);
+    }
+}

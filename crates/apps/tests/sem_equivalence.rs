@@ -1,0 +1,183 @@
+//! Every application must produce identical results in semi-external
+//! memory (over the SSD simulator + SAFS) and in memory — the paper's
+//! two execution modes differ only in where edge lists come from.
+
+use fg_format::{load_index, required_capacity, write_image};
+use fg_graph::{gen, Graph, GraphBuilder};
+use fg_safs::{Safs, SafsConfig};
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use fg_types::VertexId;
+use flashgraph::{Engine, EngineConfig};
+
+fn sem_fixture(g: &Graph) -> (Safs, fg_format::GraphIndex) {
+    let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(g)).unwrap();
+    write_image(g, &array).unwrap();
+    let (_, index) = load_index(&array).unwrap();
+    let safs = Safs::new(SafsConfig::default(), array).unwrap();
+    (safs, index)
+}
+
+fn directed_graph() -> Graph {
+    gen::rmat(9, 5, gen::RmatSkew::default(), 1234)
+}
+
+fn undirected_graph() -> Graph {
+    let d = gen::rmat(8, 5, gen::RmatSkew::default(), 99);
+    let mut b = GraphBuilder::undirected();
+    for (s, t) in d.edges() {
+        b.add_edge(s, t);
+    }
+    b.build()
+}
+
+#[test]
+fn bfs_equivalent() {
+    let g = directed_graph();
+    let mem = Engine::new_mem(&g, EngineConfig::small());
+    let (want, _) = fg_apps::bfs(&mem, VertexId(0)).unwrap();
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    let (got, stats) = fg_apps::bfs(&sem, VertexId(0)).unwrap();
+    assert_eq!(got, want);
+    assert!(stats.io.unwrap().read_requests > 0, "sem mode must do I/O");
+}
+
+#[test]
+fn pagerank_equivalent() {
+    let g = directed_graph();
+    let mem = Engine::new_mem(&g, EngineConfig::small());
+    let (want, _) = fg_apps::pagerank(&mem, 0.85, 1e-4, 60).unwrap();
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    let (got, _) = fg_apps::pagerank(&sem, 0.85, 1e-4, 60).unwrap();
+    for v in g.vertices() {
+        // Message application order differs between runs, so floats
+        // may differ in the last bits; ranks must agree closely.
+        assert!(
+            (got[v.index()] - want[v.index()]).abs() < 1e-3,
+            "vertex {v}: {} vs {}",
+            got[v.index()],
+            want[v.index()]
+        );
+    }
+}
+
+#[test]
+fn wcc_equivalent() {
+    let g = directed_graph();
+    let mem = Engine::new_mem(&g, EngineConfig::small());
+    let (want, _) = fg_apps::wcc(&mem).unwrap();
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    let (got, _) = fg_apps::wcc(&sem).unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn bc_equivalent() {
+    let g = directed_graph();
+    let mem = Engine::new_mem(&g, EngineConfig::small());
+    let (want, _) = fg_apps::bc_single_source(&mem, VertexId(0)).unwrap();
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    let (got, _) = fg_apps::bc_single_source(&sem, VertexId(0)).unwrap();
+    for v in g.vertices() {
+        assert!(
+            (got[v.index()] - want[v.index()]).abs() < 1e-9,
+            "vertex {v}: {} vs {}",
+            got[v.index()],
+            want[v.index()]
+        );
+    }
+}
+
+#[test]
+fn tc_equivalent_and_correct() {
+    let g = undirected_graph();
+    let want = fg_baselines::direct::triangle_count(&g);
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    let (got, per, _) = fg_apps::triangle_count(&sem, true).unwrap();
+    assert_eq!(got, want);
+    assert_eq!(per, fg_baselines::direct::triangles_per_vertex(&g));
+}
+
+#[test]
+fn tc_with_vertical_partitioning_equivalent() {
+    let g = undirected_graph();
+    let want = fg_baselines::direct::triangle_count(&g);
+    let (safs, index) = sem_fixture(&g);
+    let cfg = EngineConfig::small().with_vertical_parts(4);
+    let sem = Engine::new_sem(&safs, index, cfg);
+    let (got, _, _) = fg_apps::triangle_count(&sem, false).unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn scan_statistics_equivalent() {
+    let g = undirected_graph();
+    let (_, want) = fg_baselines::direct::scan_statistics(&g);
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    let (res, _) = fg_apps::scan_statistics(&sem).unwrap();
+    assert_eq!(res.max_scan, want);
+}
+
+#[test]
+fn sssp_equivalent() {
+    let base = directed_graph();
+    let g = gen::with_random_weights(&base, 8.0, 5);
+    let want = fg_baselines::direct::sssp(&g, VertexId(0));
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    let (got, _) = fg_apps::sssp(&sem, VertexId(0)).unwrap();
+    for v in g.vertices() {
+        if want[v.index()].is_infinite() {
+            assert!(got[v.index()].is_infinite(), "vertex {v}");
+        } else {
+            assert!(
+                (got[v.index()] as f64 - want[v.index()]).abs() < 1e-3,
+                "vertex {v}: {} vs {}",
+                got[v.index()],
+                want[v.index()]
+            );
+        }
+    }
+}
+
+#[test]
+fn kcore_equivalent() {
+    let g = directed_graph();
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    for k in [2u32, 4] {
+        let (got, _) = fg_apps::k_core(&sem, k).unwrap();
+        assert_eq!(got, fg_baselines::direct::k_core(&g, k), "k={k}");
+    }
+}
+
+#[test]
+fn diameter_equivalent() {
+    let g = directed_graph();
+    let mem = Engine::new_mem(&g, EngineConfig::small());
+    let (want, _) = fg_apps::estimate_diameter(&mem, 2, 3).unwrap();
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    let (got, _) = fg_apps::estimate_diameter(&sem, 2, 3).unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn analysis_never_writes_to_ssds() {
+    // The paper's wearout principle: after the image is loaded, no
+    // application writes a single byte.
+    let g = directed_graph();
+    let (safs, index) = sem_fixture(&g);
+    let wear_before = safs.array().stats().snapshot().bytes_written;
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    fg_apps::bfs(&sem, VertexId(0)).unwrap();
+    fg_apps::wcc(&sem).unwrap();
+    fg_apps::pagerank(&sem, 0.85, 1e-3, 10).unwrap();
+    fg_apps::bc_single_source(&sem, VertexId(0)).unwrap();
+    assert_eq!(safs.array().stats().snapshot().bytes_written, wear_before);
+}

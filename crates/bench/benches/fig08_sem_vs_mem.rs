@@ -1,0 +1,54 @@
+//! Figure 8 — semi-external-memory FlashGraph relative to in-memory
+//! FlashGraph, per application, on the twitter-sim and subdomain-sim
+//! graphs, with the paper's cache proportion (1 GB : 13 GB image).
+//!
+//! Paper's shape: all apps retain 40–100 % of in-memory performance;
+//! CPU-bound apps (BC, WCC, PR) lose least, I/O-hungry apps (BFS, TC)
+//! lose most.
+
+use fg_bench::report::{ratio, secs, Table};
+use fg_bench::{
+    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset,
+    PAPER_CACHE_FRACTION,
+};
+use flashgraph::{Engine, EngineConfig};
+
+fn main() {
+    let bump = scale_bump();
+    let cfg = EngineConfig::default();
+    let mut t = Table::new(
+        "Figure 8: SEM performance relative to in-memory (higher is better)",
+        &["app", "graph", "mem", "sem (modeled)", "relative"],
+    );
+    for ds in [Dataset::TwitterSim, Dataset::SubdomainSim] {
+        let g = ds.generate(bump);
+        let u = symmetrize(&g);
+        let root = traversal_root(&g);
+
+        let mem_dir = Engine::new_mem(&g, cfg);
+        let mem_und = Engine::new_mem(&u, cfg);
+
+        let fx_dir = build_sem(&g, PAPER_CACHE_FRACTION).expect("sem fixture");
+        let fx_und = build_sem(&u, PAPER_CACHE_FRACTION).expect("sem fixture");
+        let sem_dir = Engine::new_sem(&fx_dir.safs, fx_dir.index.clone(), cfg);
+        let sem_und = Engine::new_sem(&fx_und.safs, fx_und.index.clone(), cfg);
+
+        for app in App::ALL {
+            let mem = run_app(app, &mem_dir, &mem_und, root).expect("mem run");
+            fx_dir.safs.reset_stats();
+            fx_und.safs.reset_stats();
+            let sem = run_app(app, &sem_dir, &sem_und, root).expect("sem run");
+            let mem_s = mem.modeled_runtime_secs();
+            let sem_s = sem.modeled_runtime_secs();
+            t.row(&[
+                app.name().to_string(),
+                ds.name().to_string(),
+                secs(mem_s),
+                secs(sem_s),
+                ratio(mem_s / sem_s),
+            ]);
+        }
+    }
+    t.print();
+    println!("\npaper shape: relative in [0.4, 1.0]; BC/WCC/PR near 1, BFS/TC lowest");
+}

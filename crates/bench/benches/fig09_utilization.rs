@@ -1,0 +1,119 @@
+//! Figure 9 — CPU and I/O utilization of semi-external FlashGraph on
+//! the subdomain-sim graph, per application, with PageRank split into
+//! its first half (PR1: everything active) and second half (PR2:
+//! converged tail).
+//!
+//! Paper's shape: WCC/PR are CPU-bound with sequential-ish I/O, BFS
+//! has high I/O throughput and low CPU, TC stresses both, BC sits
+//! between BFS and the CPU-bound group.
+
+use fg_bench::report::{secs, Table};
+use fg_bench::{
+    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset,
+    PAPER_CACHE_FRACTION,
+};
+use flashgraph::{Engine, EngineConfig, RunStats};
+
+struct Row {
+    name: String,
+    stats: RunStats,
+}
+
+fn utilization_rows(stats: &RunStats, threads: usize) -> (f64, f64, f64, f64) {
+    let wall = stats.modeled_runtime_secs().max(1e-9);
+    let cores = threads as f64;
+    let user_pct = stats.compute_ns as f64 / 1e9 / (wall * cores) * 100.0;
+    // Engine bookkeeping outside callbacks and waits: the "sys" proxy.
+    let total_busy = stats.elapsed.as_secs_f64() * cores;
+    let sys_pct = ((total_busy - stats.compute_ns as f64 / 1e9 - stats.wait_ns as f64 / 1e9)
+        .max(0.0))
+        / (wall * cores)
+        * 100.0;
+    let (mbps, kiops) = match &stats.io {
+        Some(io) => (
+            io.bytes_read as f64 / 1e6 / wall,
+            io.read_requests as f64 / 1e3 / wall,
+        ),
+        None => (0.0, 0.0),
+    };
+    (user_pct, sys_pct, mbps, kiops)
+}
+
+fn main() {
+    let bump = scale_bump();
+    let cfg = EngineConfig::default();
+    let threads = cfg.threads();
+    let g = Dataset::SubdomainSim.generate(bump);
+    let u = symmetrize(&g);
+    let root = traversal_root(&g);
+    let fx_dir = build_sem(&g, PAPER_CACHE_FRACTION).expect("sem fixture");
+    let fx_und = build_sem(&u, PAPER_CACHE_FRACTION).expect("sem fixture");
+    let dir = Engine::new_sem(&fx_dir.safs, fx_dir.index.clone(), cfg);
+    let und = Engine::new_sem(&fx_und.safs, fx_und.index.clone(), cfg);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for app in [App::Bfs, App::Bc, App::Wcc] {
+        fx_dir.safs.reset_stats();
+        fx_und.safs.reset_stats();
+        let stats = run_app(app, &dir, &und, root).expect("run");
+        rows.push(Row {
+            name: app.name().to_string(),
+            stats,
+        });
+    }
+    // PR split: PR1 = first 15 iterations, PR2 = remainder to 30.
+    fx_dir.safs.reset_stats();
+    let pr1 = fg_apps::pagerank(&dir, 0.85, 1e-3, 15).expect("pr1").1;
+    rows.push(Row {
+        name: "PR1".into(),
+        stats: pr1,
+    });
+    fx_dir.safs.reset_stats();
+    let pr_full = fg_apps::pagerank(&dir, 0.85, 1e-3, 30).expect("pr").1;
+    // PR2 approximated as (full − first half) using per-iteration
+    // traces for I/O and wall time.
+    let tail: Vec<_> = pr_full.per_iteration.iter().skip(15).collect();
+    let tail_wall: u64 = tail.iter().map(|i| i.wall_ns).sum();
+    let tail_bytes: u64 = tail.iter().map(|i| i.bytes_read).sum();
+    let tail_reqs: u64 = tail.iter().map(|i| i.read_requests).sum();
+    let tail_busy: u64 = tail.iter().map(|i| i.io_busy_ns).sum();
+    for app in [App::Tc, App::Ss] {
+        fx_dir.safs.reset_stats();
+        fx_und.safs.reset_stats();
+        let stats = run_app(app, &dir, &und, root).expect("run");
+        rows.push(Row {
+            name: app.name().to_string(),
+            stats,
+        });
+    }
+
+    let mut t = Table::new(
+        "Figure 9: CPU and I/O utilization on subdomain-sim",
+        &["app", "runtime", "user CPU %", "sys proxy %", "MB/s", "K IOPS"],
+    );
+    for r in &rows {
+        let (user, sys, mbps, kiops) = utilization_rows(&r.stats, threads);
+        t.row(&[
+            r.name.clone(),
+            secs(r.stats.modeled_runtime_secs()),
+            format!("{user:.1}"),
+            format!("{sys:.1}"),
+            format!("{mbps:.1}"),
+            format!("{kiops:.1}"),
+        ]);
+        if r.name == "PR1" {
+            // Insert the PR2 row right after PR1, from the tail trace.
+            let wall = (tail_wall as f64 / 1e9).max(tail_busy as f64 / 1e9).max(1e-9);
+            t.row(&[
+                "PR2".into(),
+                secs(wall),
+                "-".into(),
+                "-".into(),
+                format!("{:.1}", tail_bytes as f64 / 1e6 / wall),
+                format!("{:.1}", tail_reqs as f64 / 1e3 / wall),
+            ]);
+        }
+    }
+    t.print();
+    println!("\npaper shape: BFS high MB/s + low CPU; WCC/PR1 CPU-bound; PR2 narrow frontier; TC stresses both");
+}

@@ -1,0 +1,119 @@
+//! Figure 10 — FlashGraph (in-memory and semi-external with the 1 GB
+//! cache proportion) against the in-memory comparators: the GAS
+//! engine (PowerGraph stand-in) and direct algorithms (Galois
+//! stand-in).
+//!
+//! Paper's shape: both FlashGraph modes sit within a small factor of
+//! Galois and beat PowerGraph by ~an order of magnitude; Galois wins
+//! graph traversals, FlashGraph wins WCC/PR.
+
+use fg_bench::report::{secs, Table};
+use fg_bench::{
+    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset,
+    PAPER_CACHE_FRACTION,
+};
+use fg_baselines::{direct, gas};
+use fg_types::VertexId;
+use flashgraph::{Engine, EngineConfig};
+
+/// Wall-clock one closure.
+fn time<F: FnOnce()>(f: F) -> f64 {
+    let t = std::time::Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+fn gas_seconds(app: App, g: &fg_graph::Graph, u: &fg_graph::Graph, root: VertexId) -> f64 {
+    let threads = EngineConfig::default().threads();
+    match app {
+        App::Bfs => {
+            let (_, s) = gas::run_gas(g, &gas::GasBfs { source: root }, Some(&[root]), threads, u32::MAX);
+            s.elapsed.as_secs_f64()
+        }
+        App::Bc => {
+            let (_, s) = gas::gas_bc(g, root, threads);
+            s.elapsed.as_secs_f64()
+        }
+        App::Wcc => {
+            let (_, s) = gas::run_gas(u, &gas::GasWcc, None, threads, u32::MAX);
+            s.elapsed.as_secs_f64()
+        }
+        App::Pr => {
+            let (_, s) = gas::gas_pagerank(g, 0.85, 30, threads);
+            s.elapsed.as_secs_f64()
+        }
+        App::Tc => {
+            let (_, s) = gas::gas_triangle_count(u, threads);
+            s.elapsed.as_secs_f64()
+        }
+        App::Ss => {
+            let (_, _, s) = gas::gas_scan_statistics(u, threads);
+            s.elapsed.as_secs_f64()
+        }
+    }
+}
+
+fn direct_seconds(app: App, g: &fg_graph::Graph, u: &fg_graph::Graph, root: VertexId) -> f64 {
+    match app {
+        App::Bfs => time(|| {
+            direct::bfs_levels(g, root);
+        }),
+        App::Bc => time(|| {
+            direct::bc_single_source(g, root);
+        }),
+        App::Wcc => time(|| {
+            direct::wcc_labels(g);
+        }),
+        App::Pr => time(|| {
+            direct::pagerank(g, 0.85, 30);
+        }),
+        App::Tc => time(|| {
+            direct::triangle_count(u);
+        }),
+        App::Ss => time(|| {
+            direct::scan_statistics(u);
+        }),
+    }
+}
+
+fn main() {
+    let bump = scale_bump();
+    let cfg = EngineConfig::default();
+    let mut t = Table::new(
+        "Figure 10: runtimes across engines",
+        &["graph", "app", "FG-mem", "FG-1G (sem)", "GAS (PowerGraph-like)", "direct (Galois-like)"],
+    );
+    for ds in [Dataset::TwitterSim, Dataset::SubdomainSim] {
+        let g = ds.generate(bump);
+        let u = symmetrize(&g);
+        let root = traversal_root(&g);
+        let mem_dir = Engine::new_mem(&g, cfg);
+        let mem_und = Engine::new_mem(&u, cfg);
+        let fx_dir = build_sem(&g, PAPER_CACHE_FRACTION).expect("fixture");
+        let fx_und = build_sem(&u, PAPER_CACHE_FRACTION).expect("fixture");
+        let sem_dir = Engine::new_sem(&fx_dir.safs, fx_dir.index.clone(), cfg);
+        let sem_und = Engine::new_sem(&fx_und.safs, fx_und.index.clone(), cfg);
+        for app in App::ALL {
+            let fg_mem = run_app(app, &mem_dir, &mem_und, root)
+                .expect("mem run")
+                .modeled_runtime_secs();
+            fx_dir.safs.reset_stats();
+            fx_und.safs.reset_stats();
+            let fg_sem = run_app(app, &sem_dir, &sem_und, root)
+                .expect("sem run")
+                .modeled_runtime_secs();
+            let gas_s = gas_seconds(app, &g, &u, root);
+            let direct_s = direct_seconds(app, &g, &u, root);
+            t.row(&[
+                ds.name().to_string(),
+                app.name().to_string(),
+                secs(fg_mem),
+                secs(fg_sem),
+                secs(gas_s),
+                secs(direct_s),
+            ]);
+        }
+    }
+    t.print();
+    println!("\npaper shape: FG-mem ≈ FG-1G ≈ Galois (within small factors); PowerGraph-like slowest");
+}

@@ -1,0 +1,221 @@
+//! Figure 11 — semi-external FlashGraph against the external-memory
+//! full-scan engines (GraphChi-like, X-Stream-like) on twitter-sim:
+//! (a) runtime, (a') device time + bytes moved, (b) memory.
+//!
+//! Paper's shape: FlashGraph wins by 1–2 orders of magnitude on
+//! traversal (BFS, WCC) because the scan engines stream the whole
+//! graph once per iteration regardless of frontier size; the gap
+//! narrows for PageRank (whole graph active anyway) and explodes for
+//! TC (semi-streaming needs many passes).
+//!
+//! At reproduction scale both engine families can be wall-clock-bound
+//! (the simulated 15-SSD array moves megabytes instantly), so the
+//! architectural claim is carried by table (a'): device busy time and
+//! bytes moved — the quantities that scale to the paper's terabyte
+//! regime. Set `FG_SCALE` to push table (a) toward the I/O-bound
+//! regime.
+
+use fg_baselines::graphchi_like::{
+    run_scan, scan_triangle_count, ScanBfs, ScanPageRank, ScanStats, ScanWcc,
+};
+use fg_baselines::stream::{stream_capacity, write_edge_stream};
+use fg_baselines::xstream_like::{run_edge_centric, XsBfs, XsPageRank, XsWcc};
+use fg_bench::report::{bytes, secs, Table};
+use fg_bench::{
+    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset,
+    PAPER_CACHE_FRACTION,
+};
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use flashgraph::{Engine, EngineConfig};
+
+struct EngineResult {
+    secs: f64,
+    dev_secs: f64,
+    bytes_moved: u64,
+    memory: u64,
+}
+
+fn from_scan(stats: &ScanStats) -> EngineResult {
+    EngineResult {
+        secs: stats.modeled_runtime_ns() as f64 / 1e9,
+        dev_secs: stats.io.max_busy_ns as f64 / 1e9,
+        bytes_moved: stats.io.bytes_read + stats.io.bytes_written,
+        memory: stats.memory_bytes,
+    }
+}
+
+fn main() {
+    let bump = scale_bump();
+    let cfg = EngineConfig::default();
+    let g = Dataset::TwitterSim.generate(bump);
+    let u = symmetrize(&g);
+    let root = traversal_root(&g);
+
+    // FlashGraph fixtures.
+    let fx_dir = build_sem(&g, PAPER_CACHE_FRACTION).expect("fixture");
+    let fx_und = build_sem(&u, PAPER_CACHE_FRACTION).expect("fixture");
+    let sem_dir = Engine::new_sem(&fx_dir.safs, fx_dir.index.clone(), cfg);
+    let sem_und = Engine::new_sem(&fx_und.safs, fx_und.index.clone(), cfg);
+
+    // Stream images for the scan engines (directed for BFS/WCC/PR,
+    // undirected for TC).
+    let arr_dir = SsdArray::new_mem(ArrayConfig::paper_array(), stream_capacity(&g)).unwrap();
+    let meta_dir = write_edge_stream(&g, &arr_dir).unwrap();
+    let arr_und = SsdArray::new_mem(ArrayConfig::paper_array(), stream_capacity(&u)).unwrap();
+    let meta_und = write_edge_stream(&u, &arr_und).unwrap();
+
+    let degrees: Vec<u32> = g.vertices().map(|v| g.out_degree(v) as u32).collect();
+
+    let mut rt = Table::new(
+        "Figure 11a: runtime on twitter-sim (modeled seconds)",
+        &["app", "FlashGraph (sem)", "GraphChi-like", "X-Stream-like"],
+    );
+    let mut io_t = Table::new(
+        "Figure 11a': device busy time and bytes moved (the architectural gap)",
+        &["app", "FG dev", "GC dev", "XS dev", "FG bytes", "GC bytes", "XS bytes"],
+    );
+    let mut mem = Table::new(
+        "Figure 11b: memory consumption",
+        &["app", "FlashGraph (sem)", "GraphChi-like", "X-Stream-like"],
+    );
+
+    for app in [App::Bfs, App::Wcc, App::Pr, App::Tc] {
+        fx_dir.safs.reset_stats();
+        fx_und.safs.reset_stats();
+        let fg_stats = run_app(app, &sem_dir, &sem_und, root).expect("fg run");
+        let fg_io = fg_stats.io.clone().expect("sem stats");
+        let state_bytes = match app {
+            App::Bfs => 8,
+            App::Wcc => 4,
+            App::Pr => 12,
+            _ => 24,
+        };
+        let fx = if app.undirected() { &fx_und } else { &fx_dir };
+        let fg = EngineResult {
+            secs: fg_stats.modeled_runtime_secs(),
+            dev_secs: fg_io.max_busy_ns as f64 / 1e9,
+            bytes_moved: fg_io.bytes_read + fg_io.bytes_written,
+            memory: fg_bench::sem_memory_bytes(
+                &fx.index,
+                state_bytes,
+                fx.safs.config().cache_bytes,
+            ),
+        };
+
+        arr_dir.stats().reset();
+        arr_und.stats().reset();
+        let gc = match app {
+            App::Bfs => from_scan(
+                &run_scan(&arr_dir, &meta_dir, &ScanBfs { source: root }, 100_000)
+                    .unwrap()
+                    .1,
+            ),
+            App::Wcc => from_scan(&run_scan(&arr_dir, &meta_dir, &ScanWcc, 100_000).unwrap().1),
+            App::Pr => {
+                let prog = ScanPageRank {
+                    damping: 0.85,
+                    iters: 30,
+                    out_degrees: degrees.clone(),
+                };
+                from_scan(&run_scan(&arr_dir, &meta_dir, &prog, 30).unwrap().1)
+            }
+            App::Tc => from_scan(&scan_triangle_count(&arr_und, &meta_und, 4).unwrap().1),
+            _ => unreachable!(),
+        };
+
+        arr_dir.stats().reset();
+        arr_und.stats().reset();
+        let xs = match app {
+            App::Bfs => from_scan(
+                &run_edge_centric(&arr_dir, &meta_dir, &XsBfs { source: root }, 100_000)
+                    .unwrap()
+                    .1,
+            ),
+            App::Wcc => {
+                from_scan(&run_edge_centric(&arr_dir, &meta_dir, &XsWcc, 100_000).unwrap().1)
+            }
+            App::Pr => {
+                let prog = XsPageRank {
+                    damping: 0.85,
+                    iters: 30,
+                    out_degrees: degrees.clone(),
+                };
+                from_scan(&run_edge_centric(&arr_dir, &meta_dir, &prog, 30).unwrap().1)
+            }
+            // X-Stream's tighter streaming memory budget means more
+            // semi-streaming passes.
+            App::Tc => from_scan(&scan_triangle_count(&arr_und, &meta_und, 8).unwrap().1),
+            _ => unreachable!(),
+        };
+
+        rt.row(&[
+            app.name().to_string(),
+            secs(fg.secs),
+            secs(gc.secs),
+            secs(xs.secs),
+        ]);
+        io_t.row(&[
+            app.name().to_string(),
+            secs(fg.dev_secs),
+            secs(gc.dev_secs),
+            secs(xs.dev_secs),
+            bytes(fg.bytes_moved),
+            bytes(gc.bytes_moved),
+            bytes(xs.bytes_moved),
+        ]);
+        mem.row(&[
+            app.name().to_string(),
+            bytes(fg.memory),
+            bytes(gc.memory),
+            bytes(xs.memory),
+        ]);
+    }
+    rt.print();
+    io_t.print();
+    mem.print();
+
+    // The full-scan penalty is proportional to the iteration count;
+    // R-MAT's diameter (~7) caps it. A high-diameter graph (the
+    // mesh/road-network regime) shows the 1-2 order gap the paper
+    // reports for its deeper real-world crawls.
+    let ring = fg_graph::gen::watts_strogatz(1 << (13 + bump), 4, 0.0005, 77);
+    let ring_root = traversal_root(&ring);
+    let fx_ring = build_sem(&ring, PAPER_CACHE_FRACTION).expect("fixture");
+    let sem_ring = Engine::new_sem(&fx_ring.safs, fx_ring.index.clone(), cfg);
+    fx_ring.safs.reset_stats();
+    let (_, fg_stats) = fg_apps::bfs(&sem_ring, ring_root).expect("bfs");
+    let fg_io = fg_stats.io.clone().expect("sem stats");
+
+    let arr_ring =
+        SsdArray::new_mem(ArrayConfig::paper_array(), stream_capacity(&ring)).unwrap();
+    let meta_ring = write_edge_stream(&ring, &arr_ring).unwrap();
+    arr_ring.stats().reset();
+    let (_, gc_stats) =
+        run_scan(&arr_ring, &meta_ring, &ScanBfs { source: ring_root }, 100_000).unwrap();
+    arr_ring.stats().reset();
+    let (_, xs_stats) =
+        run_edge_centric(&arr_ring, &meta_ring, &XsBfs { source: ring_root }, 100_000).unwrap();
+
+    let mut deep = Table::new(
+        "Figure 11a'': BFS on a high-diameter graph (scan penalty ∝ iterations)",
+        &["engine", "iterations", "runtime", "device time", "bytes moved"],
+    );
+    deep.row(&[
+        "FlashGraph (sem)".into(),
+        fg_stats.iterations.to_string(),
+        secs(fg_stats.modeled_runtime_secs()),
+        secs(fg_io.max_busy_ns as f64 / 1e9),
+        bytes(fg_io.bytes_read + fg_io.bytes_written),
+    ]);
+    for (name, s) in [("GraphChi-like", &gc_stats), ("X-Stream-like", &xs_stats)] {
+        deep.row(&[
+            name.into(),
+            s.iterations.to_string(),
+            secs(s.modeled_runtime_ns() as f64 / 1e9),
+            secs(s.io.max_busy_ns as f64 / 1e9),
+            bytes(s.io.bytes_read + s.io.bytes_written),
+        ]);
+    }
+    deep.print();
+    println!("\npaper shape: FlashGraph 1-2 orders less I/O on BFS/WCC; PR closest; TC multiplies scan passes");
+}

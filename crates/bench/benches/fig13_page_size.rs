@@ -1,0 +1,71 @@
+//! Figure 13 — the impact of the SAFS page size (1 KB → 1 MB) on
+//! BFS, WCC, and TC over subdomain-sim.
+//!
+//! Paper's shape: 4 KB is optimal. Sub-4 KB pages cannot beat it —
+//! flash reads whole 4 KB pages regardless (the simulator charges the
+//! same) — and megabyte pages drag in unneeded bytes, collapsing BFS
+//! and TC to a small fraction of their 4 KB performance.
+
+use fg_bench::report::{ratio, Table};
+use fg_bench::{
+    build_sem_on, scale_bump, symmetrize, traversal_root, Dataset, PAPER_CACHE_FRACTION,
+};
+use fg_safs::SafsConfig;
+use fg_ssdsim::ArrayConfig;
+use flashgraph::{Engine, EngineConfig};
+
+/// The testbed scaled down with the dataset (see `build_sem_on`).
+fn small_array() -> ArrayConfig {
+    ArrayConfig {
+        num_ssds: 1,
+        ..ArrayConfig::paper_array()
+    }
+}
+
+fn main() {
+    let bump = scale_bump();
+    let g = Dataset::SubdomainSim.generate(bump);
+    let u = symmetrize(&g);
+    let root = traversal_root(&g);
+    let sizes_kb: [u64; 6] = [1, 4, 16, 64, 256, 1024];
+
+    // Collect (page_kb, bfs, wcc, tc) modeled runtimes.
+    let mut rows = Vec::new();
+    for kb in sizes_kb {
+        let cfg = SafsConfig::default().with_page_bytes(kb * 1024);
+        let fx_dir =
+            build_sem_on(&g, PAPER_CACHE_FRACTION, cfg, small_array()).expect("fixture");
+        let fx_und =
+            build_sem_on(&u, PAPER_CACHE_FRACTION, cfg, small_array()).expect("fixture");
+        let ecfg = EngineConfig::default();
+        let dir = Engine::new_sem(&fx_dir.safs, fx_dir.index.clone(), ecfg);
+        let und = Engine::new_sem(&fx_und.safs, fx_und.index.clone(), ecfg);
+        fx_dir.safs.reset_stats();
+        let bfs = fg_apps::bfs(&dir, root).expect("bfs").1.modeled_runtime_secs();
+        fx_dir.safs.reset_stats();
+        let wcc = fg_apps::wcc(&dir).expect("wcc").1.modeled_runtime_secs();
+        fx_und.safs.reset_stats();
+        let tc = fg_apps::triangle_count(&und, false)
+            .expect("tc")
+            .2
+            .modeled_runtime_secs();
+        rows.push((kb, bfs, wcc, tc));
+    }
+
+    // Normalize to the 4 KB row, like the paper.
+    let base = rows.iter().find(|r| r.0 == 4).copied().expect("4KB row");
+    let mut t = Table::new(
+        "Figure 13: SAFS page size (performance relative to 4 KB)",
+        &["page size", "BFS", "WCC", "TC"],
+    );
+    for (kb, bfs, wcc, tc) in rows {
+        t.row(&[
+            format!("{kb} KB"),
+            ratio(base.1 / bfs),
+            ratio(base.2 / wcc),
+            ratio(base.3 / tc),
+        ]);
+    }
+    t.print();
+    println!("\npaper shape: 4 KB ≈ best; 1 KB no better; ≥256 KB collapses BFS/TC");
+}

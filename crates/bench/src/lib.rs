@@ -1,0 +1,220 @@
+//! Shared infrastructure for the evaluation harnesses.
+//!
+//! Every table and figure of the paper has a `harness = false` bench
+//! target in `benches/`; this library holds what they share: dataset
+//! preparation (generate → write image → mount SAFS), the roofline
+//! runtime accounting, and plain-text table rendering.
+//!
+//! Scale: graphs are generated at laptop scale by default; set
+//! `FG_SCALE=k` to raise every dataset by `k` R-MAT scale steps
+//! (each step doubles vertices).
+
+pub mod report;
+
+use fg_format::{load_index, required_capacity, write_image, GraphIndex};
+use fg_graph::{Graph, GraphBuilder};
+use fg_safs::{Safs, SafsConfig};
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use fg_types::Result;
+
+/// Re-exported so harnesses only import this crate.
+pub use fg_graph::gen::Dataset;
+
+/// Reads the `FG_SCALE` environment variable (default 0).
+pub fn scale_bump() -> u32 {
+    std::env::var("FG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The cache fraction equivalent to the paper's "1 GB cache for the
+/// 13 GB Twitter graph" configuration.
+pub const PAPER_CACHE_FRACTION: f64 = 1.0 / 13.0;
+
+/// A semi-external fixture: image written, index loaded, SAFS mounted.
+pub struct SemFixture {
+    /// The mounted filesystem.
+    pub safs: Safs,
+    /// The compact in-memory index.
+    pub index: GraphIndex,
+    /// Bytes of the on-SSD image.
+    pub image_bytes: u64,
+    /// Seconds spent writing the image (graph load).
+    pub load_secs: f64,
+    /// Seconds spent loading the index ("init time" in Table 2).
+    pub init_secs: f64,
+}
+
+/// Builds a semi-external fixture for `g` with `cache_fraction` of
+/// the image bytes as page cache and otherwise default SAFS settings.
+///
+/// # Errors
+///
+/// Propagates image/SAFS errors.
+pub fn build_sem(g: &Graph, cache_fraction: f64) -> Result<SemFixture> {
+    build_sem_with(g, cache_fraction, SafsConfig::default())
+}
+
+/// [`build_sem`] with explicit SAFS settings (page size, merge flag).
+///
+/// # Errors
+///
+/// Propagates image/SAFS errors.
+pub fn build_sem_with(g: &Graph, cache_fraction: f64, cfg: SafsConfig) -> Result<SemFixture> {
+    build_sem_on(g, cache_fraction, cfg, ArrayConfig::paper_array())
+}
+
+/// [`build_sem_with`] on an explicit array. The I/O-sensitivity
+/// sweeps (Figures 13 and 14) use a smaller array so the device
+/// stays on the critical path at reproduction scale — the testbed
+/// scaled down in proportion to the dataset, keeping the paper's
+/// I/O-to-compute balance.
+///
+/// # Errors
+///
+/// Propagates image/SAFS errors.
+pub fn build_sem_on(
+    g: &Graph,
+    cache_fraction: f64,
+    cfg: SafsConfig,
+    array_cfg: ArrayConfig,
+) -> Result<SemFixture> {
+    let capacity = required_capacity(g).max(4096);
+    let array = SsdArray::new_mem(array_cfg, capacity)?;
+    let t0 = std::time::Instant::now();
+    let meta = write_image(g, &array)?;
+    let load_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let (_, index) = load_index(&array)?;
+    let init_secs = t1.elapsed().as_secs_f64();
+    let image_bytes = meta.total_bytes;
+    let cache_bytes = (image_bytes as f64 * cache_fraction) as u64;
+    let safs = Safs::new(cfg.with_cache_bytes(cache_bytes), array)?;
+    safs.reset_stats();
+    Ok(SemFixture {
+        safs,
+        index,
+        image_bytes,
+        load_secs,
+        init_secs,
+    })
+}
+
+/// Symmetrizes a directed graph (TC and scan statistics run on the
+/// undirected view, as in the reference implementations).
+pub fn symmetrize(g: &Graph) -> Graph {
+    let mut b = GraphBuilder::undirected();
+    b.reserve_vertices(g.num_vertices());
+    for (s, d) in g.edges() {
+        b.add_edge(s, d);
+    }
+    b.build()
+}
+
+/// Estimated resident memory of a semi-external run: index + vertex
+/// state + page cache (the quantities Table 2 sums).
+pub fn sem_memory_bytes(index: &GraphIndex, state_bytes_per_vertex: usize, cache_bytes: u64) -> u64 {
+    index.heap_bytes() as u64
+        + (index.num_vertices() * state_bytes_per_vertex) as u64
+        + cache_bytes
+}
+
+/// The six applications of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    /// Breadth-first search (out-edges, frontier subset).
+    Bfs,
+    /// Betweenness centrality from one source (both directions).
+    Bc,
+    /// Weakly connected components (both directions, narrowing).
+    Wcc,
+    /// Delta PageRank, 30 iterations (out-edges, narrowing).
+    Pr,
+    /// Triangle counting (neighbour-list reads, undirected view).
+    Tc,
+    /// Scan statistics (degree-first scheduler, undirected view).
+    Ss,
+}
+
+impl App {
+    /// All six, in the paper's figure order.
+    pub const ALL: [App; 6] = [App::Bfs, App::Bc, App::Wcc, App::Pr, App::Tc, App::Ss];
+
+    /// Short name used in figure rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Bfs => "BFS",
+            App::Bc => "BC",
+            App::Wcc => "WCC",
+            App::Pr => "PR",
+            App::Tc => "TC",
+            App::Ss => "SS",
+        }
+    }
+
+    /// Whether the app runs on the symmetrized (undirected) view.
+    pub fn undirected(self) -> bool {
+        matches!(self, App::Tc | App::Ss)
+    }
+}
+
+/// Picks the BFS/BC source: the highest-out-degree vertex, so
+/// traversals cover most of the graph (R-MAT hubs reach everything).
+pub fn traversal_root(g: &Graph) -> fg_types::VertexId {
+    g.vertices()
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(fg_types::VertexId(0))
+}
+
+/// Runs `app` on the matching engine (`directed` for BFS/BC/WCC/PR,
+/// `undirected` for TC/SS) and returns its statistics.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run_app(
+    app: App,
+    directed: &flashgraph::Engine<'_>,
+    undirected: &flashgraph::Engine<'_>,
+    root: fg_types::VertexId,
+) -> Result<flashgraph::RunStats> {
+    Ok(match app {
+        App::Bfs => fg_apps::bfs(directed, root)?.1,
+        App::Bc => fg_apps::bc_single_source(directed, root)?.1,
+        App::Wcc => fg_apps::wcc(directed)?.1,
+        App::Pr => fg_apps::pagerank(directed, 0.85, 1e-3, 30)?.1,
+        App::Tc => fg_apps::triangle_count(undirected, false)?.2,
+        App::Ss => fg_apps::scan_statistics(undirected)?.1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::fixtures;
+
+    #[test]
+    fn fixture_builds_and_mounts() {
+        let g = fixtures::complete(20);
+        let fx = build_sem(&g, 0.5).unwrap();
+        assert!(fx.image_bytes > 0);
+        assert!(fx.safs.config().cache_bytes <= fx.image_bytes);
+        assert_eq!(fx.index.num_vertices(), 20);
+    }
+
+    #[test]
+    fn symmetrize_makes_undirected() {
+        let g = fixtures::path(4);
+        let u = symmetrize(&g);
+        assert!(!u.is_directed());
+        assert_eq!(u.num_edges(), 3);
+        assert_eq!(u.out_neighbors(fg_types::VertexId(1)).len(), 2);
+    }
+
+    #[test]
+    fn scale_bump_defaults_to_zero() {
+        std::env::remove_var("FG_SCALE");
+        assert_eq!(scale_bump(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Engine configuration.
+
+/// How a worker thread orders the active vertices of its partition
+/// before processing them (§3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Ascending vertex id — matches edge-list order on SSDs, so the
+    /// request stream is (mostly) sequential and merges well. The
+    /// paper's default.
+    ById,
+    /// Ascending id on even iterations, descending on odd ones: pages
+    /// touched at the end of one iteration are touched first in the
+    /// next, helping the page cache (§3.7). Used for algorithms whose
+    /// convergence is order-independent.
+    Alternating,
+    /// Deterministic pseudo-random order seeded per iteration — the
+    /// "random execution" configuration of Figure 12, which shows how
+    /// much performance sequential I/O ordering buys.
+    Random(u64),
+    /// Descending degree in the given direction-of-interest: scan
+    /// statistics schedules large vertices first so it can prune the
+    /// rest (§3.7, §4).
+    DegreeDescending,
+}
+
+/// Tunables of an [`crate::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads. Zero means use available parallelism.
+    pub num_threads: usize,
+    /// Range shift `r` of the horizontal partition function
+    /// `(vid >> r) % num_threads` (§3.8). Zero means pick
+    /// automatically from the graph size. The paper found 12–18 works
+    /// well for 100 M-vertex graphs.
+    pub range_shift: u32,
+    /// Maximum outstanding edge-list requests per worker. The paper
+    /// saw no benefit past 4000 running vertices per thread.
+    pub max_pending: usize,
+    /// Requests accumulated before a sort-and-merge flush.
+    pub issue_batch: usize,
+    /// Merge requests inside the engine before they reach SAFS
+    /// (§3.6). Turning this off reproduces the "merge in SAFS" and
+    /// "no merging" rows of Figure 12.
+    pub merge_in_engine: bool,
+    /// Vertex ordering policy.
+    pub scheduler: SchedulerKind,
+    /// Vertical passes per iteration (§3.8): programs see
+    /// `ctx.vertical_part()` and can restrict each pass to a slice of
+    /// the neighbour space, improving cache reuse for hub-heavy
+    /// algorithms like triangle counting.
+    pub vertical_parts: u32,
+    /// Hard iteration cap (safety net; algorithms normally converge).
+    pub max_iterations: u32,
+    /// Enable cursor-based work stealing between workers (§3.8.1).
+    pub work_stealing: bool,
+}
+
+impl EngineConfig {
+    /// Scales `max_pending` and batch sizes down for unit tests.
+    pub fn small() -> Self {
+        EngineConfig {
+            num_threads: 2,
+            max_pending: 16,
+            issue_batch: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style: sets the worker-thread count.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builder-style: sets the scheduler.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Builder-style: toggles engine-side merging.
+    pub fn with_engine_merge(mut self, on: bool) -> Self {
+        self.merge_in_engine = on;
+        self
+    }
+
+    /// Builder-style: sets vertical passes.
+    pub fn with_vertical_parts(mut self, v: u32) -> Self {
+        self.vertical_parts = v.max(1);
+        self
+    }
+
+    /// Resolved thread count.
+    pub fn threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Resolved range shift for a graph of `n` vertices: the paper's
+    /// guidance adapted to small graphs — enough ranges per partition
+    /// (≥ 8) for stealing granularity, ranges at least 256 vertices
+    /// when the graph affords it.
+    pub fn resolve_range_shift(&self, n: usize) -> u32 {
+        if self.range_shift != 0 {
+            return self.range_shift;
+        }
+        let threads = self.threads().max(1);
+        let target_ranges = threads * 8;
+        let mut r = 0u32;
+        while (n >> (r + 1)) >= target_ranges && r < 18 {
+            r += 1;
+        }
+        r
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_threads: 0,
+            range_shift: 0,
+            max_pending: 4000,
+            issue_batch: 256,
+            merge_in_engine: true,
+            scheduler: SchedulerKind::Alternating,
+            vertical_parts: 1,
+            max_iterations: u32::MAX,
+            work_stealing: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_resolves_threads() {
+        assert!(EngineConfig::default().threads() >= 1);
+        assert_eq!(EngineConfig::default().with_threads(3).threads(), 3);
+    }
+
+    #[test]
+    fn explicit_range_shift_wins() {
+        let c = EngineConfig {
+            range_shift: 14,
+            ..EngineConfig::default()
+        };
+        assert_eq!(c.resolve_range_shift(1 << 20), 14);
+    }
+
+    #[test]
+    fn auto_range_shift_scales_with_graph() {
+        let c = EngineConfig::default().with_threads(4);
+        let small = c.resolve_range_shift(1 << 10);
+        let large = c.resolve_range_shift(1 << 24);
+        assert!(large > small);
+        assert!(large <= 18, "paper's upper guidance");
+        // Enough ranges for stealing even on tiny graphs.
+        assert!((1usize << 10) >> small >= 4 * 4);
+    }
+
+    #[test]
+    fn vertical_parts_never_zero() {
+        assert_eq!(EngineConfig::default().with_vertical_parts(0).vertical_parts, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! The per-callback context handed to vertex programs.
+
+use fg_format::GraphIndex;
+use fg_graph::Graph;
+use fg_types::{AtomicBitmap, EdgeDir, VertexId};
+
+use crate::messages::Batch as Envelope;
+use crate::partition::PartitionMap;
+
+/// Where per-vertex degrees come from: the compact index in
+/// semi-external mode, the CSR in in-memory mode.
+pub(crate) enum DegreeSource<'g> {
+    Index(&'g GraphIndex),
+    Graph(&'g Graph),
+}
+
+impl DegreeSource<'_> {
+    pub(crate) fn degree(&self, v: VertexId, dir: EdgeDir) -> u64 {
+        match self {
+            DegreeSource::Index(ix) => match dir {
+                EdgeDir::Both => {
+                    if ix.is_directed() {
+                        ix.degree(v, EdgeDir::In) + ix.degree(v, EdgeDir::Out)
+                    } else {
+                        ix.degree(v, EdgeDir::Out)
+                    }
+                }
+                d => ix.degree(v, d),
+            },
+            DegreeSource::Graph(g) => match dir {
+                EdgeDir::Both => {
+                    if g.is_directed() {
+                        (g.in_degree(v) + g.out_degree(v)) as u64
+                    } else {
+                        g.out_degree(v) as u64
+                    }
+                }
+                EdgeDir::Out => g.out_degree(v) as u64,
+                EdgeDir::In => g.in_degree(v) as u64,
+            },
+        }
+    }
+
+    pub(crate) fn is_directed(&self) -> bool {
+        match self {
+            DegreeSource::Index(ix) => ix.is_directed(),
+            DegreeSource::Graph(g) => g.is_directed(),
+        }
+    }
+}
+
+/// Engine-wide immutable state visible to every worker.
+pub(crate) struct RunShared<'g> {
+    pub n: usize,
+    pub vparts: u32,
+    pub degrees: DegreeSource<'g>,
+    pub pmap: PartitionMap,
+}
+
+/// One logical edge-list request (the unit that produces exactly one
+/// `run_on_vertex` callback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EdgeRequest {
+    /// The vertex whose list is wanted.
+    pub subject: VertexId,
+    /// The vertex that asked (receives the callback).
+    pub requester: VertexId,
+    /// A single direction (`Both` is split before it gets here).
+    pub dir: EdgeDir,
+    /// Whether the parallel attribute run is wanted too.
+    pub attrs: bool,
+}
+
+/// Per-worker mutable scratch the context writes into.
+pub(crate) struct WorkerScratch<M> {
+    /// Requests accumulated since the last issue flush.
+    pub requests: Vec<EdgeRequest>,
+    /// Packed outgoing unicasts per destination partition.
+    pub out_unicasts: Vec<Vec<(VertexId, M)>>,
+    /// Outgoing multicast batches per destination partition.
+    pub out_multicasts: Vec<Vec<Envelope<M>>>,
+    /// Buffered per-vertex deliveries (for the flush threshold).
+    pub buffered_fanout: u64,
+    /// End-of-iteration registrations per destination partition.
+    pub notifies: Vec<Vec<VertexId>>,
+    /// New activations performed by this worker (bits actually set).
+    pub activations: u64,
+    /// Logical requests issued by this worker.
+    pub engine_requests: u64,
+}
+
+impl<M> WorkerScratch<M> {
+    pub(crate) fn new(partitions: usize) -> Self {
+        WorkerScratch {
+            requests: Vec::new(),
+            out_unicasts: (0..partitions).map(|_| Vec::new()).collect(),
+            out_multicasts: (0..partitions).map(|_| Vec::new()).collect(),
+            buffered_fanout: 0,
+            notifies: (0..partitions).map(|_| Vec::new()).collect(),
+            activations: 0,
+            engine_requests: 0,
+        }
+    }
+}
+
+/// The context available inside every vertex-program callback.
+///
+/// Everything a vertex may do to the outside world goes through here:
+/// requesting edge lists (its own or any other vertex's — the
+/// flexibility §3.4 highlights for algorithms like Louvain), sending
+/// messages, multicast, activating vertices, and registering for the
+/// end-of-iteration event.
+pub struct VertexContext<'w, M> {
+    pub(crate) current: VertexId,
+    pub(crate) iteration: u32,
+    pub(crate) vpart: u32,
+    pub(crate) shared: &'w RunShared<'w>,
+    pub(crate) next_frontier: &'w AtomicBitmap,
+    pub(crate) scratch: &'w mut WorkerScratch<M>,
+}
+
+impl<M> VertexContext<'_, M> {
+    /// The current iteration (0-based).
+    #[inline]
+    pub fn iteration(&self) -> u32 {
+        self.iteration
+    }
+
+    /// The vertex this callback belongs to.
+    #[inline]
+    pub fn current_vertex(&self) -> VertexId {
+        self.current
+    }
+
+    /// Number of vertices in the graph.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.shared.degrees.is_directed()
+    }
+
+    /// `(current vertical pass, total passes)` — `(0, 1)` unless
+    /// vertical partitioning is configured (§3.8).
+    #[inline]
+    pub fn vertical_part(&self) -> (u32, u32) {
+        (self.vpart, self.shared.vparts)
+    }
+
+    /// Degree of any vertex, from the in-memory index — no I/O.
+    /// [`EdgeDir::Both`] returns in+out for directed graphs.
+    #[inline]
+    pub fn degree(&self, v: VertexId, dir: EdgeDir) -> u64 {
+        self.shared.degrees.degree(v, dir)
+    }
+
+    /// Activates `v` for the next iteration. Idempotent; the paper
+    /// implements this as an empty multicast message, here it is a
+    /// lock-free bitmap OR.
+    #[inline]
+    pub fn activate(&mut self, v: VertexId) {
+        if !self.next_frontier.set(v) {
+            self.scratch.activations += 1;
+        }
+    }
+
+    /// Activates a batch.
+    pub fn activate_many(&mut self, vs: &[VertexId]) {
+        for &v in vs {
+            self.activate(v);
+        }
+    }
+
+    /// Requests edge list(s) of `v` in `dir`; each single direction
+    /// produces one later `run_on_vertex` callback *on the current
+    /// vertex*. Zero-degree lists complete without I/O.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn request_edges(&mut self, v: VertexId, dir: EdgeDir) {
+        self.request_inner(v, dir, false);
+    }
+
+    /// Like [`VertexContext::request_edges`] but also fetches the
+    /// parallel edge-attribute run, so the callback's
+    /// [`crate::PageVertex::attr`] works. The graph image must carry
+    /// attributes.
+    pub fn request_edges_with_attrs(&mut self, v: VertexId, dir: EdgeDir) {
+        self.request_inner(v, dir, true);
+    }
+
+    fn request_inner(&mut self, v: VertexId, dir: EdgeDir, attrs: bool) {
+        assert!(
+            v.index() < self.shared.n,
+            "requested vertex {v} out of range ({} vertices)",
+            self.shared.n
+        );
+        let requester = self.current;
+        let dirs = if self.is_directed() {
+            dir
+        } else {
+            EdgeDir::Out // undirected graphs have one list
+        };
+        for d in dirs.singles() {
+            self.scratch.requests.push(EdgeRequest {
+                subject: v,
+                requester,
+                dir: d,
+                attrs,
+            });
+            self.scratch.engine_requests += 1;
+        }
+    }
+
+    /// Sends `msg` to vertex `to`, delivered via `run_on_message` at
+    /// the iteration barrier (even if `to` is inactive).
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        let dest = self.shared.pmap.partition_of(to);
+        self.scratch.out_unicasts[dest].push((to, msg));
+        self.scratch.buffered_fanout += 1;
+    }
+
+    /// Sends one payload to many vertices, copying it once per
+    /// destination partition instead of once per recipient (§3.4.1).
+    pub fn multicast(&mut self, to: &[VertexId], msg: M)
+    where
+        M: Clone,
+    {
+        if to.is_empty() {
+            return;
+        }
+        let parts = self.shared.pmap.num_partitions();
+        if parts == 1 {
+            self.scratch.buffered_fanout += to.len() as u64;
+            self.scratch.out_multicasts[0].push(Envelope::Multicast(to.to_vec(), msg));
+            return;
+        }
+        let mut per_part: Vec<Vec<VertexId>> = vec![Vec::new(); parts];
+        for &v in to {
+            per_part[self.shared.pmap.partition_of(v)].push(v);
+        }
+        for (p, vs) in per_part.into_iter().enumerate() {
+            if !vs.is_empty() {
+                self.scratch.buffered_fanout += vs.len() as u64;
+                self.scratch.out_multicasts[p].push(Envelope::Multicast(vs, msg.clone()));
+            }
+        }
+    }
+
+    /// Registers the current vertex for `run_on_iteration_end` at the
+    /// end of this iteration.
+    pub fn notify_iteration_end(&mut self) {
+        let dest = self.shared.pmap.partition_of(self.current);
+        self.scratch.notifies[dest].push(self.current);
+    }
+}

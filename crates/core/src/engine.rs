@@ -1,0 +1,1099 @@
+//! The iteration driver: partitions, schedulers, the asynchronous
+//! issue/poll loop, work stealing, and barriers (§3.3, §3.6–§3.8).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use fg_format::GraphIndex;
+use fg_graph::Graph;
+use fg_safs::{Completion, IoSession, PageSpan, Safs};
+use fg_types::{AtomicBitmap, Bitmap, EdgeDir, FgError, Result, VertexId};
+
+use crate::config::{EngineConfig, SchedulerKind};
+use crate::context::{DegreeSource, EdgeRequest, RunShared, VertexContext, WorkerScratch};
+use crate::merge::{merge_requests, RangeReq};
+use crate::messages::{Batch, MessageBoard, NotifyBoard};
+use crate::partition::PartitionMap;
+use crate::program::VertexProgram;
+use crate::state::SharedStates;
+use crate::stats::{IterStats, RunStats};
+use crate::vertex::PageVertex;
+
+/// Initial activation of a run.
+#[derive(Debug, Clone)]
+pub enum Init {
+    /// Every vertex is active in iteration 0 (PageRank, WCC, ...).
+    All,
+    /// Only the given vertices are active (BFS, BC, SSSP sources).
+    Seeds(Vec<VertexId>),
+}
+
+enum Backend<'g> {
+    Mem(&'g Graph),
+    Sem { safs: &'g Safs, index: GraphIndex },
+}
+
+/// The FlashGraph engine over one graph, in semi-external-memory or
+/// in-memory mode. See the crate docs for an end-to-end example.
+pub struct Engine<'g> {
+    backend: Backend<'g>,
+    cfg: EngineConfig,
+    n: usize,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("vertices", &self.n)
+            .field(
+                "mode",
+                &match self.backend {
+                    Backend::Mem(_) => "in-memory",
+                    Backend::Sem { .. } => "semi-external",
+                },
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g> Engine<'g> {
+    /// An in-memory engine (the paper's FG-mem baseline): edge lists
+    /// come from the CSR, everything else — scheduler, partitioning,
+    /// messages — is identical.
+    pub fn new_mem(graph: &'g Graph, cfg: EngineConfig) -> Self {
+        Engine {
+            n: graph.num_vertices(),
+            backend: Backend::Mem(graph),
+            cfg,
+        }
+    }
+
+    /// A semi-external-memory engine over a SAFS-mounted graph image
+    /// and its loaded [`GraphIndex`].
+    pub fn new_sem(safs: &'g Safs, index: GraphIndex, cfg: EngineConfig) -> Self {
+        Engine {
+            n: index.num_vertices(),
+            backend: Backend::Sem { safs, index },
+            cfg,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// A new engine over the same backend with a different
+    /// configuration (engines are stateless between runs, so this is
+    /// cheap; used by apps that need per-run iteration caps or
+    /// schedulers).
+    pub fn reconfigured(&self, cfg: EngineConfig) -> Engine<'g> {
+        Engine {
+            backend: match &self.backend {
+                Backend::Mem(g) => Backend::Mem(g),
+                Backend::Sem { safs, index } => Backend::Sem {
+                    safs,
+                    index: index.clone(),
+                },
+            },
+            cfg,
+            n: self.n,
+        }
+    }
+
+    /// Executes `program` until no vertex is active and no message is
+    /// pending, returning the final per-vertex states and statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FgError::VertexOutOfRange`] for bad seeds; I/O errors
+    /// propagate from SAFS.
+    pub fn run<P: VertexProgram>(
+        &self,
+        program: &P,
+        init: Init,
+    ) -> Result<(Vec<P::State>, RunStats)> {
+        let mut states_vec = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            states_vec.push(program.init_state(VertexId::from_index(i)));
+        }
+        self.run_with_states(program, init, states_vec)
+    }
+
+    /// Like [`Engine::run`] but resumes from caller-provided states —
+    /// how multi-phase algorithms (betweenness centrality's forward
+    /// BFS + backward accumulation) carry results between phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FgError::VertexOutOfRange`] for bad seeds or a state
+    /// vector of the wrong length.
+    pub fn run_with_states<P: VertexProgram>(
+        &self,
+        program: &P,
+        init: Init,
+        states_vec: Vec<P::State>,
+    ) -> Result<(Vec<P::State>, RunStats)> {
+        let n = self.n;
+        if states_vec.len() != n {
+            return Err(FgError::InvalidRequest(format!(
+                "state vector has {} entries for {} vertices",
+                states_vec.len(),
+                n
+            )));
+        }
+        let start = Instant::now();
+        let states = SharedStates::new(states_vec);
+
+        let frontiers = Frontiers::new(n);
+        match &init {
+            Init::All => {
+                for i in 0..n {
+                    frontiers.cur().set(VertexId::from_index(i));
+                }
+            }
+            Init::Seeds(seeds) => {
+                for &s in seeds {
+                    if s.index() >= n {
+                        return Err(FgError::VertexOutOfRange {
+                            vertex: s.0 as u64,
+                            num_vertices: n as u64,
+                        });
+                    }
+                    frontiers.cur().set(s);
+                }
+            }
+        }
+
+        let nthreads = self.cfg.threads().max(1);
+        let r = self.cfg.resolve_range_shift(n);
+        let pmap = PartitionMap::new(n, nthreads, r);
+        let vparts = self.cfg.vertical_parts.max(1);
+        let shared = RunShared {
+            n,
+            vparts,
+            degrees: match &self.backend {
+                Backend::Mem(g) => DegreeSource::Graph(g),
+                Backend::Sem { index, .. } => DegreeSource::Index(index),
+            },
+            pmap: pmap.clone(),
+        };
+        let board: MessageBoard<P::Msg> = MessageBoard::new(nthreads);
+        let notify = NotifyBoard::new(nthreads);
+        let active = ActiveSet::new(nthreads, vparts as usize);
+        let barrier = Barrier::new(nthreads);
+        let control = Control::default();
+        let counters = Counters::default();
+        let (io_before, cache_before) = match &self.backend {
+            Backend::Sem { safs, .. } => (
+                Some(safs.array().stats().snapshot()),
+                Some(safs.cache_stats()),
+            ),
+            Backend::Mem(_) => (None, None),
+        };
+        let per_iteration: parking_lot::Mutex<Vec<IterStats>> =
+            parking_lot::Mutex::new(Vec::new());
+
+        if n > 0 {
+            std::thread::scope(|scope| {
+                for w in 0..nthreads {
+                    let worker = WorkerEnv {
+                        w,
+                        engine: self,
+                        program,
+                        states: &states,
+                        shared: &shared,
+                        frontiers: &frontiers,
+                        board: &board,
+                        notify: &notify,
+                        active: &active,
+                        barrier: &barrier,
+                        control: &control,
+                        counters: &counters,
+                        per_iteration: &per_iteration,
+                    };
+                    scope.spawn(move || worker.run_loop());
+                }
+            });
+        }
+
+        let elapsed = start.elapsed();
+        let (io, cache) = match &self.backend {
+            Backend::Sem { safs, .. } => (
+                Some(
+                    safs.array()
+                        .stats()
+                        .snapshot()
+                        .delta_since(&io_before.unwrap()),
+                ),
+                Some(safs.cache_stats().delta_since(&cache_before.unwrap())),
+            ),
+            Backend::Mem(_) => (None, None),
+        };
+        let stats = RunStats {
+            iterations: control.iteration.load(Ordering::Relaxed),
+            elapsed,
+            compute_ns: counters.compute_ns.load(Ordering::Relaxed),
+            wait_ns: counters.wait_ns.load(Ordering::Relaxed),
+            activations: counters.activations.load(Ordering::Relaxed),
+            messages_sent: board.total_sent(),
+            vertices_processed: counters.vertices.load(Ordering::Relaxed),
+            engine_requests: counters.engine_requests.load(Ordering::Relaxed),
+            issued_requests: counters.issued_requests.load(Ordering::Relaxed),
+            bytes_requested: counters.bytes_requested.load(Ordering::Relaxed),
+            io,
+            cache,
+            per_iteration: per_iteration.into_inner(),
+        };
+        Ok((states.into_inner(), stats))
+    }
+}
+
+/// Double-buffered frontier bitmaps, flipped at each barrier.
+struct Frontiers {
+    maps: [AtomicBitmap; 2],
+    flip: AtomicUsize,
+}
+
+impl Frontiers {
+    fn new(n: usize) -> Self {
+        Frontiers {
+            maps: [AtomicBitmap::new(n), AtomicBitmap::new(n)],
+            flip: AtomicUsize::new(0),
+        }
+    }
+
+    fn cur(&self) -> &AtomicBitmap {
+        &self.maps[self.flip.load(Ordering::Acquire) & 1]
+    }
+
+    fn next(&self) -> &AtomicBitmap {
+        &self.maps[(self.flip.load(Ordering::Acquire) + 1) & 1]
+    }
+
+    /// Makes `next` current and clears the old frontier. Called by
+    /// one thread between barriers.
+    fn swap(&self) {
+        let old = self.flip.fetch_add(1, Ordering::AcqRel) & 1;
+        self.maps[old].clear_all();
+    }
+}
+
+/// Per-partition active lists plus per-pass steal cursors.
+///
+/// Lists are written by their owner during the build phase and read
+/// by every worker during the compute phase; the two phases are
+/// separated by a barrier (same discipline as `SharedStates`).
+struct ActiveSet {
+    lists: Vec<UnsafeCell<Vec<VertexId>>>,
+    cursors: Vec<Vec<AtomicUsize>>,
+}
+
+// SAFETY: see the struct docs — phase discipline plus barriers.
+unsafe impl Sync for ActiveSet {}
+
+impl ActiveSet {
+    fn new(parts: usize, vparts: usize) -> Self {
+        ActiveSet {
+            lists: (0..parts).map(|_| UnsafeCell::new(Vec::new())).collect(),
+            cursors: (0..parts)
+                .map(|_| (0..vparts).map(|_| AtomicUsize::new(0)).collect())
+                .collect(),
+        }
+    }
+
+    /// Owner installs its list and rewinds its cursors (build phase).
+    fn install(&self, part: usize, list: Vec<VertexId>) {
+        // SAFETY: only the owner writes, before the phase barrier.
+        unsafe {
+            *self.lists[part].get() = list;
+        }
+        for c in &self.cursors[part] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Claims the next vertex of `part` in pass `vp`, if any.
+    fn claim(&self, part: usize, vp: usize) -> Option<VertexId> {
+        // SAFETY: compute phase — lists are read-only.
+        let list = unsafe { &*self.lists[part].get() };
+        if self.cursors[part][vp].load(Ordering::Relaxed) >= list.len() {
+            return None;
+        }
+        let c = self.cursors[part][vp].fetch_add(1, Ordering::Relaxed);
+        list.get(c).copied()
+    }
+}
+
+/// Cross-worker run control, owned by worker 0 at barriers.
+#[derive(Default)]
+struct Control {
+    iteration: AtomicU64Like,
+    stop: AtomicBool,
+}
+
+/// `AtomicU32` wrapper defaulting to zero (keeps `Control` derivable).
+#[derive(Default)]
+struct AtomicU64Like(std::sync::atomic::AtomicU32);
+
+impl AtomicU64Like {
+    fn load(&self, o: Ordering) -> u32 {
+        self.0.load(o)
+    }
+    fn store(&self, v: u32, o: Ordering) {
+        self.0.store(v, o)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    compute_ns: AtomicU64,
+    wait_ns: AtomicU64,
+    activations: AtomicU64,
+    vertices: AtomicU64,
+    engine_requests: AtomicU64,
+    issued_requests: AtomicU64,
+    bytes_requested: AtomicU64,
+}
+
+/// Everything one worker thread needs, borrowed from the run.
+struct WorkerEnv<'r, 'g, P: VertexProgram> {
+    w: usize,
+    engine: &'r Engine<'g>,
+    program: &'r P,
+    states: &'r SharedStates<P::State>,
+    shared: &'r RunShared<'r>,
+    frontiers: &'r Frontiers,
+    board: &'r MessageBoard<P::Msg>,
+    notify: &'r NotifyBoard,
+    active: &'r ActiveSet,
+    barrier: &'r Barrier,
+    control: &'r Control,
+    counters: &'r Counters,
+    per_iteration: &'r parking_lot::Mutex<Vec<IterStats>>,
+}
+
+/// How far a worker may send messages before flushing buffers to the
+/// board (the paper's bundling threshold).
+const MSG_FLUSH_FANOUT: u64 = 16 * 1024;
+
+impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
+    fn run_loop(&self) {
+        let mut scratch: WorkerScratch<P::Msg> =
+            WorkerScratch::new(self.shared.pmap.num_partitions());
+        let mut io = match &self.engine.backend {
+            Backend::Sem { safs, .. } => IoDriver::Sem(SemIo::new(safs.session())),
+            Backend::Mem(_) => IoDriver::Mem,
+        };
+        let mut seen_notify = Bitmap::new(self.shared.n);
+        loop {
+            let iter = self.control.iteration.load(Ordering::Acquire);
+            let iter_start = Instant::now();
+            let io_snap = self.iteration_io_snapshot();
+            let frontier_count = if self.w == 0 {
+                self.frontiers.cur().count_ones() as u64
+            } else {
+                0
+            };
+
+            // Phase A: build this partition's ordered active list.
+            let list = self.collect_active(iter);
+            self.active.install(self.w, list);
+            self.barrier.wait();
+
+            // Phase B: vertical passes of compute + I/O. Buffered
+            // messages and notifications must be on the boards before
+            // the barrier so phase C's drains see them.
+            for vp in 0..self.shared.vparts {
+                let wait_before = self.counters.wait_ns.load(Ordering::Relaxed);
+                let t = Instant::now();
+                self.compute_pass(iter, vp, &mut scratch, &mut io);
+                self.flush_boards(&mut scratch);
+                let busy = t.elapsed().as_nanos() as u64;
+                let waited = self.counters.wait_ns.load(Ordering::Relaxed) - wait_before;
+                self.counters
+                    .compute_ns
+                    .fetch_add(busy.saturating_sub(waited), Ordering::Relaxed);
+                self.barrier.wait();
+            }
+
+            // Phase C: message delivery + iteration-end callbacks for
+            // this partition.
+            let t = Instant::now();
+            self.deliver_messages(iter, &mut scratch, &mut io);
+            self.apply_iteration_end(iter, &mut scratch, &mut io, &mut seen_notify);
+            self.flush_boards(&mut scratch);
+            self.counters
+                .compute_ns
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.barrier.wait();
+
+            // Phase D: worker 0 decides continuation and swaps.
+            if self.w == 0 {
+                let next_count = self.frontiers.next().count_ones() as u64;
+                let done = (next_count == 0 && self.board.pending() == 0)
+                    || iter + 1 >= self.engine.cfg.max_iterations;
+                self.record_iteration(frontier_count, iter_start, io_snap);
+                self.frontiers.swap();
+                self.control.stop.store(done, Ordering::Release);
+                self.control.iteration.store(iter + 1, Ordering::Release);
+            }
+            self.barrier.wait();
+            if self.control.stop.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        self.counters
+            .activations
+            .fetch_add(scratch.activations, Ordering::Relaxed);
+        self.counters
+            .engine_requests
+            .fetch_add(scratch.engine_requests, Ordering::Relaxed);
+    }
+
+    fn iteration_io_snapshot(&self) -> Option<fg_ssdsim::IoStatsSnapshot> {
+        if self.w != 0 {
+            return None;
+        }
+        match &self.engine.backend {
+            Backend::Sem { safs, .. } => Some(safs.array().stats().snapshot()),
+            Backend::Mem(_) => None,
+        }
+    }
+
+    fn record_iteration(
+        &self,
+        frontier: u64,
+        iter_start: Instant,
+        io_before: Option<fg_ssdsim::IoStatsSnapshot>,
+    ) {
+        let (read_requests, bytes_read, io_busy_ns) = match (&self.engine.backend, io_before) {
+            (Backend::Sem { safs, .. }, Some(before)) => {
+                let d = safs.array().stats().snapshot().delta_since(&before);
+                (d.read_requests, d.bytes_read, d.max_busy_ns)
+            }
+            _ => (0, 0, 0),
+        };
+        self.per_iteration.lock().push(IterStats {
+            frontier,
+            wall_ns: iter_start.elapsed().as_nanos() as u64,
+            read_requests,
+            bytes_read,
+            io_busy_ns,
+        });
+    }
+
+    /// Collects and orders the active vertices of this partition
+    /// (§3.7).
+    fn collect_active(&self, iter: u32) -> Vec<VertexId> {
+        let cur = self.frontiers.cur();
+        let mut list = Vec::new();
+        for range in self.shared.pmap.ranges_of(self.w) {
+            list.extend(cur.iter_ones_in_range(range));
+        }
+        match self.engine.cfg.scheduler {
+            SchedulerKind::ById => {}
+            SchedulerKind::Alternating => {
+                if iter % 2 == 1 {
+                    list.reverse();
+                }
+            }
+            SchedulerKind::Random(seed) => {
+                let mut s = seed ^ (iter as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut next = move || {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s
+                };
+                // Fisher–Yates with the xorshift stream.
+                for i in (1..list.len()).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    list.swap(i, j);
+                }
+            }
+            SchedulerKind::DegreeDescending => {
+                list.sort_by_key(|&v| {
+                    std::cmp::Reverse(self.shared.degrees.degree(v, EdgeDir::Both))
+                });
+            }
+        }
+        list
+    }
+
+    /// The issue/poll pipeline of one vertical pass.
+    fn compute_pass(
+        &self,
+        iter: u32,
+        vp: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+    ) {
+        let nparts = self.shared.pmap.num_partitions();
+        let max_pending = self.engine.cfg.max_pending.max(1);
+        loop {
+            // Fill the pipeline with freshly claimed vertices.
+            let mut claimed_any = false;
+            while io.outstanding() < max_pending {
+                let v = match self.claim(vp as usize, nparts) {
+                    Some(v) => v,
+                    None => break,
+                };
+                claimed_any = true;
+                self.counters.vertices.fetch_add(1, Ordering::Relaxed);
+                self.with_ctx(iter, vp, scratch, v, |prog, state, ctx| {
+                    prog.run(v, state, ctx);
+                });
+                self.absorb_requests(iter, vp, scratch, io);
+                io.flush_if_full(self.engine.cfg.issue_batch, self);
+                self.maybe_flush_messages(scratch);
+            }
+            io.flush(self);
+            if io.outstanding() == 0 {
+                if !claimed_any {
+                    break;
+                }
+                continue;
+            }
+            // Wait for completions and run the user tasks they carry.
+            self.drain_completions(iter, vp, scratch, io, true);
+        }
+    }
+
+    fn claim(&self, vp: usize, nparts: usize) -> Option<VertexId> {
+        if let Some(v) = self.active.claim(self.w, vp) {
+            return Some(v);
+        }
+        if !self.engine.cfg.work_stealing {
+            return None;
+        }
+        for k in 1..nparts {
+            let p = (self.w + k) % nparts;
+            if let Some(v) = self.active.claim(p, vp) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Runs a program callback with the vertex's state and a fresh
+    /// context. Timing happens at phase granularity (per-callback
+    /// clocks would dominate message-heavy algorithms).
+    fn with_ctx<F>(
+        &self,
+        iter: u32,
+        vp: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        v: VertexId,
+        f: F,
+    ) where
+        F: FnOnce(&P, &mut P::State, &mut VertexContext<'_, P::Msg>),
+    {
+        let mut ctx = VertexContext {
+            current: v,
+            iteration: iter,
+            vpart: vp,
+            shared: self.shared,
+            next_frontier: self.frontiers.next(),
+            scratch,
+        };
+        // SAFETY: `v` was claimed exclusively (cursor/owner/claimer
+        // discipline); its state is ours until the callback returns.
+        let state = unsafe { self.states.get_mut(v.index()) };
+        f(self.program, state, &mut ctx);
+    }
+
+    /// Moves the requests a callback queued in `scratch` into the I/O
+    /// driver, resolving locations; zero-degree requests complete
+    /// inline (possibly cascading).
+    fn absorb_requests(
+        &self,
+        iter: u32,
+        vp: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+    ) {
+        while !scratch.requests.is_empty() {
+            let reqs: Vec<EdgeRequest> = scratch.requests.drain(..).collect();
+            for req in reqs {
+                match (&self.engine.backend, &mut *io) {
+                    (Backend::Mem(g), IoDriver::Mem) => {
+                        let csr = g.csr(req.dir);
+                        let edges = csr.neighbors(req.subject);
+                        let attrs = if req.attrs {
+                            Some(
+                                csr.weights_of(req.subject)
+                                    .expect("attrs requested on an unweighted graph"),
+                            )
+                        } else {
+                            None
+                        };
+                        let pv = PageVertex::from_slice(req.subject, req.dir, edges, attrs);
+                        self.deliver_vertex(iter, vp, scratch, req.requester, &pv);
+                    }
+                    (Backend::Sem { index, .. }, IoDriver::Sem(sem)) => {
+                        sem.enqueue(req, index, self.counters);
+                        // Zero-degree requests become ready
+                        // completions without I/O.
+                        while let Some((requester, pv)) = sem.pop_ready() {
+                            self.deliver_vertex(iter, vp, scratch, requester, &pv);
+                        }
+                    }
+                    _ => unreachable!("backend and io driver always match"),
+                }
+            }
+        }
+    }
+
+    fn deliver_vertex(
+        &self,
+        iter: u32,
+        vp: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        requester: VertexId,
+        pv: &PageVertex<'_>,
+    ) {
+        self.with_ctx(iter, vp, scratch, requester, |prog, state, ctx| {
+            prog.run_on_vertex(requester, state, pv, ctx);
+        });
+    }
+
+    /// Blocks for at least one completion (when `wait`), then drains
+    /// everything available, running `run_on_vertex` for each part.
+    fn drain_completions(
+        &self,
+        iter: u32,
+        vp: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+        wait: bool,
+    ) {
+        let IoDriver::Sem(sem) = io else { return };
+        let mut done = Vec::new();
+        let t = Instant::now();
+        if wait {
+            sem.session.wait(&mut done);
+        } else {
+            sem.session.poll(&mut done);
+        }
+        self.counters
+            .wait_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        for c in done {
+            sem.resolve(c);
+            while let Some((requester, pv)) = sem.pop_ready() {
+                self.deliver_vertex(iter, vp, scratch, requester, &pv);
+            }
+        }
+        // Callbacks may have queued more requests.
+        self.absorb_requests(iter, vp, scratch, io);
+        io.flush_if_full(self.engine.cfg.issue_batch, self);
+        self.maybe_flush_messages(scratch);
+    }
+
+    fn maybe_flush_messages(&self, scratch: &mut WorkerScratch<P::Msg>) {
+        if scratch.buffered_fanout >= MSG_FLUSH_FANOUT {
+            self.flush_boards(scratch);
+        }
+    }
+
+    fn flush_boards(&self, scratch: &mut WorkerScratch<P::Msg>) {
+        for (dest, buf) in scratch.out_unicasts.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                self.board.post(dest, Batch::Unicasts(std::mem::take(buf)));
+            }
+        }
+        for (dest, buf) in scratch.out_multicasts.iter_mut().enumerate() {
+            for batch in buf.drain(..) {
+                self.board.post(dest, batch);
+            }
+        }
+        for (dest, buf) in scratch.notifies.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                self.notify.post(dest, std::mem::take(buf));
+            }
+        }
+        scratch.buffered_fanout = 0;
+    }
+
+    fn deliver_messages(
+        &self,
+        iter: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+    ) {
+        let batches = self.board.drain(self.w);
+        for batch in batches {
+            match batch {
+                Batch::Unicasts(entries) => {
+                    for (v, m) in entries {
+                        self.apply_message(iter, scratch, io, v, &m);
+                    }
+                }
+                Batch::Multicast(vs, m) => {
+                    for v in vs {
+                        self.apply_message(iter, scratch, io, v, &m);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_message(
+        &self,
+        iter: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+        v: VertexId,
+        m: &P::Msg,
+    ) {
+        debug_assert_eq!(self.shared.pmap.partition_of(v), self.w);
+        self.with_ctx(iter, 0, scratch, v, |prog, state, ctx| {
+            prog.run_on_message(v, state, m, ctx);
+        });
+        // Message handlers may request edges; those complete within
+        // the barrier phase, synchronously.
+        self.complete_phase_requests(iter, scratch, io);
+    }
+
+    fn apply_iteration_end(
+        &self,
+        iter: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+        seen: &mut Bitmap,
+    ) {
+        // Registrations made by our own vertices during this barrier
+        // phase (from message handlers) are still local: flush first.
+        self.flush_boards(scratch);
+        let vids = self.notify.drain(self.w);
+        let mut dedup = Vec::with_capacity(vids.len());
+        for v in vids {
+            if !seen.set(v) {
+                dedup.push(v);
+            }
+        }
+        for v in &dedup {
+            seen.clear(*v);
+        }
+        for v in dedup {
+            self.with_ctx(iter, 0, scratch, v, |prog, state, ctx| {
+                prog.run_on_iteration_end(v, state, ctx);
+            });
+            self.complete_phase_requests(iter, scratch, io);
+        }
+    }
+
+    /// Synchronously completes any edge requests queued during the
+    /// barrier phase (message / iteration-end handlers).
+    fn complete_phase_requests(
+        &self,
+        iter: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+    ) {
+        self.absorb_requests(iter, 0, scratch, io);
+        io.flush(self);
+        while io.outstanding() > 0 {
+            self.drain_completions(iter, 0, scratch, io, true);
+            io.flush(self);
+        }
+    }
+}
+
+/// Per-worker I/O machinery: the semi-external driver or the
+/// in-memory no-op.
+enum IoDriver<'s> {
+    Mem,
+    Sem(SemIo<'s>),
+}
+
+impl IoDriver<'_> {
+    fn outstanding(&self) -> usize {
+        match self {
+            IoDriver::Mem => 0,
+            IoDriver::Sem(s) => s.outstanding,
+        }
+    }
+
+    fn flush_if_full<P: VertexProgram>(&mut self, batch: usize, env: &WorkerEnv<'_, '_, P>) {
+        if let IoDriver::Sem(s) = self {
+            if s.issue_q.len() >= batch {
+                s.flush(
+                    env.engine.safs_page_bytes(),
+                    env.engine.cfg.merge_in_engine,
+                    env.counters,
+                );
+            }
+        }
+    }
+
+    fn flush<P: VertexProgram>(&mut self, env: &WorkerEnv<'_, '_, P>) {
+        if let IoDriver::Sem(s) = self {
+            s.flush(
+                env.engine.safs_page_bytes(),
+                env.engine.cfg.merge_in_engine,
+                env.counters,
+            );
+        }
+    }
+}
+
+impl Engine<'_> {
+    fn safs_page_bytes(&self) -> u64 {
+        match &self.backend {
+            Backend::Sem { safs, .. } => safs.page_bytes(),
+            Backend::Mem(_) => 4096,
+        }
+    }
+}
+
+/// What one constituent range of a merged request is for.
+#[derive(Debug, Clone, Copy)]
+enum PartKind {
+    /// An edge list; `pair` set when attributes ride along.
+    Edges { pair: Option<usize> },
+    /// An attribute run, joining pair slot `pair`.
+    Attrs { pair: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PartMeta {
+    requester: VertexId,
+    subject: VertexId,
+    dir: EdgeDir,
+    kind: PartKind,
+}
+
+struct MergedMeta {
+    offset: u64,
+    parts: Vec<(u64, u64, PartMeta)>,
+}
+
+/// A (edges, attrs) join slot for weighted requests.
+struct AttrPair {
+    requester: VertexId,
+    subject: VertexId,
+    dir: EdgeDir,
+    edges: Option<PageSpan>,
+    attrs: Option<PageSpan>,
+}
+
+/// A ready-to-deliver edge list.
+struct ReadyVertex {
+    requester: VertexId,
+    subject: VertexId,
+    dir: EdgeDir,
+    edges: PageSpan,
+    attrs: Option<PageSpan>,
+}
+
+/// The semi-external per-worker I/O state: issue queue, merged-request
+/// slab, attribute pairing, and the SAFS session.
+struct SemIo<'s> {
+    session: IoSession<'s>,
+    issue_q: Vec<RangeReq>,
+    issue_meta: Vec<PartMeta>,
+    slab: Vec<Option<MergedMeta>>,
+    slab_free: Vec<usize>,
+    pairs: Vec<Option<AttrPair>>,
+    pairs_free: Vec<usize>,
+    ready: Vec<ReadyVertex>,
+    outstanding: usize,
+}
+
+impl<'s> SemIo<'s> {
+    fn new(session: IoSession<'s>) -> Self {
+        SemIo {
+            session,
+            issue_q: Vec::new(),
+            issue_meta: Vec::new(),
+            slab: Vec::new(),
+            slab_free: Vec::new(),
+            pairs: Vec::new(),
+            pairs_free: Vec::new(),
+            ready: Vec::new(),
+            outstanding: 0,
+        }
+    }
+
+    fn alloc_pair(&mut self, pair: AttrPair) -> usize {
+        if let Some(i) = self.pairs_free.pop() {
+            self.pairs[i] = Some(pair);
+            i
+        } else {
+            self.pairs.push(Some(pair));
+            self.pairs.len() - 1
+        }
+    }
+
+    /// Resolves a logical request into issue-queue ranges (or a ready
+    /// completion for degree-zero subjects).
+    fn enqueue(&mut self, req: EdgeRequest, index: &GraphIndex, counters: &Counters) {
+        let loc = index.locate(req.subject, req.dir);
+        self.outstanding += 1;
+        if loc.degree == 0 {
+            self.outstanding -= 1;
+            self.ready.push(ReadyVertex {
+                requester: req.requester,
+                subject: req.subject,
+                dir: req.dir,
+                edges: PageSpan::empty(),
+                attrs: req.attrs.then(PageSpan::empty),
+            });
+            return;
+        }
+        let pair = if req.attrs {
+            let aloc = index
+                .locate_attrs(req.subject, req.dir)
+                .expect("attrs requested but image has no attribute section");
+            let slot = self.alloc_pair(AttrPair {
+                requester: req.requester,
+                subject: req.subject,
+                dir: req.dir,
+                edges: None,
+                attrs: None,
+            });
+            let meta = self.push_meta(PartMeta {
+                requester: req.requester,
+                subject: req.subject,
+                dir: req.dir,
+                kind: PartKind::Attrs { pair: slot },
+            });
+            self.issue_q.push(RangeReq {
+                offset: aloc.offset,
+                bytes: aloc.bytes,
+                meta,
+            });
+            counters
+                .bytes_requested
+                .fetch_add(aloc.bytes, Ordering::Relaxed);
+            Some(slot)
+        } else {
+            None
+        };
+        let meta = self.push_meta(PartMeta {
+            requester: req.requester,
+            subject: req.subject,
+            dir: req.dir,
+            kind: PartKind::Edges { pair },
+        });
+        self.issue_q.push(RangeReq {
+            offset: loc.offset,
+            bytes: loc.bytes,
+            meta,
+        });
+        counters
+            .bytes_requested
+            .fetch_add(loc.bytes, Ordering::Relaxed);
+    }
+
+    fn push_meta(&mut self, meta: PartMeta) -> u32 {
+        self.issue_meta.push(meta);
+        (self.issue_meta.len() - 1) as u32
+    }
+
+    /// Sorts, merges, and submits the issue queue (§3.6).
+    fn flush(&mut self, page_bytes: u64, merge: bool, counters: &Counters) {
+        if self.issue_q.is_empty() {
+            return;
+        }
+        let reqs = std::mem::take(&mut self.issue_q);
+        let metas = std::mem::take(&mut self.issue_meta);
+        for m in merge_requests(reqs, page_bytes, merge) {
+            let parts: Vec<(u64, u64, PartMeta)> = m
+                .parts
+                .iter()
+                .map(|p| (p.offset, p.bytes, metas[p.meta as usize]))
+                .collect();
+            let tag = if let Some(i) = self.slab_free.pop() {
+                self.slab[i] = Some(MergedMeta {
+                    offset: m.offset,
+                    parts,
+                });
+                i
+            } else {
+                self.slab.push(Some(MergedMeta {
+                    offset: m.offset,
+                    parts,
+                }));
+                self.slab.len() - 1
+            };
+            counters.issued_requests.fetch_add(1, Ordering::Relaxed);
+            self.session
+                .submit(m.offset, m.bytes, tag as u64)
+                .expect("edge-list request within image bounds");
+        }
+    }
+
+    /// Turns a SAFS completion back into per-vertex ready entries.
+    fn resolve(&mut self, c: Completion) {
+        let tag = c.tag as usize;
+        let meta = self.slab[tag].take().expect("completion for a live tag");
+        self.slab_free.push(tag);
+        for (abs_off, bytes, pm) in meta.parts {
+            let span = c.span.slice((abs_off - meta.offset) as usize, bytes as usize);
+            match pm.kind {
+                PartKind::Edges { pair: None } => {
+                    self.outstanding -= 1;
+                    self.ready.push(ReadyVertex {
+                        requester: pm.requester,
+                        subject: pm.subject,
+                        dir: pm.dir,
+                        edges: span,
+                        attrs: None,
+                    });
+                }
+                PartKind::Edges { pair: Some(slot) } => {
+                    let done = {
+                        let p = self.pairs[slot].as_mut().expect("live pair");
+                        p.edges = Some(span);
+                        p.attrs.is_some()
+                    };
+                    if done {
+                        self.finish_pair(slot);
+                    }
+                }
+                PartKind::Attrs { pair: slot } => {
+                    let done = {
+                        let p = self.pairs[slot].as_mut().expect("live pair");
+                        p.attrs = Some(span);
+                        p.edges.is_some()
+                    };
+                    if done {
+                        self.finish_pair(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_pair(&mut self, slot: usize) {
+        let p = self.pairs[slot].take().expect("live pair");
+        self.pairs_free.push(slot);
+        self.outstanding -= 1;
+        self.ready.push(ReadyVertex {
+            requester: p.requester,
+            subject: p.subject,
+            dir: p.dir,
+            edges: p.edges.expect("pair complete"),
+            attrs: Some(p.attrs.expect("pair complete")),
+        });
+    }
+
+    /// Pops one ready delivery as a borrowable [`PageVertex`].
+    fn pop_ready(&mut self) -> Option<(VertexId, PageVertex<'static>)> {
+        let r = self.ready.pop()?;
+        Some((
+            r.requester,
+            PageVertex::from_span(r.subject, r.dir, r.edges, r.attrs),
+        ))
+    }
+}

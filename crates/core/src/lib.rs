@@ -1,0 +1,92 @@
+//! FlashGraph: a semi-external-memory, vertex-centric graph engine.
+//!
+//! This crate is the paper's primary contribution (§3): algorithmic
+//! vertex state stays in RAM, edge lists stay on the SSD array and are
+//! read *selectively* through SAFS. The pieces:
+//!
+//! * **Programming model** ([`VertexProgram`], §3.4): per-vertex
+//!   `run` / `run_on_vertex` / `run_on_message` /
+//!   `run_on_iteration_end` callbacks. A vertex must explicitly
+//!   request an edge list (its own or — unusually among graph engines
+//!   — *any other vertex's*) before touching edges, which is what
+//!   lets FlashGraph avoid reading edge lists of vertices that are
+//!   activated but do no work.
+//! * **Execution model** (§3.3): iterations over an active frontier;
+//!   vertices interact by message passing (applied at iteration
+//!   barriers, Pregel-style) and multicast activation.
+//! * **I/O path** (§3.6): requests from an issue batch are sorted by
+//!   SSD offset and merged when they touch the same or adjacent
+//!   pages, then submitted asynchronously; completions run the
+//!   user's code directly over the page cache.
+//! * **Scheduling** (§3.7): per-thread schedulers process vertices in
+//!   vertex-id order (matching edge-list order on SSDs), alternating
+//!   scan direction between iterations; custom orders are pluggable
+//!   ([`SchedulerKind`]), e.g. degree-descending for scan statistics.
+//! * **2-D partitioning and load balancing** (§3.8): range-based
+//!   horizontal partitions (`(vid >> r) % n`), optional vertical
+//!   passes for hub vertices, and cursor-based work stealing.
+//! * **Two execution modes**: semi-external memory over
+//!   [`fg_safs::Safs`] and a drop-in in-memory mode over
+//!   [`fg_graph::Graph`] — the paper's FG-mem baseline.
+//!
+//! # Example: breadth-first search (the paper's Figure 4)
+//!
+//! ```
+//! use fg_types::{EdgeDir, VertexId};
+//! use flashgraph::{Engine, EngineConfig, Init, PageVertex, VertexContext, VertexProgram};
+//!
+//! struct Bfs;
+//!
+//! #[derive(Default, Clone)]
+//! struct BfsState {
+//!     visited: bool,
+//! }
+//!
+//! impl VertexProgram for Bfs {
+//!     type State = BfsState;
+//!     type Msg = ();
+//!
+//!     fn run(&self, v: VertexId, state: &mut BfsState, ctx: &mut VertexContext<'_, ()>) {
+//!         if !state.visited {
+//!             state.visited = true;
+//!             ctx.request_edges(v, EdgeDir::Out);
+//!         }
+//!     }
+//!
+//!     fn run_on_vertex(
+//!         &self,
+//!         _v: VertexId,
+//!         _state: &mut BfsState,
+//!         vertex: &PageVertex<'_>,
+//!         ctx: &mut VertexContext<'_, ()>,
+//!     ) {
+//!         for dst in vertex.edges() {
+//!             ctx.activate(dst);
+//!         }
+//!     }
+//! }
+//!
+//! let g = fg_graph::fixtures::path(5);
+//! let engine = Engine::new_mem(&g, EngineConfig::default());
+//! let (states, stats) = engine.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+//! assert!(states.iter().all(|s| s.visited));
+//! assert_eq!(stats.iterations, 5);
+//! ```
+
+mod config;
+mod context;
+mod engine;
+pub mod merge;
+mod messages;
+mod partition;
+mod program;
+mod state;
+mod stats;
+mod vertex;
+
+pub use config::{EngineConfig, SchedulerKind};
+pub use context::VertexContext;
+pub use engine::{Engine, Init};
+pub use program::VertexProgram;
+pub use stats::RunStats;
+pub use vertex::PageVertex;

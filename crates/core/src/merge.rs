@@ -1,0 +1,162 @@
+//! Engine-level I/O request merging (§3.6).
+//!
+//! Within an issue batch the engine sorts edge-list requests by their
+//! byte offset on SSDs and coalesces those that touch the *same or
+//! adjacent pages* into a single I/O request. Because the default
+//! scheduler walks vertices in id order and edge lists are laid out in
+//! id order, batches are nearly sorted already and merge extremely
+//! well — the paper measures a 40 % BFS / >100 % WCC speedup from
+//! doing this in the engine rather than in the filesystem or kernel
+//! (Figure 12), since the engine merges with a global view and no
+//! extra locking.
+
+/// One logical edge-list (or attribute-run) request before merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeReq {
+    /// Absolute byte offset of the run.
+    pub offset: u64,
+    /// Length in bytes (never zero; zero-degree vertices complete
+    /// without I/O).
+    pub bytes: u64,
+    /// Caller-side metadata index carried through the merge.
+    pub meta: u32,
+}
+
+/// A merged I/O request covering one or more [`RangeReq`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedReq {
+    /// Absolute byte offset of the merged read.
+    pub offset: u64,
+    /// Length in bytes of the merged read.
+    pub bytes: u64,
+    /// The constituent requests, sorted by offset.
+    pub parts: Vec<RangeReq>,
+}
+
+/// Sorts `reqs` by offset and merges runs that share a page or sit on
+/// adjacent pages (`page_bytes` granularity). With `merge` false the
+/// requests are still sorted — preserving the sequential issue order
+/// the scheduler worked for — but each becomes its own [`MergedReq`],
+/// which is the "merge in SAFS" configuration where coalescing is
+/// left to the I/O threads.
+pub fn merge_requests(mut reqs: Vec<RangeReq>, page_bytes: u64, merge: bool) -> Vec<MergedReq> {
+    reqs.sort_by_key(|r| (r.offset, r.bytes));
+    let mut out: Vec<MergedReq> = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        debug_assert!(r.bytes > 0, "zero-byte requests never reach merging");
+        if merge {
+            if let Some(last) = out.last_mut() {
+                let last_end_page = (last.offset + last.bytes - 1) / page_bytes;
+                let r_start_page = r.offset / page_bytes;
+                // Same page, adjacent page, or overlapping bytes.
+                if r_start_page <= last_end_page + 1 {
+                    let end = (last.offset + last.bytes).max(r.offset + r.bytes);
+                    last.bytes = end - last.offset;
+                    last.parts.push(r);
+                    continue;
+                }
+            }
+        }
+        out.push(MergedReq {
+            offset: r.offset,
+            bytes: r.bytes,
+            parts: vec![r],
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(offset: u64, bytes: u64, meta: u32) -> RangeReq {
+        RangeReq {
+            offset,
+            bytes,
+            meta,
+        }
+    }
+
+    #[test]
+    fn same_page_requests_merge() {
+        // The paper's Figure 6: v1 and v2 on page 1 merge; v6 and v8
+        // on adjacent pages merge; the two groups stay separate.
+        let reqs = vec![
+            req(100, 50, 1),   // page 0
+            req(200, 40, 2),   // page 0
+            req(9000, 100, 6), // page 2
+            req(13000, 80, 8), // page 3 (adjacent to page 2)
+        ];
+        let merged = merge_requests(reqs, 4096, true);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].parts.len(), 2);
+        assert_eq!(merged[1].parts.len(), 2);
+        assert_eq!(merged[0].offset, 100);
+        assert_eq!(merged[0].bytes, 200 + 40 - 100);
+        assert_eq!(merged[1].offset, 9000);
+        assert_eq!(merged[1].bytes, 13000 + 80 - 9000);
+    }
+
+    #[test]
+    fn distant_requests_do_not_merge() {
+        let reqs = vec![req(0, 10, 0), req(3 * 4096, 10, 1)];
+        let merged = merge_requests(reqs, 4096, true);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let reqs = vec![req(8192, 10, 1), req(0, 10, 0), req(4096, 10, 2)];
+        let merged = merge_requests(reqs, 4096, true);
+        // Pages 0,1,2 are all adjacent once sorted: one request.
+        assert_eq!(merged.len(), 1);
+        let metas: Vec<u32> = merged[0].parts.iter().map(|p| p.meta).collect();
+        assert_eq!(metas, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn merge_disabled_only_sorts() {
+        let reqs = vec![req(4096, 10, 1), req(0, 10, 0)];
+        let merged = merge_requests(reqs, 4096, false);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].offset, 0);
+        assert_eq!(merged[1].offset, 4096);
+    }
+
+    #[test]
+    fn overlapping_requests_cover_union() {
+        let reqs = vec![req(100, 500, 0), req(300, 1000, 1)];
+        let merged = merge_requests(reqs, 4096, true);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].offset, 100);
+        assert_eq!(merged[0].bytes, 1200);
+    }
+
+    #[test]
+    fn contained_request_does_not_shrink_cover() {
+        let reqs = vec![req(0, 4096, 0), req(100, 10, 1)];
+        let merged = merge_requests(reqs, 4096, true);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].bytes, 4096);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(merge_requests(Vec::new(), 4096, true).is_empty());
+    }
+
+    #[test]
+    fn parts_cover_is_exact() {
+        // Invariant: every part's range lies inside its merged cover.
+        let reqs: Vec<RangeReq> = (0..100)
+            .map(|i| req((i * 37 % 50) * 1000, 500 + i % 300, i as u32))
+            .collect();
+        for merged in merge_requests(reqs, 4096, true) {
+            for p in &merged.parts {
+                assert!(p.offset >= merged.offset);
+                assert!(p.offset + p.bytes <= merged.offset + merged.bytes);
+            }
+        }
+    }
+}

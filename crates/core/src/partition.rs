@@ -1,0 +1,135 @@
+//! Horizontal range partitioning (§3.8).
+//!
+//! The partition function is the paper's:
+//!
+//! ```text
+//! range_id     = vid >> r
+//! partition_id = range_id % n
+//! ```
+//!
+//! so a partition is a union of vertex-id *ranges* of size `2^r`.
+//! Ranges keep the edge lists of a partition's vertices mostly
+//! adjacent on SSDs (lists are sorted by id), which is what lets a
+//! per-thread scheduler issue large merged reads (§3.8).
+
+use fg_types::VertexId;
+
+/// The horizontal partition map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    num_vertices: usize,
+    num_partitions: usize,
+    range_shift: u32,
+}
+
+impl PartitionMap {
+    /// Builds a map for `num_vertices` over `num_partitions` with
+    /// range size `2^range_shift`.
+    pub fn new(num_vertices: usize, num_partitions: usize, range_shift: u32) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        PartitionMap {
+            num_vertices,
+            num_partitions,
+            range_shift,
+        }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Range size in vertices.
+    #[inline]
+    pub fn range_len(&self) -> usize {
+        1usize << self.range_shift
+    }
+
+    /// The partition owning `v`.
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> usize {
+        ((v.0 >> self.range_shift) as usize) % self.num_partitions
+    }
+
+    /// Iterates over the half-open vertex-index ranges of partition
+    /// `p`, ascending.
+    pub fn ranges_of(&self, p: usize) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        let rl = self.range_len();
+        let n = self.num_vertices;
+        (p..)
+            .step_by(self.num_partitions)
+            .map(move |range_id| {
+                let start = range_id * rl;
+                start..((start + rl).min(n))
+            })
+            .take_while(move |r| r.start < n)
+    }
+
+    /// Total vertices assigned to partition `p`.
+    #[allow(dead_code)] // used by tests and diagnostics
+    pub fn partition_len(&self, p: usize) -> usize {
+        self.ranges_of(p).map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_function_matches_paper_formula() {
+        let m = PartitionMap::new(1000, 4, 5);
+        for vid in [0u32, 31, 32, 63, 64, 999] {
+            let expect = ((vid >> 5) % 4) as usize;
+            assert_eq!(m.partition_of(VertexId(vid)), expect);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_every_vertex_exactly_once() {
+        let m = PartitionMap::new(1003, 3, 4);
+        let mut seen = vec![0u32; 1003];
+        for p in 0..3 {
+            for r in m.ranges_of(p) {
+                for v in r {
+                    seen[v] += 1;
+                    assert_eq!(m.partition_of(VertexId(v as u32)), p);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn partition_lens_sum_to_n() {
+        let m = PartitionMap::new(12345, 7, 6);
+        let total: usize = (0..7).map(|p| m.partition_len(p)).sum();
+        assert_eq!(total, 12345);
+    }
+
+    #[test]
+    fn partitions_are_balanced_within_one_range() {
+        let m = PartitionMap::new(1 << 16, 4, 8);
+        let lens: Vec<usize> = (0..4).map(|p| m.partition_len(p)).collect();
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        assert!(max - min <= m.range_len());
+    }
+
+    #[test]
+    fn single_partition_owns_everything() {
+        let m = PartitionMap::new(100, 1, 3);
+        assert_eq!(m.partition_len(0), 100);
+        for v in 0..100u32 {
+            assert_eq!(m.partition_of(VertexId(v)), 0);
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_ranges() {
+        let m = PartitionMap::new(0, 2, 4);
+        assert_eq!(m.ranges_of(0).count(), 0);
+        assert_eq!(m.partition_len(1), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The vertex-centric programming interface (§3.4, Figure 3).
+
+use fg_types::VertexId;
+
+use crate::context::VertexContext;
+use crate::vertex::PageVertex;
+
+/// A vertex program: user-defined per-vertex state plus the four
+/// event handlers of the paper's Figure 3.
+///
+/// The handlers receive `&self` (the program is shared read-only
+/// across workers; algorithm parameters live here) and `&mut State`
+/// for the *one* vertex the event belongs to. The engine guarantees a
+/// vertex's handlers never run concurrently with each other, so state
+/// access needs no synchronization — cross-vertex effects go through
+/// messages and activation, exactly the discipline §3.4.1 argues for.
+///
+/// Handler semantics:
+///
+/// * [`run`](VertexProgram::run) — entry point, called once per
+///   active vertex per iteration (per vertical pass when vertical
+///   partitioning is on). Runs with *no edge data*: a vertex must
+///   explicitly request edge lists, because many algorithms activate
+///   vertices that end up doing nothing and reading their lists
+///   eagerly would waste I/O bandwidth.
+/// * [`run_on_vertex`](VertexProgram::run_on_vertex) — delivery of a
+///   requested edge list (the *user task* executing against the page
+///   cache). `vertex.id()` may differ from the receiving vertex `v`:
+///   programs like triangle counting request neighbours' lists.
+/// * [`run_on_message`](VertexProgram::run_on_message) — delivery of
+///   a message, at the iteration barrier, even if the vertex was not
+///   active this iteration.
+/// * [`run_on_iteration_end`](VertexProgram::run_on_iteration_end) —
+///   end-of-iteration notification; a vertex opts in by calling
+///   [`VertexContext::notify_iteration_end`] during the iteration.
+pub trait VertexProgram: Sync {
+    /// Per-vertex algorithmic state. Semi-external memory keeps one
+    /// of these in RAM per vertex, so it should be a small constant
+    /// size (most of the paper's algorithms use ≤ 8 bytes).
+    type State: Send + Default;
+
+    /// The message payload vertices exchange. Use `()` when the
+    /// algorithm only activates.
+    type Msg: Send + Clone;
+
+    /// Iteration entry point for an active vertex.
+    fn run(&self, v: VertexId, state: &mut Self::State, ctx: &mut VertexContext<'_, Self::Msg>);
+
+    /// A requested edge list arrived.
+    fn run_on_vertex(
+        &self,
+        v: VertexId,
+        state: &mut Self::State,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, Self::Msg>,
+    ) {
+        let _ = (v, state, vertex, ctx);
+    }
+
+    /// A message arrived (delivered at the iteration barrier).
+    fn run_on_message(
+        &self,
+        v: VertexId,
+        state: &mut Self::State,
+        msg: &Self::Msg,
+        ctx: &mut VertexContext<'_, Self::Msg>,
+    ) {
+        let _ = (v, state, msg, ctx);
+    }
+
+    /// The iteration in which this vertex called
+    /// [`VertexContext::notify_iteration_end`] is over.
+    fn run_on_iteration_end(
+        &self,
+        v: VertexId,
+        state: &mut Self::State,
+        ctx: &mut VertexContext<'_, Self::Msg>,
+    ) {
+        let _ = (v, state, ctx);
+    }
+
+    /// Initial state of vertex `v`; defaults to `State::default()`.
+    fn init_state(&self, v: VertexId) -> Self::State {
+        let _ = v;
+        Self::State::default()
+    }
+}

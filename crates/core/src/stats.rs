@@ -1,0 +1,145 @@
+//! Run statistics: the raw material of every evaluation figure.
+
+use std::time::Duration;
+
+use fg_safs::CacheStatsSnapshot;
+use fg_ssdsim::IoStatsSnapshot;
+
+/// Per-iteration trace (used by Figure 9's PR1/PR2 split and for
+/// debugging convergence).
+#[derive(Debug, Clone)]
+pub struct IterStats {
+    /// Vertices active at the start of the iteration.
+    pub frontier: u64,
+    /// Wall-clock nanoseconds of the iteration.
+    pub wall_ns: u64,
+    /// Device read requests during the iteration.
+    pub read_requests: u64,
+    /// Bytes read from the device during the iteration.
+    pub bytes_read: u64,
+    /// Increase of the busiest drive's virtual busy time.
+    pub io_busy_ns: u64,
+}
+
+/// Statistics of one [`crate::Engine::run`].
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Nanoseconds spent inside user vertex-program callbacks, summed
+    /// over workers — the "user CPU" proxy of Figure 9.
+    pub compute_ns: u64,
+    /// Nanoseconds workers spent blocked waiting for I/O completions.
+    pub wait_ns: u64,
+    /// Total vertex activations (`ctx.activate` calls that set a bit).
+    pub activations: u64,
+    /// Per-vertex message deliveries posted.
+    pub messages_sent: u64,
+    /// `run` invocations (vertex × vertical-pass executions).
+    pub vertices_processed: u64,
+    /// Logical edge-list/attribute requests issued by programs.
+    pub engine_requests: u64,
+    /// Physical requests submitted to SAFS after engine merging.
+    pub issued_requests: u64,
+    /// Bytes covered by logical requests (edge + attribute payload).
+    pub bytes_requested: u64,
+    /// Device statistics delta over the run (semi-external mode only).
+    pub io: Option<IoStatsSnapshot>,
+    /// Page-cache statistics delta over the run (semi-external only).
+    pub cache: Option<CacheStatsSnapshot>,
+    /// Per-iteration trace.
+    pub per_iteration: Vec<IterStats>,
+}
+
+impl RunStats {
+    /// The roofline runtime model used throughout the reproduction's
+    /// figures: computation and I/O overlap (the engine's async
+    /// user-task design), so modeled runtime is the maximum of the
+    /// wall-clock compute path and the busiest simulated drive.
+    /// In-memory runs have no simulated I/O and report wall clock.
+    pub fn modeled_runtime_ns(&self) -> u64 {
+        let wall = self.elapsed.as_nanos() as u64;
+        match &self.io {
+            Some(io) => wall.max(io.max_busy_ns),
+            None => wall,
+        }
+    }
+
+    /// Modeled runtime in seconds.
+    pub fn modeled_runtime_secs(&self) -> f64 {
+        self.modeled_runtime_ns() as f64 / 1e9
+    }
+
+    /// Whether the run was I/O-bound under the roofline model.
+    pub fn io_bound(&self) -> bool {
+        match &self.io {
+            Some(io) => io.max_busy_ns > self.elapsed.as_nanos() as u64,
+            None => false,
+        }
+    }
+
+    /// Mean merged-request size in bytes (how well merging worked).
+    pub fn mean_issued_bytes(&self) -> f64 {
+        if self.issued_requests == 0 {
+            0.0
+        } else {
+            self.bytes_requested as f64 / self.issued_requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> RunStats {
+        RunStats {
+            iterations: 3,
+            elapsed: Duration::from_millis(10),
+            compute_ns: 1,
+            wait_ns: 2,
+            activations: 3,
+            messages_sent: 4,
+            vertices_processed: 5,
+            engine_requests: 6,
+            issued_requests: 3,
+            bytes_requested: 300,
+            io: None,
+            cache: None,
+            per_iteration: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn modeled_runtime_in_memory_is_wall() {
+        let s = base();
+        assert_eq!(s.modeled_runtime_ns(), 10_000_000);
+        assert!(!s.io_bound());
+    }
+
+    #[test]
+    fn modeled_runtime_takes_io_critical_path() {
+        let mut s = base();
+        s.io = Some(IoStatsSnapshot {
+            read_requests: 1,
+            pages_read: 1,
+            bytes_read: 4096,
+            write_requests: 0,
+            pages_written: 0,
+            bytes_written: 0,
+            per_ssd_busy_ns: vec![50_000_000],
+            max_busy_ns: 50_000_000,
+            total_busy_ns: 50_000_000,
+        });
+        assert_eq!(s.modeled_runtime_ns(), 50_000_000);
+        assert!(s.io_bound());
+    }
+
+    #[test]
+    fn mean_issued_bytes() {
+        let s = base();
+        assert_eq!(s.mean_issued_bytes(), 100.0);
+    }
+}

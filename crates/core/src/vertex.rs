@@ -1,0 +1,249 @@
+//! Read-only views of edge lists delivered to vertex programs.
+
+use fg_safs::PageSpan;
+use fg_types::{EdgeDir, VertexId};
+
+/// Edge data backing a [`PageVertex`]: either a zero-copy span over
+/// the SAFS page cache (semi-external memory) or borrowed slices of
+/// an in-memory CSR (FG-mem mode).
+#[derive(Debug)]
+enum EdgeData<'a> {
+    Span {
+        edges: PageSpan,
+        attrs: Option<PageSpan>,
+    },
+    Slice {
+        edges: &'a [VertexId],
+        attrs: Option<&'a [f32]>,
+    },
+}
+
+/// One vertex's edge list in one direction, as delivered to
+/// [`crate::VertexProgram::run_on_vertex`].
+///
+/// The name follows the paper's `page_vertex`: in semi-external
+/// memory the data lives in SAFS pages and is decoded on the fly,
+/// with no per-request buffer allocation.
+#[derive(Debug)]
+pub struct PageVertex<'a> {
+    id: VertexId,
+    dir: EdgeDir,
+    data: EdgeData<'a>,
+}
+
+impl<'a> PageVertex<'a> {
+    /// Wraps a page span (semi-external path). `attrs`, when present,
+    /// must cover `4 * degree` bytes like `edges`.
+    pub(crate) fn from_span(
+        id: VertexId,
+        dir: EdgeDir,
+        edges: PageSpan,
+        attrs: Option<PageSpan>,
+    ) -> Self {
+        debug_assert_eq!(edges.len() % 4, 0);
+        if let Some(a) = &attrs {
+            debug_assert_eq!(a.len(), edges.len());
+        }
+        PageVertex {
+            id,
+            dir,
+            data: EdgeData::Span { edges, attrs },
+        }
+    }
+
+    /// Wraps CSR slices (in-memory path).
+    pub(crate) fn from_slice(
+        id: VertexId,
+        dir: EdgeDir,
+        edges: &'a [VertexId],
+        attrs: Option<&'a [f32]>,
+    ) -> Self {
+        PageVertex {
+            id,
+            dir,
+            data: EdgeData::Slice { edges, attrs },
+        }
+    }
+
+    /// The vertex whose list this is (not necessarily the vertex
+    /// receiving the callback).
+    #[inline]
+    pub fn id(&self) -> VertexId {
+        self.id
+    }
+
+    /// Which direction's list was delivered ([`EdgeDir::In`] or
+    /// [`EdgeDir::Out`]; never `Both` — a `Both` request produces two
+    /// deliveries).
+    #[inline]
+    pub fn dir(&self) -> EdgeDir {
+        self.dir
+    }
+
+    /// Number of edges in the list.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        match &self.data {
+            EdgeData::Span { edges, .. } => edges.len() / 4,
+            EdgeData::Slice { edges, .. } => edges.len(),
+        }
+    }
+
+    /// The `i`-th neighbour (lists are sorted ascending by id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= degree()`.
+    #[inline]
+    pub fn edge(&self, i: usize) -> VertexId {
+        match &self.data {
+            EdgeData::Span { edges, .. } => VertexId(edges.read_u32_le(i * 4)),
+            EdgeData::Slice { edges, .. } => edges[i],
+        }
+    }
+
+    /// Iterates over the neighbours.
+    pub fn edges(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.degree()).map(move |i| self.edge(i))
+    }
+
+    /// Whether edge attributes were requested and delivered.
+    #[inline]
+    pub fn has_attrs(&self) -> bool {
+        match &self.data {
+            EdgeData::Span { attrs, .. } => attrs.is_some(),
+            EdgeData::Slice { attrs, .. } => attrs.is_some(),
+        }
+    }
+
+    /// The `i`-th edge's attribute (weight), if attributes were
+    /// requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= degree()`.
+    #[inline]
+    pub fn attr(&self, i: usize) -> Option<f32> {
+        match &self.data {
+            EdgeData::Span { attrs, .. } => attrs
+                .as_ref()
+                .map(|a| f32::from_bits(a.read_u32_le(i * 4))),
+            EdgeData::Slice { attrs, .. } => attrs.map(|a| a[i]),
+        }
+    }
+
+    /// Copies the neighbour ids into a vector (for programs that must
+    /// hold a list across callbacks, like triangle counting).
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        self.edges().collect()
+    }
+
+    /// Binary-searches the sorted list for `v`.
+    pub fn contains(&self, v: VertexId) -> bool {
+        let mut lo = 0usize;
+        let mut hi = self.degree();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.edge(mid).cmp(&v) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice_pv(ids: &[VertexId]) -> PageVertex<'_> {
+        PageVertex::from_slice(VertexId(0), EdgeDir::Out, ids, None)
+    }
+
+    #[test]
+    fn slice_view_reads_edges() {
+        let ids = [VertexId(1), VertexId(5), VertexId(9)];
+        let pv = slice_pv(&ids);
+        assert_eq!(pv.degree(), 3);
+        assert_eq!(pv.edge(1), VertexId(5));
+        assert_eq!(pv.edges().collect::<Vec<_>>(), ids.to_vec());
+        assert!(!pv.has_attrs());
+        assert_eq!(pv.attr(0), None);
+    }
+
+    #[test]
+    fn slice_view_with_weights() {
+        let ids = [VertexId(1), VertexId(2)];
+        let ws = [0.5f32, 2.0];
+        let pv = PageVertex::from_slice(VertexId(7), EdgeDir::In, &ids, Some(&ws));
+        assert!(pv.has_attrs());
+        assert_eq!(pv.attr(1), Some(2.0));
+        assert_eq!(pv.dir(), EdgeDir::In);
+        assert_eq!(pv.id(), VertexId(7));
+    }
+
+    #[test]
+    fn span_view_decodes_u32s() {
+        use fg_safs::Page;
+        use std::sync::Arc;
+        let ids = [3u32, 8, 1000];
+        let bytes: Vec<u8> = ids.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut page = vec![0u8; 4096];
+        page[100..112].copy_from_slice(&bytes);
+        let span = PageSpan::new(
+            vec![Arc::new(Page::new(0, page.into_boxed_slice()))],
+            100,
+            12,
+        );
+        let pv = PageVertex::from_span(VertexId(2), EdgeDir::Out, span, None);
+        assert_eq!(pv.degree(), 3);
+        assert_eq!(
+            pv.edges().map(|v| v.0).collect::<Vec<_>>(),
+            vec![3, 8, 1000]
+        );
+    }
+
+    #[test]
+    fn span_view_with_attr_span() {
+        use fg_safs::Page;
+        use std::sync::Arc;
+        let mk = |words: &[u32]| {
+            let mut page = vec![0u8; 4096];
+            for (i, w) in words.iter().enumerate() {
+                page[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+            }
+            PageSpan::new(
+                vec![Arc::new(Page::new(0, page.into_boxed_slice()))],
+                0,
+                words.len() * 4,
+            )
+        };
+        let edges = mk(&[4, 9]);
+        let attrs = mk(&[1.5f32.to_bits(), 3.25f32.to_bits()]);
+        let pv = PageVertex::from_span(VertexId(0), EdgeDir::Out, edges, Some(attrs));
+        assert_eq!(pv.attr(0), Some(1.5));
+        assert_eq!(pv.attr(1), Some(3.25));
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let ids: Vec<VertexId> = [2u32, 4, 8, 16, 32].iter().map(|&v| VertexId(v)).collect();
+        let pv = slice_pv(&ids);
+        for &v in &ids {
+            assert!(pv.contains(v));
+        }
+        for raw in [0u32, 3, 5, 33] {
+            assert!(!pv.contains(VertexId(raw)));
+        }
+    }
+
+    #[test]
+    fn empty_list() {
+        let pv = slice_pv(&[]);
+        assert_eq!(pv.degree(), 0);
+        assert_eq!(pv.edges().count(), 0);
+        assert!(!pv.contains(VertexId(1)));
+    }
+}

@@ -1,0 +1,587 @@
+//! Behavioural tests of the engine, run in BOTH execution modes
+//! (in-memory and semi-external over the SSD simulator) so the two
+//! paths are provably interchangeable.
+
+use fg_format::{load_index, required_capacity, write_image};
+use fg_graph::{fixtures, gen, Graph};
+use fg_safs::{Safs, SafsConfig};
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use fg_types::{EdgeDir, VertexId};
+use flashgraph::{
+    Engine, EngineConfig, Init, PageVertex, RunStats, SchedulerKind, VertexContext, VertexProgram,
+};
+
+/// Runs `program` on `g` in the given mode and returns states+stats.
+fn run_mode<P: VertexProgram>(
+    g: &Graph,
+    program: &P,
+    init: Init,
+    cfg: EngineConfig,
+    sem: bool,
+) -> (Vec<P::State>, RunStats) {
+    if sem {
+        let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(g)).unwrap();
+        write_image(g, &array).unwrap();
+        let (_, index) = load_index(&array).unwrap();
+        let safs = Safs::new(SafsConfig::default(), array).unwrap();
+        let engine = Engine::new_sem(&safs, index, cfg);
+        engine.run(program, init).unwrap()
+    } else {
+        let engine = Engine::new_mem(g, cfg);
+        engine.run(program, init).unwrap()
+    }
+}
+
+fn both_modes<P: VertexProgram>(
+    g: &Graph,
+    program: &P,
+    init: Init,
+    cfg: EngineConfig,
+) -> [(Vec<P::State>, RunStats); 2] {
+    [
+        run_mode(g, program, init.clone(), cfg, false),
+        run_mode(g, program, init, cfg, true),
+    ]
+}
+
+// ---------------------------------------------------------------- BFS
+
+struct Bfs;
+
+#[derive(Default, Clone, PartialEq, Debug)]
+struct BfsState {
+    level: u32,
+    visited: bool,
+}
+
+impl VertexProgram for Bfs {
+    type State = BfsState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, state: &mut BfsState, ctx: &mut VertexContext<'_, ()>) {
+        if !state.visited {
+            state.visited = true;
+            state.level = ctx.iteration();
+            ctx.request_edges(v, EdgeDir::Out);
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        _s: &mut BfsState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, ()>,
+    ) {
+        for dst in vertex.edges() {
+            ctx.activate(dst);
+        }
+    }
+}
+
+#[test]
+fn bfs_levels_on_path_both_modes() {
+    let g = fixtures::path(12);
+    for (states, stats) in both_modes(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), EngineConfig::small())
+    {
+        for (i, s) in states.iter().enumerate() {
+            assert!(s.visited, "vertex {i} unreached");
+            assert_eq!(s.level, i as u32, "vertex {i} level");
+        }
+        assert_eq!(stats.iterations, 12);
+    }
+}
+
+#[test]
+fn bfs_on_rmat_same_reachable_set_in_both_modes() {
+    let g = gen::rmat(9, 6, gen::RmatSkew::default(), 21);
+    let [(mem, _), (sem, _)] = both_modes(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::small(),
+    );
+    let mem_visited: Vec<bool> = mem.iter().map(|s| s.visited).collect();
+    let sem_visited: Vec<bool> = sem.iter().map(|s| s.visited).collect();
+    assert_eq!(mem_visited, sem_visited);
+    let mem_levels: Vec<u32> = mem.iter().map(|s| s.level).collect();
+    let sem_levels: Vec<u32> = sem.iter().map(|s| s.level).collect();
+    assert_eq!(mem_levels, sem_levels);
+    assert!(mem_visited.iter().filter(|&&v| v).count() > 100);
+}
+
+#[test]
+fn bfs_two_components_only_reaches_one() {
+    let g = fixtures::two_components(4, 10);
+    for (states, _) in both_modes(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), EngineConfig::small())
+    {
+        assert!(states[..4].iter().all(|s| s.visited));
+        assert!(states[4..].iter().all(|s| !s.visited));
+    }
+}
+
+#[test]
+fn bad_seed_is_rejected() {
+    let g = fixtures::path(3);
+    let engine = Engine::new_mem(&g, EngineConfig::small());
+    assert!(engine.run(&Bfs, Init::Seeds(vec![VertexId(3)])).is_err());
+}
+
+// ----------------------------------------------------- message passing
+
+/// Every vertex sends its id to each out-neighbour; receivers sum.
+struct SumIds;
+
+#[derive(Default, Clone)]
+struct SumState {
+    sum: u64,
+    done: bool,
+}
+
+impl VertexProgram for SumIds {
+    type State = SumState;
+    type Msg = u32;
+
+    fn run(&self, v: VertexId, state: &mut SumState, ctx: &mut VertexContext<'_, u32>) {
+        if !state.done {
+            state.done = true;
+            ctx.request_edges(v, EdgeDir::Out);
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        v: VertexId,
+        _s: &mut SumState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, u32>,
+    ) {
+        for dst in vertex.edges() {
+            ctx.send(dst, v.0);
+        }
+    }
+
+    fn run_on_message(
+        &self,
+        _v: VertexId,
+        state: &mut SumState,
+        msg: &u32,
+        _ctx: &mut VertexContext<'_, u32>,
+    ) {
+        state.sum += *msg as u64;
+    }
+}
+
+#[test]
+fn messages_sum_in_neighbor_ids_both_modes() {
+    let g = gen::rmat(8, 4, gen::RmatSkew::default(), 5);
+    for (states, stats) in both_modes(&g, &SumIds, Init::All, EngineConfig::small()) {
+        for v in g.vertices() {
+            let want: u64 = g.in_neighbors(v).iter().map(|u| u.0 as u64).sum();
+            assert_eq!(states[v.index()].sum, want, "vertex {v}");
+        }
+        assert_eq!(stats.messages_sent, g.num_edges());
+    }
+}
+
+// ------------------------------------------------------------ multicast
+
+struct Broadcast;
+
+#[derive(Default, Clone)]
+struct RecvCount {
+    got: u32,
+    sent: bool,
+}
+
+impl VertexProgram for Broadcast {
+    type State = RecvCount;
+    type Msg = u8;
+
+    fn run(&self, v: VertexId, state: &mut RecvCount, ctx: &mut VertexContext<'_, u8>) {
+        if !state.sent {
+            state.sent = true;
+            // Vertex 0 multicasts to every vertex, including itself.
+            if v == VertexId(0) {
+                let all: Vec<VertexId> =
+                    (0..ctx.num_vertices() as u32).map(VertexId).collect();
+                ctx.multicast(&all, 7);
+            }
+        }
+    }
+
+    fn run_on_message(
+        &self,
+        _v: VertexId,
+        state: &mut RecvCount,
+        msg: &u8,
+        _ctx: &mut VertexContext<'_, u8>,
+    ) {
+        assert_eq!(*msg, 7);
+        state.got += 1;
+    }
+}
+
+#[test]
+fn multicast_reaches_every_vertex_once() {
+    let g = fixtures::path(40);
+    for (states, stats) in both_modes(&g, &Broadcast, Init::All, EngineConfig::small()) {
+        assert!(states.iter().all(|s| s.got == 1));
+        assert_eq!(stats.messages_sent, 40);
+    }
+}
+
+// ----------------------------------------------- iteration-end events
+
+/// Counts iterations via the end-of-iteration notification.
+struct EndCounter;
+
+#[derive(Default, Clone)]
+struct EndState {
+    ends_seen: u32,
+}
+
+impl VertexProgram for EndCounter {
+    type State = EndState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, _s: &mut EndState, ctx: &mut VertexContext<'_, ()>) {
+        ctx.notify_iteration_end();
+        // Keep running for exactly 3 iterations.
+        if ctx.iteration() < 2 {
+            ctx.activate(v);
+        }
+    }
+
+    fn run_on_iteration_end(
+        &self,
+        _v: VertexId,
+        state: &mut EndState,
+        _ctx: &mut VertexContext<'_, ()>,
+    ) {
+        state.ends_seen += 1;
+    }
+}
+
+#[test]
+fn iteration_end_fires_once_per_requesting_iteration() {
+    let g = fixtures::path(10);
+    for (states, stats) in both_modes(&g, &EndCounter, Init::All, EngineConfig::small()) {
+        assert_eq!(stats.iterations, 3);
+        assert!(states.iter().all(|s| s.ends_seen == 3));
+    }
+}
+
+// -------------------------------------------------- neighbor requests
+
+/// Each vertex requests its *neighbours'* edge lists (the triangle
+/// counting access pattern) and records their total degree.
+struct NeighborDegrees;
+
+#[derive(Default, Clone)]
+struct NdState {
+    total: u64,
+    started: bool,
+}
+
+impl VertexProgram for NeighborDegrees {
+    type State = NdState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, state: &mut NdState, ctx: &mut VertexContext<'_, ()>) {
+        if !state.started {
+            state.started = true;
+            ctx.request_edges(v, EdgeDir::Out);
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        v: VertexId,
+        state: &mut NdState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, ()>,
+    ) {
+        if vertex.id() == v {
+            for w in vertex.edges() {
+                ctx.request_edges(w, EdgeDir::Out);
+            }
+        } else {
+            state.total += vertex.degree() as u64;
+        }
+    }
+}
+
+#[test]
+fn cascading_neighbor_requests_both_modes() {
+    let g = gen::rmat(7, 4, gen::RmatSkew::default(), 13);
+    for (states, _) in both_modes(&g, &NeighborDegrees, Init::All, EngineConfig::small()) {
+        for v in g.vertices() {
+            let want: u64 = g
+                .out_neighbors(v)
+                .iter()
+                .map(|&w| g.out_degree(w) as u64)
+                .sum();
+            assert_eq!(states[v.index()].total, want, "vertex {v}");
+        }
+    }
+}
+
+// ------------------------------------------------------- edge weights
+
+struct WeightSum;
+
+#[derive(Default, Clone)]
+struct WsState {
+    sum: f32,
+    started: bool,
+}
+
+impl VertexProgram for WeightSum {
+    type State = WsState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, state: &mut WsState, ctx: &mut VertexContext<'_, ()>) {
+        if !state.started {
+            state.started = true;
+            ctx.request_edges_with_attrs(v, EdgeDir::Out);
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        state: &mut WsState,
+        vertex: &PageVertex<'_>,
+        _ctx: &mut VertexContext<'_, ()>,
+    ) {
+        assert!(vertex.has_attrs() || vertex.degree() == 0);
+        for i in 0..vertex.degree() {
+            state.sum += vertex.attr(i).unwrap();
+        }
+    }
+}
+
+#[test]
+fn weighted_requests_deliver_attrs_both_modes() {
+    let g = fixtures::weighted_square();
+    for (states, _) in both_modes(&g, &WeightSum, Init::All, EngineConfig::small()) {
+        assert_eq!(states[0].sum, 6.0); // 1.0 + 5.0
+        assert_eq!(states[1].sum, 1.0);
+        assert_eq!(states[2].sum, 1.0);
+        assert_eq!(states[3].sum, 0.0);
+    }
+}
+
+// ------------------------------------------------ in-edges + directions
+
+struct InDegreeViaEdges;
+
+#[derive(Default, Clone)]
+struct IdState {
+    in_deg: u32,
+    out_deg: u32,
+    started: bool,
+}
+
+impl VertexProgram for InDegreeViaEdges {
+    type State = IdState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, state: &mut IdState, ctx: &mut VertexContext<'_, ()>) {
+        if !state.started {
+            state.started = true;
+            ctx.request_edges(v, EdgeDir::Both);
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        state: &mut IdState,
+        vertex: &PageVertex<'_>,
+        _ctx: &mut VertexContext<'_, ()>,
+    ) {
+        match vertex.dir() {
+            EdgeDir::In => state.in_deg += vertex.degree() as u32,
+            EdgeDir::Out => state.out_deg += vertex.degree() as u32,
+            EdgeDir::Both => unreachable!("deliveries are single-direction"),
+        }
+    }
+}
+
+#[test]
+fn both_directions_delivered_separately() {
+    let g = fixtures::diamond();
+    for (states, _) in both_modes(&g, &InDegreeViaEdges, Init::All, EngineConfig::small()) {
+        for v in g.vertices() {
+            assert_eq!(states[v.index()].in_deg as usize, g.in_degree(v));
+            assert_eq!(states[v.index()].out_deg as usize, g.out_degree(v));
+        }
+    }
+}
+
+// ------------------------------------------------------- configuration
+
+#[test]
+fn single_thread_and_many_threads_agree() {
+    let g = gen::rmat(8, 6, gen::RmatSkew::default(), 3);
+    let base = EngineConfig::small();
+    let one = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), base.with_threads(1), false).0;
+    let four = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), base.with_threads(4), false).0;
+    for v in g.vertices() {
+        assert_eq!(one[v.index()].visited, four[v.index()].visited);
+        assert_eq!(one[v.index()].level, four[v.index()].level);
+    }
+}
+
+#[test]
+fn schedulers_do_not_change_bfs_results() {
+    let g = gen::rmat(8, 4, gen::RmatSkew::default(), 8);
+    let mut reference: Option<Vec<bool>> = None;
+    for sched in [
+        SchedulerKind::ById,
+        SchedulerKind::Alternating,
+        SchedulerKind::Random(11),
+        SchedulerKind::DegreeDescending,
+    ] {
+        let cfg = EngineConfig::small().with_scheduler(sched);
+        let (states, _) = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), cfg, true);
+        let visited: Vec<bool> = states.iter().map(|s| s.visited).collect();
+        match &reference {
+            None => reference = Some(visited),
+            Some(r) => assert_eq!(r, &visited, "{sched:?}"),
+        }
+    }
+}
+
+#[test]
+fn engine_merging_reduces_issued_requests() {
+    let g = gen::rmat(9, 8, gen::RmatSkew::default(), 4);
+    let merged = run_mode(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::default().with_threads(2).with_engine_merge(true),
+        true,
+    )
+    .1;
+    let unmerged = run_mode(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::default().with_threads(2).with_engine_merge(false),
+        true,
+    )
+    .1;
+    assert_eq!(merged.engine_requests, unmerged.engine_requests);
+    assert!(
+        merged.issued_requests < unmerged.issued_requests / 2,
+        "merging should at least halve issued requests: {} vs {}",
+        merged.issued_requests,
+        unmerged.issued_requests
+    );
+}
+
+#[test]
+fn vertical_passes_run_per_part() {
+    struct PassCounter;
+    #[derive(Default, Clone)]
+    struct PcState {
+        runs: u32,
+        parts_seen: u32,
+    }
+    impl VertexProgram for PassCounter {
+        type State = PcState;
+        type Msg = ();
+        fn run(&self, _v: VertexId, state: &mut PcState, ctx: &mut VertexContext<'_, ()>) {
+            let (part, total) = ctx.vertical_part();
+            assert!(part < total);
+            state.runs += 1;
+            state.parts_seen |= 1 << part;
+        }
+    }
+    let g = fixtures::path(20);
+    let cfg = EngineConfig::small().with_vertical_parts(4);
+    for (states, _) in both_modes(&g, &PassCounter, Init::All, cfg) {
+        assert!(states.iter().all(|s| s.runs == 4));
+        assert!(states.iter().all(|s| s.parts_seen == 0b1111));
+    }
+}
+
+#[test]
+fn stats_track_io_and_cache_in_sem_mode() {
+    let g = gen::rmat(8, 6, gen::RmatSkew::default(), 9);
+    let (_, stats) = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), EngineConfig::small(), true);
+    let io = stats.io.clone().expect("sem mode records io");
+    assert!(io.read_requests > 0);
+    assert!(io.bytes_read > 0);
+    assert!(stats.cache.is_some());
+    assert!(stats.modeled_runtime_ns() >= io.max_busy_ns);
+    assert!(!stats.per_iteration.is_empty());
+    assert_eq!(stats.per_iteration.len() as u32, stats.iterations);
+    // Iteration 0's frontier was exactly the seed.
+    assert_eq!(stats.per_iteration[0].frontier, 1);
+}
+
+#[test]
+fn in_memory_mode_reports_no_io() {
+    let g = fixtures::path(5);
+    let (_, stats) = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), EngineConfig::small(), false);
+    assert!(stats.io.is_none());
+    assert!(stats.cache.is_none());
+    assert!(stats.engine_requests > 0);
+}
+
+#[test]
+fn empty_graph_runs_and_stops() {
+    let g = fg_graph::GraphBuilder::directed().build();
+    let engine = Engine::new_mem(&g, EngineConfig::small());
+    let (states, stats) = engine.run(&Bfs, Init::All).unwrap();
+    assert!(states.is_empty());
+    assert_eq!(stats.iterations, 0);
+}
+
+#[test]
+fn max_iterations_caps_runaway_programs() {
+    struct Forever;
+    impl VertexProgram for Forever {
+        type State = ();
+        type Msg = ();
+        fn run(&self, v: VertexId, _s: &mut (), ctx: &mut VertexContext<'_, ()>) {
+            ctx.activate(v); // re-activate forever
+        }
+    }
+    let g = fixtures::path(4);
+    let cfg = EngineConfig {
+        max_iterations: 7,
+        ..EngineConfig::small()
+    };
+    let engine = Engine::new_mem(&g, cfg);
+    let (_, stats) = engine.run(&Forever, Init::All).unwrap();
+    assert_eq!(stats.iterations, 7);
+}
+
+#[test]
+fn work_stealing_matches_no_stealing() {
+    // A graph where all edges live in low vertex ids: partition 0 gets
+    // all the work, so stealing matters for progress equivalence.
+    let mut b = fg_graph::GraphBuilder::directed();
+    for i in 0..50u32 {
+        for j in 0..20u32 {
+            b.add_edge(VertexId(i), VertexId((i + j + 1) % 50));
+        }
+    }
+    b.reserve_vertices(4096);
+    let g = b.build();
+    let steal = EngineConfig::small().with_threads(4);
+    let no_steal = EngineConfig {
+        work_stealing: false,
+        ..steal
+    };
+    let a = run_mode(&g, &SumIds, Init::All, steal, false).0;
+    let c = run_mode(&g, &SumIds, Init::All, no_steal, false).0;
+    for v in g.vertices() {
+        assert_eq!(a[v.index()].sum, c[v.index()].sum);
+    }
+}

@@ -1,0 +1,536 @@
+//! Writing and loading the on-SSD graph image (§3.5.2 of the paper).
+//!
+//! Image layout (all sections start page-aligned):
+//!
+//! ```text
+//! [ header page    ] magic, flags, counts, section table
+//! [ degree section ] out-degrees as u32, then in-degrees (directed)
+//! [ out-edge lists ] per vertex, ascending id: neighbour ids as u32
+//! [ in-edge lists  ] (directed graphs only)
+//! [ out-attributes ] per-edge f32 runs parallel to out-edges (weighted)
+//! [ in-attributes  ] (directed + weighted)
+//! ```
+//!
+//! Edge lists inside a section are *packed* — a vertex's list starts
+//! wherever the previous one ended. The in-memory [`GraphIndex`]
+//! recomputes those byte offsets from degrees, so no per-vertex
+//! location table exists on disk or in RAM. The degree section exists
+//! only to rebuild the index at load time ("init time" in the paper's
+//! Table 2); edge traversal never touches it.
+
+use fg_graph::Graph;
+use fg_ssdsim::SsdArray;
+use fg_types::{EdgeDir, FgError, Result, VertexId};
+
+use crate::index::GraphIndex;
+
+/// Alignment of every section start, independent of the SAFS page
+/// size an engine later chooses.
+pub const SECTION_ALIGN: u64 = 4096;
+
+const MAGIC: &[u8; 8] = b"FGIMG10\0";
+const FLAG_DIRECTED: u32 = 1;
+const FLAG_WEIGHTED: u32 = 2;
+/// Chunk size for streaming sections to the array during the write.
+const WRITE_CHUNK: usize = 4 << 20;
+
+/// Parsed image header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageMeta {
+    /// Vertex count.
+    pub num_vertices: u64,
+    /// Edge count (directed edges; undirected images store each edge
+    /// in both endpoint lists and report the undirected count).
+    pub num_edges: u64,
+    /// Whether in-edge lists exist.
+    pub directed: bool,
+    /// Whether attribute sections exist.
+    pub weighted: bool,
+    /// Byte offset of the degree section.
+    pub deg_offset: u64,
+    /// Byte offset of the out-edge section.
+    pub out_edges_offset: u64,
+    /// Byte offset of the in-edge section (directed only, else 0).
+    pub in_edges_offset: u64,
+    /// Byte offset of the out-attribute section (weighted only, else 0).
+    pub out_attrs_offset: u64,
+    /// Byte offset of the in-attribute section (directed+weighted, else 0).
+    pub in_attrs_offset: u64,
+    /// Total image size in bytes.
+    pub total_bytes: u64,
+}
+
+fn align_up(x: u64) -> u64 {
+    x.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// Computes the section layout for `g` without writing anything.
+fn layout(g: &Graph) -> ImageMeta {
+    let n = g.num_vertices() as u64;
+    let directed = g.is_directed();
+    let weighted = g.has_weights();
+    let out_csr = g.csr(EdgeDir::Out);
+    let out_entries = out_csr.num_edges();
+    let in_entries = if directed {
+        g.csr(EdgeDir::In).num_edges()
+    } else {
+        0
+    };
+
+    let deg_offset = SECTION_ALIGN; // header occupies page 0
+    let deg_bytes = n * 4 * if directed { 2 } else { 1 };
+    let out_edges_offset = align_up(deg_offset + deg_bytes);
+    let out_bytes = out_entries * 4;
+    let in_edges_offset = if directed {
+        align_up(out_edges_offset + out_bytes)
+    } else {
+        0
+    };
+    let in_bytes = in_entries * 4;
+    let after_edges = if directed {
+        in_edges_offset + in_bytes
+    } else {
+        out_edges_offset + out_bytes
+    };
+    let out_attrs_offset = if weighted { align_up(after_edges) } else { 0 };
+    let in_attrs_offset = if weighted && directed {
+        align_up(out_attrs_offset + out_bytes)
+    } else {
+        0
+    };
+    let total_bytes = if weighted {
+        if directed {
+            align_up(in_attrs_offset + in_bytes)
+        } else {
+            align_up(out_attrs_offset + out_bytes)
+        }
+    } else {
+        align_up(after_edges)
+    };
+    ImageMeta {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        directed,
+        weighted,
+        deg_offset,
+        out_edges_offset,
+        in_edges_offset,
+        out_attrs_offset,
+        in_attrs_offset,
+        total_bytes,
+    }
+}
+
+/// Bytes of array capacity needed to hold the image of `g`.
+pub fn required_capacity(g: &Graph) -> u64 {
+    layout(g).total_bytes
+}
+
+/// Streams one section to the array in [`WRITE_CHUNK`]-sized writes.
+fn write_stream<F>(array: &SsdArray, offset: u64, total: u64, mut fill: F) -> Result<()>
+where
+    F: FnMut(&mut Vec<u8>),
+{
+    let mut written = 0u64;
+    let mut buf = Vec::with_capacity(WRITE_CHUNK.min(total as usize));
+    while written < total {
+        buf.clear();
+        fill(&mut buf);
+        if buf.is_empty() {
+            return Err(FgError::CorruptImage(
+                "section producer ended early".into(),
+            ));
+        }
+        array.write(offset + written, &buf)?;
+        written += buf.len() as u64;
+    }
+    if written != total {
+        return Err(FgError::CorruptImage(format!(
+            "section wrote {written} bytes, expected {total}"
+        )));
+    }
+    Ok(())
+}
+
+/// Chunked writer over per-vertex u32 runs.
+fn write_u32_section<'a, I>(array: &SsdArray, offset: u64, total: u64, iter: I) -> Result<()>
+where
+    I: IntoIterator<Item = u32> + 'a,
+{
+    let mut it = iter.into_iter();
+    write_stream(array, offset, total, |buf| {
+        for v in it.by_ref() {
+            buf.extend_from_slice(&v.to_le_bytes());
+            if buf.len() >= WRITE_CHUNK {
+                break;
+            }
+        }
+    })
+}
+
+/// Writes the image of `g` at logical offset 0 of `array`.
+///
+/// This is the single write pass of a graph's life ("the only write
+/// required by FlashGraph is to load a new graph to SSDs", §5.4); all
+/// analysis afterwards is read-only.
+///
+/// # Errors
+///
+/// Returns [`FgError::InvalidRequest`] when the array is too small
+/// (check [`required_capacity`]) and propagates store errors.
+pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
+    let meta = layout(g);
+    if array.capacity() < meta.total_bytes {
+        return Err(FgError::InvalidRequest(format!(
+            "array capacity {} below image size {}",
+            array.capacity(),
+            meta.total_bytes
+        )));
+    }
+
+    // Header page.
+    let mut header = vec![0u8; SECTION_ALIGN as usize];
+    header[..8].copy_from_slice(MAGIC);
+    let mut flags = 0u32;
+    if meta.directed {
+        flags |= FLAG_DIRECTED;
+    }
+    if meta.weighted {
+        flags |= FLAG_WEIGHTED;
+    }
+    header[8..12].copy_from_slice(&flags.to_le_bytes());
+    let fields = [
+        meta.num_vertices,
+        meta.num_edges,
+        meta.deg_offset,
+        meta.out_edges_offset,
+        meta.in_edges_offset,
+        meta.out_attrs_offset,
+        meta.in_attrs_offset,
+        meta.total_bytes,
+    ];
+    for (i, f) in fields.iter().enumerate() {
+        let at = 16 + i * 8;
+        header[at..at + 8].copy_from_slice(&f.to_le_bytes());
+    }
+    array.write(0, &header)?;
+
+    let n = g.num_vertices();
+    let out_csr = g.csr(EdgeDir::Out);
+
+    // Degree section.
+    let dirs: u64 = if meta.directed { 2 } else { 1 };
+    let deg_total = meta.num_vertices * 4 * dirs;
+    if deg_total > 0 {
+        let out_degs = (0..n).map(|i| out_csr.degree(VertexId::from_index(i)) as u32);
+        if meta.directed {
+            let in_csr = g.csr(EdgeDir::In);
+            let in_degs = (0..n).map(|i| in_csr.degree(VertexId::from_index(i)) as u32);
+            write_u32_section(array, meta.deg_offset, deg_total, out_degs.chain(in_degs))?;
+        } else {
+            write_u32_section(array, meta.deg_offset, deg_total, out_degs)?;
+        }
+    }
+
+    // Edge sections.
+    let out_bytes = out_csr.num_edges() * 4;
+    if out_bytes > 0 {
+        write_u32_section(
+            array,
+            meta.out_edges_offset,
+            out_bytes,
+            out_csr.neighbor_array().iter().map(|v| v.0),
+        )?;
+    }
+    if meta.directed {
+        let in_csr = g.csr(EdgeDir::In);
+        let in_bytes = in_csr.num_edges() * 4;
+        if in_bytes > 0 {
+            write_u32_section(
+                array,
+                meta.in_edges_offset,
+                in_bytes,
+                in_csr.neighbor_array().iter().map(|v| v.0),
+            )?;
+        }
+    }
+
+    // Attribute sections (f32 bit patterns as u32).
+    if meta.weighted {
+        let weights = |dir: EdgeDir| {
+            let csr = g.csr(dir);
+            (0..n).flat_map(move |i| {
+                csr.weights_of(VertexId::from_index(i))
+                    .expect("weighted graph has weights")
+                    .iter()
+                    .map(|w| w.to_bits())
+                    .collect::<Vec<_>>()
+            })
+        };
+        if out_bytes > 0 {
+            write_u32_section(array, meta.out_attrs_offset, out_bytes, weights(EdgeDir::Out))?;
+        }
+        if meta.directed {
+            let in_bytes = g.csr(EdgeDir::In).num_edges() * 4;
+            if in_bytes > 0 {
+                write_u32_section(array, meta.in_attrs_offset, in_bytes, weights(EdgeDir::In))?;
+            }
+        }
+    }
+
+    Ok(meta)
+}
+
+/// Reads and validates the header page.
+///
+/// # Errors
+///
+/// Returns [`FgError::CorruptImage`] on a bad magic, impossible
+/// section table, or counts that do not fit the array.
+pub fn read_meta(array: &SsdArray) -> Result<ImageMeta> {
+    let mut header = vec![0u8; SECTION_ALIGN as usize];
+    array.read(0, &mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(FgError::CorruptImage("bad magic".into()));
+    }
+    let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let mut fields = [0u64; 8];
+    for (i, f) in fields.iter_mut().enumerate() {
+        let at = 16 + i * 8;
+        *f = u64::from_le_bytes(header[at..at + 8].try_into().unwrap());
+    }
+    let meta = ImageMeta {
+        num_vertices: fields[0],
+        num_edges: fields[1],
+        directed: flags & FLAG_DIRECTED != 0,
+        weighted: flags & FLAG_WEIGHTED != 0,
+        deg_offset: fields[2],
+        out_edges_offset: fields[3],
+        in_edges_offset: fields[4],
+        out_attrs_offset: fields[5],
+        in_attrs_offset: fields[6],
+        total_bytes: fields[7],
+    };
+    if meta.total_bytes > array.capacity() {
+        return Err(FgError::CorruptImage(format!(
+            "image claims {} bytes, array holds {}",
+            meta.total_bytes,
+            array.capacity()
+        )));
+    }
+    if meta.num_vertices > u32::MAX as u64 {
+        return Err(FgError::CorruptImage(format!(
+            "vertex count {} exceeds u32 id space",
+            meta.num_vertices
+        )));
+    }
+    if meta.deg_offset != SECTION_ALIGN || meta.out_edges_offset < meta.deg_offset {
+        return Err(FgError::CorruptImage("section table out of order".into()));
+    }
+    Ok(meta)
+}
+
+/// Loads the header and rebuilds the compact [`GraphIndex`] by
+/// streaming the degree section — the "init" phase of Table 2.
+///
+/// # Errors
+///
+/// Propagates [`read_meta`] failures and degree-section reads.
+pub fn load_index(array: &SsdArray) -> Result<(ImageMeta, GraphIndex)> {
+    let meta = read_meta(array)?;
+    let n = meta.num_vertices as usize;
+    let read_degrees = |offset: u64| -> Result<Vec<u64>> {
+        let mut degs = Vec::with_capacity(n);
+        let total = n * 4;
+        let mut done = 0usize;
+        let mut buf = vec![0u8; WRITE_CHUNK.min(total.max(1))];
+        while done < total {
+            let chunk = (total - done).min(buf.len());
+            array.read(offset + done as u64, &mut buf[..chunk])?;
+            for quad in buf[..chunk].chunks_exact(4) {
+                degs.push(u32::from_le_bytes(quad.try_into().unwrap()) as u64);
+            }
+            done += chunk;
+        }
+        Ok(degs)
+    };
+    let out_degrees = if n > 0 {
+        read_degrees(meta.deg_offset)?
+    } else {
+        Vec::new()
+    };
+    let in_degrees = if meta.directed && n > 0 {
+        Some(read_degrees(meta.deg_offset + n as u64 * 4)?)
+    } else if meta.directed {
+        Some(Vec::new())
+    } else {
+        None
+    };
+    let index = GraphIndex::build(
+        &out_degrees,
+        in_degrees.as_deref(),
+        4,
+        meta.out_edges_offset,
+        meta.in_edges_offset,
+        meta.weighted.then_some(meta.out_attrs_offset),
+        (meta.weighted && meta.directed).then_some(meta.in_attrs_offset),
+    );
+    Ok((meta, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{fixtures, gen};
+    use fg_ssdsim::ArrayConfig;
+
+    fn image_of(g: &Graph) -> (SsdArray, ImageMeta, GraphIndex) {
+        let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(g)).unwrap();
+        let meta = write_image(g, &array).unwrap();
+        let (meta2, index) = load_index(&array).unwrap();
+        assert_eq!(meta, meta2);
+        (array, meta, index)
+    }
+
+    /// Reads the edge list of `v` back from the raw image.
+    fn read_edges(array: &SsdArray, index: &GraphIndex, v: VertexId, dir: EdgeDir) -> Vec<u32> {
+        let loc = index.locate(v, dir);
+        if loc.bytes == 0 {
+            return Vec::new();
+        }
+        let mut buf = vec![0u8; loc.bytes as usize];
+        array.read(loc.offset, &mut buf).unwrap();
+        buf.chunks_exact(4)
+            .map(|q| u32::from_le_bytes(q.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_directed_edges() {
+        let g = fixtures::diamond();
+        let (array, meta, index) = image_of(&g);
+        assert!(meta.directed);
+        for v in g.vertices() {
+            let out: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
+            assert_eq!(read_edges(&array, &index, v, EdgeDir::Out), out, "out {v}");
+            let inn: Vec<u32> = g.in_neighbors(v).iter().map(|n| n.0).collect();
+            assert_eq!(read_edges(&array, &index, v, EdgeDir::In), inn, "in {v}");
+        }
+    }
+
+    #[test]
+    fn round_trip_undirected() {
+        let g = fixtures::complete(9);
+        let (array, meta, index) = image_of(&g);
+        assert!(!meta.directed);
+        for v in g.vertices() {
+            let want: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
+            assert_eq!(read_edges(&array, &index, v, EdgeDir::Out), want);
+            // In == out for undirected images.
+            assert_eq!(read_edges(&array, &index, v, EdgeDir::In), want);
+        }
+    }
+
+    #[test]
+    fn round_trip_rmat_spot_checks() {
+        let g = gen::rmat(9, 8, gen::RmatSkew::default(), 33);
+        let (array, _meta, index) = image_of(&g);
+        for raw in [0u32, 1, 100, 511] {
+            let v = VertexId(raw);
+            let want: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
+            assert_eq!(read_edges(&array, &index, v, EdgeDir::Out), want);
+            let want: Vec<u32> = g.in_neighbors(v).iter().map(|n| n.0).collect();
+            assert_eq!(read_edges(&array, &index, v, EdgeDir::In), want);
+        }
+        // Index degrees match the graph everywhere.
+        for v in g.vertices() {
+            assert_eq!(
+                index.degree(v, EdgeDir::Out) as usize,
+                g.out_degree(v)
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_image_round_trips_attrs() {
+        let g = fixtures::weighted_square();
+        let (array, meta, index) = image_of(&g);
+        assert!(meta.weighted);
+        let loc = index.locate_attrs(VertexId(0), EdgeDir::Out).unwrap();
+        let mut buf = vec![0u8; loc.bytes as usize];
+        array.read(loc.offset, &mut buf).unwrap();
+        let ws: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|q| f32::from_bits(u32::from_le_bytes(q.try_into().unwrap())))
+            .collect();
+        assert_eq!(ws, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn sections_are_aligned_and_ordered() {
+        let g = gen::rmat(8, 4, gen::RmatSkew::default(), 5);
+        let meta = layout(&g);
+        for off in [
+            meta.deg_offset,
+            meta.out_edges_offset,
+            meta.in_edges_offset,
+        ] {
+            assert_eq!(off % SECTION_ALIGN, 0);
+        }
+        assert!(meta.out_edges_offset > meta.deg_offset);
+        assert!(meta.in_edges_offset > meta.out_edges_offset);
+        assert!(meta.total_bytes >= meta.in_edges_offset);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let array = SsdArray::new_mem(ArrayConfig::small_test(), 1 << 16).unwrap();
+        array.write(0, &[0xFFu8; 4096]).unwrap();
+        assert!(matches!(
+            read_meta(&array),
+            Err(FgError::CorruptImage(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let g = fixtures::complete(9);
+        let full = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
+        write_image(&g, &full).unwrap();
+        // Copy only the header into a smaller array.
+        let small = SsdArray::new_mem(ArrayConfig::small_test(), SECTION_ALIGN).unwrap();
+        let mut header = vec![0u8; SECTION_ALIGN as usize];
+        full.read(0, &mut header).unwrap();
+        small.write(0, &header).unwrap();
+        assert!(read_meta(&small).is_err());
+    }
+
+    #[test]
+    fn too_small_array_rejected_at_write() {
+        let g = fixtures::complete(9);
+        let array = SsdArray::new_mem(ArrayConfig::small_test(), 4096).unwrap();
+        assert!(write_image(&g, &array).is_err());
+    }
+
+    #[test]
+    fn empty_graph_image() {
+        let g = fg_graph::GraphBuilder::directed().build();
+        let (_array, meta, index) = image_of(&g);
+        assert_eq!(meta.num_vertices, 0);
+        assert_eq!(index.num_vertices(), 0);
+    }
+
+    #[test]
+    fn image_write_is_the_only_write() {
+        // Wearout check: loading + reading back causes no writes.
+        let g = fixtures::complete(6);
+        let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
+        write_image(&g, &array).unwrap();
+        let wear_after_load = array.stats().snapshot().bytes_written;
+        let (_, index) = load_index(&array).unwrap();
+        for v in g.vertices() {
+            read_edges(&array, &index, v, EdgeDir::Out);
+        }
+        assert_eq!(array.stats().snapshot().bytes_written, wear_after_load);
+    }
+}

@@ -1,0 +1,41 @@
+//! FlashGraph's external-memory graph image and compact in-memory index.
+//!
+//! Section 3.5 of the paper describes two data representations:
+//!
+//! * **On SSDs** (§3.5.2): a single image per graph holding every
+//!   vertex's edge lists, sorted by vertex id, with in-edge and
+//!   out-edge lists in *separate* sections (so algorithms needing one
+//!   direction read half the data) and edge attributes in further
+//!   separate sections (so unweighted algorithms never touch them).
+//!   The image is written once — FlashGraph minimizes SSD wearout by
+//!   using one representation for all algorithms.
+//! * **In memory** (§3.5.1): a compact [`GraphIndex`] that stores one
+//!   byte of degree per vertex per direction (with an overflow hash
+//!   table for degrees ≥ 255) and an explicit byte offset only every
+//!   32 vertices; the location of any edge list is *recomputed* by
+//!   summing at most 31 degrees. This costs ~1.25 bytes/vertex for
+//!   undirected and ~2.5 bytes/vertex for directed graphs —
+//!   [`GraphIndex::heap_bytes`] lets tests verify the claim.
+//!
+//! # Example
+//!
+//! ```
+//! use fg_format::{required_capacity, write_image, load_index};
+//! use fg_graph::fixtures;
+//! use fg_ssdsim::{ArrayConfig, SsdArray};
+//! use fg_types::{EdgeDir, VertexId};
+//!
+//! let g = fixtures::diamond();
+//! let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g))?;
+//! write_image(&g, &array)?;
+//! let (meta, index) = load_index(&array)?;
+//! assert_eq!(meta.num_vertices, 5);
+//! assert_eq!(index.degree(VertexId(0), EdgeDir::Out), 2);
+//! # Ok::<(), fg_types::FgError>(())
+//! ```
+
+mod image;
+mod index;
+
+pub use image::{load_index, required_capacity, write_image, ImageMeta, SECTION_ALIGN};
+pub use index::{EdgeListLoc, GraphIndex, CHECKPOINT_INTERVAL, LARGE_DEGREE};

@@ -1,0 +1,86 @@
+//! Property tests: any graph round-trips through the on-SSD image,
+//! and the compact index locates every edge list exactly.
+
+use fg_format::{load_index, required_capacity, write_image};
+use fg_graph::GraphBuilder;
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use fg_types::{EdgeDir, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (bool, Vec<(u32, u32)>)> {
+    (
+        any::<bool>(),
+        prop::collection::vec((0u32..120, 0u32..120), 1..300),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn image_round_trips_any_graph((directed, edges) in arb_graph()) {
+        let mut b = if directed {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        };
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        let array =
+            SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
+        let meta = write_image(&g, &array).unwrap();
+        prop_assert_eq!(meta.num_vertices as usize, g.num_vertices());
+        prop_assert_eq!(meta.num_edges, g.num_edges());
+
+        let (_, index) = load_index(&array).unwrap();
+        let dirs: &[EdgeDir] = if directed {
+            &[EdgeDir::Out, EdgeDir::In]
+        } else {
+            &[EdgeDir::Out]
+        };
+        for v in g.vertices() {
+            for &dir in dirs {
+                let want: Vec<u32> = g.csr(dir).neighbors(v).iter().map(|n| n.0).collect();
+                let loc = index.locate(v, dir);
+                prop_assert_eq!(loc.degree as usize, want.len());
+                let mut got = Vec::new();
+                if loc.bytes > 0 {
+                    let mut buf = vec![0u8; loc.bytes as usize];
+                    array.read(loc.offset, &mut buf).unwrap();
+                    got = buf
+                        .chunks_exact(4)
+                        .map(|q| u32::from_le_bytes(q.try_into().unwrap()))
+                        .collect();
+                }
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_lists_are_densely_packed((directed, edges) in arb_graph()) {
+        // Adjacent vertices' lists must touch: offset(v+1) ==
+        // offset(v) + bytes(v). This is the invariant the paper's
+        // offset recomputation relies on.
+        let mut b = if directed {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        };
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        let array =
+            SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
+        write_image(&g, &array).unwrap();
+        let (_, index) = load_index(&array).unwrap();
+        for v in 0..g.num_vertices().saturating_sub(1) {
+            let cur = index.locate(VertexId::from_index(v), EdgeDir::Out);
+            let next = index.locate(VertexId::from_index(v + 1), EdgeDir::Out);
+            prop_assert_eq!(next.offset, cur.offset + cur.bytes);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Tiny hand-checkable graphs used across the workspace's tests.
+//!
+//! Every fixture documents its exact structure so tests can assert
+//! against known answers (BFS levels, triangle counts, component
+//! structure, ...).
+
+use fg_types::VertexId;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+
+/// A directed path `0 -> 1 -> ... -> n-1`.
+///
+/// BFS from 0 reaches vertex `i` at level `i`; diameter `n - 1`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::directed();
+    b.reserve_vertices(n);
+    for i in 1..n {
+        b.add_edge(VertexId((i - 1) as u32), VertexId(i as u32));
+    }
+    b.build()
+}
+
+/// A directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+///
+/// Strongly connected; every vertex has in/out degree 1.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::directed();
+    for i in 0..n {
+        b.add_edge(VertexId(i as u32), VertexId(((i + 1) % n) as u32));
+    }
+    b.build()
+}
+
+/// An undirected star: center `0` joined to `1..=leaves`.
+///
+/// No triangles; scan statistic of the center is `leaves`.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::undirected();
+    b.reserve_vertices(leaves + 1);
+    for i in 1..=leaves {
+        b.add_edge(VertexId(0), VertexId(i as u32));
+    }
+    b.build()
+}
+
+/// An undirected complete graph on `n` vertices.
+///
+/// Contains `C(n, 3)` triangles; every vertex has degree `n - 1`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::undirected();
+    b.reserve_vertices(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(VertexId(i as u32), VertexId(j as u32));
+        }
+    }
+    b.build()
+}
+
+/// Two disjoint directed cycles: `0..k` and `k..n`.
+///
+/// Exactly two weakly connected components.
+pub fn two_components(k: usize, n: usize) -> Graph {
+    assert!(k >= 2 && n >= k + 2);
+    let mut b = GraphBuilder::directed();
+    for i in 0..k {
+        b.add_edge(VertexId(i as u32), VertexId(((i + 1) % k) as u32));
+    }
+    for i in k..n {
+        let next = if i + 1 == n { k } else { i + 1 };
+        b.add_edge(VertexId(i as u32), VertexId(next as u32));
+    }
+    b.build()
+}
+
+/// The directed "diamond" used in betweenness tests:
+///
+/// ```text
+///      1
+///    /   \
+///  0       3 -> 4
+///    \   /
+///      2
+/// ```
+///
+/// Two shortest 0→3 paths (via 1 and via 2), so BC(1) = BC(2) = 0.5
+/// from source 0 plus the dependency of 4: each gets 0.5 * (1 + 1)/2.
+pub fn diamond() -> Graph {
+    let mut b = GraphBuilder::directed();
+    b.add_edge(VertexId(0), VertexId(1));
+    b.add_edge(VertexId(0), VertexId(2));
+    b.add_edge(VertexId(1), VertexId(3));
+    b.add_edge(VertexId(2), VertexId(3));
+    b.add_edge(VertexId(3), VertexId(4));
+    b.build()
+}
+
+/// A weighted directed graph with a known shortest-path structure:
+///
+/// ```text
+/// 0 -(1.0)-> 1 -(1.0)-> 2
+/// 0 ---------(5.0)----> 2
+/// 2 -(1.0)-> 3
+/// ```
+///
+/// dist(0→2) = 2.0 through vertex 1, dist(0→3) = 3.0.
+pub fn weighted_square() -> Graph {
+    let mut b = GraphBuilder::directed();
+    b.add_weighted_edge(VertexId(0), VertexId(1), 1.0);
+    b.add_weighted_edge(VertexId(1), VertexId(2), 1.0);
+    b.add_weighted_edge(VertexId(0), VertexId(2), 5.0);
+    b.add_weighted_edge(VertexId(2), VertexId(3), 1.0);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(VertexId(4)), 0);
+        assert_eq!(g.in_degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn cycle_degrees() {
+        let g = cycle(6);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.out_degree(VertexId(0)), 7);
+        for i in 1..=7u32 {
+            assert_eq!(g.out_neighbors(VertexId(i)), &[VertexId(0)]);
+        }
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn two_components_disjoint() {
+        let g = two_components(3, 8);
+        // no edge crosses the k boundary
+        for (s, d) in g.edges() {
+            assert_eq!(s.index() < 3, d.index() < 3);
+        }
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(VertexId(0)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(g.in_neighbors(VertexId(3)), &[VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn weighted_square_weights() {
+        let g = weighted_square();
+        assert!(g.has_weights());
+        let w = g
+            .csr(fg_types::EdgeDir::Out)
+            .weights_of(VertexId(0))
+            .unwrap();
+        assert_eq!(w, &[1.0, 5.0]);
+    }
+}

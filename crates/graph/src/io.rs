@@ -1,0 +1,160 @@
+//! Plain-text edge-list ingestion and export.
+//!
+//! The format is the de-facto standard for graph datasets (SNAP,
+//! WebGraph dumps): one `src dst [weight]` triple per line, `#`
+//! comments, blank lines ignored.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use fg_types::{FgError, Result, VertexId};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+
+/// Reads a whitespace-separated edge list into a graph.
+///
+/// Pass the reader by value or as `&mut reader`.
+///
+/// # Errors
+///
+/// Returns [`FgError::CorruptImage`] on a malformed line and
+/// [`FgError::Io`] on read failures.
+///
+/// # Example
+///
+/// ```
+/// use fg_graph::read_edge_list;
+///
+/// let text = "# a comment\n0 1\n1 2 3.5\n";
+/// let g = read_edge_list(text.as_bytes(), true)?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), fg_types::FgError>(())
+/// ```
+pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph> {
+    let mut b = if directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    let buf = BufReader::new(reader);
+    let mut weighted = false;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u32> {
+            tok.ok_or_else(|| {
+                FgError::CorruptImage(format!("line {}: missing {what}", lineno + 1))
+            })?
+            .parse::<u32>()
+            .map_err(|e| FgError::CorruptImage(format!("line {}: bad {what}: {e}", lineno + 1)))
+        };
+        let src = parse(it.next(), "source")?;
+        let dst = parse(it.next(), "destination")?;
+        match it.next() {
+            Some(wtok) => {
+                let w: f32 = wtok.parse().map_err(|e| {
+                    FgError::CorruptImage(format!("line {}: bad weight: {e}", lineno + 1))
+                })?;
+                weighted = true;
+                b.add_weighted_edge(VertexId(src), VertexId(dst), w);
+            }
+            None => {
+                if weighted {
+                    return Err(FgError::CorruptImage(format!(
+                        "line {}: unweighted edge in weighted list",
+                        lineno + 1
+                    )));
+                }
+                b.add_edge(VertexId(src), VertexId(dst));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` as a text edge list (one orientation per undirected
+/// edge). Weights are emitted when present.
+///
+/// # Errors
+///
+/// Returns [`FgError::Io`] on write failures.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
+    let csr = g.csr(fg_types::EdgeDir::Out);
+    for v in g.vertices() {
+        let ws = csr.weights_of(v);
+        for (k, &d) in csr.neighbors(v).iter().enumerate() {
+            if !g.is_directed() && d < v {
+                continue;
+            }
+            match ws {
+                Some(w) => writeln!(writer, "{} {} {}", v, d, w[k])?,
+                None => writeln!(writer, "{} {}", v, d)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn round_trip_directed() {
+        let g = fixtures::diamond();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), true).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_undirected() {
+        let g = fixtures::complete(5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), false).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_weighted() {
+        let g = fixtures::weighted_square();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), true).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0 1\n   \n# tail\n1 0\n";
+        let g = read_edge_list(text.as_bytes(), true).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes(), true).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn missing_destination_rejected() {
+        let err = read_edge_list("5\n".as_bytes(), true).unwrap_err();
+        assert!(err.to_string().contains("destination"));
+    }
+
+    #[test]
+    fn mixed_weighted_unweighted_rejected() {
+        let text = "0 1 2.0\n1 2\n";
+        assert!(read_edge_list(text.as_bytes(), true).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Degree statistics and diameter estimation for experiment tables.
+
+use std::collections::VecDeque;
+
+use fg_types::{EdgeDir, VertexId};
+
+use crate::csr::Graph;
+
+/// Summary degree statistics of one direction of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of vertices with degree zero.
+    pub zeros: usize,
+    /// Histogram over power-of-two buckets: `buckets[i]` counts
+    /// vertices with degree in `[2^i, 2^(i+1))`; bucket 0 counts
+    /// degree 1 (zeros are reported separately).
+    pub log2_buckets: Vec<usize>,
+}
+
+/// Computes [`DegreeStats`] for `dir` of `g`.
+///
+/// # Example
+///
+/// ```
+/// use fg_graph::{fixtures, degree_histogram};
+/// use fg_types::EdgeDir;
+///
+/// let g = fixtures::star(8);
+/// let s = degree_histogram(&g, EdgeDir::Out);
+/// assert_eq!(s.max, 8);
+/// assert_eq!(s.zeros, 0);
+/// ```
+pub fn degree_histogram(g: &Graph, dir: EdgeDir) -> DegreeStats {
+    let csr = g.csr(dir);
+    let n = g.num_vertices();
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut total = 0u64;
+    let mut zeros = 0usize;
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in g.vertices() {
+        let d = csr.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        total += d as u64;
+        if d == 0 {
+            zeros += 1;
+            continue;
+        }
+        let b = usize::BITS as usize - 1 - d.leading_zeros() as usize;
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    DegreeStats {
+        min: if n == 0 { 0 } else { min },
+        max,
+        mean: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+        zeros,
+        log2_buckets: buckets,
+    }
+}
+
+/// Estimates the diameter of `g` ignoring edge direction, the way
+/// Table 1 of the paper reports diameters.
+///
+/// Uses the classic double-sweep lower bound: BFS from `probes` seed
+/// vertices, then BFS again from the farthest vertex found, keeping
+/// the largest eccentricity seen. Exact on trees and paths; a lower
+/// bound elsewhere.
+pub fn estimate_diameter(g: &Graph, probes: usize, seed: u64) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0usize;
+    // Deterministic pseudo-random probe sequence (LCG) — avoids a rand
+    // dependency here and keeps the estimate reproducible.
+    let mut state = seed | 1;
+    let mut next_probe = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize % n
+    };
+    for _ in 0..probes.max(1) {
+        let start = VertexId::from_index(next_probe());
+        let (far, dist) = bfs_farthest_undirected(g, start);
+        best = best.max(dist);
+        let (_, dist2) = bfs_farthest_undirected(g, far);
+        best = best.max(dist2);
+    }
+    best
+}
+
+/// BFS over the union of in- and out-edges; returns the farthest
+/// reached vertex and its distance.
+fn bfs_farthest_undirected(g: &Graph, start: VertexId) -> (VertexId, usize) {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    dist[start.index()] = 0;
+    q.push_back(start);
+    let mut far = (start, 0usize);
+    while let Some(v) = q.pop_front() {
+        let d = dist[v.index()];
+        let mut visit = |u: VertexId| {
+            if dist[u.index()] == u32::MAX {
+                dist[u.index()] = d + 1;
+                if (d + 1) as usize > far.1 {
+                    far = (u, (d + 1) as usize);
+                }
+                q.push_back(u);
+            }
+        };
+        for &u in g.out_neighbors(v) {
+            visit(u);
+        }
+        if g.is_directed() {
+            for &u in g.in_neighbors(v) {
+                visit(u);
+            }
+        }
+    }
+    far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn histogram_of_star() {
+        let g = fixtures::star(8);
+        let s = degree_histogram(&g, EdgeDir::Out);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.zeros, 0);
+        // 8 leaves of degree 1 in bucket 0; center (degree 8) in bucket 3.
+        assert_eq!(s.log2_buckets[0], 8);
+        assert_eq!(s.log2_buckets[3], 1);
+    }
+
+    #[test]
+    fn histogram_counts_zeros() {
+        let g = fixtures::path(4); // vertex 3 has out-degree 0
+        let s = degree_histogram(&g, EdgeDir::Out);
+        assert_eq!(s.zeros, 1);
+        assert_eq!(s.mean, 3.0 / 4.0);
+    }
+
+    #[test]
+    fn diameter_of_path_is_exact() {
+        let g = fixtures::path(10);
+        assert_eq!(estimate_diameter(&g, 2, 42), 9);
+    }
+
+    #[test]
+    fn diameter_of_cycle_is_half() {
+        let g = fixtures::cycle(10);
+        // Undirected view of a 10-cycle has diameter 5.
+        assert_eq!(estimate_diameter(&g, 4, 42), 5);
+    }
+
+    #[test]
+    fn diameter_of_star_is_two() {
+        let g = fixtures::star(20);
+        assert_eq!(estimate_diameter(&g, 3, 1), 2);
+    }
+
+    #[test]
+    fn diameter_empty_graph_is_zero() {
+        let g = crate::builder::GraphBuilder::directed().build();
+        assert_eq!(estimate_diameter(&g, 3, 1), 0);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = crate::gen::rmat(8, 4, crate::gen::RmatSkew::default(), 9);
+        let s = degree_histogram(&g, EdgeDir::Out);
+        let bucketed: usize = s.log2_buckets.iter().sum();
+        assert_eq!(bucketed + s.zeros, g.num_vertices());
+    }
+}

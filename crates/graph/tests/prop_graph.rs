@@ -1,0 +1,83 @@
+//! Property tests: the builder/CSR pipeline preserves the edge set.
+
+use std::collections::BTreeSet;
+
+use fg_graph::{read_edge_list, write_edge_list, GraphBuilder};
+use fg_types::VertexId;
+use proptest::prelude::*;
+
+fn edge_vec() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..200, 0u32..200), 0..400)
+}
+
+proptest! {
+    #[test]
+    fn directed_build_matches_reference(edges in edge_vec()) {
+        let mut b = GraphBuilder::directed();
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+            if s != d {
+                model.insert((s, d));
+            }
+        }
+        let g = b.build();
+        prop_assert_eq!(g.num_edges(), model.len() as u64);
+        // Every modeled edge is present with correct adjacency.
+        for &(s, d) in &model {
+            prop_assert!(g.out_neighbors(VertexId(s)).contains(&VertexId(d)));
+            prop_assert!(g.in_neighbors(VertexId(d)).contains(&VertexId(s)));
+        }
+        // Adjacency lists sorted strictly ascending (dedup + order).
+        for v in g.vertices() {
+            let ns = g.out_neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            let ns = g.in_neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn in_out_degree_sums_balance(edges in edge_vec()) {
+        let mut b = GraphBuilder::directed();
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, in_sum);
+        prop_assert_eq!(out_sum as u64, g.num_edges());
+    }
+
+    #[test]
+    fn undirected_adjacency_is_symmetric(edges in edge_vec()) {
+        let mut b = GraphBuilder::undirected();
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        for v in g.vertices() {
+            for &u in g.out_neighbors(v) {
+                prop_assert!(g.out_neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn text_round_trip_identity(edges in edge_vec()) {
+        let mut b = GraphBuilder::directed();
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), true).unwrap();
+        // Vertex count can shrink for trailing isolated vertices; edge
+        // sets must match exactly.
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        prop_assert_eq!(e1, e2);
+    }
+}

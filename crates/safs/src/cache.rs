@@ -1,0 +1,367 @@
+//! The set-associative page cache (§3.1; Zheng et al., HotStorage'12).
+//!
+//! Pages hash to one of many small *sets*; each set holds a handful of
+//! pages (the associativity), its own lock, and a gclock hand. The
+//! scheme trades a little hit-rate (a hot page can only live in its
+//! home set) for near-perfect lock scalability — the property the
+//! paper leans on: "this page cache reduces locking overhead and
+//! incurs little overhead when the cache hit rate is low".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::page::Page;
+
+/// Live cache counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Takes a snapshot of the counters.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the counters.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheStatsSnapshot {
+    /// Lookups that found their page.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Pages pushed out by gclock.
+    pub evictions: u64,
+    /// Pages inserted.
+    pub insertions: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier`, isolating one
+    /// experiment phase.
+    pub fn delta_since(&self, earlier: &CacheStatsSnapshot) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            insertions: self.insertions - earlier.insertions,
+        }
+    }
+}
+
+struct Slot {
+    pageno: u64,
+    page: Arc<Page>,
+    /// gclock reference counter; hits increment, the hand decrements.
+    hits: u8,
+}
+
+struct CacheSet {
+    slots: Vec<Slot>,
+    hand: usize,
+}
+
+impl CacheSet {
+    fn lookup(&mut self, pageno: u64) -> Option<Arc<Page>> {
+        for s in &mut self.slots {
+            if s.pageno == pageno {
+                s.hits = s.hits.saturating_add(1);
+                return Some(Arc::clone(&s.page));
+            }
+        }
+        None
+    }
+
+    /// Inserts `page`, evicting via gclock when the set is full.
+    /// Returns whether an eviction happened.
+    fn insert(&mut self, pageno: u64, page: Arc<Page>, ways: usize) -> bool {
+        if let Some(s) = self.slots.iter_mut().find(|s| s.pageno == pageno) {
+            // Another thread raced the same page in; refresh it.
+            s.page = page;
+            return false;
+        }
+        if self.slots.len() < ways {
+            self.slots.push(Slot {
+                pageno,
+                page,
+                hits: 1,
+            });
+            return false;
+        }
+        // gclock: sweep the hand, decrementing, until a cold slot.
+        loop {
+            let s = &mut self.slots[self.hand];
+            if s.hits == 0 {
+                *s = Slot {
+                    pageno,
+                    page,
+                    hits: 1,
+                };
+                self.hand = (self.hand + 1) % self.slots.len();
+                return true;
+            }
+            s.hits -= 1;
+            self.hand = (self.hand + 1) % self.slots.len();
+        }
+    }
+}
+
+/// The set-associative page cache.
+///
+/// Capacity zero is legal and turns every lookup into a miss and every
+/// insert into a no-op, which is how "no cache" experiment
+/// configurations run.
+pub struct PageCache {
+    sets: Vec<Mutex<CacheSet>>,
+    ways: usize,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("sets", &self.sets.len())
+            .field("ways", &self.ways)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PageCache {
+    /// A cache of at most `capacity_pages` pages with `ways`
+    /// associativity.
+    pub fn new(capacity_pages: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let nsets = capacity_pages / ways;
+        let mut sets = Vec::with_capacity(nsets);
+        sets.resize_with(nsets, || {
+            Mutex::new(CacheSet {
+                slots: Vec::with_capacity(ways),
+                hand: 0,
+            })
+        });
+        PageCache {
+            sets,
+            ways,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Live statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_of(&self, pageno: u64) -> usize {
+        // Fibonacci multiplicative hash spreads sequential page
+        // numbers across sets.
+        ((pageno.wrapping_mul(0x9E3779B97F4A7C15)) >> 32) as usize % self.sets.len()
+    }
+
+    /// Looks `pageno` up, bumping its gclock counter on a hit.
+    pub fn get(&self, pageno: u64) -> Option<Arc<Page>> {
+        if self.sets.is_empty() {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let got = self.sets[self.set_of(pageno)].lock().lookup(pageno);
+        match &got {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Like [`PageCache::get`] but without touching the hit/miss
+    /// counters — used by I/O threads re-checking for pages that
+    /// raced into the cache after the application-side lookup missed
+    /// (the "pending page" dedup of real SAFS). Counting these would
+    /// double-book the application's miss.
+    pub fn get_quiet(&self, pageno: u64) -> Option<Arc<Page>> {
+        if self.sets.is_empty() {
+            return None;
+        }
+        self.sets[self.set_of(pageno)].lock().lookup(pageno)
+    }
+
+    /// Inserts a freshly read page.
+    pub fn insert(&self, page: Arc<Page>) {
+        if self.sets.is_empty() {
+            return;
+        }
+        let pageno = page.pageno();
+        let evicted = self.sets[self.set_of(pageno)]
+            .lock()
+            .insert(pageno, page, self.ways);
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_page(no: u64) -> Arc<Page> {
+        Arc::new(Page::new(no, vec![no as u8; 16].into_boxed_slice()))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let c = PageCache::new(64, 8);
+        assert!(c.get(5).is_none());
+        c.insert(mk_page(5));
+        let p = c.get(5).expect("hit");
+        assert_eq!(p.pageno(), 5);
+        let s = c.stats().snapshot();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let c = PageCache::new(0, 8);
+        c.insert(mk_page(1));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.stats().snapshot().insertions, 0);
+    }
+
+    #[test]
+    fn eviction_kicks_in_when_full() {
+        // One set of 4 ways: inserting 5 distinct pages must evict.
+        let c = PageCache::new(4, 4);
+        for no in 0..5 {
+            c.insert(mk_page(no));
+        }
+        let s = c.stats().snapshot();
+        assert_eq!(s.insertions, 5);
+        assert!(s.evictions >= 1);
+        // Exactly 4 of the 5 remain.
+        let resident = (0..5).filter(|&no| c.get(no).is_some()).count();
+        assert_eq!(resident, 4);
+    }
+
+    #[test]
+    fn gclock_protects_hot_pages() {
+        let c = PageCache::new(4, 4);
+        for no in 0..4 {
+            c.insert(mk_page(no));
+        }
+        // Heat page 0 well above the others.
+        for _ in 0..10 {
+            c.get(0);
+        }
+        // Stream a burst of cold pages through: the hand must evict
+        // the cold originals before it wears the hot page down.
+        for no in 100..106 {
+            c.insert(mk_page(no));
+        }
+        assert!(
+            c.get(0).is_some(),
+            "hot page evicted before colder residents"
+        );
+        let cold_survivors = (1..4).filter(|&no| c.get(no).is_some()).count();
+        assert_eq!(cold_survivors, 0, "cold pages outlived the streaming burst");
+    }
+
+    #[test]
+    fn duplicate_insert_is_refresh_not_eviction() {
+        let c = PageCache::new(4, 4);
+        c.insert(mk_page(9));
+        c.insert(mk_page(9));
+        let s = c.stats().snapshot();
+        assert_eq!(s.evictions, 0);
+        assert!(c.get(9).is_some());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let c = PageCache::new(16, 8);
+        c.insert(mk_page(1));
+        c.get(1); // hit
+        c.get(2); // miss
+        c.get(1); // hit
+        let s = c.stats().snapshot();
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let c = PageCache::new(16, 8);
+        c.get(1);
+        c.stats().reset();
+        let s = c.stats().snapshot();
+        assert_eq!((s.hits, s.misses, s.evictions, s.insertions), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_counted() {
+        let c = std::sync::Arc::new(PageCache::new(256, 8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let no = (t * 1000 + i) % 512;
+                    if c.get(no).is_none() {
+                        c.insert(mk_page(no));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats().snapshot();
+        assert_eq!(s.hits + s.misses, 4000);
+    }
+
+    #[test]
+    fn sets_spread_sequential_pages() {
+        // Sequential page numbers should not all land in one set.
+        let c = PageCache::new(64, 8); // 8 sets
+        let mut seen = std::collections::HashSet::new();
+        for no in 0..32 {
+            seen.insert(c.set_of(no));
+        }
+        assert!(seen.len() >= 4, "only {} sets used", seen.len());
+    }
+}

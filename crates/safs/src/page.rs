@@ -1,0 +1,349 @@
+//! Cached pages and zero-copy spans over them.
+
+use std::sync::Arc;
+
+/// One immutable cached page.
+///
+/// Pages are filled once by an I/O thread and shared read-only via
+/// `Arc` — by the cache, by in-flight completions, and by user tasks.
+/// Eviction merely drops the cache's reference; spans keep pages
+/// alive, so user tasks never observe reuse.
+#[derive(Debug)]
+pub struct Page {
+    pageno: u64,
+    data: Box<[u8]>,
+}
+
+impl Page {
+    /// Wraps freshly read bytes as page `pageno`.
+    pub fn new(pageno: u64, data: Box<[u8]>) -> Self {
+        Page { pageno, data }
+    }
+
+    /// The page number (byte offset / page size).
+    #[inline]
+    pub fn pageno(&self) -> u64 {
+        self.pageno
+    }
+
+    /// The page's bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the page holds no bytes (never the case for pages
+    /// produced by SAFS, but required for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A zero-copy view of a byte range assembled from consecutive cached
+/// pages.
+///
+/// This is what the asynchronous user-task interface hands to a
+/// completion: the user task reads edge lists straight out of the
+/// page cache without SAFS allocating or copying into per-request
+/// buffers (§3.1: avoiding "substantial memory consumption" from
+/// empty buffers awaiting fill).
+#[derive(Debug, Clone)]
+pub struct PageSpan {
+    pages: Vec<Arc<Page>>,
+    page_bytes: usize,
+    /// Offset of the span's first byte inside `pages[0]`.
+    head: usize,
+    len: usize,
+}
+
+impl PageSpan {
+    /// Builds a span of `len` bytes starting `head` bytes into the
+    /// first of `pages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pages do not cover `head + len` bytes, when
+    /// pages differ in size, or when their page numbers are not
+    /// consecutive.
+    pub fn new(pages: Vec<Arc<Page>>, head: usize, len: usize) -> Self {
+        assert!(!pages.is_empty() || len == 0, "empty span needs no pages");
+        let page_bytes = pages.first().map(|p| p.len()).unwrap_or(0);
+        for w in pages.windows(2) {
+            assert_eq!(w[0].len(), w[1].len(), "span pages must share a size");
+            assert_eq!(
+                w[0].pageno() + 1,
+                w[1].pageno(),
+                "span pages must be consecutive"
+            );
+        }
+        if len > 0 {
+            assert!(
+                head + len <= page_bytes * pages.len(),
+                "span [{head}, {}) exceeds {} pages of {page_bytes} bytes",
+                head + len,
+                pages.len()
+            );
+        }
+        PageSpan {
+            pages,
+            page_bytes,
+            head,
+            len,
+        }
+    }
+
+    /// An empty span.
+    pub fn empty() -> Self {
+        PageSpan {
+            pages: Vec::new(),
+            page_bytes: 0,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the span covers zero bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn byte(&self, i: usize) -> u8 {
+        assert!(i < self.len, "span index {i} out of {} bytes", self.len);
+        let abs = self.head + i;
+        self.pages[abs / self.page_bytes].bytes()[abs % self.page_bytes]
+    }
+
+    /// Copies `out.len()` bytes starting at span position `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the span.
+    pub fn read_bytes(&self, at: usize, out: &mut [u8]) {
+        assert!(
+            at + out.len() <= self.len,
+            "range [{at}, {}) exceeds span of {} bytes",
+            at + out.len(),
+            self.len
+        );
+        let mut abs = self.head + at;
+        let mut done = 0;
+        while done < out.len() {
+            let page = &self.pages[abs / self.page_bytes];
+            let off = abs % self.page_bytes;
+            let take = (self.page_bytes - off).min(out.len() - done);
+            out[done..done + take].copy_from_slice(&page.bytes()[off..off + take]);
+            done += take;
+            abs += take;
+        }
+    }
+
+    /// Little-endian `u32` at byte position `at` (may straddle pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the 4-byte range exceeds the span.
+    #[inline]
+    pub fn read_u32_le(&self, at: usize) -> u32 {
+        let abs = self.head + at;
+        let off = abs % self.page_bytes;
+        if off + 4 <= self.page_bytes {
+            assert!(at + 4 <= self.len, "u32 at {at} exceeds span");
+            let b = &self.pages[abs / self.page_bytes].bytes()[off..off + 4];
+            u32::from_le_bytes(b.try_into().unwrap())
+        } else {
+            let mut b = [0u8; 4];
+            self.read_bytes(at, &mut b);
+            u32::from_le_bytes(b)
+        }
+    }
+
+    /// Iterates the span as little-endian `u32`s — the engine's edge
+    /// list decode. The span length must be a multiple of 4.
+    pub fn u32_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        debug_assert_eq!(self.len % 4, 0, "u32 stream length {} not aligned", self.len);
+        (0..self.len / 4).map(move |i| self.read_u32_le(i * 4))
+    }
+
+    /// Copies the whole span into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = vec![0u8; self.len];
+        if self.len > 0 {
+            self.read_bytes(0, &mut v);
+        }
+        v
+    }
+
+    /// Number of pages backing the span.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// A zero-copy sub-span of `len` bytes starting at span position
+    /// `at`. Only the pages covering the sub-range keep a reference.
+    ///
+    /// This is how the engine splits one *merged* I/O request back
+    /// into per-vertex edge-list views (§3.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at + len` exceeds the span.
+    pub fn slice(&self, at: usize, len: usize) -> PageSpan {
+        assert!(
+            at + len <= self.len,
+            "slice [{at}, {}) exceeds span of {} bytes",
+            at + len,
+            self.len
+        );
+        if len == 0 {
+            return PageSpan::empty();
+        }
+        let abs = self.head + at;
+        let first = abs / self.page_bytes;
+        let last = (abs + len - 1) / self.page_bytes;
+        PageSpan {
+            pages: self.pages[first..=last].to_vec(),
+            page_bytes: self.page_bytes,
+            head: abs - first * self.page_bytes,
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(no: u64, fill: impl Fn(usize) -> u8, size: usize) -> Arc<Page> {
+        Arc::new(Page::new(no, (0..size).map(fill).collect()))
+    }
+
+    #[test]
+    fn single_page_span() {
+        let p = page(0, |i| i as u8, 64);
+        let s = PageSpan::new(vec![p], 10, 20);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.byte(0), 10);
+        assert_eq!(s.byte(19), 29);
+    }
+
+    #[test]
+    fn cross_page_reads() {
+        let p0 = page(0, |_| 0xAA, 16);
+        let p1 = page(1, |_| 0xBB, 16);
+        let s = PageSpan::new(vec![p0, p1], 12, 8);
+        let mut buf = [0u8; 8];
+        s.read_bytes(0, &mut buf);
+        assert_eq!(buf, [0xAA, 0xAA, 0xAA, 0xAA, 0xBB, 0xBB, 0xBB, 0xBB]);
+    }
+
+    #[test]
+    fn u32_across_boundary() {
+        // Bytes 0..16 on page 0 hold 0..15; page 1 holds 16..31.
+        let p0 = page(0, |i| i as u8, 16);
+        let p1 = page(1, |i| (16 + i) as u8, 16);
+        let s = PageSpan::new(vec![p0, p1], 14, 8);
+        // First u32 = bytes 14,15,16,17.
+        assert_eq!(s.read_u32_le(0), u32::from_le_bytes([14, 15, 16, 17]));
+        let all: Vec<u32> = s.u32_iter().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1], u32::from_le_bytes([18, 19, 20, 21]));
+    }
+
+    #[test]
+    fn to_vec_matches_bytes() {
+        let p0 = page(5, |i| i as u8, 8);
+        let p1 = page(6, |i| (8 + i) as u8, 8);
+        let s = PageSpan::new(vec![p0, p1], 3, 10);
+        assert_eq!(s.to_vec(), (3u8..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_span() {
+        let s = PageSpan::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.to_vec(), Vec::<u8>::new());
+        assert_eq!(s.u32_iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn non_consecutive_pages_rejected() {
+        let p0 = page(0, |_| 0, 8);
+        let p2 = page(2, |_| 0, 8);
+        PageSpan::new(vec![p0, p2], 0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_span_rejected() {
+        let p0 = page(0, |_| 0, 8);
+        PageSpan::new(vec![p0], 4, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn byte_out_of_range_panics() {
+        let p0 = page(0, |_| 0, 8);
+        let s = PageSpan::new(vec![p0], 0, 4);
+        s.byte(4);
+    }
+
+    #[test]
+    fn slice_reads_the_right_bytes() {
+        let p0 = page(0, |i| i as u8, 16);
+        let p1 = page(1, |i| (16 + i) as u8, 16);
+        let p2 = page(2, |i| (32 + i) as u8, 16);
+        let s = PageSpan::new(vec![p0, p1, p2], 4, 40); // bytes 4..44
+        let sub = s.slice(10, 8); // absolute bytes 14..22
+        assert_eq!(sub.to_vec(), (14u8..22).collect::<Vec<_>>());
+        // Sub-span drops pages it does not cover.
+        let tail = s.slice(30, 8); // absolute 34..42: page 2 only
+        assert_eq!(tail.page_count(), 1);
+        assert_eq!(tail.to_vec(), (34u8..42).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_zero_len_is_empty() {
+        let p0 = page(0, |i| i as u8, 16);
+        let s = PageSpan::new(vec![p0], 0, 16);
+        assert!(s.slice(8, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds span")]
+    fn slice_out_of_range_panics() {
+        let p0 = page(0, |i| i as u8, 16);
+        let s = PageSpan::new(vec![p0], 0, 16);
+        s.slice(10, 7);
+    }
+
+    #[test]
+    fn span_keeps_pages_alive() {
+        let p = page(0, |_| 7, 8);
+        let weak = Arc::downgrade(&p);
+        let s = PageSpan::new(vec![p], 0, 8);
+        assert!(weak.upgrade().is_some());
+        drop(s);
+        assert!(weak.upgrade().is_none());
+    }
+}

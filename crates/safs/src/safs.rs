@@ -1,0 +1,554 @@
+//! The SAFS facade and per-thread I/O sessions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fg_ssdsim::SsdArray;
+use fg_types::{FgError, Result};
+use parking_lot::Mutex;
+
+use crate::cache::{CacheStatsSnapshot, PageCache};
+use crate::config::SafsConfig;
+use crate::io_thread::{io_thread_loop, read_pages, IoMsg, RunDone, RunRequest};
+use crate::page::{Page, PageSpan};
+
+/// A completed logical read: the caller's tag plus a zero-copy span
+/// over the page cache.
+#[derive(Debug)]
+pub struct Completion {
+    /// The tag passed to [`IoSession::submit`].
+    pub tag: u64,
+    /// The requested bytes.
+    pub span: PageSpan,
+}
+
+/// The user-space filesystem: page cache + I/O threads over an
+/// [`SsdArray`].
+///
+/// Dropping a `Safs` shuts its I/O threads down.
+pub struct Safs {
+    cfg: SafsConfig,
+    array: SsdArray,
+    cache: Arc<PageCache>,
+    senders: Vec<Sender<IoMsg>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Safs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Safs")
+            .field("cfg", &self.cfg)
+            .field("io_threads", &self.senders.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Safs {
+    /// Mounts SAFS over `array` and spawns its I/O threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FgError::InvalidConfig`] when `cfg` is invalid.
+    pub fn new(cfg: SafsConfig, array: SsdArray) -> Result<Self> {
+        cfg.validate()?;
+        let cache = Arc::new(PageCache::new(cfg.cache_pages(), cfg.cache_ways));
+        let nthreads = if cfg.io_threads == 0 {
+            array.config().num_ssds
+        } else {
+            cfg.io_threads
+        };
+        let mut senders = Vec::with_capacity(nthreads);
+        let mut handles = Vec::with_capacity(nthreads);
+        for _ in 0..nthreads {
+            let (tx, rx) = unbounded();
+            let a = array.clone();
+            let c = Arc::clone(&cache);
+            let page_bytes = cfg.page_bytes;
+            let merge = cfg.safs_merge;
+            handles.push(std::thread::spawn(move || {
+                io_thread_loop(rx, a, c, page_bytes, merge)
+            }));
+            senders.push(tx);
+        }
+        Ok(Safs {
+            cfg,
+            array,
+            cache,
+            senders,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// The mounted configuration.
+    pub fn config(&self) -> &SafsConfig {
+        &self.cfg
+    }
+
+    /// The underlying array (for its I/O statistics).
+    pub fn array(&self) -> &SsdArray {
+        &self.array
+    }
+
+    /// Page-cache statistics snapshot.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.cache.stats().snapshot()
+    }
+
+    /// Resets cache and device statistics (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.cache.stats().reset();
+        self.array.stats().reset();
+    }
+
+    /// SAFS page size in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> u64 {
+        self.cfg.page_bytes
+    }
+
+    /// Opens an asynchronous session. Each worker thread gets its own;
+    /// sessions are not `Sync`.
+    pub fn session(&self) -> IoSession<'_> {
+        let (tx, rx) = unbounded();
+        IoSession {
+            safs: self,
+            next_req: 0,
+            in_flight: HashMap::new(),
+            ready: Vec::new(),
+            reply_tx: tx,
+            reply_rx: rx,
+        }
+    }
+
+    /// Synchronous read: blocks the calling thread, still goes through
+    /// the page cache with per-run device reads. Used by loaders and
+    /// the streaming baselines; the engine uses sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FgError::InvalidRequest`] when the range exceeds the
+    /// device.
+    pub fn read_sync(&self, offset: u64, len: u64) -> Result<PageSpan> {
+        if len == 0 {
+            return Ok(PageSpan::empty());
+        }
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| FgError::InvalidRequest("offset + len overflows".into()))?;
+        if end > self.array.capacity() {
+            return Err(FgError::InvalidRequest(format!(
+                "read [{offset}, {end}) exceeds device of {} bytes",
+                self.array.capacity()
+            )));
+        }
+        let pb = self.cfg.page_bytes;
+        let first = offset / pb;
+        let last = (end - 1) / pb;
+        let mut pages: Vec<Option<Arc<Page>>> = (first..=last)
+            .map(|p| self.cache.get(p))
+            .collect();
+        // Read each contiguous miss run in one device request.
+        let mut i = 0usize;
+        while i < pages.len() {
+            if pages[i].is_some() {
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j < pages.len() && pages[j].is_none() {
+                j += 1;
+            }
+            let got = read_pages(&self.array, &self.cache, pb, first + i as u64, (j - i) as u64);
+            for (k, page) in got.into_iter().enumerate() {
+                pages[i + k] = Some(page);
+            }
+            i = j;
+        }
+        let pages: Vec<Arc<Page>> = pages.into_iter().map(|p| p.unwrap()).collect();
+        Ok(PageSpan::new(pages, (offset - first * pb) as usize, len as usize))
+    }
+
+    /// Routes a page run to an I/O thread: by owning drive, so one
+    /// thread's queue serves one drive's neighbourhood (the per-SSD
+    /// I/O thread design).
+    fn route(&self, first_page: u64) -> &Sender<IoMsg> {
+        let stripe = first_page * self.cfg.page_bytes / self.array.config().stripe_bytes();
+        let ssd = (stripe as usize) % self.array.config().num_ssds;
+        &self.senders[ssd % self.senders.len()]
+    }
+}
+
+impl Drop for Safs {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(IoMsg::Shutdown);
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A per-thread handle issuing asynchronous reads.
+///
+/// The session checks the page cache *at submit time* on the caller's
+/// thread (the lightweight-cache design: application threads touch the
+/// cache directly); only missing page runs travel to I/O threads.
+/// Completions are polled, each carrying a [`PageSpan`] — the
+/// user-task interface of §3.1.
+pub struct IoSession<'fs> {
+    safs: &'fs Safs,
+    next_req: u64,
+    in_flight: HashMap<u64, Pending>,
+    ready: Vec<Completion>,
+    reply_tx: Sender<RunDone>,
+    reply_rx: Receiver<RunDone>,
+}
+
+struct Pending {
+    tag: u64,
+    head: usize,
+    len: usize,
+    slots: Vec<Option<Arc<Page>>>,
+    missing: usize,
+}
+
+impl std::fmt::Debug for IoSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoSession")
+            .field("pending", &self.in_flight.len())
+            .field("ready", &self.ready.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl IoSession<'_> {
+    /// Submits a logical read of `[offset, offset + len)` tagged
+    /// `tag`. Cache-resident requests complete immediately (pick them
+    /// up with [`IoSession::poll`]); misses go to I/O threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FgError::InvalidRequest`] when the range exceeds the
+    /// device.
+    pub fn submit(&mut self, offset: u64, len: u64, tag: u64) -> Result<()> {
+        if len == 0 {
+            self.ready.push(Completion {
+                tag,
+                span: PageSpan::empty(),
+            });
+            return Ok(());
+        }
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| FgError::InvalidRequest("offset + len overflows".into()))?;
+        if end > self.safs.array.capacity() {
+            return Err(FgError::InvalidRequest(format!(
+                "read [{offset}, {end}) exceeds device of {} bytes",
+                self.safs.array.capacity()
+            )));
+        }
+        let pb = self.safs.cfg.page_bytes;
+        let first = offset / pb;
+        let last = (end - 1) / pb;
+        let slots: Vec<Option<Arc<Page>>> =
+            (first..=last).map(|p| self.safs.cache.get(p)).collect();
+        let missing = slots.iter().filter(|s| s.is_none()).count();
+        let head = (offset - first * pb) as usize;
+        if missing == 0 {
+            let pages = slots.into_iter().map(|s| s.unwrap()).collect();
+            self.ready.push(Completion {
+                tag,
+                span: PageSpan::new(pages, head, len as usize),
+            });
+            return Ok(());
+        }
+        let req_id = self.next_req;
+        self.next_req += 1;
+        // Dispatch each contiguous miss run to its drive's thread.
+        let mut i = 0usize;
+        while i < slots.len() {
+            if slots[i].is_some() {
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j < slots.len() && slots[j].is_none() {
+                j += 1;
+            }
+            let run = RunRequest {
+                first_page: first + i as u64,
+                num_pages: (j - i) as u32,
+                req_id,
+                first_slot: i as u32,
+                reply: self.reply_tx.clone(),
+            };
+            self.safs
+                .route(run.first_page)
+                .send(IoMsg::Run(run))
+                .expect("io thread alive while session exists");
+            i = j;
+        }
+        self.in_flight.insert(
+            req_id,
+            Pending {
+                tag,
+                head,
+                len: len as usize,
+                slots,
+                missing,
+            },
+        );
+        Ok(())
+    }
+
+    /// Number of submitted-but-uncompleted logical requests.
+    pub fn pending(&self) -> usize {
+        self.in_flight.len() + self.ready.len()
+    }
+
+    fn apply(&mut self, done: RunDone) {
+        let finished = {
+            let p = self
+                .in_flight
+                .get_mut(&done.req_id)
+                .expect("completion for unknown request");
+            for (k, page) in done.pages.into_iter().enumerate() {
+                let slot = done.first_slot as usize + k;
+                if p.slots[slot].is_none() {
+                    p.slots[slot] = Some(page);
+                    p.missing -= 1;
+                }
+            }
+            p.missing == 0
+        };
+        if finished {
+            let p = self.in_flight.remove(&done.req_id).unwrap();
+            let pages = p.slots.into_iter().map(|s| s.unwrap()).collect();
+            self.ready.push(Completion {
+                tag: p.tag,
+                span: PageSpan::new(pages, p.head, p.len),
+            });
+        }
+    }
+
+    /// Drains every available completion into `out` without blocking.
+    /// Returns how many were delivered.
+    pub fn poll(&mut self, out: &mut Vec<Completion>) -> usize {
+        while let Ok(done) = self.reply_rx.try_recv() {
+            self.apply(done);
+        }
+        let n = self.ready.len();
+        out.append(&mut self.ready);
+        n
+    }
+
+    /// Like [`IoSession::poll`] but blocks until at least one
+    /// completion is available (returns 0 only when nothing is
+    /// pending).
+    pub fn wait(&mut self, out: &mut Vec<Completion>) -> usize {
+        if self.ready.is_empty() && !self.in_flight.is_empty() {
+            match self.reply_rx.recv() {
+                Ok(done) => self.apply(done),
+                Err(_) => return 0,
+            }
+        }
+        self.poll(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_ssdsim::ArrayConfig;
+
+    /// An array whose byte at offset o is (o / 4 % 251) in each u32.
+    fn patterned_safs(cfg: SafsConfig, capacity: u64) -> Safs {
+        let array = SsdArray::new_mem(ArrayConfig::small_test(), capacity).unwrap();
+        let words: Vec<u8> = (0..capacity / 4)
+            .flat_map(|w| ((w % 251) as u32).to_le_bytes())
+            .collect();
+        array.write(0, &words).unwrap();
+        array.stats().reset();
+        Safs::new(cfg, array).unwrap()
+    }
+
+    #[test]
+    fn read_sync_round_trip() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        let span = safs.read_sync(4096, 8).unwrap();
+        let words: Vec<u32> = span.u32_iter().collect();
+        assert_eq!(words, vec![(4096 / 4) % 251, (4096 / 4 + 1) % 251]);
+    }
+
+    #[test]
+    fn read_sync_hits_cache_second_time() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        safs.read_sync(0, 4096).unwrap();
+        let before = safs.array().stats().snapshot().read_requests;
+        safs.read_sync(0, 4096).unwrap();
+        assert_eq!(safs.array().stats().snapshot().read_requests, before);
+        assert!(safs.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn zero_cache_always_misses() {
+        let safs = patterned_safs(SafsConfig::default().with_cache_bytes(0), 1 << 16);
+        safs.read_sync(0, 4096).unwrap();
+        safs.read_sync(0, 4096).unwrap();
+        assert_eq!(safs.array().stats().snapshot().read_requests, 2);
+        assert_eq!(safs.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn async_completion_delivers_bytes() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        let mut s = safs.session();
+        s.submit(8192, 16, 42).unwrap();
+        let mut out = Vec::new();
+        while s.pending() > 0 && out.is_empty() {
+            s.wait(&mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tag, 42);
+        let words: Vec<u32> = out[0].span.u32_iter().collect();
+        let w0 = (8192 / 4) % 251;
+        assert_eq!(words, vec![w0, w0 + 1, w0 + 2, w0 + 3]);
+    }
+
+    #[test]
+    fn cached_submit_completes_without_io() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        safs.read_sync(0, 4096).unwrap();
+        let io_before = safs.array().stats().snapshot().read_requests;
+        let mut s = safs.session();
+        s.submit(100, 32, 1).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(s.poll(&mut out), 1, "cache-hit request completes inline");
+        assert_eq!(safs.array().stats().snapshot().read_requests, io_before);
+    }
+
+    #[test]
+    fn many_outstanding_requests_all_complete() {
+        let safs = patterned_safs(SafsConfig::default().with_cache_bytes(1 << 16), 1 << 20);
+        let mut s = safs.session();
+        let n = 200u64;
+        for i in 0..n {
+            // Scatter across the device.
+            let off = (i * 37) % 250 * 4096;
+            s.submit(off, 64, i).unwrap();
+        }
+        let mut out = Vec::new();
+        while s.pending() > 0 {
+            s.wait(&mut out);
+        }
+        assert_eq!(out.len(), n as usize);
+        let mut tags: Vec<u64> = out.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..n).collect::<Vec<_>>());
+        for c in &out {
+            assert_eq!(c.span.len(), 64);
+        }
+    }
+
+    #[test]
+    fn request_spanning_many_pages() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 20);
+        let mut s = safs.session();
+        // 5 pages + offsets on both ends.
+        s.submit(4000, 18000, 9).unwrap();
+        let mut out = Vec::new();
+        while out.is_empty() {
+            s.wait(&mut out);
+        }
+        let span = &out[0].span;
+        assert_eq!(span.len(), 18000);
+        assert_eq!(span.read_u32_le(0), (4000 / 4) % 251);
+        assert_eq!(span.read_u32_le(17996), ((4000 + 17996) / 4) % 251);
+    }
+
+    #[test]
+    fn zero_length_completes_empty() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        let mut s = safs.session();
+        s.submit(0, 0, 5).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(s.poll(&mut out), 1);
+        assert!(out[0].span.is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_submit_rejected() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        let mut s = safs.session();
+        assert!(s.submit(1 << 16, 1, 0).is_err());
+        assert!(safs.read_sync(1 << 16, 1).is_err());
+    }
+
+    #[test]
+    fn partial_hit_reads_only_missing_pages() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 20);
+        // Prime page 1 only.
+        safs.read_sync(4096, 1).unwrap();
+        safs.array().stats().reset();
+        let mut s = safs.session();
+        // Request pages 0..=2: page 1 cached, pages 0 and 2 missing.
+        s.submit(0, 3 * 4096, 7).unwrap();
+        let mut out = Vec::new();
+        while out.is_empty() {
+            s.wait(&mut out);
+        }
+        let snap = safs.array().stats().snapshot();
+        assert_eq!(snap.pages_read, 2, "only the two missing pages hit the device");
+        assert_eq!(out[0].span.len(), 3 * 4096);
+        // Content correct across the stitched span.
+        assert_eq!(out[0].span.read_u32_le(4096), (4096 / 4) % 251);
+    }
+
+    #[test]
+    fn sessions_from_multiple_threads() {
+        let safs = std::sync::Arc::new(patterned_safs(SafsConfig::default(), 1 << 20));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let safs = std::sync::Arc::clone(&safs);
+            handles.push(std::thread::spawn(move || {
+                let mut s = safs.session();
+                for i in 0..50 {
+                    s.submit(((t * 50 + i) % 200) * 4096, 128, i).unwrap();
+                }
+                let mut out = Vec::new();
+                while s.pending() > 0 {
+                    s.wait(&mut out);
+                }
+                assert_eq!(out.len(), 50);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn larger_page_size_reads_more_bytes() {
+        // Figure 13's mechanism: big SAFS pages amplify bytes read for
+        // small requests.
+        let small = patterned_safs(SafsConfig::default().with_cache_bytes(0), 1 << 20);
+        small.read_sync(0, 16).unwrap();
+        let small_bytes = small.array().stats().snapshot().bytes_read;
+
+        let big = patterned_safs(
+            SafsConfig::default()
+                .with_cache_bytes(0)
+                .with_page_bytes(64 * 1024),
+            1 << 20,
+        );
+        big.read_sync(0, 16).unwrap();
+        let big_bytes = big.array().stats().snapshot().bytes_read;
+        assert!(
+            big_bytes >= 16 * small_bytes,
+            "64K pages should read >=16x the bytes of 4K pages ({big_bytes} vs {small_bytes})"
+        );
+    }
+}

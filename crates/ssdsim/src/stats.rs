@@ -1,0 +1,202 @@
+//! Atomic I/O accounting shared by all threads touching an array.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Live counters for an [`crate::SsdArray`].
+///
+/// All counters are relaxed atomics: they are statistics, not
+/// synchronization. `busy_ns` is per-drive virtual device time — the
+/// maximum across drives is the array's I/O critical path, used as
+/// the I/O term of the experiments' roofline runtime model.
+#[derive(Debug)]
+pub struct IoStats {
+    read_requests: AtomicU64,
+    pages_read: AtomicU64,
+    bytes_read: AtomicU64,
+    write_requests: AtomicU64,
+    pages_written: AtomicU64,
+    bytes_written: AtomicU64,
+    busy_ns: Vec<AtomicU64>,
+}
+
+impl IoStats {
+    /// Creates zeroed stats for `num_ssds` drives.
+    pub fn new(num_ssds: usize) -> Self {
+        let mut busy_ns = Vec::with_capacity(num_ssds);
+        busy_ns.resize_with(num_ssds, || AtomicU64::new(0));
+        IoStats {
+            read_requests: AtomicU64::new(0),
+            pages_read: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            write_requests: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            busy_ns,
+        }
+    }
+
+    pub(crate) fn record_read(&self, ssd: usize, pages: u64, bytes: u64, service_ns: u64) {
+        self.read_requests.fetch_add(1, Ordering::Relaxed);
+        self.pages_read.fetch_add(pages, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.busy_ns[ssd].fetch_add(service_ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, ssd: usize, pages: u64, bytes: u64, service_ns: u64) {
+        self.write_requests.fetch_add(1, Ordering::Relaxed);
+        self.pages_written.fetch_add(pages, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.busy_ns[ssd].fetch_add(service_ns, Ordering::Relaxed);
+    }
+
+    /// Resets every counter; call between experiment phases so the
+    /// measured region excludes graph loading.
+    pub fn reset(&self) {
+        self.read_requests.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.write_requests.store(0, Ordering::Relaxed);
+        self.pages_written.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        for b in &self.busy_ns {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a consistent-enough snapshot (exact when no I/O is in
+    /// flight, which is how the harnesses use it).
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        let busy: Vec<u64> = self
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        IoStatsSnapshot {
+            read_requests: self.read_requests.load(Ordering::Relaxed),
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            write_requests: self.write_requests.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            max_busy_ns: busy.iter().copied().max().unwrap_or(0),
+            total_busy_ns: busy.iter().copied().sum(),
+            per_ssd_busy_ns: busy,
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct IoStatsSnapshot {
+    /// Read requests issued to drives (after any merging upstream).
+    pub read_requests: u64,
+    /// Pages read.
+    pub pages_read: u64,
+    /// Bytes read (request payload, page-aligned).
+    pub bytes_read: u64,
+    /// Write requests issued to drives.
+    pub write_requests: u64,
+    /// Pages written.
+    pub pages_written: u64,
+    /// Bytes written — the wearout metric the paper minimizes.
+    pub bytes_written: u64,
+    /// Virtual busy time of each drive.
+    pub per_ssd_busy_ns: Vec<u64>,
+    /// Busy time of the most-loaded drive: the I/O critical path.
+    pub max_busy_ns: u64,
+    /// Sum of all drives' busy time.
+    pub total_busy_ns: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Difference `self - earlier`, counter-wise; used to isolate one
+    /// experiment phase.
+    pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_requests: self.read_requests - earlier.read_requests,
+            pages_read: self.pages_read - earlier.pages_read,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            write_requests: self.write_requests - earlier.write_requests,
+            pages_written: self.pages_written - earlier.pages_written,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            per_ssd_busy_ns: self
+                .per_ssd_busy_ns
+                .iter()
+                .zip(&earlier.per_ssd_busy_ns)
+                .map(|(a, b)| a - b)
+                .collect(),
+            max_busy_ns: {
+                self.per_ssd_busy_ns
+                    .iter()
+                    .zip(&earlier.per_ssd_busy_ns)
+                    .map(|(a, b)| a - b)
+                    .max()
+                    .unwrap_or(0)
+            },
+            total_busy_ns: self.total_busy_ns - earlier.total_busy_ns,
+        }
+    }
+
+    /// Mean request size in bytes (0 when no reads happened).
+    pub fn mean_read_bytes(&self) -> f64 {
+        if self.read_requests == 0 {
+            0.0
+        } else {
+            self.bytes_read as f64 / self.read_requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let s = IoStats::new(2);
+        s.record_read(0, 1, 4096, 100);
+        s.record_read(1, 2, 8192, 200);
+        s.record_write(0, 1, 4096, 300);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_requests, 2);
+        assert_eq!(snap.pages_read, 3);
+        assert_eq!(snap.bytes_read, 12288);
+        assert_eq!(snap.write_requests, 1);
+        assert_eq!(snap.per_ssd_busy_ns, vec![400, 200]);
+        assert_eq!(snap.max_busy_ns, 400);
+        assert_eq!(snap.total_busy_ns, 600);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new(1);
+        s.record_read(0, 1, 4096, 10);
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.read_requests, 0);
+        assert_eq!(snap.max_busy_ns, 0);
+    }
+
+    #[test]
+    fn delta_isolates_a_phase() {
+        let s = IoStats::new(2);
+        s.record_read(0, 1, 4096, 50);
+        let before = s.snapshot();
+        s.record_read(1, 4, 16384, 500);
+        let after = s.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.read_requests, 1);
+        assert_eq!(d.pages_read, 4);
+        assert_eq!(d.max_busy_ns, 500);
+    }
+
+    #[test]
+    fn mean_read_bytes_handles_zero() {
+        let s = IoStats::new(1);
+        assert_eq!(s.snapshot().mean_read_bytes(), 0.0);
+        s.record_read(0, 2, 8192, 10);
+        assert_eq!(s.snapshot().mean_read_bytes(), 8192.0);
+    }
+}

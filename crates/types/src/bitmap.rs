@@ -1,0 +1,459 @@
+//! Fixed-size bitmaps used for vertex frontiers and activation.
+//!
+//! FlashGraph activates vertices with multicast messages whose payload
+//! is empty (§3.4.1) — the natural dense representation of "the set of
+//! vertices active next iteration" is one bit per vertex. The engine
+//! needs a concurrent version ([`AtomicBitmap`], workers activate
+//! neighbours in parallel) and a single-threaded version ([`Bitmap`],
+//! used for visited sets inside algorithms).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::VertexId;
+
+const BITS: usize = 64;
+
+#[inline]
+fn word_count(len: usize) -> usize {
+    len.div_ceil(BITS)
+}
+
+/// A plain, single-threaded bitmap sized at construction.
+///
+/// # Example
+///
+/// ```
+/// use fg_types::{Bitmap, VertexId};
+///
+/// let mut b = Bitmap::new(10);
+/// assert!(!b.set(VertexId(4)));
+/// assert!(b.set(VertexId(4))); // second set reports it was already on
+/// assert_eq!(b.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates a bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; word_count(len)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the bitmap holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the bit for `v`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn set(&mut self, v: VertexId) -> bool {
+        let i = self.check(v);
+        let w = &mut self.words[i / BITS];
+        let mask = 1u64 << (i % BITS);
+        let old = *w & mask != 0;
+        *w |= mask;
+        old
+    }
+
+    /// Clears the bit for `v`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn clear(&mut self, v: VertexId) -> bool {
+        let i = self.check(v);
+        let w = &mut self.words[i / BITS];
+        let mask = 1u64 << (i % BITS);
+        let old = *w & mask != 0;
+        *w &= !mask;
+        old
+    }
+
+    /// Reads the bit for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> bool {
+        let i = self.check(v);
+        self.words[i / BITS] & (1u64 << (i % BITS)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the ids of set bits in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            len: self.len,
+        }
+    }
+
+    #[inline]
+    fn check(&self, v: VertexId) -> usize {
+        let i = v.index();
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        i
+    }
+}
+
+/// Iterator over set bits of a [`Bitmap`]; see [`Bitmap::iter_ones`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    len: usize,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * BITS + bit;
+                if idx >= self.len {
+                    return None;
+                }
+                return Some(VertexId::from_index(idx));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// A thread-safe bitmap: concurrent `set` from many worker threads.
+///
+/// This is the activation structure behind FlashGraph's multicast
+/// vertex activation: every worker ORs bits in without locks, and the
+/// engine swaps bitmaps at the iteration barrier.
+///
+/// # Example
+///
+/// ```
+/// use fg_types::{AtomicBitmap, VertexId};
+///
+/// let b = AtomicBitmap::new(128);
+/// b.set(VertexId(100));
+/// assert!(b.get(VertexId(100)));
+/// let ones: Vec<_> = b.iter_ones().collect();
+/// assert_eq!(ones, vec![VertexId(100)]);
+/// ```
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Creates a bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let mut words = Vec::with_capacity(word_count(len));
+        words.resize_with(word_count(len), || AtomicU64::new(0));
+        AtomicBitmap { words, len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the bitmap holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Atomically sets the bit for `v`, returning the previous value.
+    ///
+    /// Uses relaxed ordering: activation bits carry no data
+    /// dependencies; the iteration barrier provides the necessary
+    /// synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn set(&self, v: VertexId) -> bool {
+        let i = self.check(v);
+        let mask = 1u64 << (i % BITS);
+        self.words[i / BITS].fetch_or(mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// Atomically clears the bit for `v`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn clear(&self, v: VertexId) -> bool {
+        let i = self.check(v);
+        let mask = 1u64 << (i % BITS);
+        self.words[i / BITS].fetch_and(!mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// Reads the bit for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> bool {
+        let i = self.check(v);
+        self.words[i / BITS].load(Ordering::Relaxed) & (1u64 << (i % BITS)) != 0
+    }
+
+    /// Clears every bit. Not atomic as a whole; callers run it at
+    /// barriers when no other thread touches the map.
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits (consistent only at barriers).
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over set bits in ascending id order (consistent only
+    /// at barriers).
+    pub fn iter_ones(&self) -> impl Iterator<Item = VertexId> + '_ {
+        AtomicIterOnes {
+            map: self,
+            word_idx: 0,
+            current: self
+                .words
+                .first()
+                .map(|w| w.load(Ordering::Relaxed))
+                .unwrap_or(0),
+        }
+    }
+
+    /// Iterates over set bits whose index lies in `range`
+    /// (half-open), ascending. Starts scanning at the range's first
+    /// word, so iterating a partition's ranges costs time
+    /// proportional to the range, not the whole bitmap.
+    pub fn iter_ones_in_range(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = VertexId> + '_ {
+        let lo = range.start.min(self.len);
+        let hi = range.end.min(self.len);
+        let first_word = lo / BITS;
+        let current = if lo < hi {
+            // Mask off bits below `lo` in the first word.
+            self.words[first_word].load(Ordering::Relaxed) & (u64::MAX << (lo % BITS))
+        } else {
+            0
+        };
+        AtomicIterOnes {
+            map: self,
+            word_idx: first_word,
+            current,
+        }
+        .take_while(move |v| v.index() < hi)
+    }
+
+    /// Copies the contents into a plain [`Bitmap`].
+    pub fn to_bitmap(&self) -> Bitmap {
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    #[inline]
+    fn check(&self, v: VertexId) -> usize {
+        let i = v.index();
+        assert!(i < self.len, "bit {i} out of range ({} bits)", self.len);
+        i
+    }
+}
+
+struct AtomicIterOnes<'a> {
+    map: &'a AtomicBitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for AtomicIterOnes<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * BITS + bit;
+                if idx >= self.map.len {
+                    return None;
+                }
+                return Some(VertexId::from_index(idx));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.map.words.len() {
+                return None;
+            }
+            self.current = self.map.words[self.word_idx].load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_round_trip() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(VertexId(129)));
+        assert!(!b.set(VertexId(129)));
+        assert!(b.get(VertexId(129)));
+        assert!(b.clear(VertexId(129)));
+        assert!(!b.get(VertexId(129)));
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundaries() {
+        let mut b = Bitmap::new(200);
+        for i in [0usize, 63, 64, 65, 127, 128, 199] {
+            b.set(VertexId::from_index(i));
+        }
+        let got: Vec<usize> = b.iter_ones().map(|v| v.index()).collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn count_ones_matches_iter() {
+        let mut b = Bitmap::new(77);
+        for i in (0..77).step_by(3) {
+            b.set(VertexId::from_index(i));
+        }
+        assert_eq!(b.count_ones(), b.iter_ones().count());
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut b = Bitmap::new(10);
+        b.set(VertexId(1));
+        b.set(VertexId(9));
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn empty_bitmap_iterates_nothing() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let b = Bitmap::new(8);
+        b.get(VertexId(8));
+    }
+
+    #[test]
+    fn atomic_set_reports_previous() {
+        let b = AtomicBitmap::new(66);
+        assert!(!b.set(VertexId(65)));
+        assert!(b.set(VertexId(65)));
+        assert!(b.clear(VertexId(65)));
+        assert!(!b.clear(VertexId(65)));
+    }
+
+    #[test]
+    fn atomic_iter_range() {
+        let b = AtomicBitmap::new(300);
+        for i in (0..300).step_by(10) {
+            b.set(VertexId::from_index(i));
+        }
+        let got: Vec<usize> = b.iter_ones_in_range(95..201).map(|v| v.index()).collect();
+        assert_eq!(got, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200]);
+    }
+
+    #[test]
+    fn atomic_to_bitmap_snapshot() {
+        let b = AtomicBitmap::new(40);
+        b.set(VertexId(3));
+        b.set(VertexId(39));
+        let snap = b.to_bitmap();
+        assert!(snap.get(VertexId(3)));
+        assert!(snap.get(VertexId(39)));
+        assert_eq!(snap.count_ones(), 2);
+    }
+
+    #[test]
+    fn atomic_parallel_set_is_exact() {
+        let b = std::sync::Arc::new(AtomicBitmap::new(10_000));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in (t..10_000).step_by(8) {
+                    b.set(VertexId::from_index(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.count_ones(), 10_000);
+    }
+
+    #[test]
+    fn last_partial_word_bits_beyond_len_ignored() {
+        // 70 bits: the second word has 6 valid bits only.
+        let mut b = Bitmap::new(70);
+        b.set(VertexId(69));
+        let got: Vec<usize> = b.iter_ones().map(|v| v.index()).collect();
+        assert_eq!(got, vec![69]);
+    }
+}

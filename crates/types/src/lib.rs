@@ -1,0 +1,31 @@
+//! Shared primitive types for the FlashGraph reproduction.
+//!
+//! This crate holds the vocabulary types every other crate in the
+//! workspace speaks: [`VertexId`], [`EdgeDir`], the error type
+//! [`FgError`], and two bitmap implementations used for vertex
+//! frontiers ([`Bitmap`] and the thread-safe [`AtomicBitmap`]).
+//!
+//! Nothing in here is specific to semi-external memory; these are the
+//! kinds of types that in the original C++ FlashGraph live in its
+//! `common` library.
+//!
+//! # Example
+//!
+//! ```
+//! use fg_types::{VertexId, AtomicBitmap};
+//!
+//! let frontier = AtomicBitmap::new(64);
+//! frontier.set(VertexId(3));
+//! assert!(frontier.get(VertexId(3)));
+//! assert_eq!(frontier.count_ones(), 1);
+//! ```
+
+mod bitmap;
+mod dir;
+mod error;
+mod id;
+
+pub use bitmap::{AtomicBitmap, Bitmap};
+pub use dir::EdgeDir;
+pub use error::{FgError, Result};
+pub use id::{VertexId, INVALID_VERTEX};

@@ -1,0 +1,92 @@
+//! Property-based tests: the bitmaps behave like a reference
+//! `HashSet<usize>` under arbitrary operation sequences.
+
+use std::collections::BTreeSet;
+
+use fg_types::{AtomicBitmap, Bitmap, VertexId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(usize),
+    Clear(usize),
+    ClearAll,
+}
+
+fn op_strategy(len: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..len).prop_map(Op::Set),
+        (0..len).prop_map(Op::Clear),
+        Just(Op::ClearAll),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bitmap_matches_reference_set(
+        len in 1usize..500,
+        ops in prop::collection::vec(op_strategy(500), 0..200),
+    ) {
+        let mut bm = Bitmap::new(len);
+        let mut model = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Set(i) if i < len => {
+                    let was = bm.set(VertexId::from_index(i));
+                    prop_assert_eq!(was, !model.insert(i));
+                }
+                Op::Clear(i) if i < len => {
+                    let was = bm.clear(VertexId::from_index(i));
+                    prop_assert_eq!(was, model.remove(&i));
+                }
+                Op::ClearAll => {
+                    bm.clear_all();
+                    model.clear();
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(bm.count_ones(), model.len());
+        let got: Vec<usize> = bm.iter_ones().map(|v| v.index()).collect();
+        let want: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn atomic_bitmap_matches_plain_bitmap(
+        len in 1usize..300,
+        sets in prop::collection::vec(0usize..300, 0..150),
+    ) {
+        let atomic = AtomicBitmap::new(len);
+        let mut plain = Bitmap::new(len);
+        for i in sets {
+            if i < len {
+                atomic.set(VertexId::from_index(i));
+                plain.set(VertexId::from_index(i));
+            }
+        }
+        prop_assert_eq!(atomic.to_bitmap(), plain);
+    }
+
+    #[test]
+    fn iter_range_is_filtered_iter(
+        len in 1usize..300,
+        sets in prop::collection::vec(0usize..300, 0..100),
+        lo in 0usize..300,
+        width in 0usize..300,
+    ) {
+        let b = AtomicBitmap::new(len);
+        for i in sets {
+            if i < len {
+                b.set(VertexId::from_index(i));
+            }
+        }
+        let hi = lo.saturating_add(width);
+        let got: Vec<_> = b.iter_ones_in_range(lo..hi).collect();
+        let want: Vec<_> = b
+            .iter_ones()
+            .filter(|v| v.index() >= lo && v.index() < hi)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

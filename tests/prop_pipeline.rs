@@ -1,0 +1,79 @@
+//! Property-based pipeline tests: for arbitrary random graphs, the
+//! semi-external engine agrees with the in-memory oracles.
+
+use fg_format::{load_index, required_capacity, write_image};
+use fg_graph::GraphBuilder;
+use fg_safs::{Safs, SafsConfig};
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use fg_types::VertexId;
+use flashgraph::{Engine, EngineConfig};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = (Vec<(u32, u32)>, u32)> {
+    (
+        prop::collection::vec((0u32..150, 0u32..150), 1..500),
+        0u32..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sem_bfs_matches_oracle((edges, seed) in graph_strategy()) {
+        let mut b = GraphBuilder::directed();
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        let root = VertexId(seed % g.num_vertices().max(1) as u32);
+        let array =
+            SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
+        write_image(&g, &array).unwrap();
+        let (_, index) = load_index(&array).unwrap();
+        // Tiny cache + tiny batches: stress partial hits and merging.
+        let safs = Safs::new(
+            SafsConfig::default().with_cache_bytes(8 * 4096),
+            array,
+        )
+        .unwrap();
+        let engine = Engine::new_sem(&safs, index, EngineConfig::small());
+        let (levels, _) = fg_apps::bfs(&engine, root).unwrap();
+        prop_assert_eq!(levels, fg_baselines::direct::bfs_levels(&g, root));
+    }
+
+    #[test]
+    fn sem_wcc_matches_union_find((edges, _) in graph_strategy()) {
+        let mut b = GraphBuilder::directed();
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        let array =
+            SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
+        write_image(&g, &array).unwrap();
+        let (_, index) = load_index(&array).unwrap();
+        let safs = Safs::new(SafsConfig::default(), array).unwrap();
+        let engine = Engine::new_sem(&safs, index, EngineConfig::small());
+        let (labels, _) = fg_apps::wcc(&engine).unwrap();
+        prop_assert_eq!(labels, fg_baselines::direct::wcc_labels(&g));
+    }
+
+    #[test]
+    fn sem_kcore_matches_peeling((edges, k) in graph_strategy()) {
+        let mut b = GraphBuilder::directed();
+        for &(s, d) in &edges {
+            b.add_edge(VertexId(s), VertexId(d));
+        }
+        let g = b.build();
+        let k = k % 6 + 1;
+        let array =
+            SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
+        write_image(&g, &array).unwrap();
+        let (_, index) = load_index(&array).unwrap();
+        let safs = Safs::new(SafsConfig::default(), array).unwrap();
+        let engine = Engine::new_sem(&safs, index, EngineConfig::small());
+        let (core, _) = fg_apps::k_core(&engine, k).unwrap();
+        prop_assert_eq!(core, fg_baselines::direct::k_core(&g, k));
+    }
+}
