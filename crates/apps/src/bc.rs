@@ -152,20 +152,15 @@ impl VertexProgram for BcBackward {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn bc_single_source(
-    engine: &Engine<'_>,
-    source: VertexId,
-) -> Result<(Vec<f64>, RunStats)> {
-    let (states, mut stats) =
-        engine.run(&BcForward { source }, Init::Seeds(vec![source]))?;
+pub fn bc_single_source(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<f64>, RunStats)> {
+    let (states, mut stats) = engine.run(&BcForward { source }, Init::Seeds(vec![source]))?;
     let lmax = states
         .iter()
         .filter(|s| s.level != UNREACHED)
         .map(|s| s.level)
         .max()
         .unwrap_or(0);
-    let (states, back_stats) =
-        engine.run_with_states(&BcBackward { lmax }, Init::All, states)?;
+    let (states, back_stats) = engine.run_with_states(&BcBackward { lmax }, Init::All, states)?;
     // Combine phase statistics into one report.
     stats.iterations += back_stats.iterations;
     stats.elapsed += back_stats.elapsed;
@@ -208,7 +203,10 @@ mod tests {
         let g = fixtures::diamond();
         let engine = Engine::new_mem(&g, EngineConfig::small());
         let (delta, _) = bc_single_source(&engine, VertexId(0)).unwrap();
-        assert_close(&delta, &fg_baselines::direct::bc_single_source(&g, VertexId(0)));
+        assert_close(
+            &delta,
+            &fg_baselines::direct::bc_single_source(&g, VertexId(0)),
+        );
         // Known values: each middle vertex carries half of two paths.
         assert_eq!(delta[1], 1.0);
         assert_eq!(delta[2], 1.0);

@@ -128,6 +128,9 @@ mod tests {
         // differ by much. Allow slack but require the same ballpark.
         let hi = d_engine.max(d_ref);
         let lo = d_engine.min(d_ref);
-        assert!(hi <= lo * 2 + 2, "estimates diverged: {d_engine} vs {d_ref}");
+        assert!(
+            hi <= lo * 2 + 2,
+            "estimates diverged: {d_engine} vs {d_ref}"
+        );
     }
 }

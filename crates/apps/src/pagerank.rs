@@ -169,7 +169,10 @@ mod tests {
         let first = stats.per_iteration.first().unwrap().frontier;
         let last = stats.per_iteration.last().unwrap().frontier;
         assert_eq!(first, g.num_vertices() as u64);
-        assert!(last < first / 4, "frontier should narrow: {first} -> {last}");
+        assert!(
+            last < first / 4,
+            "frontier should narrow: {first} -> {last}"
+        );
     }
 
     #[test]

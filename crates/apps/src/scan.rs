@@ -93,8 +93,13 @@ impl VertexProgram for ScanProgram {
             state.pending = own.len() as u32;
             state.edges_in_neighborhood = 0;
             state.own = Some(own.into_boxed_slice());
-            let targets: Vec<VertexId> =
-                state.own.as_deref().unwrap().iter().map(|&u| VertexId(u)).collect();
+            let targets: Vec<VertexId> = state
+                .own
+                .as_deref()
+                .unwrap()
+                .iter()
+                .map(|&u| VertexId(u))
+                .collect();
             for u in targets {
                 ctx.request_edges(u, EdgeDir::Out);
             }

@@ -125,10 +125,7 @@ impl VertexProgram for TcProgram {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn triangle_count(
-    engine: &Engine<'_>,
-    notify: bool,
-) -> Result<(u64, Vec<u64>, RunStats)> {
+pub fn triangle_count(engine: &Engine<'_>, notify: bool) -> Result<(u64, Vec<u64>, RunStats)> {
     let (states, stats) = engine.run(&TcProgram { notify }, Init::All)?;
     let per: Vec<u64> = states.iter().map(|s| s.triangles).collect();
     // Each triangle was counted once at its smallest corner; with

@@ -61,8 +61,7 @@ pub fn bc_single_source(g: &Graph, source: VertexId) -> Vec<f64> {
     for &v in order.iter().rev() {
         for &u in g.out_neighbors(v) {
             if dist[u.index()] == dist[v.index()] + 1 {
-                delta[v.index()] +=
-                    sigma[v.index()] / sigma[u.index()] * (1.0 + delta[u.index()]);
+                delta[v.index()] += sigma[v.index()] / sigma[u.index()] * (1.0 + delta[u.index()]);
             }
         }
     }
@@ -241,15 +240,10 @@ pub fn k_core(g: &Graph, k: u32) -> Vec<bool> {
     let n = g.num_vertices();
     let mut deg: Vec<u32> = g
         .vertices()
-        .map(|v| {
-            (g.out_degree(v) + if g.is_directed() { g.in_degree(v) } else { 0 }) as u32
-        })
+        .map(|v| (g.out_degree(v) + if g.is_directed() { g.in_degree(v) } else { 0 }) as u32)
         .collect();
     let mut alive = vec![true; n];
-    let mut q: VecDeque<VertexId> = g
-        .vertices()
-        .filter(|&v| deg[v.index()] < k)
-        .collect();
+    let mut q: VecDeque<VertexId> = g.vertices().filter(|&v| deg[v.index()] < k).collect();
     for v in &q {
         alive[v.index()] = false;
     }

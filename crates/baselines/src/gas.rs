@@ -28,8 +28,13 @@ pub trait GasProgram: Sync {
     /// Contribution of in-edge `src -> dst`, given `src`'s data from
     /// the previous iteration. `None` contributes nothing. `iter` is
     /// the current iteration (level-synchronous programs gate on it).
-    fn gather(&self, src: VertexId, src_data: &Self::V, dst: VertexId, iter: u32)
-        -> Option<Self::A>;
+    fn gather(
+        &self,
+        src: VertexId,
+        src_data: &Self::V,
+        dst: VertexId,
+        iter: u32,
+    ) -> Option<Self::A>;
 
     /// Combines two accumulator values.
     fn sum(&self, a: Self::A, b: Self::A) -> Self::A;
@@ -57,6 +62,9 @@ pub struct GasStats {
     /// Peak bytes of vertex data + accumulator buffers.
     pub memory_bytes: u64,
 }
+
+/// Per-thread queue of apply results: `(vertex, new data, changed)`.
+type UpdateQueues<V> = Vec<parking_lot::Mutex<Vec<(u32, V, bool)>>>;
 
 /// Runs `program` until no vertex is active, synchronously.
 pub fn run_gas<P: GasProgram>(
@@ -93,8 +101,9 @@ pub fn run_gas<P: GasProgram>(
         // Materialized apply results: (vertex, new data, changed) —
         // the double-buffering PowerGraph pays for synchronous
         // execution.
-        let updates: Vec<parking_lot::Mutex<Vec<(u32, P::V, bool)>>> =
-            (0..threads).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+        let updates: UpdateQueues<P::V> = (0..threads)
+            .map(|_| parking_lot::Mutex::new(Vec::new()))
+            .collect();
         let active_list: Vec<VertexId> = active.iter_ones().collect();
         let chunk = active_list.len().div_ceil(threads).max(1);
         std::thread::scope(|scope| {
@@ -240,8 +249,9 @@ pub fn gas_pagerank(g: &Graph, damping: f32, iters: u32, threads: usize) -> (Vec
         let chunk = n.div_ceil(threads.max(1)).max(1);
         let snapshot = data.clone(); // double buffer
         let indices: Vec<usize> = (0..n).collect();
-        let next: Vec<parking_lot::Mutex<Vec<(u32, f32)>>> =
-            (0..threads.max(1)).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+        let next: Vec<parking_lot::Mutex<Vec<(u32, f32)>>> = (0..threads.max(1))
+            .map(|_| parking_lot::Mutex::new(Vec::new()))
+            .collect();
         std::thread::scope(|scope| {
             for (t, range) in indices.chunks(chunk).enumerate() {
                 let snapshot = &snapshot;
@@ -369,11 +379,7 @@ impl GasProgram for GasBcForward {
 /// Single-source betweenness centrality in the GAS style: a forward
 /// [`GasBcForward`] run, then a synchronous per-level backward sweep
 /// accumulating dependencies over out-edges (the transpose gather).
-pub fn gas_bc(
-    g: &Graph,
-    source: VertexId,
-    threads: usize,
-) -> (Vec<f64>, GasStats) {
+pub fn gas_bc(g: &Graph, source: VertexId, threads: usize) -> (Vec<f64>, GasStats) {
     let (fwd, mut stats) = run_gas(
         g,
         &GasBcForward { source },
@@ -524,7 +530,15 @@ mod tests {
     #[test]
     fn gas_bfs_matches_direct() {
         let g = gen::rmat(7, 4, gen::RmatSkew::default(), 7);
-        let (levels, stats) = run_gas(&g, &GasBfs { source: VertexId(0) }, Some(&[VertexId(0)]), 2, 1000);
+        let (levels, stats) = run_gas(
+            &g,
+            &GasBfs {
+                source: VertexId(0),
+            },
+            Some(&[VertexId(0)]),
+            2,
+            1000,
+        );
         let want = crate::direct::bfs_levels(&g, VertexId(0));
         for v in g.vertices() {
             let got = (levels[v.index()] != u32::MAX).then_some(levels[v.index()]);

@@ -259,15 +259,25 @@ mod tests {
     fn scan_bfs_matches_direct() {
         let g = gen::rmat(7, 4, gen::RmatSkew::default(), 6);
         let (array, meta) = image(&g);
-        let (levels, stats) =
-            run_scan(&array, &meta, &ScanBfs { source: VertexId(0) }, 10_000).unwrap();
+        let (levels, stats) = run_scan(
+            &array,
+            &meta,
+            &ScanBfs {
+                source: VertexId(0),
+            },
+            10_000,
+        )
+        .unwrap();
         let want = crate::direct::bfs_levels(&g, VertexId(0));
         for v in g.vertices() {
             let got = (levels[v.index()] != u32::MAX).then_some(levels[v.index()]);
             assert_eq!(got, want[v.index()], "vertex {v}");
         }
         // Full-scan property: bytes read ≈ iterations × stream bytes.
-        assert_eq!(stats.io.bytes_read / meta.bytes.max(1), stats.iterations as u64);
+        assert_eq!(
+            stats.io.bytes_read / meta.bytes.max(1),
+            stats.iterations as u64
+        );
     }
 
     #[test]
@@ -306,6 +316,9 @@ mod tests {
         let (array, meta) = image(&g);
         let (count, stats) = scan_triangle_count(&array, &meta, 2).unwrap();
         assert_eq!(count, 84);
-        assert!(stats.io.bytes_read >= 4 * meta.bytes, "2 partitions x 2 passes");
+        assert!(
+            stats.io.bytes_read >= 4 * meta.bytes,
+            "2 partitions x 2 passes"
+        );
     }
 }

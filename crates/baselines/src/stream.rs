@@ -305,8 +305,7 @@ mod tests {
         // Extra scratch capacity: this test pushes far more updates
         // than the graph has edges.
         let array =
-            SsdArray::new_mem(ArrayConfig::small_test(), stream_capacity(&g) + (1 << 16))
-                .unwrap();
+            SsdArray::new_mem(ArrayConfig::small_test(), stream_capacity(&g) + (1 << 16)).unwrap();
         let meta = write_edge_stream(&g, &array).unwrap();
         let mut us = UpdateStream::new(&array, meta.scratch_base);
         for i in 0..1000u32 {
@@ -371,6 +370,9 @@ mod tests {
         array.stats().reset();
         semistream_triangles(&array, &meta, 4).unwrap();
         let four = array.stats().snapshot().bytes_read;
-        assert!(four > 2 * one, "4 partitions should scan much more: {four} vs {one}");
+        assert!(
+            four > 2 * one,
+            "4 partitions should scan much more: {four} vs {one}"
+        );
     }
 }

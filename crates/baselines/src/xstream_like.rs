@@ -197,7 +197,10 @@ impl EdgeCentricProgram for XsPageRank {
     type V = XsPrValue;
 
     fn init(&self, _v: VertexId) -> XsPrValue {
-        XsPrValue { rank: 1.0, acc: 0.0 }
+        XsPrValue {
+            rank: 1.0,
+            acc: 0.0,
+        }
     }
 
     fn scatter(&self, src: VertexId, sv: &XsPrValue, _iter: u32) -> Option<u32> {
@@ -237,8 +240,15 @@ mod tests {
     fn xs_bfs_matches_direct() {
         let g = gen::rmat(7, 4, gen::RmatSkew::default(), 12);
         let (array, meta) = image(&g);
-        let (levels, stats) =
-            run_edge_centric(&array, &meta, &XsBfs { source: VertexId(0) }, 10_000).unwrap();
+        let (levels, stats) = run_edge_centric(
+            &array,
+            &meta,
+            &XsBfs {
+                source: VertexId(0),
+            },
+            10_000,
+        )
+        .unwrap();
         let want = crate::direct::bfs_levels(&g, VertexId(0));
         for v in g.vertices() {
             let got = (levels[v.index()] != u32::MAX).then_some(levels[v.index()]);
@@ -281,13 +291,22 @@ mod tests {
         // AND writes/reads updates, so it must move more data.
         let g = gen::rmat(7, 6, gen::RmatSkew::default(), 3);
         let (array, meta) = image(&g);
-        let (_, xs) = run_edge_centric(&array, &meta, &XsBfs { source: VertexId(0) }, 10_000)
-            .unwrap();
+        let (_, xs) = run_edge_centric(
+            &array,
+            &meta,
+            &XsBfs {
+                source: VertexId(0),
+            },
+            10_000,
+        )
+        .unwrap();
         array.stats().reset();
         let (_, gc) = crate::graphchi_like::run_scan(
             &array,
             &meta,
-            &crate::graphchi_like::ScanBfs { source: VertexId(0) },
+            &crate::graphchi_like::ScanBfs {
+                source: VertexId(0),
+            },
             10_000,
         )
         .unwrap();

@@ -15,7 +15,12 @@ fn main() {
 
     let mut t = Table::new(
         "Ablation: vertical partitioning for TC on twitter-sim (undirected)",
-        &["vertical parts", "runtime (modeled)", "cache hit rate", "device reads"],
+        &[
+            "vertical parts",
+            "runtime (modeled)",
+            "cache hit rate",
+            "device reads",
+        ],
     );
     let mut totals = Vec::new();
     for parts in [1u32, 2, 4, 8] {
@@ -32,9 +37,7 @@ fn main() {
                 "{:.0}%",
                 stats.cache.as_ref().map(|c| c.hit_rate()).unwrap_or(0.0) * 100.0
             ),
-            fg_bench::report::count(
-                stats.io.as_ref().map(|io| io.read_requests).unwrap_or(0),
-            ),
+            fg_bench::report::count(stats.io.as_ref().map(|io| io.read_requests).unwrap_or(0)),
         ]);
     }
     assert!(
@@ -76,5 +79,7 @@ fn main() {
         ]);
     }
     s.print();
-    println!("\nexpected: higher hit rates with more vertical parts; stealing helps the skewed graph");
+    println!(
+        "\nexpected: higher hit rates with more vertical parts; stealing helps the skewed graph"
+    );
 }

@@ -8,8 +8,7 @@
 
 use fg_bench::report::{ratio, secs, Table};
 use fg_bench::{
-    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset,
-    PAPER_CACHE_FRACTION,
+    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset, PAPER_CACHE_FRACTION,
 };
 use flashgraph::{Engine, EngineConfig};
 

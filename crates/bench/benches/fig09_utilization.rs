@@ -9,8 +9,7 @@
 
 use fg_bench::report::{secs, Table};
 use fg_bench::{
-    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset,
-    PAPER_CACHE_FRACTION,
+    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset, PAPER_CACHE_FRACTION,
 };
 use flashgraph::{Engine, EngineConfig, RunStats};
 
@@ -89,7 +88,14 @@ fn main() {
 
     let mut t = Table::new(
         "Figure 9: CPU and I/O utilization on subdomain-sim",
-        &["app", "runtime", "user CPU %", "sys proxy %", "MB/s", "K IOPS"],
+        &[
+            "app",
+            "runtime",
+            "user CPU %",
+            "sys proxy %",
+            "MB/s",
+            "K IOPS",
+        ],
     );
     for r in &rows {
         let (user, sys, mbps, kiops) = utilization_rows(&r.stats, threads);
@@ -103,7 +109,9 @@ fn main() {
         ]);
         if r.name == "PR1" {
             // Insert the PR2 row right after PR1, from the tail trace.
-            let wall = (tail_wall as f64 / 1e9).max(tail_busy as f64 / 1e9).max(1e-9);
+            let wall = (tail_wall as f64 / 1e9)
+                .max(tail_busy as f64 / 1e9)
+                .max(1e-9);
             t.row(&[
                 "PR2".into(),
                 secs(wall),

@@ -7,12 +7,11 @@
 //! Galois and beat PowerGraph by ~an order of magnitude; Galois wins
 //! graph traversals, FlashGraph wins WCC/PR.
 
+use fg_baselines::{direct, gas};
 use fg_bench::report::{secs, Table};
 use fg_bench::{
-    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset,
-    PAPER_CACHE_FRACTION,
+    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset, PAPER_CACHE_FRACTION,
 };
-use fg_baselines::{direct, gas};
 use fg_types::VertexId;
 use flashgraph::{Engine, EngineConfig};
 
@@ -27,7 +26,13 @@ fn gas_seconds(app: App, g: &fg_graph::Graph, u: &fg_graph::Graph, root: VertexI
     let threads = EngineConfig::default().threads();
     match app {
         App::Bfs => {
-            let (_, s) = gas::run_gas(g, &gas::GasBfs { source: root }, Some(&[root]), threads, u32::MAX);
+            let (_, s) = gas::run_gas(
+                g,
+                &gas::GasBfs { source: root },
+                Some(&[root]),
+                threads,
+                u32::MAX,
+            );
             s.elapsed.as_secs_f64()
         }
         App::Bc => {
@@ -81,7 +86,14 @@ fn main() {
     let cfg = EngineConfig::default();
     let mut t = Table::new(
         "Figure 10: runtimes across engines",
-        &["graph", "app", "FG-mem", "FG-1G (sem)", "GAS (PowerGraph-like)", "direct (Galois-like)"],
+        &[
+            "graph",
+            "app",
+            "FG-mem",
+            "FG-1G (sem)",
+            "GAS (PowerGraph-like)",
+            "direct (Galois-like)",
+        ],
     );
     for ds in [Dataset::TwitterSim, Dataset::SubdomainSim] {
         let g = ds.generate(bump);
@@ -115,5 +127,7 @@ fn main() {
         }
     }
     t.print();
-    println!("\npaper shape: FG-mem ≈ FG-1G ≈ Galois (within small factors); PowerGraph-like slowest");
+    println!(
+        "\npaper shape: FG-mem ≈ FG-1G ≈ Galois (within small factors); PowerGraph-like slowest"
+    );
 }

@@ -22,8 +22,7 @@ use fg_baselines::stream::{stream_capacity, write_edge_stream};
 use fg_baselines::xstream_like::{run_edge_centric, XsBfs, XsPageRank, XsWcc};
 use fg_bench::report::{bytes, secs, Table};
 use fg_bench::{
-    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset,
-    PAPER_CACHE_FRACTION,
+    build_sem, run_app, scale_bump, symmetrize, traversal_root, App, Dataset, PAPER_CACHE_FRACTION,
 };
 use fg_ssdsim::{ArrayConfig, SsdArray};
 use flashgraph::{Engine, EngineConfig};
@@ -72,7 +71,9 @@ fn main() {
     );
     let mut io_t = Table::new(
         "Figure 11a': device busy time and bytes moved (the architectural gap)",
-        &["app", "FG dev", "GC dev", "XS dev", "FG bytes", "GC bytes", "XS bytes"],
+        &[
+            "app", "FG dev", "GC dev", "XS dev", "FG bytes", "GC bytes", "XS bytes",
+        ],
     );
     let mut mem = Table::new(
         "Figure 11b: memory consumption",
@@ -131,9 +132,11 @@ fn main() {
                     .unwrap()
                     .1,
             ),
-            App::Wcc => {
-                from_scan(&run_edge_centric(&arr_dir, &meta_dir, &XsWcc, 100_000).unwrap().1)
-            }
+            App::Wcc => from_scan(
+                &run_edge_centric(&arr_dir, &meta_dir, &XsWcc, 100_000)
+                    .unwrap()
+                    .1,
+            ),
             App::Pr => {
                 let prog = XsPageRank {
                     damping: 0.85,
@@ -186,19 +189,29 @@ fn main() {
     let (_, fg_stats) = fg_apps::bfs(&sem_ring, ring_root).expect("bfs");
     let fg_io = fg_stats.io.clone().expect("sem stats");
 
-    let arr_ring =
-        SsdArray::new_mem(ArrayConfig::paper_array(), stream_capacity(&ring)).unwrap();
+    let arr_ring = SsdArray::new_mem(ArrayConfig::paper_array(), stream_capacity(&ring)).unwrap();
     let meta_ring = write_edge_stream(&ring, &arr_ring).unwrap();
     arr_ring.stats().reset();
-    let (_, gc_stats) =
-        run_scan(&arr_ring, &meta_ring, &ScanBfs { source: ring_root }, 100_000).unwrap();
+    let (_, gc_stats) = run_scan(
+        &arr_ring,
+        &meta_ring,
+        &ScanBfs { source: ring_root },
+        100_000,
+    )
+    .unwrap();
     arr_ring.stats().reset();
     let (_, xs_stats) =
         run_edge_centric(&arr_ring, &meta_ring, &XsBfs { source: ring_root }, 100_000).unwrap();
 
     let mut deep = Table::new(
         "Figure 11a'': BFS on a high-diameter graph (scan penalty ∝ iterations)",
-        &["engine", "iterations", "runtime", "device time", "bytes moved"],
+        &[
+            "engine",
+            "iterations",
+            "runtime",
+            "device time",
+            "bytes moved",
+        ],
     );
     deep.row(&[
         "FlashGraph (sem)".into(),

@@ -81,7 +81,15 @@ fn main() {
     let base_wcc = results.last().unwrap().2;
     let mut t = Table::new(
         "Figure 12: preserving sequential I/O (relative to merge-in-FG)",
-        &["config", "BFS", "BFS rel", "WCC", "WCC rel", "BFS dev reqs", "WCC dev reqs"],
+        &[
+            "config",
+            "BFS",
+            "BFS rel",
+            "WCC",
+            "WCC rel",
+            "BFS dev reqs",
+            "WCC dev reqs",
+        ],
     );
     for (name, bfs, wcc, breq, wreq) in &results {
         t.row(&[

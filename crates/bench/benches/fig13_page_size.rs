@@ -33,15 +33,16 @@ fn main() {
     let mut rows = Vec::new();
     for kb in sizes_kb {
         let cfg = SafsConfig::default().with_page_bytes(kb * 1024);
-        let fx_dir =
-            build_sem_on(&g, PAPER_CACHE_FRACTION, cfg, small_array()).expect("fixture");
-        let fx_und =
-            build_sem_on(&u, PAPER_CACHE_FRACTION, cfg, small_array()).expect("fixture");
+        let fx_dir = build_sem_on(&g, PAPER_CACHE_FRACTION, cfg, small_array()).expect("fixture");
+        let fx_und = build_sem_on(&u, PAPER_CACHE_FRACTION, cfg, small_array()).expect("fixture");
         let ecfg = EngineConfig::default();
         let dir = Engine::new_sem(&fx_dir.safs, fx_dir.index.clone(), ecfg);
         let und = Engine::new_sem(&fx_und.safs, fx_und.index.clone(), ecfg);
         fx_dir.safs.reset_stats();
-        let bfs = fg_apps::bfs(&dir, root).expect("bfs").1.modeled_runtime_secs();
+        let bfs = fg_apps::bfs(&dir, root)
+            .expect("bfs")
+            .1
+            .modeled_runtime_secs();
         fx_dir.safs.reset_stats();
         let wcc = fg_apps::wcc(&dir).expect("wcc").1.modeled_runtime_secs();
         fx_und.safs.reset_stats();

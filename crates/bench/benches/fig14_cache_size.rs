@@ -56,7 +56,9 @@ fn main() {
 
     let mut t = Table::new(
         "Figure 14: cache size sweep (performance relative to the largest cache)",
-        &["app", "1GB-eq", "2GB-eq", "4GB-eq", "8GB-eq", "16GB-eq", "32GB-eq"],
+        &[
+            "app", "1GB-eq", "2GB-eq", "4GB-eq", "8GB-eq", "16GB-eq", "32GB-eq",
+        ],
     );
     for (i, app) in App::ALL.into_iter().enumerate() {
         let base = *runtimes[i].last().unwrap();
@@ -70,7 +72,9 @@ fn main() {
 
     let mut h = Table::new(
         "Figure 14 (supplement): page-cache hit rates",
-        &["app", "1GB-eq", "2GB-eq", "4GB-eq", "8GB-eq", "16GB-eq", "32GB-eq"],
+        &[
+            "app", "1GB-eq", "2GB-eq", "4GB-eq", "8GB-eq", "16GB-eq", "32GB-eq",
+        ],
     );
     for (i, app) in App::ALL.into_iter().enumerate() {
         let mut row = vec![app.name().to_string()];

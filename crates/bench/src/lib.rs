@@ -114,10 +114,12 @@ pub fn symmetrize(g: &Graph) -> Graph {
 
 /// Estimated resident memory of a semi-external run: index + vertex
 /// state + page cache (the quantities Table 2 sums).
-pub fn sem_memory_bytes(index: &GraphIndex, state_bytes_per_vertex: usize, cache_bytes: u64) -> u64 {
-    index.heap_bytes() as u64
-        + (index.num_vertices() * state_bytes_per_vertex) as u64
-        + cache_bytes
+pub fn sem_memory_bytes(
+    index: &GraphIndex,
+    state_bytes_per_vertex: usize,
+    cache_bytes: u64,
+) -> u64 {
+    index.heap_bytes() as u64 + (index.num_vertices() * state_bytes_per_vertex) as u64 + cache_bytes
 }
 
 /// The six applications of the paper's evaluation.

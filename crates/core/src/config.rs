@@ -167,6 +167,11 @@ mod tests {
 
     #[test]
     fn vertical_parts_never_zero() {
-        assert_eq!(EngineConfig::default().with_vertical_parts(0).vertical_parts, 1);
+        assert_eq!(
+            EngineConfig::default()
+                .with_vertical_parts(0)
+                .vertical_parts,
+            1
+        );
     }
 }

@@ -161,7 +161,10 @@ mod tests {
             let b = std::sync::Arc::clone(&b);
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
-                    b.post((i % 2) as usize, Batch::Unicasts(vec![(VertexId(i as u32), t)]));
+                    b.post(
+                        (i % 2) as usize,
+                        Batch::Unicasts(vec![(VertexId(i as u32), t)]),
+                    );
                 }
             }));
         }

@@ -125,9 +125,9 @@ impl<'a> PageVertex<'a> {
     #[inline]
     pub fn attr(&self, i: usize) -> Option<f32> {
         match &self.data {
-            EdgeData::Span { attrs, .. } => attrs
-                .as_ref()
-                .map(|a| f32::from_bits(a.read_u32_le(i * 4))),
+            EdgeData::Span { attrs, .. } => {
+                attrs.as_ref().map(|a| f32::from_bits(a.read_u32_le(i * 4)))
+            }
             EdgeData::Slice { attrs, .. } => attrs.map(|a| a[i]),
         }
     }

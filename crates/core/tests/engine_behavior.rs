@@ -82,8 +82,12 @@ impl VertexProgram for Bfs {
 #[test]
 fn bfs_levels_on_path_both_modes() {
     let g = fixtures::path(12);
-    for (states, stats) in both_modes(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), EngineConfig::small())
-    {
+    for (states, stats) in both_modes(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::small(),
+    ) {
         for (i, s) in states.iter().enumerate() {
             assert!(s.visited, "vertex {i} unreached");
             assert_eq!(s.level, i as u32, "vertex {i} level");
@@ -113,8 +117,12 @@ fn bfs_on_rmat_same_reachable_set_in_both_modes() {
 #[test]
 fn bfs_two_components_only_reaches_one() {
     let g = fixtures::two_components(4, 10);
-    for (states, _) in both_modes(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), EngineConfig::small())
-    {
+    for (states, _) in both_modes(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::small(),
+    ) {
         assert!(states[..4].iter().all(|s| s.visited));
         assert!(states[4..].iter().all(|s| !s.visited));
     }
@@ -203,8 +211,7 @@ impl VertexProgram for Broadcast {
             state.sent = true;
             // Vertex 0 multicasts to every vertex, including itself.
             if v == VertexId(0) {
-                let all: Vec<VertexId> =
-                    (0..ctx.num_vertices() as u32).map(VertexId).collect();
+                let all: Vec<VertexId> = (0..ctx.num_vertices() as u32).map(VertexId).collect();
                 ctx.multicast(&all, 7);
             }
         }
@@ -427,8 +434,22 @@ fn both_directions_delivered_separately() {
 fn single_thread_and_many_threads_agree() {
     let g = gen::rmat(8, 6, gen::RmatSkew::default(), 3);
     let base = EngineConfig::small();
-    let one = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), base.with_threads(1), false).0;
-    let four = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), base.with_threads(4), false).0;
+    let one = run_mode(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        base.with_threads(1),
+        false,
+    )
+    .0;
+    let four = run_mode(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        base.with_threads(4),
+        false,
+    )
+    .0;
     for v in g.vertices() {
         assert_eq!(one[v.index()].visited, four[v.index()].visited);
         assert_eq!(one[v.index()].level, four[v.index()].level);
@@ -462,7 +483,9 @@ fn engine_merging_reduces_issued_requests() {
         &g,
         &Bfs,
         Init::Seeds(vec![VertexId(0)]),
-        EngineConfig::default().with_threads(2).with_engine_merge(true),
+        EngineConfig::default()
+            .with_threads(2)
+            .with_engine_merge(true),
         true,
     )
     .1;
@@ -470,7 +493,9 @@ fn engine_merging_reduces_issued_requests() {
         &g,
         &Bfs,
         Init::Seeds(vec![VertexId(0)]),
-        EngineConfig::default().with_threads(2).with_engine_merge(false),
+        EngineConfig::default()
+            .with_threads(2)
+            .with_engine_merge(false),
         true,
     )
     .1;
@@ -512,7 +537,13 @@ fn vertical_passes_run_per_part() {
 #[test]
 fn stats_track_io_and_cache_in_sem_mode() {
     let g = gen::rmat(8, 6, gen::RmatSkew::default(), 9);
-    let (_, stats) = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), EngineConfig::small(), true);
+    let (_, stats) = run_mode(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::small(),
+        true,
+    );
     let io = stats.io.clone().expect("sem mode records io");
     assert!(io.read_requests > 0);
     assert!(io.bytes_read > 0);
@@ -527,7 +558,13 @@ fn stats_track_io_and_cache_in_sem_mode() {
 #[test]
 fn in_memory_mode_reports_no_io() {
     let g = fixtures::path(5);
-    let (_, stats) = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), EngineConfig::small(), false);
+    let (_, stats) = run_mode(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::small(),
+        false,
+    );
     assert!(stats.io.is_none());
     assert!(stats.cache.is_none());
     assert!(stats.engine_requests > 0);

@@ -137,9 +137,7 @@ where
         buf.clear();
         fill(&mut buf);
         if buf.is_empty() {
-            return Err(FgError::CorruptImage(
-                "section producer ended early".into(),
-            ));
+            return Err(FgError::CorruptImage("section producer ended early".into()));
         }
         array.write(offset + written, &buf)?;
         written += buf.len() as u64;
@@ -268,7 +266,12 @@ pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
             })
         };
         if out_bytes > 0 {
-            write_u32_section(array, meta.out_attrs_offset, out_bytes, weights(EdgeDir::Out))?;
+            write_u32_section(
+                array,
+                meta.out_attrs_offset,
+                out_bytes,
+                weights(EdgeDir::Out),
+            )?;
         }
         if meta.directed {
             let in_bytes = g.csr(EdgeDir::In).num_edges() * 4;
@@ -444,10 +447,7 @@ mod tests {
         }
         // Index degrees match the graph everywhere.
         for v in g.vertices() {
-            assert_eq!(
-                index.degree(v, EdgeDir::Out) as usize,
-                g.out_degree(v)
-            );
+            assert_eq!(index.degree(v, EdgeDir::Out) as usize, g.out_degree(v));
         }
     }
 
@@ -470,11 +470,7 @@ mod tests {
     fn sections_are_aligned_and_ordered() {
         let g = gen::rmat(8, 4, gen::RmatSkew::default(), 5);
         let meta = layout(&g);
-        for off in [
-            meta.deg_offset,
-            meta.out_edges_offset,
-            meta.in_edges_offset,
-        ] {
+        for off in [meta.deg_offset, meta.out_edges_offset, meta.in_edges_offset] {
             assert_eq!(off % SECTION_ALIGN, 0);
         }
         assert!(meta.out_edges_offset > meta.deg_offset);
@@ -486,10 +482,7 @@ mod tests {
     fn bad_magic_rejected() {
         let array = SsdArray::new_mem(ArrayConfig::small_test(), 1 << 16).unwrap();
         array.write(0, &[0xFFu8; 4096]).unwrap();
-        assert!(matches!(
-            read_meta(&array),
-            Err(FgError::CorruptImage(_))
-        ));
+        assert!(matches!(read_meta(&array), Err(FgError::CorruptImage(_))));
     }
 
     #[test]

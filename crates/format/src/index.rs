@@ -319,7 +319,13 @@ mod tests {
         // A power-law-ish degree sequence with few hubs.
         let n = 100_000usize;
         let degrees: Vec<u64> = (0..n)
-            .map(|i| if i % 10_000 == 0 { 1000 } else { (i % 7) as u64 })
+            .map(|i| {
+                if i % 10_000 == 0 {
+                    1000
+                } else {
+                    (i % 7) as u64
+                }
+            })
             .collect();
         let undirected = GraphIndex::build(&degrees, None, 4, 0, 0, None, None);
         let per_vertex = undirected.heap_bytes() as f64 / n as f64;

@@ -118,18 +118,14 @@ impl GraphBuilder {
                 continue;
             }
             fwd.push((s, d, w));
-            if !self.directed {
-                if s != d {
-                    fwd.push((d, s, w));
-                } // self-loop kept: single symmetric entry
-            }
+            if !self.directed && s != d {
+                fwd.push((d, s, w));
+            } // self-loop kept: single symmetric entry
         }
         let out = csr_from_sorted(n, &mut fwd, self.weighted);
         if self.directed {
-            let mut rev: Vec<(VertexId, VertexId, f32)> = fwd
-                .iter()
-                .map(|&(s, d, w)| (d, s, w))
-                .collect();
+            let mut rev: Vec<(VertexId, VertexId, f32)> =
+                fwd.iter().map(|&(s, d, w)| (d, s, w)).collect();
             let in_ = csr_from_sorted(n, &mut rev, self.weighted);
             // fwd was deduped inside csr_from_sorted; rebuild in-CSR
             // from the deduped out-CSR to keep edge counts equal.
@@ -243,7 +239,10 @@ mod tests {
         b.add_weighted_edge(VertexId(0), VertexId(2), 7.0);
         let g = b.build();
         assert!(g.has_weights());
-        let w = g.csr(fg_types::EdgeDir::Out).weights_of(VertexId(0)).unwrap();
+        let w = g
+            .csr(fg_types::EdgeDir::Out)
+            .weights_of(VertexId(0))
+            .unwrap();
         assert_eq!(w, &[2.5, 7.0]);
     }
 

@@ -273,11 +273,8 @@ impl Graph {
     /// adjacency (for undirected graphs each edge appears twice, once
     /// per orientation).
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.vertices().flat_map(move |src| {
-            self.out_neighbors(src)
-                .iter()
-                .map(move |&dst| (src, dst))
-        })
+        self.vertices()
+            .flat_map(move |src| self.out_neighbors(src).iter().map(move |&dst| (src, dst)))
     }
 
     /// Heap bytes held by the adjacency arrays.

@@ -76,7 +76,10 @@ impl Default for RmatSkew {
 /// assert_eq!(g, rmat(8, 8, RmatSkew::default(), 7));
 /// ```
 pub fn rmat(scale: u32, edge_factor: u32, skew: RmatSkew, seed: u64) -> Graph {
-    assert!(scale < 31, "rmat scale {scale} too large for u32 vertex ids");
+    assert!(
+        scale < 31,
+        "rmat scale {scale} too large for u32 vertex ids"
+    );
     let n: u64 = 1 << scale;
     let m = n * edge_factor as u64;
     let mut rng = SmallRng::seed_from_u64(seed);

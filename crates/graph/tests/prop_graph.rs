@@ -11,6 +11,10 @@ fn edge_vec() -> impl Strategy<Value = Vec<(u32, u32)>> {
 }
 
 proptest! {
+    // Bounded so tier-1 stays fast; raise via PROPTEST_CASES for
+    // deeper soak runs.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn directed_build_matches_reference(edges in edge_vec()) {
         let mut b = GraphBuilder::directed();

@@ -110,14 +110,19 @@ mod tests {
 
     #[test]
     fn rejects_bad_page_size() {
-        assert!(SafsConfig::default().with_page_bytes(3000).validate().is_err());
+        assert!(SafsConfig::default()
+            .with_page_bytes(3000)
+            .validate()
+            .is_err());
         assert!(SafsConfig::default().with_page_bytes(0).validate().is_err());
     }
 
     #[test]
     fn rejects_zero_ways() {
-        let mut c = SafsConfig::default();
-        c.cache_ways = 0;
+        let c = SafsConfig {
+            cache_ways: 0,
+            ..SafsConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -240,7 +240,7 @@ mod tests {
             }))
             .unwrap();
         }
-        let mut got = vec![reply_rx.recv().unwrap(), reply_rx.recv().unwrap()];
+        let mut got = [reply_rx.recv().unwrap(), reply_rx.recv().unwrap()];
         got.sort_by_key(|d| d.req_id);
         assert_eq!(got[0].pages[0].pageno(), 0);
         assert_eq!(got[1].pages[0].pageno(), 5);
@@ -312,7 +312,7 @@ mod tests {
             },
         ];
         serve(&batch, &array, &cache, 4096, true);
-        let mut got = vec![reply_rx.recv().unwrap(), reply_rx.recv().unwrap()];
+        let mut got = [reply_rx.recv().unwrap(), reply_rx.recv().unwrap()];
         got.sort_by_key(|d| d.req_id);
         assert_eq!(
             got[0].pages.iter().map(|p| p.pageno()).collect::<Vec<_>>(),

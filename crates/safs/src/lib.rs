@@ -59,5 +59,5 @@ mod safs;
 
 pub use cache::{CacheStats, CacheStatsSnapshot, PageCache};
 pub use config::SafsConfig;
-pub use safs::{Completion, IoSession, Safs};
 pub use page::{Page, PageSpan};
+pub use safs::{Completion, IoSession, Safs};

@@ -180,7 +180,12 @@ impl PageSpan {
     /// Iterates the span as little-endian `u32`s — the engine's edge
     /// list decode. The span length must be a multiple of 4.
     pub fn u32_iter(&self) -> impl Iterator<Item = u32> + '_ {
-        debug_assert_eq!(self.len % 4, 0, "u32 stream length {} not aligned", self.len);
+        debug_assert_eq!(
+            self.len % 4,
+            0,
+            "u32 stream length {} not aligned",
+            self.len
+        );
         (0..self.len / 4).map(move |i| self.read_u32_le(i * 4))
     }
 

@@ -146,9 +146,7 @@ impl Safs {
         let pb = self.cfg.page_bytes;
         let first = offset / pb;
         let last = (end - 1) / pb;
-        let mut pages: Vec<Option<Arc<Page>>> = (first..=last)
-            .map(|p| self.cache.get(p))
-            .collect();
+        let mut pages: Vec<Option<Arc<Page>>> = (first..=last).map(|p| self.cache.get(p)).collect();
         // Read each contiguous miss run in one device request.
         let mut i = 0usize;
         while i < pages.len() {
@@ -160,14 +158,24 @@ impl Safs {
             while j < pages.len() && pages[j].is_none() {
                 j += 1;
             }
-            let got = read_pages(&self.array, &self.cache, pb, first + i as u64, (j - i) as u64);
+            let got = read_pages(
+                &self.array,
+                &self.cache,
+                pb,
+                first + i as u64,
+                (j - i) as u64,
+            );
             for (k, page) in got.into_iter().enumerate() {
                 pages[i + k] = Some(page);
             }
             i = j;
         }
         let pages: Vec<Arc<Page>> = pages.into_iter().map(|p| p.unwrap()).collect();
-        Ok(PageSpan::new(pages, (offset - first * pb) as usize, len as usize))
+        Ok(PageSpan::new(
+            pages,
+            (offset - first * pb) as usize,
+            len as usize,
+        ))
     }
 
     /// Routes a page run to an I/O thread: by owning drive, so one
@@ -501,7 +509,10 @@ mod tests {
             s.wait(&mut out);
         }
         let snap = safs.array().stats().snapshot();
-        assert_eq!(snap.pages_read, 2, "only the two missing pages hit the device");
+        assert_eq!(
+            snap.pages_read, 2,
+            "only the two missing pages hit the device"
+        );
         assert_eq!(out[0].span.len(), 3 * 4096);
         // Content correct across the stitched span.
         assert_eq!(out[0].span.read_u32_le(4096), (4096 / 4) % 251);

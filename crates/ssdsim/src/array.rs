@@ -103,12 +103,9 @@ impl SsdArray {
         for e in self.extents(offset, buf.len() as u64)? {
             let pages = self.pages_spanned(e.logical_offset, e.len);
             let service = self.inner.cfg.spec.read_service_ns(pages);
-            self.inner.stats.record_read(
-                e.ssd,
-                pages,
-                pages * self.inner.cfg.page_bytes,
-                service,
-            );
+            self.inner
+                .stats
+                .record_read(e.ssd, pages, pages * self.inner.cfg.page_bytes, service);
             let dst = (e.logical_offset - offset) as usize;
             self.inner
                 .store
@@ -131,12 +128,9 @@ impl SsdArray {
         for e in self.extents(offset, data.len() as u64)? {
             let pages = self.pages_spanned(e.logical_offset, e.len);
             let service = self.inner.cfg.spec.write_service_ns(pages);
-            self.inner.stats.record_write(
-                e.ssd,
-                pages,
-                pages * self.inner.cfg.page_bytes,
-                service,
-            );
+            self.inner
+                .stats
+                .record_write(e.ssd, pages, pages * self.inner.cfg.page_bytes, service);
             let src = (e.logical_offset - offset) as usize;
             self.inner
                 .store
@@ -221,10 +215,7 @@ mod tests {
         let s = a.stats().snapshot();
         assert_eq!(s.read_requests, 1);
         assert_eq!(s.pages_read, 1);
-        assert_eq!(
-            s.max_busy_ns,
-            a.config().spec.read_service_ns(1)
-        );
+        assert_eq!(s.max_busy_ns, a.config().spec.read_service_ns(1));
     }
 
     #[test]

@@ -416,7 +416,10 @@ mod tests {
             b.set(VertexId::from_index(i));
         }
         let got: Vec<usize> = b.iter_ones_in_range(95..201).map(|v| v.index()).collect();
-        assert_eq!(got, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200]);
+        assert_eq!(
+            got,
+            vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200]
+        );
     }
 
     #[test]

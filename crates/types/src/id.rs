@@ -133,10 +133,7 @@ mod tests {
 
     #[test]
     fn is_transparent_u32() {
-        assert_eq!(
-            std::mem::size_of::<VertexId>(),
-            std::mem::size_of::<u32>()
-        );
+        assert_eq!(std::mem::size_of::<VertexId>(), std::mem::size_of::<u32>());
         assert_eq!(
             std::mem::align_of::<VertexId>(),
             std::mem::align_of::<u32>()

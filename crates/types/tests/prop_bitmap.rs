@@ -22,6 +22,10 @@ fn op_strategy(len: usize) -> impl Strategy<Value = Op> {
 }
 
 proptest! {
+    // Bounded so tier-1 stays fast; raise via PROPTEST_CASES for
+    // deeper soak runs.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     #[test]
     fn bitmap_matches_reference_set(
         len in 1usize..500,

@@ -1,12 +1,12 @@
 //! Social-network influence analysis — the workload family the
 //! paper's introduction motivates with Facebook/Twitter-scale graphs.
 //!
-//! On a Twitter-like follower graph (hub-heavy power law), compute:
+//! On a Twitter-like follower graph (hub-heavy power law), compute —
+//! all in semi-external memory with a cache far smaller than the
+//! graph:
 //! * PageRank — global influence,
 //! * single-source betweenness — brokerage of the top hub,
-//! * triangle counts — community cohesion around each account,
-//! all in semi-external memory with a cache far smaller than the
-//! graph.
+//! * triangle counts — community cohesion around each account.
 //!
 //! ```sh
 //! cargo run --release --example social_influence
@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ranks, pr_stats) = fg_apps::pagerank(&engine, 0.85, 1e-3, 30)?;
     let mut top: Vec<(usize, f32)> = ranks.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("\ntop-5 accounts by PageRank ({} iterations):", pr_stats.iterations);
+    println!(
+        "\ntop-5 accounts by PageRank ({} iterations):",
+        pr_stats.iterations
+    );
     for (v, r) in top.iter().take(5) {
         println!(
             "  account {v:>6}  rank {r:>8.2}  followers {:>6}",

@@ -1,0 +1,313 @@
+//! In-tree stand-in for the slice of `criterion` this workspace uses.
+//!
+//! Implements a small but real timing harness: each benchmark warms
+//! up, then runs timed samples and reports the mean and best
+//! per-iteration time. No statistical analysis, plotting, or baseline
+//! comparison — swap in real criterion via the workspace manifest when
+//! a registry is available.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted for API parity; the
+/// shim always re-runs setup per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, None, name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.group.clone();
+        run_bench(self.criterion, Some(&group), name, f);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(c: &Criterion, group: Option<&str>, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        mode: Mode::WarmUp {
+            until: Instant::now() + c.warm_up_time,
+        },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    b.mode = Mode::Measure {
+        until: Instant::now() + c.measurement_time,
+        samples_left: c.sample_size,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if b.samples.is_empty() {
+        println!("  {label:<40} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    let best = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "  {label:<40} mean {:>12} best {:>12} ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(best),
+        b.samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { until: Instant, samples_left: usize },
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean per-iteration nanoseconds of each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` in batches, recording per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                while Instant::now() < until {
+                    std::hint::black_box(routine());
+                }
+            }
+            Mode::Measure {
+                until,
+                samples_left,
+            } => {
+                for _ in 0..samples_left {
+                    // Size each sample to ~1/samples of the budget with
+                    // a geometric probe for very fast routines.
+                    let mut iters = 1u64;
+                    loop {
+                        let t0 = Instant::now();
+                        for _ in 0..iters {
+                            std::hint::black_box(routine());
+                        }
+                        let dt = t0.elapsed();
+                        if dt >= Duration::from_micros(200) || iters >= 1 << 20 {
+                            self.samples.push(dt.as_nanos() as f64 / iters as f64);
+                            break;
+                        }
+                        iters *= 4;
+                    }
+                    if Instant::now() >= until {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                while Instant::now() < until {
+                    let input = setup();
+                    std::hint::black_box(routine(input));
+                }
+            }
+            Mode::Measure {
+                until,
+                samples_left,
+            } => {
+                for _ in 0..samples_left {
+                    const BATCH: usize = 16;
+                    let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+                    let t0 = Instant::now();
+                    for input in inputs {
+                        std::hint::black_box(routine(input));
+                    }
+                    let dt = t0.elapsed();
+                    self.samples.push(dt.as_nanos() as f64 / BATCH as f64);
+                    if Instant::now() >= until {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn iter_produces_samples() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = quick();
+        c.bench_function("sort", |b| {
+            b.iter_batched(
+                || vec![3, 1, 2],
+                |mut v| {
+                    v.sort_unstable();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(benches, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        let mut fast = c
+            .clone()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        fast.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_builds_runner() {
+        benches();
+    }
+}

@@ -1,0 +1,33 @@
+//! In-tree stand-in for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}`.
+//!
+//! Backed by `std::sync::mpsc`, whose `Sender` has been `Sync` since
+//! Rust 1.72 — sufficient for SAFS's one-receiver-per-I/O-thread and
+//! one-receiver-per-session topology (no receiver cloning needed).
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_try_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert!(rx.try_recv().is_err());
+        let tx2 = tx.clone();
+        tx2.send(6).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.try_recv().unwrap(), 6);
+        assert!(rx.recv().is_err(), "closed after all senders dropped");
+    }
+}

@@ -1,0 +1,235 @@
+//! In-tree stand-in for the slice of `rand` this workspace uses:
+//! `SmallRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`, and
+//! `Rng::gen_bool`.
+//!
+//! The generator is xoshiro256** seeded through splitmix64 — the same
+//! construction real `rand` uses for `SmallRng` on 64-bit targets, so
+//! quality is comparable; exact streams differ from crates.io `rand`,
+//! which is fine because all consumers only rely on determinism for a
+//! fixed seed, not on a specific published stream.
+
+use std::ops::Range;
+
+/// A generator that can be built from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of `T` from its standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    #[inline]
+    fn gen_range<T: UniformRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types samplable from their standard distribution.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 24 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types uniformly samplable from a half-open `Range`.
+pub trait UniformRange: Sized {
+    /// Draws one value uniformly from `range`.
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl UniformRange for $t {
+                #[inline]
+                fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                    assert!(range.start < range.end, "empty range");
+                    let span = (range.end - range.start) as u64;
+                    // Multiply-shift rejection-free mapping is fine for
+                    // simulation workloads; bias is < 2^-32 for the
+                    // span sizes used here.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    range.start + hi as $t
+                }
+            }
+        )*
+    };
+}
+
+uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_float {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl UniformRange for $t {
+                #[inline]
+                fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                    assert!(range.start < range.end, "empty range");
+                    let unit: $t = Standard::sample(rng);
+                    range.start + unit * (range.end - range.start)
+                }
+            }
+        )*
+    };
+}
+
+uniform_float!(f32, f64);
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** — the algorithm behind `rand`'s 64-bit `SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as rand_core does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = r.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 10, "all values of a small range appear");
+        for _ in 0..100 {
+            let f = r.gen_range(1.0f32..2.0);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} of 10000");
+    }
+}

@@ -1,0 +1,39 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this crate
+//! provides the subset of serde the workspace actually relies on:
+//! the `Serialize` / `Deserialize` trait names used as derive-able
+//! markers on plain data structs. No wire format is implemented —
+//! nothing in the workspace serializes through serde yet; snapshots
+//! are rendered through `fg_bench::report` instead. Replacing this
+//! shim with real serde is a one-line change in the workspace
+//! manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Implemented structurally by the no-op derive; carries no methods
+/// because no serializer backend exists in the offline build.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_primitives!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize> Serialize for &T {}

@@ -13,9 +13,7 @@
 //! * [`fg_baselines`] — comparator engines for the evaluation,
 //! * [`fg_types`] — shared primitives.
 //!
-//! See `README.md` for the architecture tour, `DESIGN.md` for the
-//! paper-to-module inventory, and `EXPERIMENTS.md` for
-//! paper-vs-measured results.
+//! See `README.md` for the architecture tour and the crate map.
 
 pub use fg_apps;
 pub use fg_baselines;

@@ -70,8 +70,7 @@ fn every_page_size_yields_identical_results() {
     let g = gen::rmat(9, 6, gen::RmatSkew::social(), 161);
     let mut reference: Option<Vec<u32>> = None;
     for page_kb in [1u64, 4, 64, 256] {
-        let array =
-            SsdArray::new_mem(ArrayConfig::paper_array(), required_capacity(&g)).unwrap();
+        let array = SsdArray::new_mem(ArrayConfig::paper_array(), required_capacity(&g)).unwrap();
         let cfg = SafsConfig::default().with_page_bytes(page_kb * 1024);
         let (safs, index) = mount(&g, array, cfg);
         let engine = Engine::new_sem(&safs, index, EngineConfig::default());
@@ -87,8 +86,7 @@ fn every_page_size_yields_identical_results() {
 fn tiny_cache_and_huge_cache_agree() {
     let g = gen::rmat(9, 8, gen::RmatSkew::social(), 99);
     for cache_bytes in [0u64, 16 * 4096, 1 << 26] {
-        let array =
-            SsdArray::new_mem(ArrayConfig::paper_array(), required_capacity(&g)).unwrap();
+        let array = SsdArray::new_mem(ArrayConfig::paper_array(), required_capacity(&g)).unwrap();
         let cfg = SafsConfig::default().with_cache_bytes(cache_bytes);
         let (safs, index) = mount(&g, array, cfg);
         let engine = Engine::new_sem(&safs, index, EngineConfig::default());
