@@ -69,7 +69,7 @@ fn bench_index(c: &mut Criterion) {
 }
 
 fn bench_merge(c: &mut Criterion) {
-    use flashgraph::merge::{merge_requests, RangeReq};
+    use flashgraph::merge::{merge_requests, RangeReq, UNLIMITED_MERGE_BYTES};
     let mut g = c.benchmark_group("request_merge");
     // A realistic issue batch: 256 mostly-sorted, clustered requests.
     let make_batch = || -> Vec<RangeReq> {
@@ -84,14 +84,14 @@ fn bench_merge(c: &mut Criterion) {
     g.bench_function("merge_256_clustered", |b| {
         b.iter_batched(
             make_batch,
-            |batch| std::hint::black_box(merge_requests(batch, 4096, true)),
+            |batch| std::hint::black_box(merge_requests(batch, 4096, true, UNLIMITED_MERGE_BYTES)),
             BatchSize::SmallInput,
         )
     });
     g.bench_function("sort_only_256", |b| {
         b.iter_batched(
             make_batch,
-            |batch| std::hint::black_box(merge_requests(batch, 4096, false)),
+            |batch| std::hint::black_box(merge_requests(batch, 4096, false, UNLIMITED_MERGE_BYTES)),
             BatchSize::SmallInput,
         )
     });

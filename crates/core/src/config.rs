@@ -42,6 +42,12 @@ pub struct EngineConfig {
     /// (§3.6). Turning this off reproduces the "merge in SAFS" and
     /// "no merging" rows of Figure 12.
     pub merge_in_engine: bool,
+    /// Upper bound in bytes on one merged I/O request. Without a cap a
+    /// well-sorted issue batch coalesces into a single giant device
+    /// read that lands on one drive and serializes the array; the cap
+    /// splits such covers so they stripe. A single request larger than
+    /// the cap still issues whole. Zero means unlimited.
+    pub max_merge_bytes: u64,
     /// Vertex ordering policy.
     pub scheduler: SchedulerKind,
     /// Vertical passes per iteration (§3.8): programs see
@@ -82,6 +88,24 @@ impl EngineConfig {
     pub fn with_engine_merge(mut self, on: bool) -> Self {
         self.merge_in_engine = on;
         self
+    }
+
+    /// Builder-style: sets the merged-request size cap (0 =
+    /// unlimited).
+    pub fn with_max_merge_bytes(mut self, bytes: u64) -> Self {
+        self.max_merge_bytes = bytes;
+        self
+    }
+
+    /// The merged-request cap as [`crate::merge::merge_requests`]
+    /// expects it: the configured bytes, or effectively-infinite when
+    /// the knob is 0.
+    pub fn resolved_max_merge_bytes(&self) -> u64 {
+        if self.max_merge_bytes == 0 {
+            crate::merge::UNLIMITED_MERGE_BYTES
+        } else {
+            self.max_merge_bytes
+        }
     }
 
     /// Builder-style: sets vertical passes.
@@ -127,6 +151,11 @@ impl Default for EngineConfig {
             max_pending: 4000,
             issue_batch: 256,
             merge_in_engine: true,
+            // A few MB: large enough that merging still amortizes
+            // request overhead, small enough that one cover cannot
+            // monopolize a drive (a couple of stripes on the paper's
+            // array geometry).
+            max_merge_bytes: 4 << 20,
             scheduler: SchedulerKind::Alternating,
             vertical_parts: 1,
             max_iterations: u32::MAX,
@@ -163,6 +192,17 @@ mod tests {
         assert!(large <= 18, "paper's upper guidance");
         // Enough ranges for stealing even on tiny graphs.
         assert!((1usize << 10) >> small >= 4 * 4);
+    }
+
+    #[test]
+    fn merge_cap_defaults_and_resolves() {
+        let c = EngineConfig::default();
+        assert_eq!(c.max_merge_bytes, 4 << 20);
+        assert_eq!(c.resolved_max_merge_bytes(), 4 << 20);
+        assert_eq!(
+            c.with_max_merge_bytes(0).resolved_max_merge_bytes(),
+            crate::merge::UNLIMITED_MERGE_BYTES
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The per-callback context handed to vertex programs.
 
+use std::sync::Arc;
+
 use fg_format::GraphIndex;
 use fg_graph::Graph;
 use fg_types::{AtomicBitmap, EdgeDir, VertexId};
@@ -9,8 +11,13 @@ use crate::partition::PartitionMap;
 
 /// Where per-vertex degrees come from: the compact index in
 /// semi-external mode, the CSR in in-memory mode.
+///
+/// The semi-external arm holds the index by `Arc` rather than
+/// borrowing it from the engine: the index is shared, immutable state
+/// that many concurrent runs (one per [`crate::GraphService`] query)
+/// read simultaneously, each from its own `RunShared`.
 pub(crate) enum DegreeSource<'g> {
-    Index(&'g GraphIndex),
+    Index(Arc<GraphIndex>),
     Graph(&'g Graph),
 }
 

@@ -3,12 +3,12 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use fg_format::GraphIndex;
 use fg_graph::Graph;
-use fg_safs::{Completion, IoSession, PageSpan, Safs};
+use fg_safs::{CacheStats, Completion, IoSession, PageSpan, Safs};
 use fg_types::{AtomicBitmap, Bitmap, EdgeDir, FgError, Result, VertexId};
 
 use crate::config::{EngineConfig, SchedulerKind};
@@ -30,13 +30,18 @@ pub enum Init {
     Seeds(Vec<VertexId>),
 }
 
-// One instance per engine, never stored in bulk, so the size gap
-// between the borrowed Mem arm and the index-owning Sem arm costs
-// nothing; boxing would only add indirection on the hot lookup path.
-#[allow(clippy::large_enum_variant)]
+/// The engine never owns its backend exclusively: the in-memory arm
+/// borrows the graph, and the semi-external arm borrows the SAFS
+/// mount and shares the (immutable) index behind an `Arc`. Sharing
+/// the index is what lets many engines — and through them, the
+/// concurrent queries of [`crate::GraphService`] — run against one
+/// mount without duplicating per-vertex location tables.
 enum Backend<'g> {
     Mem(&'g Graph),
-    Sem { safs: &'g Safs, index: GraphIndex },
+    Sem {
+        safs: &'g Safs,
+        index: Arc<GraphIndex>,
+    },
 }
 
 /// The FlashGraph engine over one graph, in semi-external-memory or
@@ -77,6 +82,13 @@ impl<'g> Engine<'g> {
     /// A semi-external-memory engine over a SAFS-mounted graph image
     /// and its loaded [`GraphIndex`].
     pub fn new_sem(safs: &'g Safs, index: GraphIndex, cfg: EngineConfig) -> Self {
+        Self::new_sem_shared(safs, Arc::new(index), cfg)
+    }
+
+    /// Like [`Engine::new_sem`] but sharing an already-`Arc`ed index —
+    /// the constructor [`crate::GraphService`] uses so every
+    /// concurrent query reads one index instead of cloning it.
+    pub fn new_sem_shared(safs: &'g Safs, index: Arc<GraphIndex>, cfg: EngineConfig) -> Self {
         Engine {
             n: index.num_vertices(),
             backend: Backend::Sem { safs, index },
@@ -95,16 +107,16 @@ impl<'g> Engine<'g> {
     }
 
     /// A new engine over the same backend with a different
-    /// configuration (engines are stateless between runs, so this is
-    /// cheap; used by apps that need per-run iteration caps or
-    /// schedulers).
+    /// configuration (engines are stateless between runs and the
+    /// semi-external index is `Arc`-shared, so this is cheap; used by
+    /// apps that need per-run iteration caps or schedulers).
     pub fn reconfigured(&self, cfg: EngineConfig) -> Engine<'g> {
         Engine {
             backend: match &self.backend {
                 Backend::Mem(g) => Backend::Mem(g),
                 Backend::Sem { safs, index } => Backend::Sem {
                     safs,
-                    index: index.clone(),
+                    index: Arc::clone(index),
                 },
             },
             cfg,
@@ -185,7 +197,7 @@ impl<'g> Engine<'g> {
             vparts,
             degrees: match &self.backend {
                 Backend::Mem(g) => DegreeSource::Graph(g),
-                Backend::Sem { index, .. } => DegreeSource::Index(index),
+                Backend::Sem { index, .. } => DegreeSource::Index(Arc::clone(index)),
             },
             pmap: pmap.clone(),
         };
@@ -195,6 +207,14 @@ impl<'g> Engine<'g> {
         let barrier = Barrier::new(nthreads);
         let control = Control::default();
         let counters = Counters::default();
+        // Per-run cache scope: with many queries sharing one mount, a
+        // before/after delta of the global counters would book every
+        // tenant's traffic to this run. The scope records only the
+        // lookups this run's own sessions performed.
+        let cache_scope = match &self.backend {
+            Backend::Sem { .. } => Some(Arc::new(CacheStats::default())),
+            Backend::Mem(_) => None,
+        };
         let (io_before, cache_before) = match &self.backend {
             Backend::Sem { safs, .. } => (
                 Some(safs.array().stats().snapshot()),
@@ -220,6 +240,7 @@ impl<'g> Engine<'g> {
                         barrier: &barrier,
                         control: &control,
                         counters: &counters,
+                        cache_scope: &cache_scope,
                         per_iteration: &per_iteration,
                     };
                     scope.spawn(move || worker.run_loop());
@@ -228,7 +249,7 @@ impl<'g> Engine<'g> {
         }
 
         let elapsed = start.elapsed();
-        let (io, cache) = match &self.backend {
+        let (io, cache_mount) = match &self.backend {
             Backend::Sem { safs, .. } => (
                 Some(
                     safs.array()
@@ -251,8 +272,10 @@ impl<'g> Engine<'g> {
             engine_requests: counters.engine_requests.load(Ordering::Relaxed),
             issued_requests: counters.issued_requests.load(Ordering::Relaxed),
             bytes_requested: counters.bytes_requested.load(Ordering::Relaxed),
+            queue_wait_ns: 0,
             io,
-            cache,
+            cache: cache_scope.as_ref().map(|s| s.snapshot()),
+            cache_mount,
             per_iteration: per_iteration.into_inner(),
         };
         Ok((states.into_inner(), stats))
@@ -380,6 +403,7 @@ struct WorkerEnv<'r, 'g, P: VertexProgram> {
     barrier: &'r Barrier,
     control: &'r Control,
     counters: &'r Counters,
+    cache_scope: &'r Option<Arc<CacheStats>>,
     per_iteration: &'r parking_lot::Mutex<Vec<IterStats>>,
 }
 
@@ -392,7 +416,9 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         let mut scratch: WorkerScratch<P::Msg> =
             WorkerScratch::new(self.shared.pmap.num_partitions());
         let mut io = match &self.engine.backend {
-            Backend::Sem { safs, .. } => IoDriver::Sem(SemIo::new(safs.session())),
+            Backend::Sem { safs, .. } => {
+                IoDriver::Sem(SemIo::new(safs.session_scoped(self.cache_scope.clone())))
+            }
             Backend::Mem(_) => IoDriver::Mem,
         };
         let mut seen_notify = Bitmap::new(self.shared.n);
@@ -835,6 +861,7 @@ impl IoDriver<'_> {
                 s.flush(
                     env.engine.safs_page_bytes(),
                     env.engine.cfg.merge_in_engine,
+                    env.engine.cfg.resolved_max_merge_bytes(),
                     env.counters,
                 );
             }
@@ -846,6 +873,7 @@ impl IoDriver<'_> {
             s.flush(
                 env.engine.safs_page_bytes(),
                 env.engine.cfg.merge_in_engine,
+                env.engine.cfg.resolved_max_merge_bytes(),
                 env.counters,
             );
         }
@@ -1007,13 +1035,13 @@ impl<'s> SemIo<'s> {
     }
 
     /// Sorts, merges, and submits the issue queue (§3.6).
-    fn flush(&mut self, page_bytes: u64, merge: bool, counters: &Counters) {
+    fn flush(&mut self, page_bytes: u64, merge: bool, max_merge_bytes: u64, counters: &Counters) {
         if self.issue_q.is_empty() {
             return;
         }
         let reqs = std::mem::take(&mut self.issue_q);
         let metas = std::mem::take(&mut self.issue_meta);
-        for m in merge_requests(reqs, page_bytes, merge) {
+        for m in merge_requests(reqs, page_bytes, merge, max_merge_bytes) {
             let parts: Vec<(u64, u64, PartMeta)> = m
                 .parts
                 .iter()

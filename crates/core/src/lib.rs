@@ -28,6 +28,10 @@
 //! * **Two execution modes**: semi-external memory over
 //!   [`fg_safs::Safs`] and a drop-in in-memory mode over
 //!   [`fg_graph::Graph`] — the paper's FG-mem baseline.
+//! * **Concurrent serving** ([`GraphService`], [`serve`]): one SAFS
+//!   mount and one index shared by many simultaneous queries, with
+//!   FIFO admission control — the multi-tenant layer over §3.1's
+//!   shared cache and I/O threads.
 //!
 //! # Example: breadth-first search (the paper's Figure 4)
 //!
@@ -80,6 +84,7 @@ pub mod merge;
 mod messages;
 mod partition;
 mod program;
+pub mod serve;
 mod state;
 mod stats;
 mod vertex;
@@ -88,5 +93,6 @@ pub use config::{EngineConfig, SchedulerKind};
 pub use context::VertexContext;
 pub use engine::{Engine, Init};
 pub use program::VertexProgram;
+pub use serve::{GraphService, ServiceConfig, ServiceStatsSnapshot};
 pub use stats::RunStats;
 pub use vertex::PageVertex;

@@ -33,13 +33,31 @@ pub struct MergedReq {
     pub parts: Vec<RangeReq>,
 }
 
+/// No cap on merged-request size (see [`merge_requests`]).
+pub const UNLIMITED_MERGE_BYTES: u64 = u64::MAX;
+
 /// Sorts `reqs` by offset and merges runs that share a page or sit on
 /// adjacent pages (`page_bytes` granularity). With `merge` false the
 /// requests are still sorted — preserving the sequential issue order
 /// the scheduler worked for — but each becomes its own [`MergedReq`],
 /// which is the "merge in SAFS" configuration where coalescing is
 /// left to the I/O threads.
-pub fn merge_requests(mut reqs: Vec<RangeReq>, page_bytes: u64, merge: bool) -> Vec<MergedReq> {
+///
+/// `max_merge_bytes` bounds how large one merged cover may grow:
+/// without a cap, a well-sorted batch (the common case under the
+/// default id-order scheduler) collapses into one giant device read,
+/// serializing onto a single drive and defeating parallelism across
+/// the SSD array. A request that would push the cover past the cap
+/// starts a new cover instead. A *single* request larger than the cap
+/// is never split — it becomes its own oversized cover, and requests
+/// fully contained in it still join it (splitting those off would
+/// duplicate reads).
+pub fn merge_requests(
+    mut reqs: Vec<RangeReq>,
+    page_bytes: u64,
+    merge: bool,
+    max_merge_bytes: u64,
+) -> Vec<MergedReq> {
     reqs.sort_by_key(|r| (r.offset, r.bytes));
     let mut out: Vec<MergedReq> = Vec::with_capacity(reqs.len());
     for r in reqs {
@@ -48,10 +66,17 @@ pub fn merge_requests(mut reqs: Vec<RangeReq>, page_bytes: u64, merge: bool) -> 
             if let Some(last) = out.last_mut() {
                 let last_end_page = (last.offset + last.bytes - 1) / page_bytes;
                 let r_start_page = r.offset / page_bytes;
-                // Same page, adjacent page, or overlapping bytes.
-                if r_start_page <= last_end_page + 1 {
-                    let end = (last.offset + last.bytes).max(r.offset + r.bytes);
-                    last.bytes = end - last.offset;
+                // Same page, adjacent page, or overlapping bytes —
+                // and the grown cover stays within the size cap. A
+                // request that does not grow the cover at all (fully
+                // contained, e.g. inside a single oversized part) is
+                // always absorbed: splitting it off would issue a
+                // duplicate read of pages the cover already fetches.
+                let grown = (last.offset + last.bytes).max(r.offset + r.bytes) - last.offset;
+                if r_start_page <= last_end_page + 1
+                    && (grown <= max_merge_bytes || grown == last.bytes)
+                {
+                    last.bytes = grown;
                     last.parts.push(r);
                     continue;
                 }
@@ -88,7 +113,7 @@ mod tests {
             req(9000, 100, 6), // page 2
             req(13000, 80, 8), // page 3 (adjacent to page 2)
         ];
-        let merged = merge_requests(reqs, 4096, true);
+        let merged = merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES);
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0].parts.len(), 2);
         assert_eq!(merged[1].parts.len(), 2);
@@ -101,14 +126,14 @@ mod tests {
     #[test]
     fn distant_requests_do_not_merge() {
         let reqs = vec![req(0, 10, 0), req(3 * 4096, 10, 1)];
-        let merged = merge_requests(reqs, 4096, true);
+        let merged = merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES);
         assert_eq!(merged.len(), 2);
     }
 
     #[test]
     fn unsorted_input_is_sorted_first() {
         let reqs = vec![req(8192, 10, 1), req(0, 10, 0), req(4096, 10, 2)];
-        let merged = merge_requests(reqs, 4096, true);
+        let merged = merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES);
         // Pages 0,1,2 are all adjacent once sorted: one request.
         assert_eq!(merged.len(), 1);
         let metas: Vec<u32> = merged[0].parts.iter().map(|p| p.meta).collect();
@@ -118,7 +143,7 @@ mod tests {
     #[test]
     fn merge_disabled_only_sorts() {
         let reqs = vec![req(4096, 10, 1), req(0, 10, 0)];
-        let merged = merge_requests(reqs, 4096, false);
+        let merged = merge_requests(reqs, 4096, false, UNLIMITED_MERGE_BYTES);
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0].offset, 0);
         assert_eq!(merged[1].offset, 4096);
@@ -127,7 +152,7 @@ mod tests {
     #[test]
     fn overlapping_requests_cover_union() {
         let reqs = vec![req(100, 500, 0), req(300, 1000, 1)];
-        let merged = merge_requests(reqs, 4096, true);
+        let merged = merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].offset, 100);
         assert_eq!(merged[0].bytes, 1200);
@@ -136,14 +161,67 @@ mod tests {
     #[test]
     fn contained_request_does_not_shrink_cover() {
         let reqs = vec![req(0, 4096, 0), req(100, 10, 1)];
-        let merged = merge_requests(reqs, 4096, true);
+        let merged = merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].bytes, 4096);
     }
 
     #[test]
     fn empty_input_empty_output() {
-        assert!(merge_requests(Vec::new(), 4096, true).is_empty());
+        assert!(merge_requests(Vec::new(), 4096, true, UNLIMITED_MERGE_BYTES).is_empty());
+    }
+
+    #[test]
+    fn cap_splits_well_sorted_batch() {
+        // Regression: a perfectly sequential batch used to collapse
+        // into one giant cover. With a 4-page cap, 16 adjacent pages
+        // become 4 covers of 4 pages each.
+        let reqs: Vec<RangeReq> = (0..16).map(|i| req(i * 4096, 4096, i as u32)).collect();
+        let merged = merge_requests(reqs, 4096, true, 4 * 4096);
+        assert_eq!(merged.len(), 4);
+        for m in &merged {
+            assert_eq!(m.bytes, 4 * 4096);
+            assert_eq!(m.parts.len(), 4);
+        }
+    }
+
+    #[test]
+    fn single_oversized_request_stays_whole() {
+        // A part larger than the cap is never split; it just cannot
+        // absorb neighbours.
+        let reqs = vec![req(0, 10 * 4096, 0), req(10 * 4096, 100, 1)];
+        let merged = merge_requests(reqs, 4096, true, 4096);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].bytes, 10 * 4096);
+        assert_eq!(merged[0].parts.len(), 1);
+        assert_eq!(merged[1].parts.len(), 1);
+    }
+
+    #[test]
+    fn contained_request_joins_oversized_cover() {
+        // Regression: a request fully inside an already-over-cap cover
+        // must be absorbed, not split into an overlapping duplicate
+        // read.
+        let reqs = vec![req(0, 10 * 4096, 0), req(100, 10, 1)];
+        let merged = merge_requests(reqs, 4096, true, 4096);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].bytes, 10 * 4096);
+        assert_eq!(merged[0].parts.len(), 2);
+    }
+
+    #[test]
+    fn cap_preserves_every_part() {
+        let reqs: Vec<RangeReq> = (0..50).map(|i| req(i * 1000, 900, i as u32)).collect();
+        let merged = merge_requests(reqs, 4096, true, 8192);
+        let mut metas: Vec<u32> = merged
+            .iter()
+            .flat_map(|m| m.parts.iter().map(|p| p.meta))
+            .collect();
+        metas.sort_unstable();
+        assert_eq!(metas, (0..50).collect::<Vec<_>>());
+        for m in &merged {
+            assert!(m.bytes <= 8192 || m.parts.len() == 1);
+        }
     }
 
     #[test]
@@ -152,7 +230,7 @@ mod tests {
         let reqs: Vec<RangeReq> = (0..100)
             .map(|i| req((i * 37 % 50) * 1000, 500 + i % 300, i as u32))
             .collect();
-        for merged in merge_requests(reqs, 4096, true) {
+        for merged in merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES) {
             for p in &merged.parts {
                 assert!(p.offset >= merged.offset);
                 assert!(p.offset + p.bytes <= merged.offset + merged.bytes);

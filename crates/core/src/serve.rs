@@ -1,0 +1,485 @@
+//! A concurrent query service over one shared SAFS mount.
+//!
+//! SAFS is designed as a *shared* substrate (§3.1): application
+//! threads mail I/O requests to common per-drive I/O threads, and the
+//! set-associative page cache — per-set locks, gclock eviction —
+//! absorbs overlapping working sets with near-zero locking overhead.
+//! The paper leans on exactly this property ("this page cache reduces
+//! locking overhead and incurs little overhead when the cache hit
+//! rate is low", §3.1; Figures 12–14 quantify the cache and I/O
+//! paths). A single [`crate::Engine::run`] uses that machinery for
+//! one job; [`GraphService`] turns it into a multi-tenant serving
+//! layer: one mount, one in-memory [`GraphIndex`], many vertex
+//! programs running *concurrently* against them.
+//!
+//! What is shared and what is per-query:
+//!
+//! * **Shared, immutable**: the SAFS mount (page cache + I/O
+//!   threads + SSD array) and the compact graph index, both behind
+//!   `Arc`. Concurrent queries touching the same edge lists hit each
+//!   other's cached pages — the cross-query locality the follow-on
+//!   SSD eigensolver work exploits when multiplexing computations
+//!   over one mount.
+//! * **Per-query**: the vertex program, its [`Init`] activation, an
+//!   optional [`EngineConfig`] override, the per-vertex state vector,
+//!   and a [`RunStats`] whose cache counters come from a per-query
+//!   scope ([`fg_safs::Safs::session_scoped`]) so tenants do not book
+//!   each other's traffic.
+//!
+//! Admission control: at most [`ServiceConfig::max_inflight`] queries
+//! run at once; arrivals beyond that wait in a strict FIFO ticket
+//! queue (no overtaking). The time spent queued is reported in
+//! [`RunStats::queue_wait_ns`] for [`GraphService::run`] /
+//! [`GraphService::run_with`], and accumulated service-wide in
+//! [`ServiceStatsSnapshot::queue_wait_ns`] for every admission
+//! (including the [`GraphService::query`] closure paths, whose
+//! arbitrary return type the service cannot patch).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use fg_format::GraphIndex;
+use fg_safs::{CacheStatsSnapshot, Safs};
+use fg_types::Result;
+
+use crate::config::EngineConfig;
+use crate::engine::{Engine, Init};
+use crate::program::VertexProgram;
+use crate::stats::RunStats;
+
+/// Tunables of a [`GraphService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Maximum queries running concurrently; arrivals beyond this
+    /// queue FIFO. Zero means unlimited (no admission control).
+    pub max_inflight: usize,
+    /// Engine configuration queries run with unless they override it.
+    pub engine: EngineConfig,
+}
+
+impl ServiceConfig {
+    /// Builder-style: sets the in-flight cap.
+    pub fn with_max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n;
+        self
+    }
+
+    /// Builder-style: sets the base engine configuration.
+    pub fn with_engine(mut self, cfg: EngineConfig) -> Self {
+        self.engine = cfg;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            // Enough concurrency to overlap I/O across tenants without
+            // letting a burst of queries thrash the shared cache.
+            max_inflight: 4,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// A point-in-time copy of a service's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStatsSnapshot {
+    /// Queries admitted past the gate so far.
+    pub admitted: u64,
+    /// Queries that finished (successfully or not).
+    pub completed: u64,
+    /// Highest number of queries in flight at once.
+    pub peak_inflight: usize,
+    /// Total nanoseconds queries spent waiting for admission.
+    pub queue_wait_ns: u64,
+}
+
+/// FIFO admission gate: tickets are handed out in arrival order and
+/// served strictly in ticket order, so a long queue cannot starve an
+/// early arrival.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    next_ticket: u64,
+    next_admit: u64,
+    running: usize,
+}
+
+impl Gate {
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        // A tenant that panicked inside `Engine::run` must not wedge
+        // the whole service; the gate state is a few counters that
+        // stay consistent regardless.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Releases one admission slot when a query ends, even by panic.
+struct Permit<'s> {
+    service: &'s GraphService,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.service.gate.lock();
+        st.running -= 1;
+        self.service.completed.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.service.gate.cv.notify_all();
+    }
+}
+
+/// A shared-mount concurrent query service: one [`Safs`] mount and
+/// one [`GraphIndex`], many vertex-program queries in flight at once.
+///
+/// The service is `Sync`; callers invoke [`GraphService::run`] (or
+/// [`GraphService::query`]) from as many threads as they like and
+/// each call becomes one admitted query.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use flashgraph::{GraphService, ServiceConfig, Init};
+/// # fn demo(safs: fg_safs::Safs, index: fg_format::GraphIndex) {
+/// let service = Arc::new(GraphService::new(safs, index, ServiceConfig::default()));
+/// std::thread::scope(|s| {
+///     for root in [0u32, 7, 42] {
+///         let service = Arc::clone(&service);
+///         s.spawn(move || {
+///             service.query(|engine| fg_apps::bfs(engine, fg_types::VertexId(root)))
+///         });
+///     }
+/// });
+/// # }
+/// ```
+pub struct GraphService {
+    safs: Arc<Safs>,
+    index: Arc<GraphIndex>,
+    cfg: ServiceConfig,
+    gate: Gate,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    peak_inflight: AtomicUsize,
+    queue_wait_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for GraphService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphService")
+            .field("vertices", &self.index.num_vertices())
+            .field("max_inflight", &self.cfg.max_inflight)
+            .field("running", &self.gate.lock().running)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GraphService {
+    /// A service owning `safs` and `index`.
+    pub fn new(safs: Safs, index: GraphIndex, cfg: ServiceConfig) -> Self {
+        Self::from_shared(Arc::new(safs), Arc::new(index), cfg)
+    }
+
+    /// A service over already-shared mount and index (when other
+    /// subsystems — loaders, snapshotters — keep their own handles).
+    pub fn from_shared(safs: Arc<Safs>, index: Arc<GraphIndex>, cfg: ServiceConfig) -> Self {
+        GraphService {
+            safs,
+            index,
+            cfg,
+            gate: Gate {
+                state: Mutex::new(GateState {
+                    next_ticket: 0,
+                    next_admit: 0,
+                    running: 0,
+                }),
+                cv: Condvar::new(),
+            },
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            peak_inflight: AtomicUsize::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of vertices in the served graph.
+    pub fn num_vertices(&self) -> usize {
+        self.index.num_vertices()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The shared mount (for mount-wide statistics or resets between
+    /// experiment phases).
+    pub fn safs(&self) -> &Safs {
+        &self.safs
+    }
+
+    /// The shared index.
+    pub fn index(&self) -> &Arc<GraphIndex> {
+        &self.index
+    }
+
+    /// Mount-wide page-cache counters — the aggregate across every
+    /// tenant, where cross-query hits show up.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.safs.cache_stats()
+    }
+
+    /// Queries currently past admission.
+    pub fn inflight(&self) -> usize {
+        self.gate.lock().running
+    }
+
+    /// Service counters so far.
+    pub fn stats(&self) -> ServiceStatsSnapshot {
+        ServiceStatsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            peak_inflight: self.peak_inflight.load(Ordering::Relaxed),
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs one query with the service's base engine configuration.
+    ///
+    /// Blocks while the admission gate is full; the wait is reported
+    /// in the returned [`RunStats::queue_wait_ns`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (bad seeds, I/O failures).
+    pub fn run<P: VertexProgram>(
+        &self,
+        program: &P,
+        init: Init,
+    ) -> Result<(Vec<P::State>, RunStats)> {
+        self.run_with(self.cfg.engine, program, init)
+    }
+
+    /// Like [`GraphService::run`] with a per-query engine
+    /// configuration override (iteration caps, schedulers, merge
+    /// knobs — anything in [`EngineConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn run_with<P: VertexProgram>(
+        &self,
+        cfg: EngineConfig,
+        program: &P,
+        init: Init,
+    ) -> Result<(Vec<P::State>, RunStats)> {
+        let (permit, waited) = self.admit();
+        let engine = Engine::new_sem_shared(&self.safs, Arc::clone(&self.index), cfg);
+        let result = engine.run(program, init);
+        drop(permit);
+        result.map(|(states, mut stats)| {
+            stats.queue_wait_ns = waited.as_nanos() as u64;
+            (states, stats)
+        })
+    }
+
+    /// Admits one query and hands the closure a borrowed [`Engine`]
+    /// over the shared backend — the escape hatch for app wrappers
+    /// ([`fg_apps`]-style functions taking `&Engine`) and multi-phase
+    /// runs that need several `run_with_states` calls under a single
+    /// admission.
+    ///
+    /// Because the closure's return type is opaque, any [`RunStats`]
+    /// it produces keeps `queue_wait_ns == 0`; the admission wait is
+    /// still accounted in the service-wide
+    /// [`ServiceStatsSnapshot::queue_wait_ns`]. Use
+    /// [`GraphService::run`] when the per-query wait matters.
+    pub fn query<R>(&self, f: impl FnOnce(&Engine<'_>) -> R) -> R {
+        self.query_with(self.cfg.engine, f)
+    }
+
+    /// [`GraphService::query`] with a per-query configuration.
+    pub fn query_with<R>(&self, cfg: EngineConfig, f: impl FnOnce(&Engine<'_>) -> R) -> R {
+        let (permit, _waited) = self.admit();
+        let engine = Engine::new_sem_shared(&self.safs, Arc::clone(&self.index), cfg);
+        let out = f(&engine);
+        drop(permit);
+        out
+    }
+
+    /// Blocks until this caller holds an admission slot, FIFO.
+    fn admit(&self) -> (Permit<'_>, Duration) {
+        let t0 = Instant::now();
+        let mut st = self.gate.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        while st.next_admit != ticket
+            || (self.cfg.max_inflight != 0 && st.running >= self.cfg.max_inflight)
+        {
+            st = self.gate.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.next_admit += 1;
+        st.running += 1;
+        let running = st.running;
+        drop(st);
+        // The next ticket holder may also fit (capacity > 1).
+        self.gate.cv.notify_all();
+        let waited = t0.elapsed();
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.peak_inflight.fetch_max(running, Ordering::Relaxed);
+        self.queue_wait_ns
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        (Permit { service: self }, waited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::VertexContext;
+    use crate::vertex::PageVertex;
+    use fg_format::{load_index, required_capacity, write_image};
+    use fg_graph::fixtures;
+    use fg_safs::SafsConfig;
+    use fg_ssdsim::{ArrayConfig, SsdArray};
+    use fg_types::{EdgeDir, VertexId};
+
+    struct Bfs;
+
+    #[derive(Default, Clone, Copy)]
+    struct BfsState {
+        visited: bool,
+        level: u32,
+    }
+
+    impl VertexProgram for Bfs {
+        type State = BfsState;
+        type Msg = ();
+
+        fn run(&self, v: VertexId, state: &mut BfsState, ctx: &mut VertexContext<'_, ()>) {
+            if !state.visited {
+                state.visited = true;
+                state.level = ctx.iteration();
+                ctx.request_edges(v, EdgeDir::Out);
+            }
+        }
+
+        fn run_on_vertex(
+            &self,
+            _v: VertexId,
+            _state: &mut BfsState,
+            vertex: &PageVertex<'_>,
+            ctx: &mut VertexContext<'_, ()>,
+        ) {
+            for dst in vertex.edges() {
+                ctx.activate(dst);
+            }
+        }
+    }
+
+    fn service(max_inflight: usize) -> GraphService {
+        let g = fixtures::path(16);
+        let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
+        write_image(&g, &array).unwrap();
+        let (_, index) = load_index(&array).unwrap();
+        let safs = Safs::new(SafsConfig::default().with_cache_bytes(8 * 4096), array).unwrap();
+        safs.reset_stats();
+        let cfg = ServiceConfig::default()
+            .with_max_inflight(max_inflight)
+            .with_engine(EngineConfig::small());
+        GraphService::new(safs, index, cfg)
+    }
+
+    #[test]
+    fn single_query_matches_path_levels() {
+        let svc = service(2);
+        let (states, stats) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        for (i, s) in states.iter().enumerate() {
+            assert!(s.visited);
+            assert_eq!(s.level as usize, i);
+        }
+        assert!(stats.cache.is_some(), "sem runs report scoped cache stats");
+        let snapshot = svc.stats();
+        assert_eq!(snapshot.admitted, 1);
+        assert_eq!(snapshot.completed, 1);
+        assert_eq!(svc.inflight(), 0);
+    }
+
+    #[test]
+    fn admission_cap_bounds_concurrency() {
+        let svc = Arc::new(service(1));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let svc = Arc::clone(&svc);
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                s.spawn(move || {
+                    svc.query(|engine| {
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        let out = engine.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        out
+                    });
+                });
+            }
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "cap of 1 was overrun");
+        let snapshot = svc.stats();
+        assert_eq!(snapshot.admitted, 6);
+        assert_eq!(snapshot.completed, 6);
+        assert_eq!(snapshot.peak_inflight, 1);
+    }
+
+    #[test]
+    fn unlimited_cap_admits_everything_at_once() {
+        let svc = Arc::new(service(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let svc = Arc::clone(&svc);
+                s.spawn(move || svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap());
+            }
+        });
+        assert_eq!(svc.stats().completed, 4);
+    }
+
+    #[test]
+    fn queue_wait_is_reported() {
+        let svc = Arc::new(service(1));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let svc = Arc::clone(&svc);
+                s.spawn(move || {
+                    let (_, stats) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+                    // Every run reports some (possibly zero) wait.
+                    let _ = stats.queue_wait_ns;
+                });
+            }
+        });
+        // Total service-side wait is the sum over tenants; with a cap
+        // of 1 and 3 queries at least the bookkeeping must have run.
+        assert_eq!(svc.stats().admitted, 3);
+    }
+
+    #[test]
+    fn permit_released_on_query_panic() {
+        let svc = Arc::new(service(1));
+        let svc2 = Arc::clone(&svc);
+        let r = std::thread::spawn(move || {
+            svc2.query::<()>(|_| panic!("tenant crashed"));
+        })
+        .join();
+        assert!(r.is_err());
+        // The slot must be free again: a follow-up query completes.
+        let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert!(states[15].visited);
+        assert_eq!(svc.inflight(), 0);
+    }
+}

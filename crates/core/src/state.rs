@@ -14,6 +14,13 @@
 //!
 //! `SharedStates` encodes that contract in one `unsafe` spot instead
 //! of sprinkling `unsafe` through the engine.
+//!
+//! The contract is strictly *per run*: every run — including each of
+//! the many concurrent queries a [`crate::GraphService`] multiplexes
+//! over one shared mount — owns its own `SharedStates` and its own
+//! worker pool. Nothing here is ever shared across runs; the state
+//! vector is the per-query half of the serving layer's
+//! shared-backend/private-state split.
 
 use std::cell::UnsafeCell;
 

@@ -45,10 +45,22 @@ pub struct RunStats {
     pub issued_requests: u64,
     /// Bytes covered by logical requests (edge + attribute payload).
     pub bytes_requested: u64,
+    /// Nanoseconds the query waited in a [`crate::GraphService`]
+    /// admission queue before its engine run began. Zero for runs
+    /// invoked directly on an [`crate::Engine`].
+    pub queue_wait_ns: u64,
     /// Device statistics delta over the run (semi-external mode only).
     pub io: Option<IoStatsSnapshot>,
-    /// Page-cache statistics delta over the run (semi-external only).
+    /// Page-cache lookups performed by *this run's own* I/O sessions
+    /// (semi-external only). Under a shared mount this stays accurate
+    /// per query; insertions/evictions happen on the shared I/O
+    /// threads and are only visible mount-wide (see `cache_mount`).
     pub cache: Option<CacheStatsSnapshot>,
+    /// Mount-wide page-cache delta across the run (semi-external
+    /// only). Equals `cache` plus insertions/evictions when the run
+    /// was the mount's only tenant; includes other queries' traffic
+    /// when the mount is shared.
+    pub cache_mount: Option<CacheStatsSnapshot>,
     /// Per-iteration trace.
     pub per_iteration: Vec<IterStats>,
 }
@@ -106,8 +118,10 @@ mod tests {
             engine_requests: 6,
             issued_requests: 3,
             bytes_requested: 300,
+            queue_wait_ns: 0,
             io: None,
             cache: None,
+            cache_mount: None,
             per_iteration: Vec::new(),
         }
     }

@@ -16,8 +16,14 @@ use serde::Serialize;
 use crate::page::Page;
 
 /// Live cache counters.
+///
+/// One instance lives inside every [`PageCache`]; additional
+/// free-standing instances act as per-session *scopes*
+/// ([`crate::Safs::session_scoped`]) that accumulate only the lookups
+/// one tenant performed against a shared cache.
 #[derive(Debug, Default)]
 pub struct CacheStats {
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -28,6 +34,7 @@ impl CacheStats {
     /// Takes a snapshot of the counters.
     pub fn snapshot(&self) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
+            lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -35,8 +42,20 @@ impl CacheStats {
         }
     }
 
+    /// Records one lookup outcome (used by scoped per-session stats;
+    /// the cache's own counters are maintained by [`PageCache::get`]).
+    pub fn record_lookup(&self, hit: bool) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Resets the counters.
     pub fn reset(&self) {
+        self.lookups.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
@@ -47,6 +66,8 @@ impl CacheStats {
 /// A point-in-time copy of [`CacheStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct CacheStatsSnapshot {
+    /// Counted lookups (always `hits + misses`).
+    pub lookups: u64,
     /// Lookups that found their page.
     pub hits: u64,
     /// Lookups that did not.
@@ -70,12 +91,17 @@ impl CacheStatsSnapshot {
 
     /// Counter-wise difference `self - earlier`, isolating one
     /// experiment phase.
+    ///
+    /// Saturating: if [`CacheStats::reset`] ran between the two
+    /// snapshots, `earlier` can exceed `self`; each counter clamps at
+    /// zero instead of panicking (debug) or wrapping (release).
     pub fn delta_since(&self, earlier: &CacheStatsSnapshot) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
-            insertions: self.insertions - earlier.insertions,
+            lookups: self.lookups.saturating_sub(earlier.lookups),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
         }
     }
 }
@@ -158,11 +184,23 @@ impl std::fmt::Debug for PageCache {
 }
 
 impl PageCache {
-    /// A cache of at most `capacity_pages` pages with `ways`
+    /// A cache of at least `capacity_pages` pages with `ways`
     /// associativity.
+    ///
+    /// Capacity 0 is the documented no-cache mode (zero sets). For any
+    /// other capacity the set count rounds *up* and `ways` is clamped
+    /// to the capacity, so small caches (`0 < capacity_pages < ways`)
+    /// still hold pages instead of silently degenerating into a
+    /// zero-set cache whose lookups can never hit (and whose
+    /// `pageno % nsets` indexing would divide by zero).
     pub fn new(capacity_pages: usize, ways: usize) -> Self {
         assert!(ways > 0, "associativity must be positive");
-        let nsets = capacity_pages / ways;
+        let ways = if capacity_pages == 0 {
+            ways
+        } else {
+            ways.min(capacity_pages)
+        };
+        let nsets = capacity_pages.div_ceil(ways);
         let mut sets = Vec::with_capacity(nsets);
         sets.resize_with(nsets, || {
             Mutex::new(CacheSet {
@@ -197,14 +235,11 @@ impl PageCache {
     /// Looks `pageno` up, bumping its gclock counter on a hit.
     pub fn get(&self, pageno: u64) -> Option<Arc<Page>> {
         if self.sets.is_empty() {
-            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_lookup(false);
             return None;
         }
         let got = self.sets[self.set_of(pageno)].lock().lookup(pageno);
-        match &got {
-            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
-        };
+        self.stats.record_lookup(got.is_some());
         got
     }
 
@@ -262,6 +297,75 @@ mod tests {
         c.insert(mk_page(1));
         assert!(c.get(1).is_none());
         assert_eq!(c.stats().snapshot().insertions, 0);
+    }
+
+    #[test]
+    fn tiny_capacities_round_up_instead_of_degenerating() {
+        // Regression: capacities in 1..2*ways used to truncate to zero
+        // or one set — `0 < capacity < ways` built a cache that could
+        // never hold a page while still counting misses.
+        let ways = 8;
+        for capacity in 1..=2 * ways {
+            let c = PageCache::new(capacity, ways);
+            assert!(
+                c.capacity_pages() >= capacity,
+                "capacity {capacity}: rounded capacity {} lost pages",
+                c.capacity_pages()
+            );
+            c.insert(mk_page(42));
+            assert!(
+                c.get(42).is_some(),
+                "capacity {capacity}: inserted page not resident"
+            );
+            // Exercise the set-index path across many page numbers:
+            // must never divide by zero and must stay within bounds.
+            for no in 0..64 {
+                let _ = c.get(no);
+                c.insert(mk_page(no));
+            }
+            let s = c.stats().snapshot();
+            assert_eq!(s.lookups, s.hits + s.misses);
+        }
+    }
+
+    #[test]
+    fn ways_clamped_to_capacity() {
+        // One page, eight ways: a single one-way set, fully usable.
+        let c = PageCache::new(1, 8);
+        c.insert(mk_page(7));
+        assert!(c.get(7).is_some());
+        c.insert(mk_page(8));
+        // The second insert must evict (capacity is 1), not grow.
+        let s = c.stats().snapshot();
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn delta_since_saturates_across_reset() {
+        // Regression: reset() between snapshots made the earlier
+        // snapshot exceed the later one, underflowing delta_since.
+        let c = PageCache::new(16, 8);
+        c.insert(mk_page(1));
+        c.get(1);
+        c.get(2);
+        let before = c.stats().snapshot();
+        c.stats().reset();
+        c.get(3);
+        let after = c.stats().snapshot();
+        let delta = after.delta_since(&before);
+        // Post-reset totals are below the pre-reset snapshot: clamp to
+        // zero rather than panic/wrap.
+        assert_eq!(delta.hits, 0);
+        assert_eq!(delta.insertions, 0);
+        assert_eq!(delta.misses, 0);
+        assert_eq!(delta.lookups, 0);
+        // And a well-ordered pair still subtracts exactly.
+        let later = {
+            c.get(3);
+            c.stats().snapshot()
+        };
+        let d2 = later.delta_since(&after);
+        assert_eq!(d2.lookups, 1);
     }
 
     #[test]

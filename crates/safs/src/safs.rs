@@ -9,7 +9,7 @@ use fg_ssdsim::SsdArray;
 use fg_types::{FgError, Result};
 use parking_lot::Mutex;
 
-use crate::cache::{CacheStatsSnapshot, PageCache};
+use crate::cache::{CacheStats, CacheStatsSnapshot, PageCache};
 use crate::config::SafsConfig;
 use crate::io_thread::{io_thread_loop, read_pages, IoMsg, RunDone, RunRequest};
 use crate::page::{Page, PageSpan};
@@ -111,9 +111,21 @@ impl Safs {
     /// Opens an asynchronous session. Each worker thread gets its own;
     /// sessions are not `Sync`.
     pub fn session(&self) -> IoSession<'_> {
+        self.session_scoped(None)
+    }
+
+    /// Like [`Safs::session`] but every cache lookup the session makes
+    /// is also recorded into `scope` — the per-tenant accounting that
+    /// lets concurrent queries sharing one mount each report their own
+    /// hit/miss deltas while the mount-wide [`Safs::cache_stats`]
+    /// keeps the aggregate. A scope only sees application-side lookups
+    /// (hits, misses, lookups); insertions and evictions happen on the
+    /// shared I/O threads and stay mount-wide.
+    pub fn session_scoped(&self, scope: Option<Arc<CacheStats>>) -> IoSession<'_> {
         let (tx, rx) = unbounded();
         IoSession {
             safs: self,
+            scope,
             next_req: 0,
             in_flight: HashMap::new(),
             ready: Vec::new(),
@@ -208,6 +220,7 @@ impl Drop for Safs {
 /// user-task interface of §3.1.
 pub struct IoSession<'fs> {
     safs: &'fs Safs,
+    scope: Option<Arc<CacheStats>>,
     next_req: u64,
     in_flight: HashMap<u64, Pending>,
     ready: Vec<Completion>,
@@ -261,8 +274,7 @@ impl IoSession<'_> {
         let pb = self.safs.cfg.page_bytes;
         let first = offset / pb;
         let last = (end - 1) / pb;
-        let slots: Vec<Option<Arc<Page>>> =
-            (first..=last).map(|p| self.safs.cache.get(p)).collect();
+        let slots: Vec<Option<Arc<Page>>> = (first..=last).map(|p| self.lookup(p)).collect();
         let missing = slots.iter().filter(|s| s.is_none()).count();
         let head = (offset - first * pb) as usize;
         if missing == 0 {
@@ -315,6 +327,16 @@ impl IoSession<'_> {
     /// Number of submitted-but-uncompleted logical requests.
     pub fn pending(&self) -> usize {
         self.in_flight.len() + self.ready.len()
+    }
+
+    /// Cache lookup that also books the outcome into the session's
+    /// scope, when one is attached.
+    fn lookup(&self, pageno: u64) -> Option<Arc<Page>> {
+        let got = self.safs.cache.get(pageno);
+        if let Some(scope) = &self.scope {
+            scope.record_lookup(got.is_some());
+        }
+        got
     }
 
     fn apply(&mut self, done: RunDone) {
@@ -539,6 +561,40 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn scoped_session_books_its_own_lookups() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 20);
+        // Warm pages 0..4 so the scoped session can hit.
+        safs.read_sync(0, 4 * 4096).unwrap();
+        let mount_before = safs.cache_stats();
+
+        let scope = Arc::new(CacheStats::default());
+        let mut s = safs.session_scoped(Some(Arc::clone(&scope)));
+        s.submit(0, 2 * 4096, 1).unwrap(); // 2 hits
+        s.submit(64 * 4096, 4096, 2).unwrap(); // 1 miss
+        let mut out = Vec::new();
+        while out.len() < 2 {
+            s.wait(&mut out);
+        }
+
+        let scoped = scope.snapshot();
+        assert_eq!(scoped.hits, 2);
+        assert_eq!(scoped.misses, 1);
+        assert_eq!(scoped.lookups, 3);
+        // The mount-wide counters moved by the same lookups (plus
+        // nothing else: no other tenant is active).
+        let mount_delta = safs.cache_stats().delta_since(&mount_before);
+        assert_eq!(mount_delta.hits, scoped.hits);
+        assert_eq!(mount_delta.misses, scoped.misses);
+
+        // An unscoped session leaves the scope untouched.
+        let mut plain = safs.session();
+        plain.submit(0, 4096, 3).unwrap();
+        let mut out2 = Vec::new();
+        plain.poll(&mut out2);
+        assert_eq!(scope.snapshot(), scoped);
     }
 
     #[test]

@@ -113,29 +113,34 @@ pub struct IoStatsSnapshot {
 impl IoStatsSnapshot {
     /// Difference `self - earlier`, counter-wise; used to isolate one
     /// experiment phase.
+    ///
+    /// Saturating, like `CacheStatsSnapshot::delta_since`: when
+    /// [`IoStats::reset`] ran between the two snapshots (easy to hit
+    /// once many tenants share one array), each counter clamps at zero
+    /// instead of panicking in debug or wrapping in release.
     pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
         IoStatsSnapshot {
-            read_requests: self.read_requests - earlier.read_requests,
-            pages_read: self.pages_read - earlier.pages_read,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            write_requests: self.write_requests - earlier.write_requests,
-            pages_written: self.pages_written - earlier.pages_written,
-            bytes_written: self.bytes_written - earlier.bytes_written,
+            read_requests: self.read_requests.saturating_sub(earlier.read_requests),
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            write_requests: self.write_requests.saturating_sub(earlier.write_requests),
+            pages_written: self.pages_written.saturating_sub(earlier.pages_written),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             per_ssd_busy_ns: self
                 .per_ssd_busy_ns
                 .iter()
                 .zip(&earlier.per_ssd_busy_ns)
-                .map(|(a, b)| a - b)
+                .map(|(a, b)| a.saturating_sub(*b))
                 .collect(),
             max_busy_ns: {
                 self.per_ssd_busy_ns
                     .iter()
                     .zip(&earlier.per_ssd_busy_ns)
-                    .map(|(a, b)| a - b)
+                    .map(|(a, b)| a.saturating_sub(*b))
                     .max()
                     .unwrap_or(0)
             },
-            total_busy_ns: self.total_busy_ns - earlier.total_busy_ns,
+            total_busy_ns: self.total_busy_ns.saturating_sub(earlier.total_busy_ns),
         }
     }
 
@@ -190,6 +195,21 @@ mod tests {
         assert_eq!(d.read_requests, 1);
         assert_eq!(d.pages_read, 4);
         assert_eq!(d.max_busy_ns, 500);
+    }
+
+    #[test]
+    fn delta_saturates_across_reset() {
+        let s = IoStats::new(2);
+        s.record_read(0, 3, 12288, 700);
+        let before = s.snapshot();
+        s.reset();
+        s.record_read(1, 1, 4096, 40);
+        let d = s.snapshot().delta_since(&before);
+        assert_eq!(d.read_requests, 0, "post-reset counters clamp, not wrap");
+        assert_eq!(d.pages_read, 0);
+        assert_eq!(d.per_ssd_busy_ns, vec![0, 40]);
+        assert_eq!(d.max_busy_ns, 40);
+        assert_eq!(d.total_busy_ns, 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use fg_graph::GraphBuilder;
 use fg_safs::{Safs, SafsConfig};
 use fg_ssdsim::{ArrayConfig, SsdArray};
 use fg_types::VertexId;
+use flashgraph::merge::{merge_requests, RangeReq};
 use flashgraph::{Engine, EngineConfig};
 use proptest::prelude::*;
 
@@ -57,6 +58,53 @@ proptest! {
         let engine = Engine::new_sem(&safs, index, EngineConfig::small());
         let (labels, _) = fg_apps::wcc(&engine).unwrap();
         prop_assert_eq!(labels, fg_baselines::direct::wcc_labels(&g));
+    }
+
+    #[test]
+    fn merge_cap_bounds_covers_and_loses_nothing(
+        reqs in prop::collection::vec((0u64..1 << 20, 1u64..32 * 1024), 1..200),
+        cap_pages in 1u64..16,
+    ) {
+        let page_bytes = 4096u64;
+        let cap = cap_pages * page_bytes;
+        let reqs: Vec<RangeReq> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(offset, bytes))| RangeReq { offset, bytes, meta: i as u32 })
+            .collect();
+        let n = reqs.len();
+        let merged = merge_requests(reqs, page_bytes, true, cap);
+        // Invariant 1: no merged cover exceeds the cap unless a
+        // single oversized part spans it (contained requests may ride
+        // along inside such a cover, but never extend it).
+        for m in &merged {
+            let spanned_by_one_part = m
+                .parts
+                .iter()
+                .any(|p| p.offset == m.offset && p.bytes == m.bytes);
+            prop_assert!(
+                m.bytes <= cap || spanned_by_one_part,
+                "cover of {} bytes > cap {} not explained by one oversized part ({} parts)",
+                m.bytes, cap, m.parts.len()
+            );
+        }
+        // Invariant 2: every logical request survives merging exactly
+        // once, inside its cover.
+        let mut metas: Vec<u32> = Vec::new();
+        for m in &merged {
+            for p in &m.parts {
+                prop_assert!(p.offset >= m.offset);
+                prop_assert!(p.offset + p.bytes <= m.offset + m.bytes);
+                metas.push(p.meta);
+            }
+        }
+        metas.sort_unstable();
+        prop_assert_eq!(metas, (0..n as u32).collect::<Vec<_>>());
+        // Invariant 3: covers come out sorted by offset (they are
+        // issued as separate device requests in ascending order).
+        for w in merged.windows(2) {
+            prop_assert!(w[0].offset <= w[1].offset);
+        }
     }
 
     #[test]
