@@ -1,0 +1,115 @@
+//! Shared helper for apps that need a vertex's *whole* adjacency even
+//! when the engine delivers it as chunked slices
+//! (`EngineConfig::max_request_edges`): reassemble deliveries by
+//! [`PageVertex::offset`] into one sorted list.
+
+use flashgraph::PageVertex;
+
+/// Reassembly state for one vertex's own list, embedded in a
+/// program's per-vertex state. `begin(degree)` before requesting the
+/// list, then feed every delivery to [`OwnListAssembly::absorb`];
+/// the full list comes back exactly once, when the last chunk lands.
+#[derive(Debug, Default)]
+pub(crate) struct OwnListAssembly {
+    /// Offset-indexed buffer, allocated only when the list actually
+    /// arrives in more than one chunk.
+    buf: Option<Box<[u32]>>,
+    /// Edges still to arrive (0 = idle).
+    pending: u64,
+}
+
+impl OwnListAssembly {
+    /// Arms the assembly for a list of `degree` edges.
+    pub(crate) fn begin(&mut self, degree: u64) {
+        self.pending = degree;
+    }
+
+    /// Whether a list is still being assembled — the discriminator
+    /// between own-list and neighbour-list deliveries.
+    pub(crate) fn expecting(&self) -> bool {
+        self.pending > 0
+    }
+
+    /// Absorbs one delivered slice; returns the complete list when
+    /// (and only when) its last chunk lands. The common whole-list
+    /// delivery never allocates the assembly buffer, and completing
+    /// a chunked list hands the buffer over without copying.
+    pub(crate) fn absorb(&mut self, vertex: &PageVertex<'_>) -> Option<Vec<u32>> {
+        let got = vertex.degree() as u64;
+        if self.buf.is_none() && got == self.pending {
+            self.pending = 0;
+            return Some(vertex.edges().map(|e| e.0).collect());
+        }
+        let total = self.pending as usize; // armed with the full degree
+        let buf = self
+            .buf
+            .get_or_insert_with(|| vec![0u32; total].into_boxed_slice());
+        for (k, e) in vertex.edges().enumerate() {
+            buf[vertex.offset() as usize + k] = e.0;
+        }
+        self.pending -= got;
+        if self.pending == 0 {
+            Some(self.buf.take().expect("buffer just filled").into_vec())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::fixtures;
+    use fg_types::{EdgeDir, VertexId};
+    use flashgraph::{Engine, EngineConfig, Init, Request, VertexContext, VertexProgram};
+
+    struct Collect;
+
+    #[derive(Default)]
+    struct CState {
+        asm: OwnListAssembly,
+        done: Option<Vec<u32>>,
+        completions: u32,
+    }
+
+    impl VertexProgram for Collect {
+        type State = CState;
+        type Msg = ();
+
+        fn run(&self, v: VertexId, state: &mut CState, ctx: &mut VertexContext<'_, ()>) {
+            if state.done.is_none() && state.completions == 0 {
+                state.asm.begin(ctx.degree(v, EdgeDir::Out));
+                ctx.request(v, Request::edges(EdgeDir::Out));
+            }
+        }
+
+        fn run_on_vertex(
+            &self,
+            _v: VertexId,
+            state: &mut CState,
+            vertex: &PageVertex<'_>,
+            _ctx: &mut VertexContext<'_, ()>,
+        ) {
+            if let Some(list) = state.asm.absorb(vertex) {
+                state.done = Some(list);
+                state.completions += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn assembles_once_chunked_or_not() {
+        let g = fixtures::complete(9);
+        for chunk in [0u64, 1, 3, 100] {
+            let cfg = EngineConfig::small().with_max_request_edges(chunk);
+            let engine = Engine::new_mem(&g, cfg);
+            let (states, _) = engine.run(&Collect, Init::All).unwrap();
+            for v in g.vertices() {
+                let want: Vec<u32> = g.out_neighbors(v).iter().map(|e| e.0).collect();
+                let st = &states[v.index()];
+                assert_eq!(st.completions, 1, "chunk={chunk} vertex {v}");
+                assert_eq!(st.done.as_deref(), Some(&want[..]), "chunk={chunk}");
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! directions.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// Level marker for unreached vertices.
 const UNREACHED: u32 = u32::MAX;
@@ -50,7 +50,7 @@ impl VertexProgram for BcForward {
             state.sigma = 1.0;
         }
         // σ was accumulated by run_on_message before this run.
-        ctx.request_edges(v, EdgeDir::Out);
+        ctx.request(v, Request::edges(EdgeDir::Out));
     }
 
     fn run_on_vertex(
@@ -111,7 +111,7 @@ impl VertexProgram for BcBackward {
             return;
         }
         if ctx.iteration() == turn && state.level > 0 {
-            ctx.request_edges(v, EdgeDir::In);
+            ctx.request(v, Request::edges(EdgeDir::In));
         }
     }
 
@@ -172,6 +172,7 @@ pub fn bc_single_source(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<f6
     stats.engine_requests += back_stats.engine_requests;
     stats.issued_requests += back_stats.issued_requests;
     stats.bytes_requested += back_stats.bytes_requested;
+    stats.edges_delivered += back_stats.edges_delivered;
     if let (Some(a), Some(b)) = (&mut stats.io, &back_stats.io) {
         a.read_requests += b.read_requests;
         a.pages_read += b.pages_read;

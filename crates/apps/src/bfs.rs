@@ -3,7 +3,7 @@
 //! `run`, and activates its neighbours in `run_on_vertex`.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The BFS vertex program.
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +31,7 @@ impl VertexProgram for BfsProgram {
         if !state.visited {
             state.visited = true;
             state.level = ctx.iteration();
-            ctx.request_edges(v, self.dir);
+            ctx.request(v, Request::edges(self.dir));
         }
     }
 

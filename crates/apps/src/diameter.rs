@@ -5,7 +5,7 @@
 //! ignores the edge direction").
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// BFS over the union of in- and out-edges.
 struct UndirectedBfs;
@@ -24,7 +24,7 @@ impl VertexProgram for UndirectedBfs {
         if !state.visited {
             state.visited = true;
             state.level = ctx.iteration();
-            ctx.request_edges(v, EdgeDir::Both);
+            ctx.request(v, Request::edges(EdgeDir::Both));
         }
     }
 

@@ -4,7 +4,7 @@
 //! *not* neighbours of the sender's request subject.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The k-core vertex program.
 #[derive(Debug, Clone, Copy)]
@@ -35,7 +35,7 @@ impl VertexProgram for KCoreProgram {
         if !state.removed && state.degree < self.k {
             state.removed = true;
             // Tell every neighbour it lost an edge.
-            ctx.request_edges(v, EdgeDir::Both);
+            ctx.request(v, Request::edges(EdgeDir::Both));
         }
     }
 

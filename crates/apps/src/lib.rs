@@ -7,23 +7,27 @@
 //!
 //! | App | Paper | I/O pattern (paper's taxonomy) | Edge lists |
 //! |---|---|---|---|
-//! | [`bfs`] | §4 BFS | frontier subset per iteration → random I/O | out |
+//! | [`bfs`](mod@bfs) | §4 BFS | frontier subset per iteration → random I/O | out |
 //! | [`bc`] | §4 Betweenness centrality | BFS + back-propagation | out + in |
-//! | [`pagerank`] | §4 PageRank (delta-based) | all vertices, narrowing | out |
-//! | [`wcc`] | §4 Weakly connected components | all vertices, narrowing | out + in |
+//! | [`pagerank`](mod@pagerank) | §4 PageRank (delta-based) | all vertices, narrowing | out |
+//! | [`wcc`](mod@wcc) | §4 Weakly connected components | all vertices, narrowing | out + in |
 //! | [`tc`] | §4 Triangle counting | vertices read *neighbours'* lists | own + neighbours |
 //! | [`scan`] | §4 Scan statistics | degree-descending custom scheduler, pruning | own + neighbours |
-//! | [`sssp`] | extension | frontier subset, weighted | out + attributes |
+//! | [`sssp`](mod@sssp) | extension | frontier subset, weighted | out + attributes |
 //! | [`kcore`] | extension | peeling waves | out + in |
 //! | [`diameter`] | extension | repeated BFS probes | out + in |
+//! | [`lcc`](mod@lcc) | extension | sampled partial-range reads | own positions + sampled neighbours |
 //!
 //! Every app runs unchanged in both engine modes; tests validate each
 //! against the hand-written oracles in `fg_baselines::direct`.
+
+mod assembly;
 
 pub mod bc;
 pub mod bfs;
 pub mod diameter;
 pub mod kcore;
+pub mod lcc;
 pub mod pagerank;
 pub mod scan;
 pub mod sssp;
@@ -34,6 +38,7 @@ pub use bc::bc_single_source;
 pub use bfs::bfs;
 pub use diameter::estimate_diameter;
 pub use kcore::k_core;
+pub use lcc::{lcc, lcc_of};
 pub use pagerank::pagerank;
 pub use scan::scan_statistics;
 pub use sssp::sssp;

@@ -4,7 +4,9 @@
 //! the narrowing access pattern PR shares with WCC.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, EngineConfig, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+use flashgraph::{
+    Engine, EngineConfig, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram,
+};
 
 /// The delta-PageRank vertex program.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +66,7 @@ impl VertexProgram for PageRankProgram {
         state.delta = 0.0;
         state.push = delta * self.damping;
         if ctx.degree(v, EdgeDir::Out) > 0 {
-            ctx.request_edges(v, EdgeDir::Out);
+            ctx.request(v, Request::edges(EdgeDir::Out));
         }
     }
 
@@ -75,7 +77,10 @@ impl VertexProgram for PageRankProgram {
         vertex: &PageVertex<'_>,
         ctx: &mut VertexContext<'_, f32>,
     ) {
-        let share = state.push / vertex.degree() as f32;
+        // Divide by the *full* out-degree, not the slice length: with
+        // chunked delivery (`EngineConfig::max_request_edges`) this
+        // callback may cover only part of the list.
+        let share = state.push / ctx.degree(vertex.id(), EdgeDir::Out) as f32;
         for dst in vertex.edges() {
             ctx.send(dst, share);
         }

@@ -13,8 +13,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use fg_types::{EdgeDir, Result, VertexId};
 use flashgraph::{
-    Engine, EngineConfig, Init, PageVertex, RunStats, SchedulerKind, VertexContext, VertexProgram,
+    Engine, EngineConfig, Init, PageVertex, Request, RunStats, SchedulerKind, VertexContext,
+    VertexProgram,
 };
+
+use crate::assembly::OwnListAssembly;
 
 /// The scan-statistics vertex program (undirected graphs).
 #[derive(Debug, Default)]
@@ -44,15 +47,55 @@ pub struct ScanState {
     /// vertices keep `None`).
     pub scan: Option<u64>,
     own: Option<Box<[u32]>>,
-    pending: u32,
+    /// Reassembly of the own list across chunked deliveries.
+    own_assembly: OwnListAssembly,
+    /// Neighbour-list edges still to arrive.
+    pending_edges: u64,
     edges_in_neighborhood: u64,
+}
+
+impl ScanProgram {
+    /// Own list fully assembled: apply bound 2 or fan out
+    /// neighbourhood requests.
+    fn finish_own(&self, own: Vec<u32>, state: &mut ScanState, ctx: &mut VertexContext<'_, ()>) {
+        let deg = own.len() as u64;
+        // Bound 2 (index only): each neighbour u contributes at
+        // most min(deg(u)-1, deg(v)-1) neighbourhood edges; the
+        // sum double-counts, so halve it.
+        let mut cap = 0u64;
+        for &u in &own {
+            let du = ctx.degree(VertexId(u), EdgeDir::Out);
+            cap += du.saturating_sub(1).min(deg.saturating_sub(1));
+        }
+        let bound = deg + cap / 2;
+        if bound <= self.best() {
+            self.pruned_after_own.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        state.pending_edges = own
+            .iter()
+            .map(|&u| ctx.degree(VertexId(u), EdgeDir::Out))
+            .sum();
+        state.edges_in_neighborhood = 0;
+        state.own = Some(own.into_boxed_slice());
+        let targets: Vec<VertexId> = state
+            .own
+            .as_deref()
+            .unwrap()
+            .iter()
+            .map(|&u| VertexId(u))
+            .collect();
+        for u in targets {
+            ctx.request(u, Request::edges(EdgeDir::Out));
+        }
+    }
 }
 
 impl VertexProgram for ScanProgram {
     type State = ScanState;
     type Msg = ();
 
-    fn run(&self, v: VertexId, _state: &mut ScanState, ctx: &mut VertexContext<'_, ()>) {
+    fn run(&self, v: VertexId, state: &mut ScanState, ctx: &mut VertexContext<'_, ()>) {
         let deg = ctx.degree(v, EdgeDir::Out);
         // Bound 1 (free): the neighbourhood cannot hold more than
         // deg + C(deg, 2) edges. With hubs scheduled first, this
@@ -63,7 +106,8 @@ impl VertexProgram for ScanProgram {
             return;
         }
         if deg > 0 {
-            ctx.request_edges(v, EdgeDir::Out);
+            state.own_assembly.begin(deg);
+            ctx.request(v, Request::edges(EdgeDir::Out));
         }
     }
 
@@ -74,39 +118,16 @@ impl VertexProgram for ScanProgram {
         vertex: &PageVertex<'_>,
         ctx: &mut VertexContext<'_, ()>,
     ) {
-        if vertex.id() == v {
-            let own: Vec<u32> = vertex.edges().map(|e| e.0).collect();
-            let deg = own.len() as u64;
-            // Bound 2 (index only): each neighbour u contributes at
-            // most min(deg(u)-1, deg(v)-1) neighbourhood edges; the
-            // sum double-counts, so halve it.
-            let mut cap = 0u64;
-            for &u in &own {
-                let du = ctx.degree(VertexId(u), EdgeDir::Out);
-                cap += du.saturating_sub(1).min(deg.saturating_sub(1));
-            }
-            let bound = deg + cap / 2;
-            if bound <= self.best() {
-                self.pruned_after_own.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            state.pending = own.len() as u32;
-            state.edges_in_neighborhood = 0;
-            state.own = Some(own.into_boxed_slice());
-            let targets: Vec<VertexId> = state
-                .own
-                .as_deref()
-                .unwrap()
-                .iter()
-                .map(|&u| VertexId(u))
-                .collect();
-            for u in targets {
-                ctx.request_edges(u, EdgeDir::Out);
+        if vertex.id() == v && state.own_assembly.expecting() {
+            // A slice of the own list (whole in the common case,
+            // chunked by offset for hubs).
+            if let Some(own) = state.own_assembly.absorb(vertex) {
+                self.finish_own(own, state, ctx);
             }
         } else {
-            // Count edges from this neighbour into the neighbourhood;
-            // each undirected neighbourhood edge is seen from both
-            // ends, so halve at the end.
+            // Count edges from this neighbour slice into the
+            // neighbourhood; each undirected neighbourhood edge is
+            // seen from both ends, so halve at the end.
             let own = state.own.as_deref().expect("own list held while pending");
             let mut i = 0usize;
             for x in vertex.edges() {
@@ -118,8 +139,8 @@ impl VertexProgram for ScanProgram {
                     i += 1;
                 }
             }
-            state.pending -= 1;
-            if state.pending == 0 {
+            state.pending_edges -= vertex.degree() as u64;
+            if state.pending_edges == 0 {
                 let own_len = own.len() as u64;
                 let scan = own_len + state.edges_in_neighborhood / 2;
                 state.scan = Some(scan);

@@ -9,7 +9,7 @@
 //! its out-neighbours.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The SSSP vertex program.
 #[derive(Debug, Clone, Copy)]
@@ -54,7 +54,7 @@ impl VertexProgram for SsspProgram {
     fn run(&self, v: VertexId, state: &mut SsspState, ctx: &mut VertexContext<'_, f32>) {
         if state.dist < state.settled {
             state.settled = state.dist;
-            ctx.request_edges_with_attrs(v, EdgeDir::Out);
+            ctx.request(v, Request::edges(EdgeDir::Out).with_attrs());
         }
     }
 

@@ -12,7 +12,9 @@
 //! SSDs and share page-cache hits (§3.8, Figure 7).
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+
+use crate::assembly::OwnListAssembly;
 
 /// The triangle-counting vertex program (undirected graphs).
 #[derive(Debug, Clone, Copy)]
@@ -26,27 +28,72 @@ pub struct TcProgram {
 /// Per-vertex TC state.
 ///
 /// `own` holds the vertex's adjacency only while its intersections
-/// are in flight — the working set is bounded by the engine's
-/// outstanding-request cap, not the graph size, which is what keeps
-/// this semi-external.
+/// are in flight — and only the entries that can still close a
+/// triangle (ids above `v`), so the transient copy shrinks with the
+/// filter instead of mirroring the hub's whole list. Neighbour lists
+/// arrive as bounded slices under chunked delivery
+/// (`EngineConfig::max_request_edges`), so the per-callback working
+/// set is bounded by the chunk size, not the neighbour's degree.
 #[derive(Debug, Default)]
 pub struct TcState {
     /// Triangles counted at or reported to this vertex.
     pub triangles: u64,
-    /// Transient copy of the vertex's own (filtered) adjacency.
+    /// Transient filtered adjacency (entries `> v`), held while
+    /// neighbour intersections are in flight.
     own: Option<Box<[u32]>>,
-    /// Neighbour lists still outstanding this pass.
-    pending: u32,
+    /// Reassembly of the own list across chunked deliveries.
+    own_assembly: OwnListAssembly,
+    /// Neighbour-list edges still to arrive this pass.
+    pending_edges: u64,
+}
+
+impl TcProgram {
+    /// Own list fully assembled: filter, fan out neighbour requests.
+    fn finish_own(
+        &self,
+        v: VertexId,
+        own: Vec<u32>,
+        state: &mut TcState,
+        ctx: &mut VertexContext<'_, u32>,
+    ) {
+        // Request higher-id neighbours in this vertical slice. The
+        // intersection filter keeps ids above v only: a triangle
+        // u < w < x is counted at u, so entries ≤ v can never match.
+        let (part, parts) = ctx.vertical_part();
+        let n = ctx.num_vertices() as u64;
+        let span = n.div_ceil(parts as u64).max(1);
+        let lo = (part as u64 * span) as u32;
+        let hi = ((part as u64 + 1) * span).min(n) as u32;
+        let above: Vec<u32> = own.into_iter().filter(|&w| w > v.0).collect();
+        let wanted: Vec<u32> = above
+            .iter()
+            .copied()
+            .filter(|&w| w >= lo && w < hi)
+            .collect();
+        if wanted.is_empty() {
+            return;
+        }
+        state.pending_edges = wanted
+            .iter()
+            .map(|&w| ctx.degree(VertexId(w), EdgeDir::Out))
+            .sum();
+        state.own = Some(above.into_boxed_slice());
+        for &w in &wanted {
+            ctx.request(VertexId(w), Request::edges(EdgeDir::Out));
+        }
+    }
 }
 
 impl VertexProgram for TcProgram {
     type State = TcState;
     type Msg = u32; // triangle-count increments for a corner
 
-    fn run(&self, v: VertexId, _state: &mut TcState, ctx: &mut VertexContext<'_, u32>) {
+    fn run(&self, v: VertexId, state: &mut TcState, ctx: &mut VertexContext<'_, u32>) {
         // Skip vertices that cannot close a triangle.
-        if ctx.degree(v, EdgeDir::Out) >= 2 {
-            ctx.request_edges(v, EdgeDir::Out);
+        let d = ctx.degree(v, EdgeDir::Out);
+        if d >= 2 {
+            state.own_assembly.begin(d);
+            ctx.request(v, Request::edges(EdgeDir::Out));
         }
     }
 
@@ -57,30 +104,15 @@ impl VertexProgram for TcProgram {
         vertex: &PageVertex<'_>,
         ctx: &mut VertexContext<'_, u32>,
     ) {
-        if vertex.id() == v {
-            // Own list arrived: request higher-id neighbours in this
-            // vertical slice.
-            let (part, parts) = ctx.vertical_part();
-            let n = ctx.num_vertices() as u64;
-            let span = n.div_ceil(parts as u64).max(1);
-            let lo = (part as u64 * span) as u32;
-            let hi = ((part as u64 + 1) * span).min(n) as u32;
-            let own: Vec<u32> = vertex.edges().map(|e| e.0).collect();
-            let wanted: Vec<u32> = own
-                .iter()
-                .copied()
-                .filter(|&w| w > v.0 && w >= lo && w < hi)
-                .collect();
-            if wanted.is_empty() {
-                return;
-            }
-            state.pending = wanted.len() as u32;
-            state.own = Some(own.into_boxed_slice());
-            for &w in &wanted {
-                ctx.request_edges(VertexId(w), EdgeDir::Out);
+        if vertex.id() == v && state.own_assembly.expecting() {
+            // A slice of the own list (whole in the common case,
+            // chunked by offset for hubs).
+            if let Some(own) = state.own_assembly.absorb(vertex) {
+                self.finish_own(v, own, state, ctx);
             }
         } else {
-            // A neighbour's list: count common neighbours above w.
+            // A slice of a neighbour's list: count common neighbours
+            // above w against the filtered own copy.
             let w = vertex.id();
             let own = state.own.as_deref().expect("own list held while pending");
             let mut i = 0usize;
@@ -100,8 +132,8 @@ impl VertexProgram for TcProgram {
                     i += 1;
                 }
             }
-            state.pending -= 1;
-            if state.pending == 0 {
+            state.pending_edges -= vertex.degree() as u64;
+            if state.pending_edges == 0 {
                 state.own = None; // release the transient adjacency
             }
         }
@@ -186,6 +218,36 @@ mod tests {
             let (total, _, _) = triangle_count(&engine, false).unwrap();
             assert_eq!(total, 120, "parts={parts}"); // C(10,3)
         }
+    }
+
+    #[test]
+    fn chunked_delivery_same_answer() {
+        // Chunk bounds below, at, and above typical degrees: the
+        // engine splits hub lists into chunked deliveries and TC
+        // reassembles/intersects per chunk.
+        let g = fixtures::complete(10);
+        for chunk in [1u64, 3, 8, 64] {
+            let cfg = EngineConfig::small().with_max_request_edges(chunk);
+            let engine = Engine::new_mem(&g, cfg);
+            let (total, per, _) = triangle_count(&engine, true).unwrap();
+            assert_eq!(total, 120, "chunk={chunk}");
+            assert!(per.iter().all(|&c| c == 36), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn chunked_matches_direct_on_rmat_both_modes() {
+        let d = gen::rmat(7, 6, gen::RmatSkew::default(), 31);
+        let mut b = fg_graph::GraphBuilder::undirected();
+        for (s, t) in d.edges() {
+            b.add_edge(s, t);
+        }
+        let g = b.build();
+        let want = fg_baselines::direct::triangle_count(&g);
+        let cfg = EngineConfig::small().with_max_request_edges(5);
+        let engine = Engine::new_mem(&g, cfg);
+        let (total, _, _) = triangle_count(&engine, false).unwrap();
+        assert_eq!(total, want);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! new stays quiet.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, RunStats, VertexContext, VertexProgram};
+use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The WCC vertex program.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,7 +29,7 @@ impl VertexProgram for WccProgram {
     fn run(&self, v: VertexId, _state: &mut WccState, ctx: &mut VertexContext<'_, u32>) {
         // Active means: label changed last iteration (or iteration 0).
         // Broadcast to both directions.
-        ctx.request_edges(v, EdgeDir::Both);
+        ctx.request(v, Request::edges(EdgeDir::Both));
     }
 
     fn run_on_vertex(

@@ -168,6 +168,49 @@ fn diameter_equivalent() {
 }
 
 #[test]
+fn lcc_equivalent_exact_and_sampled() {
+    // Same sampling seed → same positions → bit-identical estimates
+    // in both modes, at both full and sampled k.
+    let g = undirected_graph();
+    let mem = Engine::new_mem(&g, EngineConfig::small());
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, EngineConfig::small());
+    for k in [3u32, 1000] {
+        let (want, _) = fg_apps::lcc(&mem, k, 42).unwrap();
+        let (got, stats) = fg_apps::lcc(&sem, k, 42).unwrap();
+        assert_eq!(got, want, "k={k}");
+        // The second run may be served entirely from the warm page
+        // cache, but it always touches it.
+        assert!(stats.cache.unwrap().lookups > 0);
+    }
+    // And at covering k the estimate is the oracle.
+    let (exact, _) = fg_apps::lcc(&mem, 1000, 42).unwrap();
+    let oracle = fg_baselines::direct::local_clustering(&g);
+    for v in g.vertices() {
+        assert!(
+            (exact[v.index()] as f64 - oracle[v.index()]).abs() < 1e-6,
+            "vertex {v}"
+        );
+    }
+}
+
+#[test]
+fn tc_equivalent_under_chunked_delivery() {
+    // The chunked request pipeline (hub lists split into bounded
+    // slices) must not change results in either mode.
+    let g = undirected_graph();
+    let cfg = EngineConfig::small().with_max_request_edges(4);
+    let mem = Engine::new_mem(&g, cfg);
+    let (want_total, want_per, _) = fg_apps::triangle_count(&mem, true).unwrap();
+    assert_eq!(want_total, fg_baselines::direct::triangle_count(&g));
+    let (safs, index) = sem_fixture(&g);
+    let sem = Engine::new_sem(&safs, index, cfg);
+    let (got_total, got_per, _) = fg_apps::triangle_count(&sem, true).unwrap();
+    assert_eq!(got_total, want_total);
+    assert_eq!(got_per, want_per);
+}
+
+#[test]
 fn analysis_never_writes_to_ssds() {
     // The paper's wearout principle: after the image is loaded, no
     // application writes a single byte.

@@ -171,6 +171,46 @@ pub fn triangles_per_vertex(g: &Graph) -> Vec<u64> {
     counts
 }
 
+/// Exact local clustering coefficient of every vertex of an
+/// undirected graph: `2·E(N(v)) / (d·(d-1))` where `E(N(v))` is the
+/// number of edges among `v`'s neighbours and `d = |N(v)|`. Vertices
+/// of degree < 2 get 0. The oracle for `fg_apps::lcc`'s sampled
+/// estimator (which converges to this as its sample size reaches the
+/// degree).
+pub fn local_clustering(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut lcc = vec![0f64; n];
+    for v in g.vertices() {
+        let nv = g.out_neighbors(v);
+        let d = nv.len() as u64;
+        if d < 2 {
+            continue;
+        }
+        // Count ordered incidences (u, x): u ∈ N(v), x ∈ N(u) ∩ N(v),
+        // x ≠ u — each neighbourhood edge counted once per endpoint.
+        let mut incid = 0u64;
+        for &u in nv {
+            let (mut i, mut j) = (0usize, 0usize);
+            let nu = g.out_neighbors(u);
+            while i < nv.len() && j < nu.len() {
+                match nv[i].cmp(&nu[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if nv[i] != u {
+                            incid += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        lcc[v.index()] = incid as f64 / (d * (d - 1)) as f64;
+    }
+    lcc
+}
+
 fn intersect_above(a: &[VertexId], b: &[VertexId], above: VertexId) -> u64 {
     let (mut i, mut j, mut c) = (0, 0, 0u64);
     while i < a.len() && j < b.len() {
@@ -403,5 +443,42 @@ mod tests {
         let g = fixtures::complete(6);
         assert!(k_core(&g, 5).iter().all(|&a| a));
         assert!(k_core(&g, 6).iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn local_clustering_known_shapes() {
+        // Complete graph: every neighbourhood is complete → 1.0.
+        let g = fixtures::complete(5);
+        assert!(local_clustering(&g).iter().all(|&c| c == 1.0));
+        // Star: no edges among leaves → 0 everywhere (leaves have
+        // degree 1 and default to 0 too).
+        let g = fixtures::star(6);
+        assert!(local_clustering(&g).iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn local_clustering_consistent_with_triangles() {
+        // lcc(v) = 2·T(v) / (d·(d-1)) on simple undirected graphs.
+        let d = fg_graph::gen::rmat(7, 4, fg_graph::gen::RmatSkew::default(), 8);
+        let mut b = fg_graph::GraphBuilder::undirected();
+        for (s, t) in d.edges() {
+            b.add_edge(s, t);
+        }
+        let g = b.build();
+        let lcc = local_clustering(&g);
+        let tri = triangles_per_vertex(&g);
+        for v in g.vertices() {
+            let deg = g.out_degree(v) as u64;
+            let want = if deg < 2 {
+                0.0
+            } else {
+                2.0 * tri[v.index()] as f64 / (deg * (deg - 1)) as f64
+            };
+            assert!(
+                (lcc[v.index()] - want).abs() < 1e-12,
+                "vertex {v}: {} vs {want}",
+                lcc[v.index()]
+            );
+        }
     }
 }

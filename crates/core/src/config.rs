@@ -48,6 +48,14 @@ pub struct EngineConfig {
     /// splits such covers so they stripe. A single request larger than
     /// the cap still issues whole. Zero means unlimited.
     pub max_merge_bytes: u64,
+    /// Upper bound in *edges* on one delivered edge-list slice. A
+    /// request longer than this (a hub's full list, or an oversized
+    /// range) is transparently split into chunked deliveries — one
+    /// `run_on_vertex` callback per chunk, each reporting its slice
+    /// via `PageVertex::offset`/`range` — so a program's per-callback
+    /// working set is bounded by the chunk size instead of the hub's
+    /// degree. Zero means deliver whole lists (the paper's behaviour).
+    pub max_request_edges: u64,
     /// Vertex ordering policy.
     pub scheduler: SchedulerKind,
     /// Vertical passes per iteration (§3.8): programs see
@@ -108,6 +116,13 @@ impl EngineConfig {
         }
     }
 
+    /// Builder-style: sets the chunked-delivery bound in edges (0 =
+    /// whole lists).
+    pub fn with_max_request_edges(mut self, edges: u64) -> Self {
+        self.max_request_edges = edges;
+        self
+    }
+
     /// Builder-style: sets vertical passes.
     pub fn with_vertical_parts(mut self, v: u32) -> Self {
         self.vertical_parts = v.max(1);
@@ -156,6 +171,7 @@ impl Default for EngineConfig {
             // monopolize a drive (a couple of stripes on the paper's
             // array geometry).
             max_merge_bytes: 4 << 20,
+            max_request_edges: 0,
             scheduler: SchedulerKind::Alternating,
             vertical_parts: 1,
             max_iterations: u32::MAX,
@@ -202,6 +218,17 @@ mod tests {
         assert_eq!(
             c.with_max_merge_bytes(0).resolved_max_merge_bytes(),
             crate::merge::UNLIMITED_MERGE_BYTES
+        );
+    }
+
+    #[test]
+    fn chunk_bound_defaults_off() {
+        assert_eq!(EngineConfig::default().max_request_edges, 0);
+        assert_eq!(
+            EngineConfig::default()
+                .with_max_request_edges(64)
+                .max_request_edges,
+            64
         );
     }
 

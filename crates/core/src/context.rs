@@ -62,10 +62,93 @@ pub(crate) struct RunShared<'g> {
     pub vparts: u32,
     pub degrees: DegreeSource<'g>,
     pub pmap: PartitionMap,
+    /// Chunked-delivery bound: a request longer than this many edges
+    /// is split into multiple chunk requests (0 = unlimited).
+    pub max_request_edges: u64,
 }
 
-/// One logical edge-list request (the unit that produces exactly one
-/// `run_on_vertex` callback).
+/// A first-class vertex I/O request: which list, which slice of it,
+/// and whether the parallel attribute run rides along.
+///
+/// Built fluently and passed to [`VertexContext::request`]:
+///
+/// ```
+/// use fg_types::EdgeDir;
+/// use flashgraph::Request;
+///
+/// // The whole out-list (what `request_edges` always did).
+/// let full = Request::edges(EdgeDir::Out);
+/// // Eight edges starting at position 100 of a hub's list, with
+/// // their weights.
+/// let slice = Request::edges(EdgeDir::Out).range(100, 8).with_attrs();
+/// assert_eq!(slice.positions(), Some((100, 8)));
+/// assert!(full.positions().is_none());
+/// ```
+///
+/// Ranges are expressed in *edge positions* (not bytes): position `i`
+/// is the `i`-th neighbour of the sorted list. A range is clamped to
+/// the list — `start` past the end or `len` crossing it deliver the
+/// (possibly empty) intersection, never an error, so samplers can
+/// probe positions without consulting degrees first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    dir: EdgeDir,
+    attrs: bool,
+    range: Option<(u64, u64)>,
+}
+
+impl Request {
+    /// A request for the full edge list(s) of a vertex in `dir`.
+    #[inline]
+    pub fn edges(dir: EdgeDir) -> Self {
+        Request {
+            dir,
+            attrs: false,
+            range: None,
+        }
+    }
+
+    /// Restricts the request to edge positions `[start, start + len)`
+    /// of the list. For [`EdgeDir::Both`] the range applies to each
+    /// direction's list independently.
+    #[inline]
+    pub fn range(mut self, start: u64, len: u64) -> Self {
+        self.range = Some((start, len));
+        self
+    }
+
+    /// Also fetches the parallel attribute run (sliced identically
+    /// when a range is set), so [`crate::PageVertex::attr`] works.
+    /// The graph image must carry attributes.
+    #[inline]
+    pub fn with_attrs(mut self) -> Self {
+        self.attrs = true;
+        self
+    }
+
+    /// The requested direction.
+    #[inline]
+    pub fn dir(&self) -> EdgeDir {
+        self.dir
+    }
+
+    /// Whether attributes ride along.
+    #[inline]
+    pub fn wants_attrs(&self) -> bool {
+        self.attrs
+    }
+
+    /// The `(start, len)` position range, if one was set.
+    #[inline]
+    pub fn positions(&self) -> Option<(u64, u64)> {
+        self.range
+    }
+}
+
+/// One resolved chunk request (the unit that produces exactly one
+/// `run_on_vertex` callback). Ranges are already clamped to the
+/// subject's list and split to the chunk bound by the time one of
+/// these exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct EdgeRequest {
     /// The vertex whose list is wanted.
@@ -76,6 +159,10 @@ pub(crate) struct EdgeRequest {
     pub dir: EdgeDir,
     /// Whether the parallel attribute run is wanted too.
     pub attrs: bool,
+    /// First edge position of the slice within the subject's list.
+    pub start: u64,
+    /// Number of edges in the slice (0 = empty delivery, no I/O).
+    pub len: u64,
 }
 
 /// Per-worker mutable scratch the context writes into.
@@ -182,26 +269,26 @@ impl<M> VertexContext<'_, M> {
         }
     }
 
-    /// Requests edge list(s) of `v` in `dir`; each single direction
-    /// produces one later `run_on_vertex` callback *on the current
-    /// vertex*. Zero-degree lists complete without I/O.
+    /// Issues a vertex I/O [`Request`] for `v`'s edge data. Each
+    /// single direction of the request produces `run_on_vertex`
+    /// callbacks *on the current vertex*:
+    ///
+    /// * a full-list or in-range request of at most
+    ///   [`crate::EngineConfig::max_request_edges`] edges (or any size
+    ///   when the knob is 0) produces exactly one callback;
+    /// * a longer request is transparently split into chunks of at
+    ///   most that many edges — one callback per chunk, each
+    ///   [`crate::PageVertex`] reporting its slice via
+    ///   [`crate::PageVertex::offset`] / [`crate::PageVertex::range`].
+    ///   Chunks of one list may arrive in any order;
+    /// * a range that clamps to nothing (zero `len`, or `start` at or
+    ///   past the list's end) and a zero-degree list both complete
+    ///   without any I/O, delivering one empty callback.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
-    pub fn request_edges(&mut self, v: VertexId, dir: EdgeDir) {
-        self.request_inner(v, dir, false);
-    }
-
-    /// Like [`VertexContext::request_edges`] but also fetches the
-    /// parallel edge-attribute run, so the callback's
-    /// [`crate::PageVertex::attr`] works. The graph image must carry
-    /// attributes.
-    pub fn request_edges_with_attrs(&mut self, v: VertexId, dir: EdgeDir) {
-        self.request_inner(v, dir, true);
-    }
-
-    fn request_inner(&mut self, v: VertexId, dir: EdgeDir, attrs: bool) {
+    pub fn request(&mut self, v: VertexId, req: Request) {
         assert!(
             v.index() < self.shared.n,
             "requested vertex {v} out of range ({} vertices)",
@@ -209,19 +296,60 @@ impl<M> VertexContext<'_, M> {
         );
         let requester = self.current;
         let dirs = if self.is_directed() {
-            dir
+            req.dir
         } else {
             EdgeDir::Out // undirected graphs have one list
         };
         for d in dirs.singles() {
-            self.scratch.requests.push(EdgeRequest {
-                subject: v,
-                requester,
-                dir: d,
-                attrs,
-            });
             self.scratch.engine_requests += 1;
+            let degree = self.shared.degrees.degree(v, d);
+            let (start, len) = match req.range {
+                None => (0, degree),
+                Some((s, l)) => {
+                    let s = s.min(degree);
+                    (s, l.min(degree - s))
+                }
+            };
+            let chunk = match self.shared.max_request_edges {
+                0 => len.max(1),
+                m => m,
+            };
+            let mut pos = start;
+            loop {
+                let take = chunk.min(start + len - pos);
+                self.scratch.requests.push(EdgeRequest {
+                    subject: v,
+                    requester,
+                    dir: d,
+                    attrs: req.attrs,
+                    start: pos,
+                    len: take,
+                });
+                pos += take;
+                if pos >= start + len {
+                    break;
+                }
+            }
         }
+    }
+
+    /// Requests the full edge list(s) of `v` in `dir` — a one-line
+    /// compatibility wrapper over [`VertexContext::request`] with
+    /// [`Request::edges`], kept because most programs want exactly
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn request_edges(&mut self, v: VertexId, dir: EdgeDir) {
+        self.request(v, Request::edges(dir));
+    }
+
+    /// Like [`VertexContext::request_edges`] but also fetches the
+    /// parallel edge-attribute run — the compatibility wrapper over
+    /// [`Request::with_attrs`]. The graph image must carry attributes.
+    pub fn request_edges_with_attrs(&mut self, v: VertexId, dir: EdgeDir) {
+        self.request(v, Request::edges(dir).with_attrs());
     }
 
     /// Sends `msg` to vertex `to`, delivered via `run_on_message` at

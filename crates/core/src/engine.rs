@@ -200,6 +200,7 @@ impl<'g> Engine<'g> {
                 Backend::Sem { index, .. } => DegreeSource::Index(Arc::clone(index)),
             },
             pmap: pmap.clone(),
+            max_request_edges: self.cfg.max_request_edges,
         };
         let board: MessageBoard<P::Msg> = MessageBoard::new(nthreads);
         let notify = NotifyBoard::new(nthreads);
@@ -272,6 +273,7 @@ impl<'g> Engine<'g> {
             engine_requests: counters.engine_requests.load(Ordering::Relaxed),
             issued_requests: counters.issued_requests.load(Ordering::Relaxed),
             bytes_requested: counters.bytes_requested.load(Ordering::Relaxed),
+            edges_delivered: counters.edges_delivered.load(Ordering::Relaxed),
             queue_wait_ns: 0,
             io,
             cache: cache_scope.as_ref().map(|s| s.snapshot()),
@@ -387,6 +389,7 @@ struct Counters {
     engine_requests: AtomicU64,
     issued_requests: AtomicU64,
     bytes_requested: AtomicU64,
+    edges_delivered: AtomicU64,
 }
 
 /// Everything one worker thread needs, borrowed from the run.
@@ -410,6 +413,14 @@ struct WorkerEnv<'r, 'g, P: VertexProgram> {
 /// How far a worker may send messages before flushing buffers to the
 /// board (the paper's bundling threshold).
 const MSG_FLUSH_FANOUT: u64 = 16 * 1024;
+
+/// Worker 0's counter snapshot at an iteration boundary, for the
+/// per-iteration deltas of [`IterStats`].
+struct IterSnapshot {
+    io: Option<fg_ssdsim::IoStatsSnapshot>,
+    bytes_requested: u64,
+    edges_delivered: u64,
+}
 
 impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
     fn run_loop(&self) {
@@ -487,25 +498,29 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             .fetch_add(scratch.engine_requests, Ordering::Relaxed);
     }
 
-    fn iteration_io_snapshot(&self) -> Option<fg_ssdsim::IoStatsSnapshot> {
+    /// Worker 0's snapshot of the request-pipeline counters at an
+    /// iteration boundary (valid there: every worker is between the
+    /// phase-C and phase-D barriers, so nothing is mid-flight).
+    fn iteration_io_snapshot(&self) -> Option<IterSnapshot> {
         if self.w != 0 {
             return None;
         }
-        match &self.engine.backend {
+        let io = match &self.engine.backend {
             Backend::Sem { safs, .. } => Some(safs.array().stats().snapshot()),
             Backend::Mem(_) => None,
-        }
+        };
+        Some(IterSnapshot {
+            io,
+            bytes_requested: self.counters.bytes_requested.load(Ordering::Relaxed),
+            edges_delivered: self.counters.edges_delivered.load(Ordering::Relaxed),
+        })
     }
 
-    fn record_iteration(
-        &self,
-        frontier: u64,
-        iter_start: Instant,
-        io_before: Option<fg_ssdsim::IoStatsSnapshot>,
-    ) {
-        let (read_requests, bytes_read, io_busy_ns) = match (&self.engine.backend, io_before) {
-            (Backend::Sem { safs, .. }, Some(before)) => {
-                let d = safs.array().stats().snapshot().delta_since(&before);
+    fn record_iteration(&self, frontier: u64, iter_start: Instant, before: Option<IterSnapshot>) {
+        let before = before.expect("worker 0 always snapshots");
+        let (read_requests, bytes_read, io_busy_ns) = match (&self.engine.backend, before.io) {
+            (Backend::Sem { safs, .. }, Some(io_before)) => {
+                let d = safs.array().stats().snapshot().delta_since(&io_before);
                 (d.read_requests, d.bytes_read, d.max_busy_ns)
             }
             _ => (0, 0, 0),
@@ -515,6 +530,16 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             wall_ns: iter_start.elapsed().as_nanos() as u64,
             read_requests,
             bytes_read,
+            bytes_requested: self
+                .counters
+                .bytes_requested
+                .load(Ordering::Relaxed)
+                .saturating_sub(before.bytes_requested),
+            edges_delivered: self
+                .counters
+                .edges_delivered
+                .load(Ordering::Relaxed)
+                .saturating_sub(before.edges_delivered),
             io_busy_ns,
         });
     }
@@ -655,16 +680,22 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 match (&self.engine.backend, &mut *io) {
                     (Backend::Mem(g), IoDriver::Mem) => {
                         let csr = g.csr(req.dir);
-                        let edges = csr.neighbors(req.subject);
+                        // Ranges were clamped at request time; the CSR
+                        // slice is the oracle the sem path must match.
+                        let lo = req.start as usize;
+                        let hi = lo + req.len as usize;
+                        let edges = &csr.neighbors(req.subject)[lo..hi];
                         let attrs = if req.attrs {
                             Some(
-                                csr.weights_of(req.subject)
-                                    .expect("attrs requested on an unweighted graph"),
+                                &csr.weights_of(req.subject)
+                                    .expect("attrs requested on an unweighted graph")
+                                    [lo..hi],
                             )
                         } else {
                             None
                         };
-                        let pv = PageVertex::from_slice(req.subject, req.dir, edges, attrs);
+                        let pv =
+                            PageVertex::from_slice(req.subject, req.dir, req.start, edges, attrs);
                         self.deliver_vertex(iter, vp, scratch, req.requester, &pv);
                     }
                     (Backend::Sem { index, .. }, IoDriver::Sem(sem)) => {
@@ -689,6 +720,9 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         requester: VertexId,
         pv: &PageVertex<'_>,
     ) {
+        self.counters
+            .edges_delivered
+            .fetch_add(pv.degree() as u64, Ordering::Relaxed);
         self.with_ctx(iter, vp, scratch, requester, |prog, state, ctx| {
             prog.run_on_vertex(requester, state, pv, ctx);
         });
@@ -903,6 +937,8 @@ struct PartMeta {
     requester: VertexId,
     subject: VertexId,
     dir: EdgeDir,
+    /// First edge position of the slice within the subject's list.
+    start: u64,
     kind: PartKind,
 }
 
@@ -916,15 +952,17 @@ struct AttrPair {
     requester: VertexId,
     subject: VertexId,
     dir: EdgeDir,
+    start: u64,
     edges: Option<PageSpan>,
     attrs: Option<PageSpan>,
 }
 
-/// A ready-to-deliver edge list.
+/// A ready-to-deliver edge-list slice.
 struct ReadyVertex {
     requester: VertexId,
     subject: VertexId,
     dir: EdgeDir,
+    start: u64,
     edges: PageSpan,
     attrs: Option<PageSpan>,
 }
@@ -968,30 +1006,36 @@ impl<'s> SemIo<'s> {
         }
     }
 
-    /// Resolves a logical request into issue-queue ranges (or a ready
-    /// completion for degree-zero subjects).
+    /// Resolves one chunk request into issue-queue ranges (or a ready
+    /// completion for empty slices — zero-degree subjects and ranges
+    /// clamped to nothing complete without I/O).
     fn enqueue(&mut self, req: EdgeRequest, index: &GraphIndex, counters: &Counters) {
-        let loc = index.locate(req.subject, req.dir);
-        self.outstanding += 1;
-        if loc.degree == 0 {
-            self.outstanding -= 1;
+        if req.len == 0 {
             self.ready.push(ReadyVertex {
                 requester: req.requester,
                 subject: req.subject,
                 dir: req.dir,
+                start: req.start,
                 edges: PageSpan::empty(),
                 attrs: req.attrs.then(PageSpan::empty),
             });
             return;
         }
+        let loc = index.locate_range(req.subject, req.dir, req.start, req.len);
+        debug_assert_eq!(
+            loc.degree, req.len,
+            "ranges are clamped at request time against the same index"
+        );
+        self.outstanding += 1;
         let pair = if req.attrs {
             let aloc = index
-                .locate_attrs(req.subject, req.dir)
+                .locate_attrs_range(req.subject, req.dir, req.start, req.len)
                 .expect("attrs requested but image has no attribute section");
             let slot = self.alloc_pair(AttrPair {
                 requester: req.requester,
                 subject: req.subject,
                 dir: req.dir,
+                start: req.start,
                 edges: None,
                 attrs: None,
             });
@@ -999,6 +1043,7 @@ impl<'s> SemIo<'s> {
                 requester: req.requester,
                 subject: req.subject,
                 dir: req.dir,
+                start: req.start,
                 kind: PartKind::Attrs { pair: slot },
             });
             self.issue_q.push(RangeReq {
@@ -1017,6 +1062,7 @@ impl<'s> SemIo<'s> {
             requester: req.requester,
             subject: req.subject,
             dir: req.dir,
+            start: req.start,
             kind: PartKind::Edges { pair },
         });
         self.issue_q.push(RangeReq {
@@ -1083,6 +1129,7 @@ impl<'s> SemIo<'s> {
                         requester: pm.requester,
                         subject: pm.subject,
                         dir: pm.dir,
+                        start: pm.start,
                         edges: span,
                         attrs: None,
                     });
@@ -1119,6 +1166,7 @@ impl<'s> SemIo<'s> {
             requester: p.requester,
             subject: p.subject,
             dir: p.dir,
+            start: p.start,
             edges: p.edges.expect("pair complete"),
             attrs: Some(p.attrs.expect("pair complete")),
         });
@@ -1129,7 +1177,7 @@ impl<'s> SemIo<'s> {
         let r = self.ready.pop()?;
         Some((
             r.requester,
-            PageVertex::from_span(r.subject, r.dir, r.edges, r.attrs),
+            PageVertex::from_span(r.subject, r.dir, r.start, r.edges, r.attrs),
         ))
     }
 }

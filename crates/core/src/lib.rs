@@ -10,7 +10,10 @@
 //!   request an edge list (its own or — unusually among graph engines
 //!   — *any other vertex's*) before touching edges, which is what
 //!   lets FlashGraph avoid reading edge lists of vertices that are
-//!   activated but do no work.
+//!   activated but do no work. Requests are first-class [`Request`]
+//!   values and may name a *part* of an edge list
+//!   (`Request::edges(dir).range(start, len)`), so algorithms probing
+//!   high-degree hubs never pay for bytes they won't use.
 //! * **Execution model** (§3.3): iterations over an active frontier;
 //!   vertices interact by message passing (applied at iteration
 //!   barriers, Pregel-style) and multicast activation.
@@ -37,7 +40,9 @@
 //!
 //! ```
 //! use fg_types::{EdgeDir, VertexId};
-//! use flashgraph::{Engine, EngineConfig, Init, PageVertex, VertexContext, VertexProgram};
+//! use flashgraph::{
+//!     Engine, EngineConfig, Init, PageVertex, Request, VertexContext, VertexProgram,
+//! };
 //!
 //! struct Bfs;
 //!
@@ -53,7 +58,10 @@
 //!     fn run(&self, v: VertexId, state: &mut BfsState, ctx: &mut VertexContext<'_, ()>) {
 //!         if !state.visited {
 //!             state.visited = true;
-//!             ctx.request_edges(v, EdgeDir::Out);
+//!             // `Request::edges(dir)` asks for the whole list; add
+//!             // `.range(start, len)` for a slice of a hub's list or
+//!             // `.with_attrs()` for edge weights.
+//!             ctx.request(v, Request::edges(EdgeDir::Out));
 //!         }
 //!     }
 //!
@@ -90,7 +98,7 @@ mod stats;
 mod vertex;
 
 pub use config::{EngineConfig, SchedulerKind};
-pub use context::VertexContext;
+pub use context::{Request, VertexContext};
 pub use engine::{Engine, Init};
 pub use program::VertexProgram;
 pub use serve::{GraphService, ServiceConfig, ServiceStatsSnapshot};

@@ -9,6 +9,14 @@
 //! doing this in the engine rather than in the filesystem or kernel
 //! (Figure 12), since the engine merges with a global view and no
 //! extra locking.
+//!
+//! Merging is oblivious to what a byte range *is*: full edge lists,
+//! partial-range slices of one hub's list, chunked deliveries, and
+//! attribute runs all flow through as [`RangeReq`]s. Adjacent chunks
+//! of one oversized list therefore coalesce back into large device
+//! reads whenever they land in the same issue batch — chunked
+//! delivery bounds the *callback* granularity without shrinking the
+//! *I/O* granularity.
 
 /// One logical edge-list (or attribute-run) request before merging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +230,31 @@ mod tests {
         for m in &merged {
             assert!(m.bytes <= 8192 || m.parts.len() == 1);
         }
+    }
+
+    #[test]
+    fn chunked_subranges_of_one_list_remerge() {
+        // 6 chunks of one hub list (adjacent 1000-byte subranges) in
+        // one batch collapse back into a single device read: chunking
+        // changes delivery granularity, not I/O granularity.
+        let reqs: Vec<RangeReq> = (0..6)
+            .map(|i| req(10_000 + i * 1000, 1000, i as u32))
+            .collect();
+        let merged = merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].offset, 10_000);
+        assert_eq!(merged[0].bytes, 6000);
+        assert_eq!(merged[0].parts.len(), 6);
+    }
+
+    #[test]
+    fn overlapping_subranges_share_pages() {
+        // Two samplers probing nearby positions of the same hub list:
+        // the covers share the page, so one read serves both.
+        let reqs = vec![req(8192 + 40, 4, 0), req(8192 + 400, 4, 1)];
+        let merged = merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].parts.len(), 2);
     }
 
     #[test]

@@ -1,4 +1,22 @@
 //! The vertex-centric programming interface (§3.4, Figure 3).
+//!
+//! # Figure 3 → API mapping
+//!
+//! The paper's `graph_engine` / `compute_vertex` interface maps onto
+//! this crate as follows:
+//!
+//! | Paper (Figure 3, §3.4) | This crate |
+//! |---|---|
+//! | `compute_vertex::run(graph)` | [`VertexProgram::run`] |
+//! | `run_on_vertex(graph, vertex)` | [`VertexProgram::run_on_vertex`] with a [`PageVertex`] slice |
+//! | `run_on_message(graph, msg)` | [`VertexProgram::run_on_message`] |
+//! | `run_on_iteration_end(graph)` | [`VertexProgram::run_on_iteration_end`] |
+//! | `request_vertices(ids)` | [`VertexContext::request`] with [`Request::edges`](crate::Request::edges) (any vertex's list, not just the caller's) |
+//! | *part of* a vertex (partial edge list) | [`Request::range`](crate::Request::range) — edge positions `[start, start + len)`; oversized lists also arrive chunked under `EngineConfig::max_request_edges` |
+//! | edge attributes (separate sections, §3.5.2) | [`Request::with_attrs`](crate::Request::with_attrs) / [`PageVertex::attr`] |
+//! | `send_msg(v, msg)` / multicast (§3.4.1) | [`VertexContext::send`] / [`VertexContext::multicast`] |
+//! | vertex activation | [`VertexContext::activate`] / [`VertexContext::activate_many`] |
+//! | end-of-iteration registration | [`VertexContext::notify_iteration_end`] |
 
 use fg_types::VertexId;
 
@@ -24,9 +42,12 @@ use crate::vertex::PageVertex;
 ///   vertices that end up doing nothing and reading their lists
 ///   eagerly would waste I/O bandwidth.
 /// * [`run_on_vertex`](VertexProgram::run_on_vertex) — delivery of a
-///   requested edge list (the *user task* executing against the page
-///   cache). `vertex.id()` may differ from the receiving vertex `v`:
-///   programs like triangle counting request neighbours' lists.
+///   requested edge-list slice (the *user task* executing against the
+///   page cache). `vertex.id()` may differ from the receiving vertex
+///   `v`: programs like triangle counting request neighbours' lists.
+///   One callback arrives per delivered slice — the whole list for
+///   plain requests, or each range/chunk of a partial or chunked
+///   request, identified by [`PageVertex::offset`]/[`PageVertex::range`].
 /// * [`run_on_message`](VertexProgram::run_on_message) — delivery of
 ///   a message, at the iteration barrier, even if the vertex was not
 ///   active this iteration.

@@ -290,7 +290,7 @@ impl GraphService {
 
     /// Admits one query and hands the closure a borrowed [`Engine`]
     /// over the shared backend — the escape hatch for app wrappers
-    /// ([`fg_apps`]-style functions taking `&Engine`) and multi-phase
+    /// (`fg_apps`-style functions taking `&Engine`) and multi-phase
     /// runs that need several `run_with_states` calls under a single
     /// admission.
     ///

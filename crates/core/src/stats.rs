@@ -17,6 +17,12 @@ pub struct IterStats {
     pub read_requests: u64,
     /// Bytes read from the device during the iteration.
     pub bytes_read: u64,
+    /// Bytes covered by logical requests during the iteration
+    /// (semi-external mode; compare with `bytes_read` for the
+    /// page-rounding waste of this iteration's access pattern).
+    pub bytes_requested: u64,
+    /// Edges delivered to `run_on_vertex` callbacks this iteration.
+    pub edges_delivered: u64,
     /// Increase of the busiest drive's virtual busy time.
     pub io_busy_ns: u64,
 }
@@ -45,6 +51,12 @@ pub struct RunStats {
     pub issued_requests: u64,
     /// Bytes covered by logical requests (edge + attribute payload).
     pub bytes_requested: u64,
+    /// Edges delivered to `run_on_vertex` callbacks — every edge of
+    /// every slice handed to a program, in both execution modes. For
+    /// full-list execution this is the sum of requested degrees; for
+    /// range/sampled execution it shows how much smaller the touched
+    /// edge set was.
+    pub edges_delivered: u64,
     /// Nanoseconds the query waited in a [`crate::GraphService`]
     /// admission queue before its engine run began. Zero for runs
     /// invoked directly on an [`crate::Engine`].
@@ -100,6 +112,20 @@ impl RunStats {
             self.bytes_requested as f64 / self.issued_requests as f64
         }
     }
+
+    /// Device bytes read per logically requested byte — the
+    /// page-rounding (and cache-miss re-read) waste ratio of
+    /// semi-external execution. Small scattered range requests push
+    /// this up (each touches a whole page); sequential full-list scans
+    /// with warm merging pull it toward — or, with cache hits, below —
+    /// 1.0. `None` in in-memory mode or when nothing was requested.
+    pub fn page_waste_ratio(&self) -> Option<f64> {
+        let io = self.io.as_ref()?;
+        if self.bytes_requested == 0 {
+            return None;
+        }
+        Some(io.bytes_read as f64 / self.bytes_requested as f64)
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +144,7 @@ mod tests {
             engine_requests: 6,
             issued_requests: 3,
             bytes_requested: 300,
+            edges_delivered: 75,
             queue_wait_ns: 0,
             io: None,
             cache: None,
@@ -155,5 +182,27 @@ mod tests {
     fn mean_issued_bytes() {
         let s = base();
         assert_eq!(s.mean_issued_bytes(), 100.0);
+    }
+
+    #[test]
+    fn page_waste_ratio_needs_io() {
+        let mut s = base();
+        assert_eq!(s.page_waste_ratio(), None, "in-memory runs have no io");
+        s.io = Some(IoStatsSnapshot {
+            read_requests: 1,
+            pages_read: 1,
+            bytes_read: 4096,
+            write_requests: 0,
+            pages_written: 0,
+            bytes_written: 0,
+            per_ssd_busy_ns: vec![0],
+            max_busy_ns: 0,
+            total_busy_ns: 0,
+        });
+        // 300 logical bytes cost one 4096-byte page.
+        let ratio = s.page_waste_ratio().unwrap();
+        assert!((ratio - 4096.0 / 300.0).abs() < 1e-9);
+        s.bytes_requested = 0;
+        assert_eq!(s.page_waste_ratio(), None);
     }
 }

@@ -18,25 +18,36 @@ enum EdgeData<'a> {
     },
 }
 
-/// One vertex's edge list in one direction, as delivered to
-/// [`crate::VertexProgram::run_on_vertex`].
+/// One slice of a vertex's edge list in one direction, as delivered
+/// to [`crate::VertexProgram::run_on_vertex`].
 ///
 /// The name follows the paper's `page_vertex`: in semi-external
 /// memory the data lives in SAFS pages and is decoded on the fly,
 /// with no per-request buffer allocation.
+///
+/// A full-list request delivers the whole list in one `PageVertex`
+/// with [`PageVertex::offset`] 0. Range requests and chunked
+/// deliveries (see `EngineConfig::max_request_edges`) deliver slices:
+/// [`PageVertex::offset`]/[`PageVertex::range`] say which positions
+/// of the subject's full list arrived, and indexed accessors like
+/// [`PageVertex::edge`] are slice-local (index 0 is the edge at
+/// position `offset()` of the full list).
 #[derive(Debug)]
 pub struct PageVertex<'a> {
     id: VertexId,
     dir: EdgeDir,
+    offset: u64,
     data: EdgeData<'a>,
 }
 
 impl<'a> PageVertex<'a> {
     /// Wraps a page span (semi-external path). `attrs`, when present,
-    /// must cover `4 * degree` bytes like `edges`.
+    /// must cover `4 * degree` bytes like `edges`; `offset` is the
+    /// slice's first edge position within the subject's full list.
     pub(crate) fn from_span(
         id: VertexId,
         dir: EdgeDir,
+        offset: u64,
         edges: PageSpan,
         attrs: Option<PageSpan>,
     ) -> Self {
@@ -47,6 +58,7 @@ impl<'a> PageVertex<'a> {
         PageVertex {
             id,
             dir,
+            offset,
             data: EdgeData::Span { edges, attrs },
         }
     }
@@ -55,12 +67,14 @@ impl<'a> PageVertex<'a> {
     pub(crate) fn from_slice(
         id: VertexId,
         dir: EdgeDir,
+        offset: u64,
         edges: &'a [VertexId],
         attrs: Option<&'a [f32]>,
     ) -> Self {
         PageVertex {
             id,
             dir,
+            offset,
             data: EdgeData::Slice { edges, attrs },
         }
     }
@@ -70,6 +84,21 @@ impl<'a> PageVertex<'a> {
     #[inline]
     pub fn id(&self) -> VertexId {
         self.id
+    }
+
+    /// Position of this slice's first edge within the subject's full
+    /// list — 0 for full-list deliveries, the range/chunk start for
+    /// partial ones.
+    #[inline]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The position range `offset()..offset() + degree()` this
+    /// delivery covers within the subject's full list.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<u64> {
+        self.offset..self.offset + self.degree() as u64
     }
 
     /// Which direction's list was delivered ([`EdgeDir::In`] or
@@ -159,7 +188,7 @@ mod tests {
     use super::*;
 
     fn slice_pv(ids: &[VertexId]) -> PageVertex<'_> {
-        PageVertex::from_slice(VertexId(0), EdgeDir::Out, ids, None)
+        PageVertex::from_slice(VertexId(0), EdgeDir::Out, 0, ids, None)
     }
 
     #[test]
@@ -177,7 +206,7 @@ mod tests {
     fn slice_view_with_weights() {
         let ids = [VertexId(1), VertexId(2)];
         let ws = [0.5f32, 2.0];
-        let pv = PageVertex::from_slice(VertexId(7), EdgeDir::In, &ids, Some(&ws));
+        let pv = PageVertex::from_slice(VertexId(7), EdgeDir::In, 0, &ids, Some(&ws));
         assert!(pv.has_attrs());
         assert_eq!(pv.attr(1), Some(2.0));
         assert_eq!(pv.dir(), EdgeDir::In);
@@ -197,7 +226,7 @@ mod tests {
             100,
             12,
         );
-        let pv = PageVertex::from_span(VertexId(2), EdgeDir::Out, span, None);
+        let pv = PageVertex::from_span(VertexId(2), EdgeDir::Out, 0, span, None);
         assert_eq!(pv.degree(), 3);
         assert_eq!(
             pv.edges().map(|v| v.0).collect::<Vec<_>>(),
@@ -222,7 +251,7 @@ mod tests {
         };
         let edges = mk(&[4, 9]);
         let attrs = mk(&[1.5f32.to_bits(), 3.25f32.to_bits()]);
-        let pv = PageVertex::from_span(VertexId(0), EdgeDir::Out, edges, Some(attrs));
+        let pv = PageVertex::from_span(VertexId(0), EdgeDir::Out, 0, edges, Some(attrs));
         assert_eq!(pv.attr(0), Some(1.5));
         assert_eq!(pv.attr(1), Some(3.25));
     }
@@ -245,5 +274,19 @@ mod tests {
         assert_eq!(pv.degree(), 0);
         assert_eq!(pv.edges().count(), 0);
         assert!(!pv.contains(VertexId(1)));
+        assert_eq!(pv.offset(), 0);
+        assert!(pv.range().is_empty());
+    }
+
+    #[test]
+    fn offset_and_range_report_the_slice() {
+        // A chunk covering positions [5, 8) of some vertex's list.
+        let ids = [VertexId(10), VertexId(11), VertexId(12)];
+        let pv = PageVertex::from_slice(VertexId(3), EdgeDir::Out, 5, &ids, None);
+        assert_eq!(pv.offset(), 5);
+        assert_eq!(pv.range(), 5..8);
+        assert_eq!(pv.degree(), 3);
+        // Indexed access stays slice-local.
+        assert_eq!(pv.edge(0), VertexId(10));
     }
 }

@@ -8,7 +8,8 @@ use fg_safs::{Safs, SafsConfig};
 use fg_ssdsim::{ArrayConfig, SsdArray};
 use fg_types::{EdgeDir, VertexId};
 use flashgraph::{
-    Engine, EngineConfig, Init, PageVertex, RunStats, SchedulerKind, VertexContext, VertexProgram,
+    Engine, EngineConfig, Init, PageVertex, Request, RunStats, SchedulerKind, VertexContext,
+    VertexProgram,
 };
 
 /// Runs `program` on `g` in the given mode and returns states+stats.
@@ -597,6 +598,388 @@ fn max_iterations_caps_runaway_programs() {
     let engine = Engine::new_mem(&g, cfg);
     let (_, stats) = engine.run(&Forever, Init::All).unwrap();
     assert_eq!(stats.iterations, 7);
+}
+
+// --------------------------------------------- partial-range requests
+
+/// Each vertex requests positions [start, start+len) of its own out
+/// list and records what arrived (slice content + reported offset).
+struct RangeProbe {
+    start: u64,
+    len: u64,
+}
+
+#[derive(Default, Clone)]
+struct ProbeState {
+    started: bool,
+    got: Vec<(u64, Vec<u32>)>, // (offset, slice edges) per callback
+}
+
+impl VertexProgram for RangeProbe {
+    type State = ProbeState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, state: &mut ProbeState, ctx: &mut VertexContext<'_, ()>) {
+        if !state.started {
+            state.started = true;
+            ctx.request(v, Request::edges(EdgeDir::Out).range(self.start, self.len));
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        v: VertexId,
+        state: &mut ProbeState,
+        vertex: &PageVertex<'_>,
+        _ctx: &mut VertexContext<'_, ()>,
+    ) {
+        assert_eq!(vertex.id(), v);
+        assert_eq!(
+            vertex.range().end - vertex.range().start,
+            vertex.degree() as u64
+        );
+        state
+            .got
+            .push((vertex.offset(), vertex.edges().map(|e| e.0).collect()));
+    }
+}
+
+/// Flattens per-callback slices into (sorted-by-offset) edge ids.
+fn reassemble(got: &[(u64, Vec<u32>)]) -> Vec<u32> {
+    let mut chunks = got.to_vec();
+    chunks.sort_by_key(|(off, _)| *off);
+    chunks.into_iter().flat_map(|(_, e)| e).collect()
+}
+
+#[test]
+fn range_requests_deliver_the_oracle_slice_both_modes() {
+    let g = gen::rmat(8, 5, gen::RmatSkew::default(), 61);
+    for (start, len) in [(0u64, 2u64), (1, 3), (2, 1000), (0, u64::MAX)] {
+        let probe = RangeProbe { start, len };
+        for (states, _) in both_modes(&g, &probe, Init::All, EngineConfig::small()) {
+            for v in g.vertices() {
+                let full = g.out_neighbors(v);
+                let lo = (start as usize).min(full.len());
+                let hi = lo + (len as usize).min(full.len() - lo);
+                let want: Vec<u32> = full[lo..hi].iter().map(|e| e.0).collect();
+                let st = &states[v.index()];
+                assert_eq!(st.got.len(), 1, "one callback per in-bounds range");
+                assert_eq!(st.got[0].0, lo as u64, "vertex {v} offset");
+                assert_eq!(st.got[0].1, want, "vertex {v} slice");
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_length_and_clamped_ranges_complete_without_io() {
+    // Zero-length ranges and ranges starting past the list's end must
+    // behave exactly like zero-degree lists: one empty callback, no
+    // bytes requested, no device I/O.
+    let g = gen::rmat(7, 4, gen::RmatSkew::default(), 5);
+    for (start, len) in [(0u64, 0u64), (3, 0), (u64::MAX, 10), (1 << 40, 0)] {
+        let probe = RangeProbe { start, len };
+        let (states, stats) = run_mode(&g, &probe, Init::All, EngineConfig::small(), true);
+        for v in g.vertices() {
+            let st = &states[v.index()];
+            assert_eq!(st.got.len(), 1, "empty ranges still deliver one callback");
+            assert!(st.got[0].1.is_empty());
+        }
+        assert_eq!(stats.bytes_requested, 0, "({start}, {len})");
+        assert_eq!(stats.edges_delivered, 0);
+        let io = stats.io.expect("sem mode");
+        assert_eq!(io.read_requests, 0, "no device I/O for ({start}, {len})");
+        assert_eq!(io.bytes_read, 0);
+        assert!(stats.engine_requests > 0, "requests were still issued");
+    }
+}
+
+#[test]
+fn clamped_tail_range_reads_only_the_overlap() {
+    // A range crossing the end of the list delivers the clamped
+    // intersection (like the zero-degree convention, but non-empty).
+    let g = fixtures::complete(6); // every vertex has degree 5
+    let probe = RangeProbe { start: 3, len: 100 };
+    for (states, _) in both_modes(&g, &probe, Init::All, EngineConfig::small()) {
+        for v in g.vertices() {
+            let st = &states[v.index()];
+            let want: Vec<u32> = g.out_neighbors(v)[3..].iter().map(|e| e.0).collect();
+            assert_eq!(reassemble(&st.got), want);
+            assert_eq!(st.got[0].0, 3);
+        }
+    }
+}
+
+#[test]
+fn chunked_delivery_reassembles_with_one_callback_per_chunk() {
+    let g = gen::rmat(7, 6, gen::RmatSkew::default(), 44);
+    for chunk in [1u64, 3, 7] {
+        let probe = RangeProbe {
+            start: 0,
+            len: u64::MAX,
+        };
+        let cfg = EngineConfig::small().with_max_request_edges(chunk);
+        for (states, _) in both_modes(&g, &probe, Init::All, cfg) {
+            for v in g.vertices() {
+                let want: Vec<u32> = g.out_neighbors(v).iter().map(|e| e.0).collect();
+                let st = &states[v.index()];
+                let expected_chunks = (want.len() as u64).div_ceil(chunk).max(1);
+                assert_eq!(
+                    st.got.len() as u64,
+                    expected_chunks,
+                    "vertex {v}: exactly one callback per chunk (chunk={chunk})"
+                );
+                assert_eq!(reassemble(&st.got), want, "vertex {v} chunk={chunk}");
+                // Chunks partition the list: offsets are multiples of
+                // the chunk size and lengths fill to the next one.
+                let mut sorted = st.got.clone();
+                sorted.sort_by_key(|(off, _)| *off);
+                for (k, (off, edges)) in sorted.iter().enumerate() {
+                    assert_eq!(*off, k as u64 * chunk);
+                    if (k as u64) < expected_chunks - 1 {
+                        assert_eq!(edges.len() as u64, chunk);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chunking_does_not_change_device_traffic() {
+    // Chunked delivery bounds callback granularity, not I/O: adjacent
+    // chunks of one list re-merge in the issue batch, so device bytes
+    // and pages stay the same as whole-list execution.
+    let g = gen::rmat(8, 8, gen::RmatSkew::default(), 2);
+    let run = |chunk: u64| {
+        run_mode(
+            &g,
+            &RangeProbe {
+                start: 0,
+                len: u64::MAX,
+            },
+            Init::All,
+            EngineConfig::small().with_max_request_edges(chunk),
+            true,
+        )
+    };
+    let (whole_states, whole) = run(0);
+    let (chunk_states, chunked) = run(16);
+    for v in g.vertices() {
+        assert_eq!(
+            reassemble(&whole_states[v.index()].got),
+            reassemble(&chunk_states[v.index()].got)
+        );
+    }
+    let (a, b) = (whole.io.unwrap(), chunked.io.unwrap());
+    assert_eq!(a.bytes_read, b.bytes_read, "no duplicate page reads");
+    assert_eq!(a.pages_read, b.pages_read);
+    assert_eq!(whole.bytes_requested, chunked.bytes_requested);
+    assert_eq!(whole.edges_delivered, chunked.edges_delivered);
+}
+
+// ------------------------------------------- byte-accounted pipeline
+
+#[test]
+fn stats_account_bytes_and_edges_per_iteration() {
+    let g = gen::rmat(8, 6, gen::RmatSkew::default(), 9);
+    let (_, stats) = run_mode(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::small(),
+        true,
+    );
+    // Every visited vertex requested its whole out list exactly once:
+    // delivered edges = sum of visited out-degrees = requested bytes/4.
+    let reached: u64 = fg_baselines::direct::bfs_levels(&g, VertexId(0))
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.is_some())
+        .map(|(i, _)| g.out_degree(VertexId(i as u32)) as u64)
+        .sum();
+    assert_eq!(stats.edges_delivered, reached);
+    assert_eq!(stats.bytes_requested, reached * 4);
+    // Per-iteration traces sum to the run totals.
+    let iter_bytes: u64 = stats.per_iteration.iter().map(|i| i.bytes_requested).sum();
+    let iter_edges: u64 = stats.per_iteration.iter().map(|i| i.edges_delivered).sum();
+    assert_eq!(iter_bytes, stats.bytes_requested);
+    assert_eq!(iter_edges, stats.edges_delivered);
+    // Page rounding makes the device read at least one page per cold
+    // request neighbourhood; the waste ratio is well-defined and ≥ 1
+    // on this cold, scattered pattern.
+    let ratio = stats.page_waste_ratio().expect("sem mode with requests");
+    assert!(ratio >= 1.0, "cold BFS cannot read less than requested");
+    // In-memory runs deliver the same edges with no byte accounting.
+    let (_, mem) = run_mode(
+        &g,
+        &Bfs,
+        Init::Seeds(vec![VertexId(0)]),
+        EngineConfig::small(),
+        false,
+    );
+    assert_eq!(mem.edges_delivered, reached);
+    assert_eq!(mem.bytes_requested, 0);
+    assert_eq!(mem.page_waste_ratio(), None);
+}
+
+#[test]
+fn single_position_probes_expose_page_rounding_waste() {
+    // Reading 1 edge (4 bytes) per vertex still costs whole pages on
+    // the device: bytes_requested counts 4 per probe while bytes_read
+    // counts pages — the waste ratio the partial-request API lets
+    // samplers measure (and the merge layer amortize).
+    let g = gen::rmat(8, 6, gen::RmatSkew::default(), 29);
+    let probe = RangeProbe { start: 0, len: 1 };
+    let (_, stats) = run_mode(&g, &probe, Init::All, EngineConfig::small(), true);
+    let with_edges: u64 = g.vertices().filter(|&v| g.out_degree(v) > 0).count() as u64;
+    assert_eq!(stats.edges_delivered, with_edges);
+    assert_eq!(stats.bytes_requested, with_edges * 4);
+    assert!(stats.page_waste_ratio().unwrap() > 1.0);
+}
+
+#[test]
+fn wrappers_and_first_class_requests_are_equivalent() {
+    // request_edges / request_edges_with_attrs are documented one-line
+    // wrappers over ctx.request: identical stats and results.
+    struct Wrapped;
+    #[derive(Default, Clone)]
+    struct WState {
+        sum: u64,
+        started: bool,
+    }
+    impl VertexProgram for Wrapped {
+        type State = WState;
+        type Msg = ();
+        fn run(&self, v: VertexId, state: &mut WState, ctx: &mut VertexContext<'_, ()>) {
+            if !state.started {
+                state.started = true;
+                ctx.request_edges(v, EdgeDir::Out);
+            }
+        }
+        fn run_on_vertex(
+            &self,
+            _v: VertexId,
+            state: &mut WState,
+            vertex: &PageVertex<'_>,
+            _ctx: &mut VertexContext<'_, ()>,
+        ) {
+            assert_eq!(vertex.offset(), 0, "wrappers request whole lists");
+            state.sum += vertex.edges().map(|e| e.0 as u64).sum::<u64>();
+        }
+    }
+    let g = gen::rmat(7, 4, gen::RmatSkew::default(), 71);
+    let (w_states, w_stats) = run_mode(&g, &Wrapped, Init::All, EngineConfig::small(), true);
+    let probe = RangeProbe {
+        start: 0,
+        len: u64::MAX,
+    };
+    let (p_states, p_stats) = run_mode(&g, &probe, Init::All, EngineConfig::small(), true);
+    for v in g.vertices() {
+        let want: u64 = reassemble(&p_states[v.index()].got)
+            .iter()
+            .map(|&e| e as u64)
+            .sum();
+        assert_eq!(w_states[v.index()].sum, want);
+    }
+    assert_eq!(w_stats.engine_requests, p_stats.engine_requests);
+    assert_eq!(w_stats.bytes_requested, p_stats.bytes_requested);
+    assert_eq!(w_stats.edges_delivered, p_stats.edges_delivered);
+}
+
+#[test]
+fn ranged_attr_requests_slice_weights_in_lockstep() {
+    struct AttrSlice;
+    #[derive(Default, Clone)]
+    struct AsState {
+        started: bool,
+        pairs: Vec<(u32, f32)>,
+    }
+    impl VertexProgram for AttrSlice {
+        type State = AsState;
+        type Msg = ();
+        fn run(&self, v: VertexId, state: &mut AsState, ctx: &mut VertexContext<'_, ()>) {
+            if !state.started {
+                state.started = true;
+                ctx.request(v, Request::edges(EdgeDir::Out).range(1, 1).with_attrs());
+            }
+        }
+        fn run_on_vertex(
+            &self,
+            _v: VertexId,
+            state: &mut AsState,
+            vertex: &PageVertex<'_>,
+            _ctx: &mut VertexContext<'_, ()>,
+        ) {
+            for i in 0..vertex.degree() {
+                state
+                    .pairs
+                    .push((vertex.edge(i).0, vertex.attr(i).unwrap()));
+            }
+        }
+    }
+    let g = fixtures::weighted_square();
+    for (states, _) in both_modes(&g, &AttrSlice, Init::All, EngineConfig::small()) {
+        for v in g.vertices() {
+            let edges = g.out_neighbors(v);
+            let want: Vec<(u32, f32)> = if edges.len() > 1 {
+                let w = g.csr(EdgeDir::Out).weights_of(v).unwrap();
+                vec![(edges[1].0, w[1])]
+            } else {
+                Vec::new()
+            };
+            assert_eq!(states[v.index()].pairs, want, "vertex {v}");
+        }
+    }
+}
+
+// ------------------------------------------ neighbour range requests
+
+#[test]
+fn range_requests_on_other_vertices_work() {
+    // The paper's "request any vertex" flexibility composes with
+    // ranges: vertex 0 samples position 1 of every other vertex.
+    struct PeekSecond;
+    #[derive(Default, Clone)]
+    struct PeekState {
+        seen: Vec<(u32, Vec<u32>)>,
+        started: bool,
+    }
+    impl VertexProgram for PeekSecond {
+        type State = PeekState;
+        type Msg = ();
+        fn run(&self, v: VertexId, state: &mut PeekState, ctx: &mut VertexContext<'_, ()>) {
+            if v == VertexId(0) && !state.started {
+                state.started = true;
+                for u in 0..ctx.num_vertices() as u32 {
+                    ctx.request(VertexId(u), Request::edges(EdgeDir::Out).range(1, 1));
+                }
+            }
+        }
+        fn run_on_vertex(
+            &self,
+            v: VertexId,
+            state: &mut PeekState,
+            vertex: &PageVertex<'_>,
+            _ctx: &mut VertexContext<'_, ()>,
+        ) {
+            assert_eq!(v, VertexId(0), "callbacks land on the requester");
+            state
+                .seen
+                .push((vertex.id().0, vertex.edges().map(|e| e.0).collect()));
+        }
+    }
+    let g = gen::rmat(6, 4, gen::RmatSkew::default(), 19);
+    for (states, _) in both_modes(&g, &PeekSecond, Init::All, EngineConfig::small()) {
+        let mut seen = states[0].seen.clone();
+        seen.sort();
+        assert_eq!(seen.len(), g.num_vertices());
+        for (u, got) in seen {
+            let full = g.out_neighbors(VertexId(u));
+            let want: Vec<u32> = full.iter().skip(1).take(1).map(|e| e.0).collect();
+            assert_eq!(got, want, "vertex {u}");
+        }
+    }
 }
 
 #[test]

@@ -192,6 +192,31 @@ impl GraphIndex {
         self.dir(dir).locate(v, self.edge_width)
     }
 
+    /// Locates a *sub-range* of `v`'s edge list in `dir`: the byte
+    /// range covering edge positions `[start, start + len)`.
+    ///
+    /// The range is clamped to the list: `start` past the end yields a
+    /// zero-byte location (callers complete such requests without
+    /// I/O), and `len` is truncated at the list's last edge. This is
+    /// the location primitive behind partial edge-list requests (the
+    /// engine's `Request::edges(dir).range(start, len)`), which let
+    /// algorithms touching high-degree hubs pay only for the slice
+    /// they will use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `dir` is [`EdgeDir::Both`].
+    pub fn locate_range(&self, v: VertexId, dir: EdgeDir, start: u64, len: u64) -> EdgeListLoc {
+        let full = self.locate(v, dir);
+        let start = start.min(full.degree);
+        let len = len.min(full.degree - start);
+        EdgeListLoc {
+            offset: full.offset + start * self.edge_width,
+            bytes: len * self.edge_width,
+            degree: len,
+        }
+    }
+
     /// Locates the attribute run parallel to `v`'s edge list, if the
     /// image carries attributes for `dir`.
     ///
@@ -201,6 +226,27 @@ impl GraphIndex {
         let d = self.dir(dir);
         let attr_base = d.attr_base?;
         let edges = self.locate(v, dir);
+        Some(EdgeListLoc {
+            offset: attr_base + (edges.offset - d.edge_base),
+            bytes: edges.bytes,
+            degree: edges.degree,
+        })
+    }
+
+    /// The attribute run parallel to [`GraphIndex::locate_range`]:
+    /// attribute positions `[start, start + len)` of `v` in `dir`,
+    /// clamped exactly like the edge sub-range (entries are 4 bytes on
+    /// both sides, so the two sub-ranges stay in lockstep).
+    pub fn locate_attrs_range(
+        &self,
+        v: VertexId,
+        dir: EdgeDir,
+        start: u64,
+        len: u64,
+    ) -> Option<EdgeListLoc> {
+        let d = self.dir(dir);
+        let attr_base = d.attr_base?;
+        let edges = self.locate_range(v, dir, start, len);
         Some(EdgeListLoc {
             offset: attr_base + (edges.offset - d.edge_base),
             bytes: edges.bytes,
@@ -339,6 +385,64 @@ mod tests {
             per_vertex < 2.64,
             "directed index uses {per_vertex} B/vertex; paper claims ~2.5"
         );
+    }
+
+    #[test]
+    fn locate_range_slices_within_list() {
+        let degrees = vec![3u64, 10, 2];
+        let idx = seq_base_index(&degrees);
+        let full = idx.locate(VertexId(1), EdgeDir::Out);
+        let sub = idx.locate_range(VertexId(1), EdgeDir::Out, 4, 3);
+        assert_eq!(sub.offset, full.offset + 4 * 4);
+        assert_eq!(sub.bytes, 3 * 4);
+        assert_eq!(sub.degree, 3);
+        // A full-width range reproduces locate() exactly.
+        assert_eq!(idx.locate_range(VertexId(1), EdgeDir::Out, 0, 10), full);
+    }
+
+    #[test]
+    fn locate_range_clamps_to_list_end() {
+        let idx = seq_base_index(&[5]);
+        // Tail-truncated: positions [3, 9) clamp to [3, 5).
+        let tail = idx.locate_range(VertexId(0), EdgeDir::Out, 3, 6);
+        assert_eq!(tail.degree, 2);
+        assert_eq!(tail.bytes, 8);
+        // Start past the end: zero bytes at the list's end offset.
+        let past = idx.locate_range(VertexId(0), EdgeDir::Out, 7, 2);
+        assert_eq!(past.degree, 0);
+        assert_eq!(past.bytes, 0);
+        // Zero-length range: zero bytes, offset at the position.
+        let zero = idx.locate_range(VertexId(0), EdgeDir::Out, 2, 0);
+        assert_eq!(zero.degree, 0);
+        assert_eq!(zero.offset, 1000 + 2 * 4);
+    }
+
+    #[test]
+    fn attr_range_parallels_edge_range() {
+        let degrees = vec![3u64, 8];
+        let idx = GraphIndex::build(&degrees, None, 4, 100, 0, Some(10_000), None);
+        let e = idx.locate_range(VertexId(1), EdgeDir::Out, 2, 4);
+        let a = idx
+            .locate_attrs_range(VertexId(1), EdgeDir::Out, 2, 4)
+            .unwrap();
+        assert_eq!(a.offset - 10_000, e.offset - 100);
+        assert_eq!(a.bytes, e.bytes);
+        assert_eq!(a.degree, e.degree);
+        // Clamping stays in lockstep too.
+        let e = idx.locate_range(VertexId(1), EdgeDir::Out, 6, 99);
+        let a = idx
+            .locate_attrs_range(VertexId(1), EdgeDir::Out, 6, 99)
+            .unwrap();
+        assert_eq!(a.bytes, e.bytes);
+        assert_eq!(e.degree, 2);
+    }
+
+    #[test]
+    fn attr_range_absent_when_unweighted() {
+        let idx = seq_base_index(&[4]);
+        assert!(idx
+            .locate_attrs_range(VertexId(0), EdgeDir::Out, 0, 2)
+            .is_none());
     }
 
     #[test]

@@ -37,5 +37,5 @@
 mod image;
 mod index;
 
-pub use image::{load_index, required_capacity, write_image, ImageMeta, SECTION_ALIGN};
+pub use image::{load_index, read_meta, required_capacity, write_image, ImageMeta, SECTION_ALIGN};
 pub use index::{EdgeListLoc, GraphIndex, CHECKPOINT_INTERVAL, LARGE_DEGREE};

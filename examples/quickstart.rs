@@ -1,5 +1,6 @@
 //! Quickstart: build a graph, write its on-SSD image, mount SAFS,
-//! and run BFS in both execution modes.
+//! run BFS in both execution modes, and peek at a hub through a
+//! partial edge-list request.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -9,8 +10,43 @@ use fg_format::{load_index, required_capacity, write_image};
 use fg_graph::gen;
 use fg_safs::{Safs, SafsConfig};
 use fg_ssdsim::{ArrayConfig, SsdArray};
-use fg_types::VertexId;
-use flashgraph::{Engine, EngineConfig};
+use fg_types::{EdgeDir, VertexId};
+use flashgraph::{Engine, EngineConfig, Init, PageVertex, Request, VertexContext, VertexProgram};
+
+/// Reads only the first [start, start+len) slice of one vertex's out
+/// list — the first-class request API at its smallest.
+struct HubPreview {
+    hub: VertexId,
+    start: u64,
+    len: u64,
+}
+
+#[derive(Default)]
+struct Preview {
+    edges: Vec<u32>,
+    offset: u64,
+}
+
+impl VertexProgram for HubPreview {
+    type State = Preview;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, _state: &mut Preview, ctx: &mut VertexContext<'_, ()>) {
+        ctx.request(v, Request::edges(EdgeDir::Out).range(self.start, self.len));
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        state: &mut Preview,
+        vertex: &PageVertex<'_>,
+        _ctx: &mut VertexContext<'_, ()>,
+    ) {
+        assert_eq!(vertex.id(), self.hub);
+        state.offset = vertex.offset();
+        state.edges = vertex.edges().map(|e| e.0).collect();
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A power-law graph: 2^12 vertices, ~16 edges per vertex.
@@ -63,6 +99,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "mem BFS: same levels, {:.2} ms",
         mem_stats.modeled_runtime_secs() * 1e3
+    );
+
+    // 6. Partial edge-list request: preview 8 mid-list neighbours of
+    //    the biggest hub without reading its whole list.
+    let hub = (0..graph.num_vertices() as u32)
+        .map(VertexId)
+        .max_by_key(|&v| graph.out_degree(v))
+        .expect("non-empty graph");
+    let preview = HubPreview {
+        hub,
+        start: graph.out_degree(hub) as u64 / 2,
+        len: 8,
+    };
+    safs.reset_stats();
+    let (states, pstats) = sem.run(&preview, Init::Seeds(vec![hub]))?;
+    let p = &states[hub.index()];
+    println!(
+        "hub {hub} (degree {}): positions [{}, {}) = {:?} — {} bytes requested, {} read",
+        graph.out_degree(hub),
+        p.offset,
+        p.offset + p.edges.len() as u64,
+        p.edges,
+        pstats.bytes_requested,
+        pstats.io.as_ref().map(|io| io.bytes_read).unwrap_or(0),
     );
     Ok(())
 }

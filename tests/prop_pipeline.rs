@@ -2,12 +2,12 @@
 //! semi-external engine agrees with the in-memory oracles.
 
 use fg_format::{load_index, required_capacity, write_image};
-use fg_graph::GraphBuilder;
+use fg_graph::{gen, Graph, GraphBuilder};
 use fg_safs::{Safs, SafsConfig};
 use fg_ssdsim::{ArrayConfig, SsdArray};
-use fg_types::VertexId;
+use fg_types::{EdgeDir, VertexId};
 use flashgraph::merge::{merge_requests, RangeReq};
-use flashgraph::{Engine, EngineConfig};
+use flashgraph::{Engine, EngineConfig, Init, PageVertex, Request, VertexContext, VertexProgram};
 use proptest::prelude::*;
 
 fn graph_strategy() -> impl Strategy<Value = (Vec<(u32, u32)>, u32)> {
@@ -15,6 +15,52 @@ fn graph_strategy() -> impl Strategy<Value = (Vec<(u32, u32)>, u32)> {
         prop::collection::vec((0u32..150, 0u32..150), 1..500),
         0u32..150,
     )
+}
+
+/// Requests positions [start, start+len) of every vertex's out list
+/// and records each delivered slice with its reported offset.
+struct RangeProbe {
+    start: u64,
+    len: u64,
+}
+
+#[derive(Default, Clone)]
+struct ProbeState {
+    started: bool,
+    got: Vec<(u64, Vec<u32>)>,
+}
+
+impl VertexProgram for RangeProbe {
+    type State = ProbeState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, state: &mut ProbeState, ctx: &mut VertexContext<'_, ()>) {
+        if !state.started {
+            state.started = true;
+            ctx.request(v, Request::edges(EdgeDir::Out).range(self.start, self.len));
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        state: &mut ProbeState,
+        vertex: &PageVertex<'_>,
+        _ctx: &mut VertexContext<'_, ()>,
+    ) {
+        state
+            .got
+            .push((vertex.offset(), vertex.edges().map(|e| e.0).collect()));
+    }
+}
+
+fn sem_mount(g: &Graph) -> (Safs, fg_format::GraphIndex) {
+    let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(g)).unwrap();
+    write_image(g, &array).unwrap();
+    let (_, index) = load_index(&array).unwrap();
+    // Tiny cache: stress partial hits across chunk boundaries.
+    let safs = Safs::new(SafsConfig::default().with_cache_bytes(8 * 4096), array).unwrap();
+    (safs, index)
 }
 
 proptest! {
@@ -105,6 +151,74 @@ proptest! {
         for w in merged.windows(2) {
             prop_assert!(w[0].offset <= w[1].offset);
         }
+    }
+
+    #[test]
+    fn arbitrary_range_request_matches_csr_slice(
+        scale in 5u32..8,
+        factor in 1u32..6,
+        seed in 0u64..1 << 20,
+        start in 0u64..64,
+        len in 0u64..64,
+    ) {
+        // For an arbitrary position range over an R-MAT graph, the
+        // semi-external engine must deliver exactly the oracle's CSR
+        // slice (clamped to the list) for every vertex, offsets
+        // included.
+        let g = gen::rmat(scale, factor, gen::RmatSkew::default(), seed);
+        let (safs, index) = sem_mount(&g);
+        let engine = Engine::new_sem(&safs, index, EngineConfig::small());
+        let (states, _) = engine.run(&RangeProbe { start, len }, Init::All).unwrap();
+        for v in g.vertices() {
+            let full = g.out_neighbors(v);
+            let lo = (start as usize).min(full.len());
+            let hi = lo + (len as usize).min(full.len() - lo);
+            let want: Vec<u32> = full[lo..hi].iter().map(|e| e.0).collect();
+            let st = &states[v.index()];
+            prop_assert_eq!(st.got.len(), 1);
+            prop_assert_eq!(st.got[0].0, lo as u64);
+            prop_assert_eq!(&st.got[0].1, &want);
+        }
+    }
+
+    #[test]
+    fn chunked_delivery_reassembles_without_duplicate_reads(
+        scale in 5u32..8,
+        factor in 2u32..8,
+        seed in 0u64..1 << 20,
+        chunk in 1u64..24,
+    ) {
+        // Chunked delivery of oversized lists must (a) deliver exactly
+        // one callback per chunk, (b) reassemble to the full list, and
+        // (c) not re-read pages the whole-list execution reads once.
+        let g = gen::rmat(scale, factor, gen::RmatSkew::default(), seed);
+        let probe = RangeProbe { start: 0, len: u64::MAX };
+
+        let (safs, index) = sem_mount(&g);
+        let whole = Engine::new_sem(&safs, index, EngineConfig::small());
+        let (_, whole_stats) = whole.run(&probe, Init::All).unwrap();
+
+        let (safs, index) = sem_mount(&g);
+        let cfg = EngineConfig::small().with_max_request_edges(chunk);
+        let chunked = Engine::new_sem(&safs, index, cfg);
+        let (states, chunked_stats) = chunked.run(&probe, Init::All).unwrap();
+
+        for v in g.vertices() {
+            let want: Vec<u32> = g.out_neighbors(v).iter().map(|e| e.0).collect();
+            let st = &states[v.index()];
+            let expected_chunks = (want.len() as u64).div_ceil(chunk).max(1);
+            prop_assert_eq!(st.got.len() as u64, expected_chunks);
+            let mut chunks = st.got.clone();
+            chunks.sort_by_key(|(off, _)| *off);
+            let rebuilt: Vec<u32> = chunks.into_iter().flat_map(|(_, e)| e).collect();
+            prop_assert_eq!(rebuilt, want);
+        }
+        let (a, b) = (whole_stats.io.unwrap(), chunked_stats.io.unwrap());
+        // No duplicate page reads under chunking:
+        prop_assert_eq!(a.pages_read, b.pages_read);
+        prop_assert_eq!(a.bytes_read, b.bytes_read);
+        prop_assert_eq!(whole_stats.bytes_requested, chunked_stats.bytes_requested);
+        prop_assert_eq!(whole_stats.edges_delivered, chunked_stats.edges_delivered);
     }
 
     #[test]
