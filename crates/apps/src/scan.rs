@@ -173,7 +173,10 @@ pub struct ScanResult {
 /// Propagates engine errors.
 pub fn scan_statistics(engine: &Engine<'_>) -> Result<(ScanResult, RunStats)> {
     let cfg = EngineConfig {
-        scheduler: SchedulerKind::DegreeDescending,
+        // Scan statistics reads out-lists only (the undirected image
+        // keeps one list per vertex), so hubs are ranked by the
+        // degree that actually drives their I/O and pruning power.
+        scheduler: SchedulerKind::DegreeDescending(EdgeDir::Out),
         // A short pipeline is the point of the custom schedule: the
         // first (largest) vertices must *finish* before the long tail
         // starts, so the rising incumbent can prune the tail. A deep

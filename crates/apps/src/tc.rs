@@ -12,7 +12,10 @@
 //! SSDs and share page-cache hits (§3.8, Figure 7).
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+use flashgraph::{
+    Engine, EngineConfig, Init, PageVertex, Request, RunStats, SchedulerKind, VertexContext,
+    VertexProgram,
+};
 
 use crate::assembly::OwnListAssembly;
 
@@ -158,7 +161,15 @@ impl VertexProgram for TcProgram {
 ///
 /// Propagates engine errors.
 pub fn triangle_count(engine: &Engine<'_>, notify: bool) -> Result<(u64, Vec<u64>, RunStats)> {
-    let (states, stats) = engine.run(&TcProgram { notify }, Init::All)?;
+    // Hubs first, ranked by the out-degree TC actually reads (§3.7):
+    // the heaviest intersections start — and their neighbour-list I/O
+    // overlaps — while the long low-degree tail computes.
+    let cfg = EngineConfig {
+        scheduler: SchedulerKind::DegreeDescending(EdgeDir::Out),
+        ..*engine.config()
+    };
+    let tuned = engine.reconfigured(cfg);
+    let (states, stats) = tuned.run(&TcProgram { notify }, Init::All)?;
     let per: Vec<u64> = states.iter().map(|s| s.triangles).collect();
     // Each triangle was counted once at its smallest corner; with
     // notify, corners got +1 each, so the raw sum counts each triangle

@@ -11,9 +11,9 @@ use fg_graph::Graph;
 use fg_safs::{CacheStats, Completion, IoSession, PageSpan, Safs};
 use fg_types::{AtomicBitmap, Bitmap, EdgeDir, FgError, Result, VertexId};
 
-use crate::config::{EngineConfig, SchedulerKind};
+use crate::config::{EngineConfig, ScanMode, SchedulerKind};
 use crate::context::{DegreeSource, EdgeRequest, RunShared, VertexContext, WorkerScratch};
-use crate::merge::{merge_requests, RangeReq};
+use crate::merge::{coalesce_stream, merge_requests, RangeReq};
 use crate::messages::{Batch, MessageBoard, NotifyBoard};
 use crate::partition::PartitionMap;
 use crate::program::VertexProgram;
@@ -205,6 +205,12 @@ impl<'g> Engine<'g> {
         let board: MessageBoard<P::Msg> = MessageBoard::new(nthreads);
         let notify = NotifyBoard::new(nthreads);
         let active = ActiveSet::new(nthreads, vparts as usize);
+        // Per-partition streaming decisions of the current iteration:
+        // written by each owner in phase A (before the barrier), read
+        // by stealers in phase B. A streamed partition's bytes arrive
+        // via its owner's sweep, so stealing from it would duplicate
+        // device reads.
+        let stream_flags: Vec<AtomicBool> = (0..nthreads).map(|_| AtomicBool::new(false)).collect();
         let barrier = Barrier::new(nthreads);
         let control = Control::default();
         let counters = Counters::default();
@@ -238,6 +244,7 @@ impl<'g> Engine<'g> {
                         board: &board,
                         notify: &notify,
                         active: &active,
+                        stream_flags: &stream_flags,
                         barrier: &barrier,
                         control: &control,
                         counters: &counters,
@@ -390,6 +397,10 @@ struct Counters {
     issued_requests: AtomicU64,
     bytes_requested: AtomicU64,
     edges_delivered: AtomicU64,
+    /// Worker-iterations executed as streaming scans.
+    stream_partitions: AtomicU64,
+    /// Stride covers submitted by the streaming path.
+    stream_stripes: AtomicU64,
 }
 
 /// Everything one worker thread needs, borrowed from the run.
@@ -403,6 +414,7 @@ struct WorkerEnv<'r, 'g, P: VertexProgram> {
     board: &'r MessageBoard<P::Msg>,
     notify: &'r NotifyBoard,
     active: &'r ActiveSet,
+    stream_flags: &'r [AtomicBool],
     barrier: &'r Barrier,
     control: &'r Control,
     counters: &'r Counters,
@@ -415,11 +427,16 @@ struct WorkerEnv<'r, 'g, P: VertexProgram> {
 const MSG_FLUSH_FANOUT: u64 = 16 * 1024;
 
 /// Worker 0's counter snapshot at an iteration boundary, for the
-/// per-iteration deltas of [`IterStats`].
+/// per-iteration deltas of [`IterStats`]. Snapshots are only taken at
+/// quiesced points — after a barrier every worker has passed with its
+/// I/O pipeline drained — and chain delta-to-delta, so per-iteration
+/// stats sum exactly to the run totals even under work stealing.
 struct IterSnapshot {
     io: Option<fg_ssdsim::IoStatsSnapshot>,
     bytes_requested: u64,
     edges_delivered: u64,
+    stream_partitions: u64,
+    stream_stripes: u64,
 }
 
 impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
@@ -433,18 +450,36 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             Backend::Mem(_) => IoDriver::Mem,
         };
         let mut seen_notify = Bitmap::new(self.shared.n);
+        // Worker 0's counter snapshot at the last recorded boundary.
+        // Taken here — before any worker can pass the first phase-A
+        // barrier, hence before any I/O — and advanced only at
+        // quiesced phase-D boundaries, so the per-iteration deltas
+        // chain without gaps or double counting.
+        let mut boundary = self.boundary_snapshot();
         loop {
             let iter = self.control.iteration.load(Ordering::Acquire);
             let iter_start = Instant::now();
-            let io_snap = self.iteration_io_snapshot();
             let frontier_count = if self.w == 0 {
                 self.frontiers.cur().count_ones() as u64
             } else {
                 0
             };
 
-            // Phase A: build this partition's ordered active list.
-            let list = self.collect_active(iter);
+            // Phase A: build this partition's ordered active list and
+            // decide this iteration's execution mode from its density.
+            let mut list = self.collect_active();
+            let stream = self.decide_stream(list.len());
+            if stream {
+                // A sweep reads the extent front to back; processing
+                // in id order keeps buffered requests aligned with
+                // the covers, so the scheduler is overridden.
+                self.counters
+                    .stream_partitions
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.apply_scheduler(iter, &mut list);
+            }
+            self.stream_flags[self.w].store(stream, Ordering::Release);
             self.active.install(self.w, list);
             self.barrier.wait();
 
@@ -454,7 +489,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             for vp in 0..self.shared.vparts {
                 let wait_before = self.counters.wait_ns.load(Ordering::Relaxed);
                 let t = Instant::now();
-                self.compute_pass(iter, vp, &mut scratch, &mut io);
+                self.compute_pass(iter, vp, &mut scratch, &mut io, stream);
                 self.flush_boards(&mut scratch);
                 let busy = t.elapsed().as_nanos() as u64;
                 let waited = self.counters.wait_ns.load(Ordering::Relaxed) - wait_before;
@@ -475,12 +510,16 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
             self.barrier.wait();
 
-            // Phase D: worker 0 decides continuation and swaps.
+            // Phase D: worker 0 decides continuation and swaps. The
+            // phase-C barrier above quiesced every worker (all I/O
+            // pipelines drained), so recording here attributes every
+            // byte to the iteration that read it even when stealing
+            // moved the work between partitions.
             if self.w == 0 {
                 let next_count = self.frontiers.next().count_ones() as u64;
                 let done = (next_count == 0 && self.board.pending() == 0)
                     || iter + 1 >= self.engine.cfg.max_iterations;
-                self.record_iteration(frontier_count, iter_start, io_snap);
+                self.record_iteration(frontier_count, iter_start, &mut boundary);
                 self.frontiers.swap();
                 self.control.stop.store(done, Ordering::Release);
                 self.control.iteration.store(iter + 1, Ordering::Release);
@@ -498,10 +537,11 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             .fetch_add(scratch.engine_requests, Ordering::Relaxed);
     }
 
-    /// Worker 0's snapshot of the request-pipeline counters at an
-    /// iteration boundary (valid there: every worker is between the
-    /// phase-C and phase-D barriers, so nothing is mid-flight).
-    fn iteration_io_snapshot(&self) -> Option<IterSnapshot> {
+    /// Worker 0's snapshot of the request-pipeline counters, taken
+    /// only at quiesced boundaries (before the first phase-A barrier
+    /// and in phase D, where the phase-C barrier has drained every
+    /// worker's pipeline). `None` on other workers.
+    fn boundary_snapshot(&self) -> Option<IterSnapshot> {
         if self.w != 0 {
             return None;
         }
@@ -513,45 +553,76 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             io,
             bytes_requested: self.counters.bytes_requested.load(Ordering::Relaxed),
             edges_delivered: self.counters.edges_delivered.load(Ordering::Relaxed),
+            stream_partitions: self.counters.stream_partitions.load(Ordering::Relaxed),
+            stream_stripes: self.counters.stream_stripes.load(Ordering::Relaxed),
         })
     }
 
-    fn record_iteration(&self, frontier: u64, iter_start: Instant, before: Option<IterSnapshot>) {
-        let before = before.expect("worker 0 always snapshots");
-        let (read_requests, bytes_read, io_busy_ns) = match (&self.engine.backend, before.io) {
-            (Backend::Sem { safs, .. }, Some(io_before)) => {
-                let d = safs.array().stats().snapshot().delta_since(&io_before);
+    /// Records the finished iteration's stats as the delta since the
+    /// previous boundary, then advances the boundary to now — so the
+    /// per-iteration rows partition the run totals exactly.
+    fn record_iteration(
+        &self,
+        frontier: u64,
+        iter_start: Instant,
+        boundary: &mut Option<IterSnapshot>,
+    ) {
+        let now = self.boundary_snapshot().expect("only worker 0 records");
+        let before = boundary.take().expect("worker 0 always snapshots");
+        let (read_requests, bytes_read, io_busy_ns) = match (&now.io, &before.io) {
+            (Some(now_io), Some(io_before)) => {
+                let d = now_io.delta_since(io_before);
                 (d.read_requests, d.bytes_read, d.max_busy_ns)
             }
             _ => (0, 0, 0),
         };
+        let stream_partitions = now
+            .stream_partitions
+            .saturating_sub(before.stream_partitions);
         self.per_iteration.lock().push(IterStats {
             frontier,
             wall_ns: iter_start.elapsed().as_nanos() as u64,
             read_requests,
             bytes_read,
-            bytes_requested: self
-                .counters
-                .bytes_requested
-                .load(Ordering::Relaxed)
-                .saturating_sub(before.bytes_requested),
-            edges_delivered: self
-                .counters
-                .edges_delivered
-                .load(Ordering::Relaxed)
-                .saturating_sub(before.edges_delivered),
+            bytes_requested: now.bytes_requested.saturating_sub(before.bytes_requested),
+            edges_delivered: now.edges_delivered.saturating_sub(before.edges_delivered),
             io_busy_ns,
+            scan: stream_partitions > 0,
+            stream_partitions,
+            stream_stripes: now.stream_stripes.saturating_sub(before.stream_stripes),
         });
+        *boundary = Some(now);
     }
 
-    /// Collects and orders the active vertices of this partition
-    /// (§3.7).
-    fn collect_active(&self, iter: u32) -> Vec<VertexId> {
+    /// Whether this worker executes the coming iteration as a
+    /// streaming scan: semi-external backend only, by
+    /// [`ScanMode`] against the partition's active density.
+    fn decide_stream(&self, active: usize) -> bool {
+        if matches!(self.engine.backend, Backend::Mem(_)) || active == 0 {
+            return false;
+        }
+        match self.engine.cfg.scan_mode {
+            ScanMode::Selective => false,
+            ScanMode::Stream => true,
+            ScanMode::Adaptive { threshold } => {
+                let plen = self.shared.pmap.partition_len(self.w);
+                plen > 0 && active as u64 * 100 > plen as u64 * threshold as u64
+            }
+        }
+    }
+
+    /// Collects the active vertices of this partition in id order.
+    fn collect_active(&self) -> Vec<VertexId> {
         let cur = self.frontiers.cur();
         let mut list = Vec::new();
         for range in self.shared.pmap.ranges_of(self.w) {
             list.extend(cur.iter_ones_in_range(range));
         }
+        list
+    }
+
+    /// Orders an active list by the configured scheduler (§3.7).
+    fn apply_scheduler(&self, iter: u32, list: &mut [VertexId]) {
         match self.engine.cfg.scheduler {
             SchedulerKind::ById => {}
             SchedulerKind::Alternating => {
@@ -573,22 +644,28 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                     list.swap(i, j);
                 }
             }
-            SchedulerKind::DegreeDescending => {
-                list.sort_by_key(|&v| {
-                    std::cmp::Reverse(self.shared.degrees.degree(v, EdgeDir::Both))
-                });
+            SchedulerKind::DegreeDescending(dir) => {
+                list.sort_by_key(|&v| std::cmp::Reverse(self.shared.degrees.degree(v, dir)));
             }
         }
-        list
     }
 
     /// The issue/poll pipeline of one vertical pass.
+    ///
+    /// With `stream` set, requests whose subject belongs to this
+    /// worker's partition accumulate in the stream queue and go to
+    /// the device as stride-sized sequential covers (flushed when a
+    /// stride's worth of extent is buffered, and finally when the
+    /// pass runs out of claims); everything else — stolen vertices'
+    /// lists, other partitions' hubs — still takes the selective
+    /// path.
     fn compute_pass(
         &self,
         iter: u32,
         vp: u32,
         scratch: &mut WorkerScratch<P::Msg>,
         io: &mut IoDriver<'_>,
+        stream: bool,
     ) {
         let nparts = self.shared.pmap.num_partitions();
         let max_pending = self.engine.cfg.max_pending.max(1);
@@ -605,19 +682,23 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 self.with_ctx(iter, vp, scratch, v, |prog, state, ctx| {
                     prog.run(v, state, ctx);
                 });
-                self.absorb_requests(iter, vp, scratch, io);
-                io.flush_if_full(self.engine.cfg.issue_batch, self);
+                self.absorb_requests(iter, vp, scratch, io, stream);
+                io.flush_if_full(self);
                 self.maybe_flush_messages(scratch);
             }
-            io.flush(self);
+            io.flush_selective(self);
             if io.outstanding() == 0 {
-                if !claimed_any {
+                if claimed_any {
+                    continue;
+                }
+                // No more claims: release the final partial stride.
+                io.flush_stream_tail(self);
+                if io.outstanding() == 0 {
                     break;
                 }
-                continue;
             }
             // Wait for completions and run the user tasks they carry.
-            self.drain_completions(iter, vp, scratch, io, true);
+            self.drain_completions(iter, vp, scratch, io, stream, true);
         }
     }
 
@@ -630,6 +711,12 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         }
         for k in 1..nparts {
             let p = (self.w + k) % nparts;
+            // Never steal from a streaming partition: its owner's
+            // sweep already reads those vertices' bytes, so stolen
+            // selective requests would duplicate the device traffic.
+            if self.stream_flags[p].load(Ordering::Acquire) {
+                continue;
+            }
             if let Some(v) = self.active.claim(p, vp) {
                 return Some(v);
             }
@@ -673,6 +760,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         vp: u32,
         scratch: &mut WorkerScratch<P::Msg>,
         io: &mut IoDriver<'_>,
+        stream: bool,
     ) {
         while !scratch.requests.is_empty() {
             let reqs: Vec<EdgeRequest> = scratch.requests.drain(..).collect();
@@ -699,7 +787,39 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                         self.deliver_vertex(iter, vp, scratch, req.requester, &pv);
                     }
                     (Backend::Sem { index, .. }, IoDriver::Sem(sem)) => {
-                        sem.enqueue(req, index, self.counters);
+                        // A streaming worker routes *own-list*
+                        // requests of its own partition into the
+                        // sweep — the access pattern of the dense
+                        // algorithms the mode exists for, arriving
+                        // in claim (id) order. Cross-vertex requests
+                        // (TC/Scan asking for neighbours' lists) stay
+                        // selective even when the subject happens to
+                        // be local: they arrive in arbitrary order
+                        // and hot hub lists must keep going through
+                        // the cache, not a bypassing sweep.
+                        let via_stream = stream
+                            && req.subject == req.requester
+                            && self.shared.pmap.partition_of(req.subject) == self.w;
+                        if via_stream {
+                            // Covers must stay inside one of the
+                            // partition's id-ranges: bridging across a
+                            // foreign range would sweep bytes another
+                            // worker's stream already reads. Claims
+                            // arrive in id order, so flushing at each
+                            // range transition seals the previous
+                            // range's covers.
+                            let region =
+                                (req.subject.index() / self.shared.pmap.range_len()) as u64;
+                            if sem.stream_region != Some(region) {
+                                sem.flush_stream(
+                                    self.engine.safs_page_bytes(),
+                                    self.engine.cfg.stream_stride_bytes(),
+                                    self.counters,
+                                );
+                                sem.stream_region = Some(region);
+                            }
+                        }
+                        sem.enqueue(req, index, self.counters, via_stream);
                         // Zero-degree requests become ready
                         // completions without I/O.
                         while let Some((requester, pv)) = sem.pop_ready() {
@@ -736,6 +856,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         vp: u32,
         scratch: &mut WorkerScratch<P::Msg>,
         io: &mut IoDriver<'_>,
+        stream: bool,
         wait: bool,
     ) {
         let IoDriver::Sem(sem) = io else { return };
@@ -756,8 +877,8 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             }
         }
         // Callbacks may have queued more requests.
-        self.absorb_requests(iter, vp, scratch, io);
-        io.flush_if_full(self.engine.cfg.issue_batch, self);
+        self.absorb_requests(iter, vp, scratch, io, stream);
+        io.flush_if_full(self);
         self.maybe_flush_messages(scratch);
     }
 
@@ -855,18 +976,20 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
     }
 
     /// Synchronously completes any edge requests queued during the
-    /// barrier phase (message / iteration-end handlers).
+    /// barrier phase (message / iteration-end handlers). Barrier-phase
+    /// requests always take the selective path: the iteration's sweep
+    /// is over by then.
     fn complete_phase_requests(
         &self,
         iter: u32,
         scratch: &mut WorkerScratch<P::Msg>,
         io: &mut IoDriver<'_>,
     ) {
-        self.absorb_requests(iter, 0, scratch, io);
-        io.flush(self);
+        self.absorb_requests(iter, 0, scratch, io, false);
+        io.flush_all(self);
         while io.outstanding() > 0 {
-            self.drain_completions(iter, 0, scratch, io, true);
-            io.flush(self);
+            self.drain_completions(iter, 0, scratch, io, false, true);
+            io.flush_all(self);
         }
     }
 }
@@ -889,9 +1012,12 @@ impl IoDriver<'_> {
         }
     }
 
-    fn flush_if_full<P: VertexProgram>(&mut self, batch: usize, env: &WorkerEnv<'_, '_, P>) {
+    /// Flushes whichever queue has reached its trigger: the selective
+    /// queue at the issue-batch size, the stream queue once a full
+    /// stride of extent is buffered.
+    fn flush_if_full<P: VertexProgram>(&mut self, env: &WorkerEnv<'_, '_, P>) {
         if let IoDriver::Sem(s) = self {
-            if s.issue_q.len() >= batch {
+            if s.issue_q.len() >= env.engine.cfg.issue_batch {
                 s.flush(
                     env.engine.safs_page_bytes(),
                     env.engine.cfg.merge_in_engine,
@@ -899,10 +1025,16 @@ impl IoDriver<'_> {
                     env.counters,
                 );
             }
+            let stride = env.engine.cfg.stream_stride_bytes();
+            if s.stream_span() >= stride || s.stream_q.len() >= STREAM_FLUSH_REQUESTS {
+                s.flush_stream(env.engine.safs_page_bytes(), stride, env.counters);
+            }
         }
     }
 
-    fn flush<P: VertexProgram>(&mut self, env: &WorkerEnv<'_, '_, P>) {
+    /// Flushes the selective issue queue only — the stream queue
+    /// keeps accumulating toward a full stride.
+    fn flush_selective<P: VertexProgram>(&mut self, env: &WorkerEnv<'_, '_, P>) {
         if let IoDriver::Sem(s) = self {
             s.flush(
                 env.engine.safs_page_bytes(),
@@ -912,7 +1044,58 @@ impl IoDriver<'_> {
             );
         }
     }
+
+    /// Releases the stream queue regardless of how much is buffered —
+    /// the end-of-claims flush that submits the final partial stride.
+    fn flush_stream_tail<P: VertexProgram>(&mut self, env: &WorkerEnv<'_, '_, P>) {
+        if let IoDriver::Sem(s) = self {
+            s.flush_stream(
+                env.engine.safs_page_bytes(),
+                env.engine.cfg.stream_stride_bytes(),
+                env.counters,
+            );
+        }
+    }
+
+    /// Flushes both queues (the synchronous barrier-phase drain).
+    fn flush_all<P: VertexProgram>(&mut self, env: &WorkerEnv<'_, '_, P>) {
+        self.flush_selective(env);
+        self.flush_stream_tail(env);
+    }
 }
+
+/// Byte span of one file section's buffered stream parts.
+struct SectionSpan {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for SectionSpan {
+    fn default() -> Self {
+        SectionSpan {
+            lo: u64::MAX,
+            hi: 0,
+        }
+    }
+}
+
+impl SectionSpan {
+    fn widen(&mut self, offset: u64, bytes: u64) {
+        self.lo = self.lo.min(offset);
+        self.hi = self.hi.max(offset + bytes);
+    }
+
+    fn span(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+}
+
+/// Backstop on how many buffered stream requests may await a full
+/// stride: on graphs with tiny edge lists a stride's worth of extent
+/// can mean hundreds of thousands of request metadata entries, so the
+/// queue also flushes at this count (covers come out smaller but
+/// still far larger than selective batches).
+const STREAM_FLUSH_REQUESTS: usize = 16 * 1024;
 
 impl Engine<'_> {
     fn safs_page_bytes(&self) -> u64 {
@@ -967,12 +1150,40 @@ struct ReadyVertex {
     attrs: Option<PageSpan>,
 }
 
-/// The semi-external per-worker I/O state: issue queue, merged-request
-/// slab, attribute pairing, and the SAFS session.
+/// The semi-external per-worker I/O state: selective issue queue,
+/// streaming-scan queue, merged-request slab, attribute pairing, and
+/// the SAFS session.
+///
+/// The two queues differ in three ways. The selective queue flushes
+/// at the issue-batch size, merges only page-adjacent requests, and
+/// submits with the normal cache policy. The stream queue flushes
+/// once a full stride of partition extent is buffered, bridges the
+/// gaps of inactive vertices ([`coalesce_stream`]), and submits with
+/// the cache-bypass policy. Buffered stream requests do not count as
+/// `outstanding` until their covers are submitted (tracked in
+/// `stream_buffered`), so the pipeline-depth gate cannot force
+/// premature, undersized covers.
 struct SemIo<'s> {
     session: IoSession<'s>,
     issue_q: Vec<RangeReq>,
     issue_meta: Vec<PartMeta>,
+    stream_q: Vec<RangeReq>,
+    stream_meta: Vec<PartMeta>,
+    /// Byte span of the buffered edge-section stream parts.
+    stream_edges: SectionSpan,
+    /// Byte span of the buffered attribute-section stream parts.
+    /// Tracked separately: edge lists and attribute runs live in
+    /// far-apart file sections, and folding both into one span would
+    /// make it look stride-sized after a single weighted request,
+    /// flushing the queue per vertex.
+    stream_attrs: SectionSpan,
+    /// Logical requests buffered in the stream queue, moved into
+    /// `outstanding` at flush time.
+    stream_buffered: usize,
+    /// Id-range (region) the buffered stream requests belong to;
+    /// the engine flushes on transition so covers never bridge into
+    /// a foreign partition's byte ranges.
+    stream_region: Option<u64>,
     slab: Vec<Option<MergedMeta>>,
     slab_free: Vec<usize>,
     pairs: Vec<Option<AttrPair>>,
@@ -987,6 +1198,12 @@ impl<'s> SemIo<'s> {
             session,
             issue_q: Vec::new(),
             issue_meta: Vec::new(),
+            stream_q: Vec::new(),
+            stream_meta: Vec::new(),
+            stream_edges: SectionSpan::default(),
+            stream_attrs: SectionSpan::default(),
+            stream_buffered: 0,
+            stream_region: None,
             slab: Vec::new(),
             slab_free: Vec::new(),
             pairs: Vec::new(),
@@ -994,6 +1211,14 @@ impl<'s> SemIo<'s> {
             ready: Vec::new(),
             outstanding: 0,
         }
+    }
+
+    /// Widest per-section byte span of the buffered stream queue (0
+    /// when empty) — the stride trigger compares against this, so a
+    /// weighted request's two far-apart sections don't fake a full
+    /// stride.
+    fn stream_span(&self) -> u64 {
+        self.stream_edges.span().max(self.stream_attrs.span())
     }
 
     fn alloc_pair(&mut self, pair: AttrPair) -> usize {
@@ -1008,8 +1233,10 @@ impl<'s> SemIo<'s> {
 
     /// Resolves one chunk request into issue-queue ranges (or a ready
     /// completion for empty slices — zero-degree subjects and ranges
-    /// clamped to nothing complete without I/O).
-    fn enqueue(&mut self, req: EdgeRequest, index: &GraphIndex, counters: &Counters) {
+    /// clamped to nothing complete without I/O). With `stream` set
+    /// the ranges buffer in the stream queue instead, awaiting a
+    /// stride-sized sweep cover.
+    fn enqueue(&mut self, req: EdgeRequest, index: &GraphIndex, counters: &Counters, stream: bool) {
         if req.len == 0 {
             self.ready.push(ReadyVertex {
                 requester: req.requester,
@@ -1026,7 +1253,11 @@ impl<'s> SemIo<'s> {
             loc.degree, req.len,
             "ranges are clamped at request time against the same index"
         );
-        self.outstanding += 1;
+        if stream {
+            self.stream_buffered += 1;
+        } else {
+            self.outstanding += 1;
+        }
         let pair = if req.attrs {
             let aloc = index
                 .locate_attrs_range(req.subject, req.dir, req.start, req.len)
@@ -1039,48 +1270,106 @@ impl<'s> SemIo<'s> {
                 edges: None,
                 attrs: None,
             });
-            let meta = self.push_meta(PartMeta {
-                requester: req.requester,
-                subject: req.subject,
-                dir: req.dir,
-                start: req.start,
-                kind: PartKind::Attrs { pair: slot },
-            });
-            self.issue_q.push(RangeReq {
-                offset: aloc.offset,
-                bytes: aloc.bytes,
-                meta,
-            });
-            counters
-                .bytes_requested
-                .fetch_add(aloc.bytes, Ordering::Relaxed);
+            self.push_part(
+                stream,
+                aloc.offset,
+                aloc.bytes,
+                PartMeta {
+                    requester: req.requester,
+                    subject: req.subject,
+                    dir: req.dir,
+                    start: req.start,
+                    kind: PartKind::Attrs { pair: slot },
+                },
+                counters,
+            );
             Some(slot)
         } else {
             None
         };
-        let meta = self.push_meta(PartMeta {
-            requester: req.requester,
-            subject: req.subject,
-            dir: req.dir,
-            start: req.start,
-            kind: PartKind::Edges { pair },
-        });
-        self.issue_q.push(RangeReq {
-            offset: loc.offset,
-            bytes: loc.bytes,
-            meta,
-        });
-        counters
-            .bytes_requested
-            .fetch_add(loc.bytes, Ordering::Relaxed);
+        self.push_part(
+            stream,
+            loc.offset,
+            loc.bytes,
+            PartMeta {
+                requester: req.requester,
+                subject: req.subject,
+                dir: req.dir,
+                start: req.start,
+                kind: PartKind::Edges { pair },
+            },
+            counters,
+        );
     }
 
-    fn push_meta(&mut self, meta: PartMeta) -> u32 {
-        self.issue_meta.push(meta);
-        (self.issue_meta.len() - 1) as u32
+    /// Appends one byte range + its metadata to the selected queue.
+    fn push_part(
+        &mut self,
+        stream: bool,
+        offset: u64,
+        bytes: u64,
+        meta: PartMeta,
+        counters: &Counters,
+    ) {
+        let (q, metas) = if stream {
+            (&mut self.stream_q, &mut self.stream_meta)
+        } else {
+            (&mut self.issue_q, &mut self.issue_meta)
+        };
+        metas.push(meta);
+        q.push(RangeReq {
+            offset,
+            bytes,
+            meta: (metas.len() - 1) as u32,
+        });
+        if stream {
+            let section = if matches!(meta.kind, PartKind::Attrs { .. }) {
+                &mut self.stream_attrs
+            } else {
+                &mut self.stream_edges
+            };
+            section.widen(offset, bytes);
+        }
+        counters.bytes_requested.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Sorts, merges, and submits the issue queue (§3.6).
+    /// Installs one merged cover in the slab and submits it.
+    fn submit_cover(
+        &mut self,
+        m: crate::merge::MergedReq,
+        metas: &[PartMeta],
+        stream: bool,
+        counters: &Counters,
+    ) {
+        let parts: Vec<(u64, u64, PartMeta)> = m
+            .parts
+            .iter()
+            .map(|p| (p.offset, p.bytes, metas[p.meta as usize]))
+            .collect();
+        let tag = if let Some(i) = self.slab_free.pop() {
+            self.slab[i] = Some(MergedMeta {
+                offset: m.offset,
+                parts,
+            });
+            i
+        } else {
+            self.slab.push(Some(MergedMeta {
+                offset: m.offset,
+                parts,
+            }));
+            self.slab.len() - 1
+        };
+        counters.issued_requests.fetch_add(1, Ordering::Relaxed);
+        let submitted = if stream {
+            counters.stream_stripes.fetch_add(1, Ordering::Relaxed);
+            self.session.submit_stream(m.offset, m.bytes, tag as u64)
+        } else {
+            self.session.submit(m.offset, m.bytes, tag as u64)
+        };
+        submitted.expect("edge-list request within image bounds");
+    }
+
+    /// Sorts, merges, and submits the selective issue queue (§3.6).
     fn flush(&mut self, page_bytes: u64, merge: bool, max_merge_bytes: u64, counters: &Counters) {
         if self.issue_q.is_empty() {
             return;
@@ -1088,28 +1377,25 @@ impl<'s> SemIo<'s> {
         let reqs = std::mem::take(&mut self.issue_q);
         let metas = std::mem::take(&mut self.issue_meta);
         for m in merge_requests(reqs, page_bytes, merge, max_merge_bytes) {
-            let parts: Vec<(u64, u64, PartMeta)> = m
-                .parts
-                .iter()
-                .map(|p| (p.offset, p.bytes, metas[p.meta as usize]))
-                .collect();
-            let tag = if let Some(i) = self.slab_free.pop() {
-                self.slab[i] = Some(MergedMeta {
-                    offset: m.offset,
-                    parts,
-                });
-                i
-            } else {
-                self.slab.push(Some(MergedMeta {
-                    offset: m.offset,
-                    parts,
-                }));
-                self.slab.len() - 1
-            };
-            counters.issued_requests.fetch_add(1, Ordering::Relaxed);
-            self.session
-                .submit(m.offset, m.bytes, tag as u64)
-                .expect("edge-list request within image bounds");
+            self.submit_cover(m, &metas, false, counters);
+        }
+    }
+
+    /// Coalesces the buffered stream queue into stride covers and
+    /// submits them with the cache-bypass policy; the buffered
+    /// logical requests become outstanding.
+    fn flush_stream(&mut self, page_bytes: u64, stride: u64, counters: &Counters) {
+        if self.stream_q.is_empty() {
+            return;
+        }
+        let reqs = std::mem::take(&mut self.stream_q);
+        let metas = std::mem::take(&mut self.stream_meta);
+        self.stream_edges = SectionSpan::default();
+        self.stream_attrs = SectionSpan::default();
+        self.outstanding += self.stream_buffered;
+        self.stream_buffered = 0;
+        for m in coalesce_stream(reqs, page_bytes, stride) {
+            self.submit_cover(m, &metas, true, counters);
         }
     }
 

@@ -56,10 +56,20 @@ pub const UNLIMITED_MERGE_BYTES: u64 = u64::MAX;
 /// default id-order scheduler) collapses into one giant device read,
 /// serializing onto a single drive and defeating parallelism across
 /// the SSD array. A request that would push the cover past the cap
-/// starts a new cover instead. A *single* request larger than the cap
-/// is never split — it becomes its own oversized cover, and requests
-/// fully contained in it still join it (splitting those off would
-/// duplicate reads).
+/// starts a new cover instead — but only when it begins on a page the
+/// cover does not already touch. A request that *shares a page* with
+/// the cover (overlapping bytes, fully contained, or simply starting
+/// mid-page where the cover ends) is always absorbed: splitting it
+/// off would read the shared page twice from the device within one
+/// batch. The cap is therefore exact at page-clean split points and
+/// best-effort across page-straddling request chains; the covers of
+/// one batch never overlap, not even at page granularity. The
+/// overshoot a straddling chain can force is bounded: the cover
+/// splits at the first request that starts page-aligned (for
+/// contiguous 4-byte edge lists one boundary in ~`page/edge_width`
+/// is page-clean in expectation), and a chain can never outgrow its
+/// issue batch, whose flush cadence bounds the span in the first
+/// place.
 pub fn merge_requests(
     mut reqs: Vec<RangeReq>,
     page_bytes: u64,
@@ -74,20 +84,59 @@ pub fn merge_requests(
             if let Some(last) = out.last_mut() {
                 let last_end_page = (last.offset + last.bytes - 1) / page_bytes;
                 let r_start_page = r.offset / page_bytes;
-                // Same page, adjacent page, or overlapping bytes —
-                // and the grown cover stays within the size cap. A
-                // request that does not grow the cover at all (fully
-                // contained, e.g. inside a single oversized part) is
-                // always absorbed: splitting it off would issue a
-                // duplicate read of pages the cover already fetches.
                 let grown = (last.offset + last.bytes).max(r.offset + r.bytes) - last.offset;
+                // Same page, adjacent page, or overlapping bytes —
+                // and either the grown cover stays within the size
+                // cap, or the request shares a page with the cover
+                // (overlap, containment, or a mid-page boundary), in
+                // which case splitting would duplicate that page's
+                // device read and the cap yields to correctness.
                 if r_start_page <= last_end_page + 1
-                    && (grown <= max_merge_bytes || grown == last.bytes)
+                    && (grown <= max_merge_bytes || r_start_page <= last_end_page)
                 {
                     last.bytes = grown;
                     last.parts.push(r);
                     continue;
                 }
+            }
+        }
+        out.push(MergedReq {
+            offset: r.offset,
+            bytes: r.bytes,
+            parts: vec![r],
+        });
+    }
+    out
+}
+
+/// Coalesces a *streaming-scan* batch into large sequential covers of
+/// roughly `stride` bytes each.
+///
+/// Unlike [`merge_requests`], which only joins requests on the same
+/// or adjacent pages, this bridges arbitrary gaps between requests —
+/// the byte ranges of inactive vertices sitting between two active
+/// ones — as long as the cover stays within `stride`. The gap bytes
+/// are fetched but never delivered (no part refers to them); that is
+/// the streaming trade: on a dense iteration a handful of
+/// stride-sized sequential reads beat thousands of per-list requests
+/// even though some swept bytes go unused. Split points are
+/// page-clean exactly like [`merge_requests`]: a request sharing a
+/// page with the current cover is absorbed past the stride rather
+/// than duplicating the page.
+pub fn coalesce_stream(mut reqs: Vec<RangeReq>, page_bytes: u64, stride: u64) -> Vec<MergedReq> {
+    let stride = stride.max(page_bytes);
+    reqs.sort_by_key(|r| (r.offset, r.bytes));
+    let mut out: Vec<MergedReq> = Vec::with_capacity(1 + reqs.len() / 8);
+    for r in reqs {
+        debug_assert!(r.bytes > 0, "zero-byte requests never reach coalescing");
+        if let Some(last) = out.last_mut() {
+            let last_end_page = (last.offset + last.bytes - 1) / page_bytes;
+            let r_start_page = r.offset / page_bytes;
+            let grown = (last.offset + last.bytes).max(r.offset + r.bytes) - last.offset;
+            if grown <= stride || r_start_page <= last_end_page {
+                last.bytes = grown;
+                last.parts.push(r);
+                continue;
             }
         }
         out.push(MergedReq {
@@ -217,6 +266,27 @@ mod tests {
         assert_eq!(merged[0].parts.len(), 2);
     }
 
+    /// Pages covered by each merged request, for overlap audits.
+    fn pages_of(m: &MergedReq, page_bytes: u64) -> std::ops::RangeInclusive<u64> {
+        m.offset / page_bytes..=(m.offset + m.bytes - 1) / page_bytes
+    }
+
+    /// Asserts the no-duplicate-read invariant: within one batch, no
+    /// page belongs to two covers.
+    fn assert_page_disjoint(merged: &[MergedReq], page_bytes: u64) {
+        let mut seen = std::collections::HashSet::new();
+        for m in merged {
+            for p in pages_of(m, page_bytes) {
+                assert!(
+                    seen.insert(p),
+                    "page {p} covered twice (cover at {}+{})",
+                    m.offset,
+                    m.bytes
+                );
+            }
+        }
+    }
+
     #[test]
     fn cap_preserves_every_part() {
         let reqs: Vec<RangeReq> = (0..50).map(|i| req(i * 1000, 900, i as u32)).collect();
@@ -227,9 +297,121 @@ mod tests {
             .collect();
         metas.sort_unstable();
         assert_eq!(metas, (0..50).collect::<Vec<_>>());
+        assert_page_disjoint(&merged, 4096);
+        // The cap is best-effort across page-straddling chains: a
+        // cover exceeds it only while every absorbed request shared a
+        // page with the cover so far (re-simulate the greedy walk).
         for m in &merged {
-            assert!(m.bytes <= 8192 || m.parts.len() == 1);
+            let mut end = 0u64;
+            for p in &m.parts {
+                if end != 0 && end - m.offset + 1 > 8192 {
+                    assert!(
+                        p.offset / 4096 <= (end - 1) / 4096,
+                        "part at {} extended an over-cap cover without sharing a page",
+                        p.offset
+                    );
+                }
+                end = end.max(p.offset + p.bytes);
+            }
         }
+    }
+
+    #[test]
+    fn cap_never_duplicates_overlapping_requests() {
+        // Regression: a request *overlapping* the cover used to start
+        // a new cover at its own offset when the cap was exceeded,
+        // re-reading the shared pages from the device. Now it is
+        // absorbed (the cap yields), and the batch's covers stay
+        // page-disjoint under any cap.
+        let reqs = vec![
+            req(0, 3 * 4096, 0),          // pages 0-2
+            req(2 * 4096 + 100, 3000, 1), // overlaps page 2
+            req(5 * 4096, 4096, 2),       // page 5: clean split allowed
+        ];
+        for cap in [4096, 2 * 4096, 3 * 4096, 8 * 4096] {
+            let merged = merge_requests(reqs.clone(), 4096, true, cap);
+            assert_page_disjoint(&merged, 4096);
+            // Every part sits inside its cover (the delivery slicer
+            // relies on containment).
+            for m in &merged {
+                for p in &m.parts {
+                    assert!(p.offset >= m.offset);
+                    assert!(p.offset + p.bytes <= m.offset + m.bytes);
+                }
+            }
+        }
+        // With the tightest cap, the overlapping request must have
+        // joined the first cover rather than duplicating page 2.
+        let merged = merge_requests(reqs, 4096, true, 4096);
+        assert_eq!(merged[0].parts.len(), 2);
+        assert_eq!(merged[0].bytes, 3 * 4096);
+    }
+
+    #[test]
+    fn cap_absorbs_overlap_that_extends_the_cover() {
+        // An overlapping request that *extends* the cover past the cap
+        // (not merely contained in it) must still be absorbed: the
+        // overlapped pages would otherwise be read twice.
+        let reqs = vec![req(0, 4000, 0), req(3000, 4000, 1)];
+        let merged = merge_requests(reqs, 4096, true, 4096);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].offset, 0);
+        assert_eq!(merged[0].bytes, 7000);
+        assert_page_disjoint(&merged, 4096);
+    }
+
+    #[test]
+    fn mid_page_contiguous_boundary_still_splits() {
+        // Two contiguous lists meeting exactly at a page boundary
+        // split at the cap; meeting mid-page they do not (the split
+        // would re-read the boundary page).
+        let aligned = vec![req(0, 4096, 0), req(4096, 4096, 1)];
+        let merged = merge_requests(aligned, 4096, true, 4096);
+        assert_eq!(merged.len(), 2);
+        assert_page_disjoint(&merged, 4096);
+
+        let straddling = vec![req(0, 4000, 0), req(4000, 4096, 1)];
+        let merged = merge_requests(straddling, 4096, true, 4096);
+        assert_eq!(merged.len(), 1, "mid-page split would duplicate page 0");
+        assert_page_disjoint(&merged, 4096);
+    }
+
+    #[test]
+    fn stream_coalescing_bridges_gaps() {
+        // Active lists separated by inactive vertices' bytes: the
+        // selective merger keeps them apart (gap > a page), the
+        // stream coalescer sweeps them in one stride-sized cover.
+        let reqs = vec![req(0, 400, 0), req(3 * 4096, 400, 1), req(6 * 4096, 400, 2)];
+        let selective = merge_requests(reqs.clone(), 4096, true, UNLIMITED_MERGE_BYTES);
+        assert_eq!(selective.len(), 3);
+        let streamed = coalesce_stream(reqs, 4096, 32 * 4096);
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0].offset, 0);
+        assert_eq!(streamed[0].bytes, 6 * 4096 + 400);
+        assert_eq!(streamed[0].parts.len(), 3);
+    }
+
+    #[test]
+    fn stream_coalescing_respects_stride() {
+        // 64 contiguous page-sized requests under an 8-page stride:
+        // eight covers of eight pages, page-disjoint, parts preserved.
+        let reqs: Vec<RangeReq> = (0..64).map(|i| req(i * 4096, 4096, i as u32)).collect();
+        let covers = coalesce_stream(reqs, 4096, 8 * 4096);
+        assert_eq!(covers.len(), 8);
+        for c in &covers {
+            assert_eq!(c.bytes, 8 * 4096);
+            assert_eq!(c.parts.len(), 8);
+        }
+        assert_page_disjoint(&covers, 4096);
+    }
+
+    #[test]
+    fn stream_coalescing_distant_sections_stay_apart() {
+        // An edge-section run and a far attribute-section run must not
+        // be bridged into one cover spanning the void between them.
+        let reqs = vec![req(0, 4096, 0), req(1 << 30, 4096, 1)];
+        let covers = coalesce_stream(reqs, 4096, 4 << 20);
+        assert_eq!(covers.len(), 2);
     }
 
     #[test]

@@ -66,8 +66,8 @@ impl PartitionMap {
             .take_while(move |r| r.start < n)
     }
 
-    /// Total vertices assigned to partition `p`.
-    #[allow(dead_code)] // used by tests and diagnostics
+    /// Total vertices assigned to partition `p` — the denominator of
+    /// the adaptive scan mode's per-partition density decision.
     pub fn partition_len(&self, p: usize) -> usize {
         self.ranges_of(p).map(|r| r.len()).sum()
     }

@@ -17,6 +17,7 @@
 //! | `send_msg(v, msg)` / multicast (§3.4.1) | [`VertexContext::send`] / [`VertexContext::multicast`] |
 //! | vertex activation | [`VertexContext::activate`] / [`VertexContext::activate_many`] |
 //! | end-of-iteration registration | [`VertexContext::notify_iteration_end`] |
+//! | *(extension)* dense-iteration block scan (M-Flash's bimodal model) | `EngineConfig::scan_mode` — programs are unaffected: `run_on_vertex` sees the same slices whether an iteration was served selectively or by a streaming sweep |
 
 use fg_types::VertexId;
 

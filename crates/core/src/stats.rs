@@ -25,6 +25,19 @@ pub struct IterStats {
     pub edges_delivered: u64,
     /// Increase of the busiest drive's virtual busy time.
     pub io_busy_ns: u64,
+    /// Whether any worker executed this iteration as a streaming
+    /// scan (see [`crate::ScanMode`]): dense partitions swept their
+    /// edge-list extents with stride-sized sequential covers instead
+    /// of per-vertex requests.
+    pub scan: bool,
+    /// Partitions that streamed this iteration (0 when `scan` is
+    /// false, up to the worker count when every partition was dense).
+    pub stream_partitions: u64,
+    /// Stride covers submitted by the streaming path this iteration —
+    /// the device-request count of the sweep. Compare with
+    /// `read_requests` to see how much of the iteration's traffic the
+    /// scan carried.
+    pub stream_stripes: u64,
 }
 
 /// Statistics of one [`crate::Engine::run`].

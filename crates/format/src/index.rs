@@ -217,6 +217,43 @@ impl GraphIndex {
         }
     }
 
+    /// Locates the contiguous byte extent covering the edge lists of
+    /// the id-range `[first, first + count)` in `dir` — the partition
+    /// primitive behind the engine's dense-iteration streaming scan:
+    /// a worker whose partition is mostly active sweeps each of its
+    /// id-ranges' extents with large sequential reads instead of
+    /// issuing one request per vertex.
+    ///
+    /// Edge lists are laid out in id order, so the extent runs from
+    /// the first vertex's list to the end of the last vertex's list;
+    /// `degree` reports the total number of edges inside it. The
+    /// range is clamped to the vertex count, and an empty range
+    /// yields a zero-byte location.
+    pub fn locate_extent(&self, first: VertexId, count: u64, dir: EdgeDir) -> EdgeListLoc {
+        let lo = first.index().min(self.num_vertices);
+        let hi = (lo as u64 + count).min(self.num_vertices as u64) as usize;
+        if lo >= hi {
+            let offset = if lo < self.num_vertices {
+                self.locate(VertexId::from_index(lo), dir).offset
+            } else {
+                self.dir(dir).edge_base
+            };
+            return EdgeListLoc {
+                offset,
+                bytes: 0,
+                degree: 0,
+            };
+        }
+        let start = self.locate(VertexId::from_index(lo), dir);
+        let end = self.locate(VertexId::from_index(hi - 1), dir);
+        let bytes = end.offset + end.bytes - start.offset;
+        EdgeListLoc {
+            offset: start.offset,
+            bytes,
+            degree: bytes / self.edge_width,
+        }
+    }
+
     /// Locates the attribute run parallel to `v`'s edge list, if the
     /// image carries attributes for `dir`.
     ///
@@ -435,6 +472,39 @@ mod tests {
             .unwrap();
         assert_eq!(a.bytes, e.bytes);
         assert_eq!(e.degree, 2);
+    }
+
+    #[test]
+    fn locate_extent_spans_id_range() {
+        let degrees = vec![3u64, 0, 5, 2, 1];
+        let idx = seq_base_index(&degrees);
+        // Whole graph.
+        let all = idx.locate_extent(VertexId(0), 5, EdgeDir::Out);
+        assert_eq!(all.offset, 1000);
+        assert_eq!(all.bytes, degrees.iter().sum::<u64>() * 4);
+        assert_eq!(all.degree, degrees.iter().sum::<u64>());
+        // Interior range [1, 4): vertices 1..=3.
+        let mid = idx.locate_extent(VertexId(1), 3, EdgeDir::Out);
+        assert_eq!(mid.offset, 1000 + 3 * 4);
+        assert_eq!(mid.bytes, (5 + 2) * 4);
+        assert_eq!(mid.degree, 7);
+        // Concatenated sub-extents tile the full extent exactly.
+        let a = idx.locate_extent(VertexId(0), 2, EdgeDir::Out);
+        let b = idx.locate_extent(VertexId(2), 3, EdgeDir::Out);
+        assert_eq!(a.offset + a.bytes, b.offset);
+        assert_eq!(a.bytes + b.bytes, all.bytes);
+    }
+
+    #[test]
+    fn locate_extent_clamps_and_empties() {
+        let idx = seq_base_index(&[2, 4]);
+        // Count past the end clamps.
+        let clamped = idx.locate_extent(VertexId(1), 99, EdgeDir::Out);
+        assert_eq!(clamped.offset, 1000 + 8);
+        assert_eq!(clamped.bytes, 16);
+        // Empty and fully-out-of-range extents are zero bytes.
+        assert_eq!(idx.locate_extent(VertexId(0), 0, EdgeDir::Out).bytes, 0);
+        assert_eq!(idx.locate_extent(VertexId(9), 4, EdgeDir::Out).bytes, 0);
     }
 
     #[test]

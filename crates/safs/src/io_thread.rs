@@ -30,6 +30,10 @@ pub(crate) struct RunRequest {
     pub req_id: u64,
     /// Slot index of `first_page` within the owning request.
     pub first_slot: u32,
+    /// Whether freshly read pages should be inserted into the page
+    /// cache. Streaming scans pass `false` so a sequential sweep
+    /// cannot evict the hot working set (the pages are used once).
+    pub insert: bool,
     /// Completion mailbox of the issuing session.
     pub reply: Sender<RunDone>,
 }
@@ -86,7 +90,14 @@ pub(crate) fn io_thread_loop(
 fn serve(batch: &[RunRequest], array: &SsdArray, cache: &PageCache, page_bytes: u64, merge: bool) {
     if !merge {
         for r in batch {
-            let pages = read_pages(array, cache, page_bytes, r.first_page, r.num_pages as u64);
+            let pages = read_pages_hint(
+                array,
+                cache,
+                page_bytes,
+                r.first_page,
+                r.num_pages as u64,
+                r.insert,
+            );
             let _ = r.reply.send(RunDone {
                 req_id: r.req_id,
                 first_slot: r.first_slot,
@@ -106,7 +117,10 @@ fn serve(batch: &[RunRequest], array: &SsdArray, cache: &PageCache, page_bytes: 
         if group.is_empty() {
             return;
         }
-        let pages = read_pages(array, cache, page_bytes, lo, hi - lo);
+        // A coalesced group inserts into the cache if *any* member
+        // wants insertion; a pure-stream group stays out of it.
+        let insert = group.iter().any(|&gi| batch[gi].insert);
+        let pages = read_pages_hint(array, cache, page_bytes, lo, hi - lo, insert);
         for &gi in group.iter() {
             let r = &batch[gi];
             let off = (r.first_page - lo) as usize;
@@ -158,6 +172,22 @@ pub(crate) fn read_pages(
     first_page: u64,
     num_pages: u64,
 ) -> Vec<Arc<Page>> {
+    read_pages_hint(array, cache, page_bytes, first_page, num_pages, true)
+}
+
+/// [`read_pages`] with an explicit cache-insertion hint. With
+/// `insert` false (streaming scans) cached pages are still *used*
+/// when present — the hot set helps the sweep — but fresh pages are
+/// handed straight to the caller without touching the cache, so a
+/// whole-partition sweep cannot evict the selective working set.
+pub(crate) fn read_pages_hint(
+    array: &SsdArray,
+    cache: &PageCache,
+    page_bytes: u64,
+    first_page: u64,
+    num_pages: u64,
+    insert: bool,
+) -> Vec<Arc<Page>> {
     let mut pages: Vec<Option<Arc<Page>>> = (first_page..first_page + num_pages)
         .map(|p| cache.get_quiet(p))
         .collect();
@@ -188,7 +218,9 @@ pub(crate) fn read_pages(
                 run_first + k as u64,
                 buf[start..end].to_vec().into_boxed_slice(),
             ));
-            cache.insert(Arc::clone(&page));
+            if insert {
+                cache.insert(Arc::clone(&page));
+            }
             pages[i + k] = Some(page);
         }
         i = j;
@@ -236,6 +268,7 @@ mod tests {
                 num_pages: 1,
                 req_id,
                 first_slot: 0,
+                insert: true,
                 reply: reply_tx.clone(),
             }))
             .unwrap();
@@ -262,6 +295,7 @@ mod tests {
                 num_pages: 1,
                 req_id: 10,
                 first_slot: 0,
+                insert: true,
                 reply: reply_tx.clone(),
             },
             RunRequest {
@@ -269,6 +303,7 @@ mod tests {
                 num_pages: 1,
                 req_id: 11,
                 first_slot: 0,
+                insert: true,
                 reply: reply_tx.clone(),
             },
             RunRequest {
@@ -276,6 +311,7 @@ mod tests {
                 num_pages: 1,
                 req_id: 12,
                 first_slot: 0,
+                insert: true,
                 reply: reply_tx.clone(),
             },
         ];
@@ -301,6 +337,7 @@ mod tests {
                 num_pages: 3,
                 req_id: 1,
                 first_slot: 0,
+                insert: true,
                 reply: reply_tx.clone(),
             },
             RunRequest {
@@ -308,6 +345,7 @@ mod tests {
                 num_pages: 3,
                 req_id: 2,
                 first_slot: 0,
+                insert: true,
                 reply: reply_tx.clone(),
             },
         ];

@@ -255,6 +255,26 @@ impl IoSession<'_> {
     /// Returns [`FgError::InvalidRequest`] when the range exceeds the
     /// device.
     pub fn submit(&mut self, offset: u64, len: u64, tag: u64) -> Result<()> {
+        self.submit_inner(offset, len, tag, false)
+    }
+
+    /// Like [`IoSession::submit`] but with the *streaming* cache
+    /// policy: pages already resident are used (via the quiet lookup
+    /// that skips hit/miss accounting), and freshly read pages bypass
+    /// cache insertion entirely. The engine's dense-iteration
+    /// streaming scan submits its stripe covers through this so a
+    /// whole-partition sweep neither evicts the hot working set nor
+    /// floods the hit-rate statistics with once-only pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FgError::InvalidRequest`] when the range exceeds the
+    /// device.
+    pub fn submit_stream(&mut self, offset: u64, len: u64, tag: u64) -> Result<()> {
+        self.submit_inner(offset, len, tag, true)
+    }
+
+    fn submit_inner(&mut self, offset: u64, len: u64, tag: u64, stream: bool) -> Result<()> {
         if len == 0 {
             self.ready.push(Completion {
                 tag,
@@ -274,7 +294,15 @@ impl IoSession<'_> {
         let pb = self.safs.cfg.page_bytes;
         let first = offset / pb;
         let last = (end - 1) / pb;
-        let slots: Vec<Option<Arc<Page>>> = (first..=last).map(|p| self.lookup(p)).collect();
+        let slots: Vec<Option<Arc<Page>>> = (first..=last)
+            .map(|p| {
+                if stream {
+                    self.safs.cache.get_quiet(p)
+                } else {
+                    self.lookup(p)
+                }
+            })
+            .collect();
         let missing = slots.iter().filter(|s| s.is_none()).count();
         let head = (offset - first * pb) as usize;
         if missing == 0 {
@@ -303,6 +331,7 @@ impl IoSession<'_> {
                 num_pages: (j - i) as u32,
                 req_id,
                 first_slot: i as u32,
+                insert: !stream,
                 reply: self.reply_tx.clone(),
             };
             self.safs
@@ -595,6 +624,52 @@ mod tests {
         let mut out2 = Vec::new();
         plain.poll(&mut out2);
         assert_eq!(scope.snapshot(), scoped);
+    }
+
+    #[test]
+    fn stream_submit_bypasses_cache_insertion() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 20);
+        let mut s = safs.session();
+        s.submit_stream(0, 8 * 4096, 1).unwrap();
+        let mut out = Vec::new();
+        while out.is_empty() {
+            s.wait(&mut out);
+        }
+        assert_eq!(out[0].span.len(), 8 * 4096);
+        assert_eq!(
+            safs.cache_stats().insertions,
+            0,
+            "streamed pages must not enter the cache"
+        );
+        // A re-read therefore hits the device again.
+        let before = safs.array().stats().snapshot().pages_read;
+        safs.read_sync(0, 4096).unwrap();
+        assert_eq!(safs.array().stats().snapshot().pages_read, before + 1);
+    }
+
+    #[test]
+    fn stream_submit_uses_resident_pages_without_booking() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 20);
+        // Warm pages 0..4 via the normal path.
+        safs.read_sync(0, 4 * 4096).unwrap();
+        let stats_before = safs.cache_stats();
+        let io_before = safs.array().stats().snapshot();
+        let scope = Arc::new(CacheStats::default());
+        let mut s = safs.session_scoped(Some(Arc::clone(&scope)));
+        s.submit_stream(0, 4 * 4096, 7).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(s.poll(&mut out), 1, "resident stripe completes inline");
+        // Served from the hot set: no device reads, and the quiet
+        // lookups left both the mount counters and the scope alone.
+        assert_eq!(
+            safs.array().stats().snapshot().read_requests,
+            io_before.read_requests
+        );
+        let delta = safs.cache_stats().delta_since(&stats_before);
+        assert_eq!((delta.hits, delta.misses), (0, 0));
+        assert_eq!(scope.snapshot().lookups, 0);
+        // Content still correct.
+        assert_eq!(out[0].span.read_u32_le(0), 0);
     }
 
     #[test]

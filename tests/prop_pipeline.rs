@@ -7,7 +7,9 @@ use fg_safs::{Safs, SafsConfig};
 use fg_ssdsim::{ArrayConfig, SsdArray};
 use fg_types::{EdgeDir, VertexId};
 use flashgraph::merge::{merge_requests, RangeReq};
-use flashgraph::{Engine, EngineConfig, Init, PageVertex, Request, VertexContext, VertexProgram};
+use flashgraph::{
+    Engine, EngineConfig, Init, PageVertex, Request, ScanMode, VertexContext, VertexProgram,
+};
 use proptest::prelude::*;
 
 fn graph_strategy() -> impl Strategy<Value = (Vec<(u32, u32)>, u32)> {
@@ -120,19 +122,38 @@ proptest! {
             .collect();
         let n = reqs.len();
         let merged = merge_requests(reqs, page_bytes, true, cap);
-        // Invariant 1: no merged cover exceeds the cap unless a
-        // single oversized part spans it (contained requests may ride
-        // along inside such a cover, but never extend it).
+        // Invariant 1a: the covers of one batch are page-disjoint —
+        // no page of the device is read twice (the cap never splits
+        // an overlapping or page-sharing request off into its own
+        // duplicating cover).
+        let mut covered_pages = std::collections::HashSet::new();
         for m in &merged {
-            let spanned_by_one_part = m
-                .parts
-                .iter()
-                .any(|p| p.offset == m.offset && p.bytes == m.bytes);
-            prop_assert!(
-                m.bytes <= cap || spanned_by_one_part,
-                "cover of {} bytes > cap {} not explained by one oversized part ({} parts)",
-                m.bytes, cap, m.parts.len()
-            );
+            for page in m.offset / page_bytes..=(m.offset + m.bytes - 1) / page_bytes {
+                prop_assert!(
+                    covered_pages.insert(page),
+                    "page {} covered by two merged covers",
+                    page
+                );
+            }
+        }
+        // Invariant 1b: the cap is exact at page-clean split points —
+        // re-simulating the greedy walk, a part may only extend a
+        // cover past the cap when it shared a page with the cover
+        // built so far (splitting there would duplicate that page).
+        for m in &merged {
+            let mut end = 0u64;
+            for p in &m.parts {
+                let grown = end.max(p.offset + p.bytes) - m.offset;
+                if end != 0 && grown > cap {
+                    prop_assert!(
+                        p.offset / page_bytes <= (end - 1) / page_bytes,
+                        "part at {} grew cover {} past the cap without sharing a page",
+                        p.offset,
+                        m.offset
+                    );
+                }
+                end = end.max(p.offset + p.bytes);
+            }
         }
         // Invariant 2: every logical request survives merging exactly
         // once, inside its cover.
@@ -219,6 +240,65 @@ proptest! {
         prop_assert_eq!(a.bytes_read, b.bytes_read);
         prop_assert_eq!(whole_stats.bytes_requested, chunked_stats.bytes_requested);
         prop_assert_eq!(whole_stats.edges_delivered, chunked_stats.edges_delivered);
+    }
+
+    #[test]
+    fn scan_modes_equivalent_on_random_frontiers(
+        scale in 5u32..9,
+        factor in 1u32..10,
+        seed in 0u64..1 << 20,
+        raw_seeds in prop::collection::vec(0u32..512, 1..12),
+    ) {
+        // Selective, stream, and adaptive execution must produce
+        // identical vertex results and identical `edges_delivered` on
+        // random R-MAT graphs from random seed frontiers — streaming
+        // changes the device access pattern, never what a program
+        // observes.
+        let g = gen::rmat(scale, factor, gen::RmatSkew::default(), seed);
+        let n = g.num_vertices() as u32;
+        let mut seeds: Vec<VertexId> = raw_seeds.iter().map(|&s| VertexId(s % n)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+
+        struct LevelBfs;
+        #[derive(Default, Clone, PartialEq, Debug)]
+        struct LState {
+            level: Option<u32>,
+        }
+        impl VertexProgram for LevelBfs {
+            type State = LState;
+            type Msg = ();
+            fn run(&self, v: VertexId, state: &mut LState, ctx: &mut VertexContext<'_, ()>) {
+                if state.level.is_none() {
+                    state.level = Some(ctx.iteration());
+                    ctx.request(v, Request::edges(EdgeDir::Out));
+                }
+            }
+            fn run_on_vertex(
+                &self,
+                _v: VertexId,
+                _s: &mut LState,
+                vertex: &PageVertex<'_>,
+                ctx: &mut VertexContext<'_, ()>,
+            ) {
+                for dst in vertex.edges() {
+                    ctx.activate(dst);
+                }
+            }
+        }
+
+        let mem = Engine::new_mem(&g, EngineConfig::small());
+        let (want, want_stats) = mem.run(&LevelBfs, Init::Seeds(seeds.clone())).unwrap();
+        for mode in [ScanMode::Selective, ScanMode::Stream, ScanMode::adaptive()] {
+            let (safs, index) = sem_mount(&g);
+            let cfg = EngineConfig::small().with_scan_mode(mode);
+            let engine = Engine::new_sem(&safs, index, cfg);
+            let (got, stats) = engine.run(&LevelBfs, Init::Seeds(seeds.clone())).unwrap();
+            for v in g.vertices() {
+                prop_assert_eq!(&got[v.index()], &want[v.index()]);
+            }
+            prop_assert_eq!(stats.edges_delivered, want_stats.edges_delivered);
+        }
     }
 
     #[test]
