@@ -2,6 +2,13 @@
 //! when the engine delivers it as chunked slices
 //! (`EngineConfig::max_request_edges`): reassemble deliveries by
 //! [`PageVertex::offset`] into one sorted list.
+//!
+//! Everything here counts **edges, never bytes**: a delivered chunk's
+//! byte length is not proportional to its edge count on compressed
+//! (delta-varint) images, so progress is tracked via
+//! [`PageVertex::degree`] / [`PageVertex::offset`] — which report
+//! edge positions on both image formats — and completion means the
+//! armed degree's worth of *edges* has arrived.
 
 use flashgraph::PageVertex;
 

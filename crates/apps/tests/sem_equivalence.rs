@@ -2,16 +2,21 @@
 //! memory (over the SSD simulator + SAFS) and in memory — the paper's
 //! two execution modes differ only in where edge lists come from.
 
-use fg_format::{load_index, required_capacity, write_image};
+use fg_format::{load_index, required_capacity_with, write_image_with, WriteOptions};
 use fg_graph::{gen, Graph, GraphBuilder};
 use fg_safs::{Safs, SafsConfig};
 use fg_ssdsim::{ArrayConfig, SsdArray};
 use fg_types::VertexId;
 use flashgraph::{Engine, EngineConfig};
 
+/// Every equivalence below must hold for both image formats: the CI
+/// stress job re-runs this suite with `FG_IMAGE_FORMAT=compressed`
+/// (delta-varint edge blocks), which this fixture honours.
 fn sem_fixture(g: &Graph) -> (Safs, fg_format::GraphIndex) {
-    let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(g)).unwrap();
-    write_image(g, &array).unwrap();
+    let opts = WriteOptions::from_env();
+    let array =
+        SsdArray::new_mem(ArrayConfig::small_test(), required_capacity_with(g, &opts)).unwrap();
+    write_image_with(g, &array, &opts).unwrap();
     let (_, index) = load_index(&array).unwrap();
     let safs = Safs::new(SafsConfig::default(), array).unwrap();
     (safs, index)

@@ -11,7 +11,9 @@
 
 pub mod report;
 
-use fg_format::{load_index, required_capacity, write_image, GraphIndex};
+use fg_format::{
+    load_index, required_capacity_with, write_image_with, GraphIndex, ImageMeta, WriteOptions,
+};
 use fg_graph::{Graph, GraphBuilder};
 use fg_safs::{Safs, SafsConfig};
 use fg_ssdsim::{ArrayConfig, SsdArray};
@@ -38,6 +40,8 @@ pub struct SemFixture {
     pub safs: Safs,
     /// The compact in-memory index.
     pub index: GraphIndex,
+    /// The written image's header (format, section offsets).
+    pub meta: ImageMeta,
     /// Bytes of the on-SSD image.
     pub image_bytes: u64,
     /// Seconds spent writing the image (graph load).
@@ -80,10 +84,27 @@ pub fn build_sem_on(
     cfg: SafsConfig,
     array_cfg: ArrayConfig,
 ) -> Result<SemFixture> {
-    let capacity = required_capacity(g).max(4096);
+    build_sem_image(g, cache_fraction, cfg, array_cfg, &WriteOptions::default())
+}
+
+/// [`build_sem_on`] with an explicit image format — how the
+/// compression harness (`fig_compress`) mounts the same graph raw
+/// and delta-varint compressed side by side.
+///
+/// # Errors
+///
+/// Propagates image/SAFS errors.
+pub fn build_sem_image(
+    g: &Graph,
+    cache_fraction: f64,
+    cfg: SafsConfig,
+    array_cfg: ArrayConfig,
+    opts: &WriteOptions,
+) -> Result<SemFixture> {
+    let capacity = required_capacity_with(g, opts).max(4096);
     let array = SsdArray::new_mem(array_cfg, capacity)?;
     let t0 = std::time::Instant::now();
-    let meta = write_image(g, &array)?;
+    let meta = write_image_with(g, &array, opts)?;
     let load_secs = t0.elapsed().as_secs_f64();
     let t1 = std::time::Instant::now();
     let (_, index) = load_index(&array)?;
@@ -95,6 +116,7 @@ pub fn build_sem_on(
     Ok(SemFixture {
         safs,
         index,
+        meta,
         image_bytes,
         load_secs,
         init_secs,

@@ -116,7 +116,12 @@ pub struct EngineConfig {
     /// policy ([`fg_safs::IoSession::submit_stream`]): resident pages
     /// are used but swept pages are not inserted, so a scan cannot
     /// evict the hot working set. Results are identical across
-    /// modes — only the device access pattern changes.
+    /// modes — only the device access pattern changes. Every mode is
+    /// also image-format-transparent: covers and slices are byte
+    /// ranges from the `GraphIndex`, so raw and delta-varint
+    /// compressed images (`fg_format::ImageFormat`) behave
+    /// identically up to the (fewer) device bytes a compressed image
+    /// moves.
     pub scan_mode: ScanMode,
     /// Vertical passes per iteration (§3.8): programs see
     /// `ctx.vertical_part()` and can restrict each pass to a slice of

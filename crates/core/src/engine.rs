@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use fg_format::GraphIndex;
+use fg_format::{GraphIndex, SliceDecode};
 use fg_graph::Graph;
 use fg_safs::{CacheStats, Completion, IoSession, PageSpan, Safs};
 use fg_types::{AtomicBitmap, Bitmap, EdgeDir, FgError, Result, VertexId};
@@ -1122,6 +1122,12 @@ struct PartMeta {
     dir: EdgeDir,
     /// First edge position of the slice within the subject's list.
     start: u64,
+    /// Edges this part delivers (explicit: compressed blocks make
+    /// byte length non-proportional to edge count).
+    count: u64,
+    /// How the fetched bytes decode (raw `u32`s or a varint block of
+    /// the compressed image format).
+    decode: SliceDecode,
     kind: PartKind,
 }
 
@@ -1146,6 +1152,9 @@ struct ReadyVertex {
     subject: VertexId,
     dir: EdgeDir,
     start: u64,
+    /// Edges delivered (drives `PageVertex::degree` for packed spans).
+    count: u64,
+    decode: SliceDecode,
     edges: PageSpan,
     attrs: Option<PageSpan>,
 }
@@ -1243,12 +1252,15 @@ impl<'s> SemIo<'s> {
                 subject: req.subject,
                 dir: req.dir,
                 start: req.start,
+                count: 0,
+                decode: SliceDecode::Raw,
                 edges: PageSpan::empty(),
                 attrs: req.attrs.then(PageSpan::empty),
             });
             return;
         }
-        let loc = index.locate_range(req.subject, req.dir, req.start, req.len);
+        let slice = index.locate_slice(req.subject, req.dir, req.start, req.len);
+        let loc = slice.loc;
         debug_assert_eq!(
             loc.degree, req.len,
             "ranges are clamped at request time against the same index"
@@ -1259,6 +1271,11 @@ impl<'s> SemIo<'s> {
             self.outstanding += 1;
         }
         let pair = if req.attrs {
+            debug_assert_eq!(
+                slice.decode,
+                SliceDecode::Raw,
+                "attribute-bearing blocks are always raw (weighted images force it)"
+            );
             let aloc = index
                 .locate_attrs_range(req.subject, req.dir, req.start, req.len)
                 .expect("attrs requested but image has no attribute section");
@@ -1279,6 +1296,8 @@ impl<'s> SemIo<'s> {
                     subject: req.subject,
                     dir: req.dir,
                     start: req.start,
+                    count: req.len,
+                    decode: SliceDecode::Raw,
                     kind: PartKind::Attrs { pair: slot },
                 },
                 counters,
@@ -1296,6 +1315,8 @@ impl<'s> SemIo<'s> {
                 subject: req.subject,
                 dir: req.dir,
                 start: req.start,
+                count: req.len,
+                decode: slice.decode,
                 kind: PartKind::Edges { pair },
             },
             counters,
@@ -1416,6 +1437,8 @@ impl<'s> SemIo<'s> {
                         subject: pm.subject,
                         dir: pm.dir,
                         start: pm.start,
+                        count: pm.count,
+                        decode: pm.decode,
                         edges: span,
                         attrs: None,
                     });
@@ -1448,12 +1471,15 @@ impl<'s> SemIo<'s> {
         let p = self.pairs[slot].take().expect("live pair");
         self.pairs_free.push(slot);
         self.outstanding -= 1;
+        let edges = p.edges.expect("pair complete");
         self.ready.push(ReadyVertex {
             requester: p.requester,
             subject: p.subject,
             dir: p.dir,
             start: p.start,
-            edges: p.edges.expect("pair complete"),
+            count: edges.len() as u64 / 4,
+            decode: SliceDecode::Raw,
+            edges,
             attrs: Some(p.attrs.expect("pair complete")),
         });
     }
@@ -1461,9 +1487,20 @@ impl<'s> SemIo<'s> {
     /// Pops one ready delivery as a borrowable [`PageVertex`].
     fn pop_ready(&mut self) -> Option<(VertexId, PageVertex<'static>)> {
         let r = self.ready.pop()?;
-        Some((
-            r.requester,
-            PageVertex::from_span(r.subject, r.dir, r.start, r.edges, r.attrs),
-        ))
+        let pv = match r.decode {
+            SliceDecode::Raw => PageVertex::from_span(r.subject, r.dir, r.start, r.edges, r.attrs),
+            SliceDecode::Varint(p) => {
+                debug_assert!(r.attrs.is_none(), "packed deliveries never carry attrs");
+                PageVertex::from_span_packed(
+                    r.subject,
+                    r.dir,
+                    r.start,
+                    r.edges,
+                    r.count as usize,
+                    p,
+                )
+            }
+        };
+        Some((r.requester, pv))
     }
 }

@@ -18,6 +18,7 @@
 //! | vertex activation | [`VertexContext::activate`] / [`VertexContext::activate_many`] |
 //! | end-of-iteration registration | [`VertexContext::notify_iteration_end`] |
 //! | *(extension)* dense-iteration block scan (M-Flash's bimodal model) | `EngineConfig::scan_mode` — programs are unaffected: `run_on_vertex` sees the same slices whether an iteration was served selectively or by a streaming sweep |
+//! | *(extension)* compact external-memory layout (§3.5's motivation, pushed further) | `fg_format::ImageFormat::Compressed` — delta-varint edge blocks decoded inside [`PageVertex`]; programs are unaffected: same callbacks, same slices, strictly fewer device bytes per iteration |
 
 use fg_types::VertexId;
 

@@ -1,16 +1,51 @@
 //! Read-only views of edge lists delivered to vertex programs.
 
+use std::cell::Cell;
+
+use fg_format::codec::{read_varint, GapDecoder};
+use fg_format::VarintSlice;
 use fg_safs::PageSpan;
 use fg_types::{EdgeDir, VertexId};
 
-/// Edge data backing a [`PageVertex`]: either a zero-copy span over
-/// the SAFS page cache (semi-external memory) or borrowed slices of
-/// an in-memory CSR (FG-mem mode).
+/// Sequential-decode memo of a packed (delta-varint) span: where the
+/// last access left off, so in-order scans — `edges()`, ascending
+/// `edge(i)` — decode each varint exactly once.
+#[derive(Debug, Clone, Copy)]
+struct PackedCursor {
+    /// Stream values decoded so far (counted from the span's first
+    /// varint, i.e. including the skipped prefix).
+    consumed: usize,
+    /// Byte position of the next varint within the span.
+    at: usize,
+    /// Value-reconstruction state at `consumed`.
+    gaps: GapDecoder,
+    /// The most recently decoded neighbour id.
+    last: u32,
+}
+
+/// Edge data backing a [`PageVertex`]: a zero-copy span over the SAFS
+/// page cache (semi-external memory) — raw `u32`s or a delta-varint
+/// block of the compressed image format — or borrowed slices of an
+/// in-memory CSR (FG-mem mode).
 #[derive(Debug)]
 enum EdgeData<'a> {
     Span {
         edges: PageSpan,
         attrs: Option<PageSpan>,
+    },
+    /// A compressed-image block (or restart-aligned part of one).
+    /// Decoding is iterator-shaped and allocation-free: the cursor
+    /// lives in a `Cell`, and `span` is never read past its length
+    /// (a malformed stream panics like any other corrupt index math
+    /// would; the *fallible* decode surface is
+    /// `fg_format::read_list`).
+    Packed {
+        span: PageSpan,
+        /// Edges this delivery covers (cannot be derived from byte
+        /// length — varints are variable width).
+        count: usize,
+        params: VarintSlice,
+        cursor: Cell<PackedCursor>,
     },
     Slice {
         edges: &'a [VertexId],
@@ -63,6 +98,38 @@ impl<'a> PageVertex<'a> {
         }
     }
 
+    /// Wraps a packed (delta-varint) span of the compressed image
+    /// format: `count` edges delivered, decoded per `params` —
+    /// `header_bytes` of skip-table framing to jump, then a gap
+    /// stream entered at restart position `stream_pos` with `skip`
+    /// values to discard before the delivery starts.
+    pub(crate) fn from_span_packed(
+        id: VertexId,
+        dir: EdgeDir,
+        offset: u64,
+        span: PageSpan,
+        count: usize,
+        params: VarintSlice,
+    ) -> Self {
+        let cursor = Cell::new(PackedCursor {
+            consumed: 0,
+            at: params.header_bytes as usize,
+            gaps: GapDecoder::new(params.stream_pos, params.k),
+            last: 0,
+        });
+        PageVertex {
+            id,
+            dir,
+            offset,
+            data: EdgeData::Packed {
+                span,
+                count,
+                params,
+                cursor,
+            },
+        }
+    }
+
     /// Wraps CSR slices (in-memory path).
     pub(crate) fn from_slice(
         id: VertexId,
@@ -109,13 +176,53 @@ impl<'a> PageVertex<'a> {
         self.dir
     }
 
-    /// Number of edges in the list.
+    /// Number of edges in the list. Deliveries carry this explicitly
+    /// for compressed blocks — byte length is *not* proportional to
+    /// edge count under varint encoding.
     #[inline]
     pub fn degree(&self) -> usize {
         match &self.data {
             EdgeData::Span { edges, .. } => edges.len() / 4,
+            EdgeData::Packed { count, .. } => *count,
             EdgeData::Slice { edges, .. } => edges.len(),
         }
+    }
+
+    /// Decodes forward until `target` stream values have been
+    /// consumed, returning the last one. Resets to the span start
+    /// when the memoized cursor is already past `target`, so
+    /// ascending access is O(1) amortized and arbitrary access is
+    /// bounded by one pass over the slice.
+    fn packed_value_at(
+        &self,
+        span: &PageSpan,
+        params: &VarintSlice,
+        cursor: &Cell<PackedCursor>,
+        target: usize,
+    ) -> u32 {
+        let mut c = cursor.get();
+        if c.consumed > target {
+            c = PackedCursor {
+                consumed: 0,
+                at: params.header_bytes as usize,
+                gaps: GapDecoder::new(params.stream_pos, params.k),
+                last: 0,
+            };
+        }
+        while c.consumed < target {
+            let mut at = c.at;
+            let raw = read_varint(&mut || {
+                let b = (at < span.len()).then(|| span.byte(at));
+                at += 1;
+                b
+            })
+            .expect("corrupt varint edge block");
+            c.at = at;
+            c.last = c.gaps.step(raw).expect("corrupt varint edge block");
+            c.consumed += 1;
+        }
+        cursor.set(c);
+        c.last
     }
 
     /// The `i`-th neighbour (lists are sorted ascending by id).
@@ -127,6 +234,15 @@ impl<'a> PageVertex<'a> {
     pub fn edge(&self, i: usize) -> VertexId {
         match &self.data {
             EdgeData::Span { edges, .. } => VertexId(edges.read_u32_le(i * 4)),
+            EdgeData::Packed {
+                span,
+                count,
+                params,
+                cursor,
+            } => {
+                assert!(i < *count, "edge index {i} out of {count}");
+                VertexId(self.packed_value_at(span, params, cursor, params.skip as usize + i + 1))
+            }
             EdgeData::Slice { edges, .. } => edges[i],
         }
     }
@@ -136,11 +252,14 @@ impl<'a> PageVertex<'a> {
         (0..self.degree()).map(move |i| self.edge(i))
     }
 
-    /// Whether edge attributes were requested and delivered.
+    /// Whether edge attributes were requested and delivered. Packed
+    /// deliveries never carry attributes: weighted images keep every
+    /// block raw precisely so attribute runs stay aligned.
     #[inline]
     pub fn has_attrs(&self) -> bool {
         match &self.data {
             EdgeData::Span { attrs, .. } => attrs.is_some(),
+            EdgeData::Packed { .. } => false,
             EdgeData::Slice { attrs, .. } => attrs.is_some(),
         }
     }
@@ -157,6 +276,7 @@ impl<'a> PageVertex<'a> {
             EdgeData::Span { attrs, .. } => {
                 attrs.as_ref().map(|a| f32::from_bits(a.read_u32_le(i * 4)))
             }
+            EdgeData::Packed { .. } => None,
             EdgeData::Slice { attrs, .. } => attrs.map(|a| a[i]),
         }
     }
@@ -167,8 +287,19 @@ impl<'a> PageVertex<'a> {
         self.edges().collect()
     }
 
-    /// Binary-searches the sorted list for `v`.
+    /// Searches the sorted list for `v`: binary search over
+    /// random-access data, an early-exit linear scan over packed
+    /// spans (random probes into a varint stream would each cost a
+    /// prefix decode; one forward pass is cheaper).
     pub fn contains(&self, v: VertexId) -> bool {
+        if matches!(self.data, EdgeData::Packed { .. }) {
+            for e in self.edges() {
+                if e >= v {
+                    return e == v;
+                }
+            }
+            return false;
+        }
         let mut lo = 0usize;
         let mut hi = self.degree();
         while lo < hi {
@@ -276,6 +407,94 @@ mod tests {
         assert!(!pv.contains(VertexId(1)));
         assert_eq!(pv.offset(), 0);
         assert!(pv.range().is_empty());
+    }
+
+    /// Builds a packed PageVertex over a codec-encoded block split
+    /// across small pages, delivering positions [skip_from, +count).
+    fn packed_pv(list: &[u32], k: u32, start: u64, count: usize) -> PageVertex<'static> {
+        use fg_format::codec::{encode_list, skip_entries};
+        use fg_safs::Page;
+        use std::sync::Arc;
+        let mut block = Vec::new();
+        assert!(encode_list(list, k, &mut block), "test list must compress");
+        // Whole-block delivery with decoder skip — the shape the
+        // engine uses for compressed lists without a resident table.
+        let page_bytes = 16usize;
+        let pages: Vec<Arc<Page>> = block
+            .chunks(page_bytes)
+            .enumerate()
+            .map(|(no, c)| {
+                let mut data = vec![0u8; page_bytes];
+                data[..c.len()].copy_from_slice(c);
+                Arc::new(Page::new(no as u64, data.into_boxed_slice()))
+            })
+            .collect();
+        let span = PageSpan::new(pages, 0, block.len());
+        let params = VarintSlice {
+            header_bytes: (skip_entries(list.len() as u64, k) * 4) as u32,
+            stream_pos: 0,
+            skip: start,
+            k,
+        };
+        PageVertex::from_span_packed(VertexId(9), EdgeDir::Out, start, span, count, params)
+    }
+
+    #[test]
+    fn packed_span_decodes_full_list() {
+        let list: Vec<u32> = (0..100u32).map(|i| i * 3).collect();
+        let pv = packed_pv(&list, 8, 0, 100);
+        assert_eq!(pv.degree(), 100);
+        assert!(!pv.has_attrs());
+        assert_eq!(pv.attr(0), None);
+        let got: Vec<u32> = pv.edges().map(|e| e.0).collect();
+        assert_eq!(got, list);
+    }
+
+    #[test]
+    fn packed_span_random_access_and_rewind() {
+        let list: Vec<u32> = (0..64u32).map(|i| i * i).collect();
+        let pv = packed_pv(&list, 4, 0, 64);
+        // Forward, backward, repeated — the memo cursor must rewind
+        // transparently.
+        assert_eq!(pv.edge(63).0, 63 * 63);
+        assert_eq!(pv.edge(0).0, 0);
+        assert_eq!(pv.edge(10).0, 100);
+        assert_eq!(pv.edge(10).0, 100);
+        assert_eq!(pv.edge(9).0, 81);
+    }
+
+    #[test]
+    fn packed_span_skips_to_delivered_range() {
+        // Deliver positions [5, 12) of the full list: slice-local
+        // index 0 is position 5, and offset/range report it.
+        let list: Vec<u32> = (10..40u32).collect();
+        let pv = packed_pv(&list, 8, 5, 7);
+        assert_eq!(pv.degree(), 7);
+        assert_eq!(pv.offset(), 5);
+        assert_eq!(pv.range(), 5..12);
+        assert_eq!(pv.edge(0).0, 15);
+        let got: Vec<u32> = pv.edges().map(|e| e.0).collect();
+        assert_eq!(got, (15..22).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn packed_span_contains_scans_linearly() {
+        let list: Vec<u32> = (0..50u32).map(|i| i * 2 + 1).collect();
+        let pv = packed_pv(&list, 16, 0, 50);
+        for &v in &list {
+            assert!(pv.contains(VertexId(v)));
+        }
+        for miss in [0u32, 2, 50, 200] {
+            assert!(!pv.contains(VertexId(miss)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn packed_span_edge_out_of_range_panics() {
+        let list: Vec<u32> = (0..10u32).collect();
+        let pv = packed_pv(&list, 4, 0, 10);
+        pv.edge(10);
     }
 
     #[test]

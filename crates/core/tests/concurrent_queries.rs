@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use fg_format::{load_index, required_capacity, write_image, GraphIndex};
+use fg_format::{load_index, required_capacity_with, write_image_with, GraphIndex, WriteOptions};
 use fg_graph::gen::{rmat, RmatSkew};
 use fg_graph::Graph;
 use fg_safs::{Safs, SafsConfig};
@@ -22,8 +22,10 @@ fn test_graph() -> Graph {
 /// A fresh service over a fresh mount of `g` — cold cache, cold
 /// device counters.
 fn fresh_service(g: &Graph, cache_pages: u64, max_inflight: usize) -> GraphService {
-    let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(g)).unwrap();
-    write_image(g, &array).unwrap();
+    let opts = WriteOptions::from_env();
+    let array =
+        SsdArray::new_mem(ArrayConfig::small_test(), required_capacity_with(g, &opts)).unwrap();
+    write_image_with(g, &array, &opts).unwrap();
     let (_, index): (_, GraphIndex) = load_index(&array).unwrap();
     let safs = Safs::new(
         SafsConfig::default().with_cache_bytes(cache_pages * 4096),

@@ -1,38 +1,141 @@
 //! Writing and loading the on-SSD graph image (§3.5.2 of the paper).
 //!
-//! Image layout (all sections start page-aligned):
+//! Two image formats share one section skeleton (all sections start
+//! page-aligned):
 //!
 //! ```text
 //! [ header page    ] magic, flags, counts, section table
 //! [ degree section ] out-degrees as u32, then in-degrees (directed)
-//! [ out-edge lists ] per vertex, ascending id: neighbour ids as u32
+//! [ length section ] v2 only: per-vertex block lengths (see below)
+//! [ out-edge lists ] per vertex, ascending id
 //! [ in-edge lists  ] (directed graphs only)
 //! [ out-attributes ] per-edge f32 runs parallel to out-edges (weighted)
 //! [ in-attributes  ] (directed + weighted)
 //! ```
 //!
-//! Edge lists inside a section are *packed* — a vertex's list starts
-//! wherever the previous one ended. The in-memory [`GraphIndex`]
-//! recomputes those byte offsets from degrees, so no per-vertex
-//! location table exists on disk or in RAM. The degree section exists
-//! only to rebuild the index at load time ("init time" in the paper's
-//! Table 2); edge traversal never touches it.
+//! **v1 (`Raw`)** stores every edge as a `u32`; a vertex's list starts
+//! wherever the previous one ended, and the in-memory [`GraphIndex`]
+//! recomputes byte offsets from degrees alone — no per-vertex location
+//! table exists on disk or in RAM.
+//!
+//! **v2 (`Compressed`)** stores each vertex's list as a *block*:
+//! either raw (identical bytes to v1) or delta-varint compressed with
+//! a restart skip table (see [`crate::codec`]). Block lengths are
+//! variable, so the image adds a length section — one `u32` per
+//! vertex per direction, top bit ([`crate::codec::RAW_LIST_FLAG`])
+//! recording which encoding the block got — from which the index
+//! rebuilds offsets at load time and learns, without guessing, how
+//! each block decodes. Weighted graphs force every block raw so the
+//! attribute sections stay positionally aligned with their edges.
+//!
+//! The degree (and v2 length) sections exist only to rebuild the
+//! index at load time ("init time" in the paper's Table 2); edge
+//! traversal never touches them.
+
+use std::collections::HashMap;
 
 use fg_graph::Graph;
 use fg_ssdsim::SsdArray;
 use fg_types::{EdgeDir, FgError, Result, VertexId};
 
-use crate::index::GraphIndex;
+use crate::codec::{self, skip_entries, DEFAULT_SKIP_INTERVAL, RAW_LIST_FLAG, TINY_RAW_DEGREE};
+use crate::index::{GraphIndex, PackedDirInput, SliceDecode};
 
 /// Alignment of every section start, independent of the SAFS page
 /// size an engine later chooses.
 pub const SECTION_ALIGN: u64 = 4096;
 
-const MAGIC: &[u8; 8] = b"FGIMG10\0";
+const MAGIC_V1: &[u8; 8] = b"FGIMG10\0";
+const MAGIC_V2: &[u8; 8] = b"FGIMG20\0";
 const FLAG_DIRECTED: u32 = 1;
 const FLAG_WEIGHTED: u32 = 2;
 /// Chunk size for streaming sections to the array during the write.
 const WRITE_CHUNK: usize = 4 << 20;
+/// Upper bound accepted for a v2 image's skip interval — far above
+/// any useful value, low enough to reject corrupt headers.
+const MAX_SKIP_INTERVAL: u32 = 1 << 20;
+
+/// Which on-SSD encoding [`write_image_with`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImageFormat {
+    /// v1: 4 bytes per edge, offsets recomputed from degrees.
+    #[default]
+    Raw,
+    /// v2: per-vertex delta-varint blocks with raw fallback.
+    Compressed,
+}
+
+impl ImageFormat {
+    /// Reads `FG_IMAGE_FORMAT` (`raw` | `compressed`, default `raw`) —
+    /// how the CI stress jobs run the whole test pyramid under both
+    /// formats without per-test plumbing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value, so a typo in a CI matrix
+    /// fails loudly instead of silently testing the default.
+    pub fn from_env() -> Self {
+        match std::env::var("FG_IMAGE_FORMAT") {
+            Err(_) => ImageFormat::Raw,
+            Ok(s) => match s.to_ascii_lowercase().as_str() {
+                "" | "raw" | "v1" => ImageFormat::Raw,
+                "compressed" | "v2" => ImageFormat::Compressed,
+                other => panic!("FG_IMAGE_FORMAT={other:?}: expected \"raw\" or \"compressed\""),
+            },
+        }
+    }
+}
+
+/// Knobs of one image write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Target format.
+    pub format: ImageFormat,
+    /// Restart/skip interval `k` in edges for compressed blocks: one
+    /// skip-table entry (4 bytes) per `k` edges, and ranged hub reads
+    /// over-fetch at most `k - 1` edges per end. Smaller `k` = finer
+    /// ranged reads, larger tables. Ignored for [`ImageFormat::Raw`].
+    pub skip_interval: u32,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            format: ImageFormat::Raw,
+            skip_interval: DEFAULT_SKIP_INTERVAL,
+        }
+    }
+}
+
+impl WriteOptions {
+    /// Compressed at the default skip interval.
+    pub fn compressed() -> Self {
+        WriteOptions {
+            format: ImageFormat::Compressed,
+            ..Self::default()
+        }
+    }
+
+    /// Options honouring `FG_IMAGE_FORMAT` (see
+    /// [`ImageFormat::from_env`]).
+    pub fn from_env() -> Self {
+        WriteOptions {
+            format: ImageFormat::from_env(),
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style: sets the skip interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn with_skip_interval(mut self, k: u32) -> Self {
+        assert!(k > 0, "skip interval must be positive");
+        self.skip_interval = k;
+        self
+    }
+}
 
 /// Parsed image header.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,8 +149,13 @@ pub struct ImageMeta {
     pub directed: bool,
     /// Whether attribute sections exist.
     pub weighted: bool,
+    /// On-SSD encoding of the edge sections.
+    pub format: ImageFormat,
     /// Byte offset of the degree section.
     pub deg_offset: u64,
+    /// Byte offset of the per-vertex block-length section
+    /// (v2/compressed only, else 0).
+    pub len_offset: u64,
     /// Byte offset of the out-edge section.
     pub out_edges_offset: u64,
     /// Byte offset of the in-edge section (directed only, else 0).
@@ -58,35 +166,125 @@ pub struct ImageMeta {
     pub in_attrs_offset: u64,
     /// Total image size in bytes.
     pub total_bytes: u64,
+    /// Restart interval of compressed blocks (v2 only, else 0).
+    pub skip_interval: u32,
 }
 
 fn align_up(x: u64) -> u64 {
     x.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
 }
 
-/// Computes the section layout for `g` without writing anything.
-fn layout(g: &Graph) -> ImageMeta {
+/// One write's fully computed plan: the header fields plus, for v2,
+/// the per-direction flagged block lengths the encode pass produced.
+struct Plan {
+    meta: ImageMeta,
+    out_blocks: Option<Vec<u32>>,
+    in_blocks: Option<Vec<u32>>,
+    /// Unpadded byte size of the out-edge section (sum of masked
+    /// block lengths for v2, `edges * 4` for v1) — computed once here
+    /// so the writer streams exactly what the layout promised.
+    out_bytes: u64,
+    /// Likewise for the in-edge section (0 when undirected).
+    in_bytes: u64,
+}
+
+/// Computes the flagged block lengths of one direction's lists.
+///
+/// Weighted graphs force raw blocks (attribute runs must stay
+/// positionally aligned); otherwise each list ≥ [`TINY_RAW_DEGREE`]
+/// edges is delta-varint encoded unless that would not shrink it.
+///
+/// # Panics
+///
+/// Panics with a clear message when a list's raw encoding reaches
+/// [`RAW_LIST_FLAG`] bytes (degree ≥ 2²⁹): v2 block lengths
+/// are `u31` + flag bit, so such a vertex cannot be represented —
+/// write a raw (v1) image instead. Without this guard the degree
+/// would silently collide with the flag bit and corrupt the length
+/// table.
+fn plan_blocks(g: &Graph, dir: EdgeDir, k: u32, force_raw: bool) -> Vec<u32> {
+    let csr = g.csr(dir);
+    let mut blocks = Vec::with_capacity(csr.num_vertices());
+    let mut ids = Vec::new();
+    let mut scratch = Vec::new();
+    for (i, list) in csr.lists().enumerate() {
+        assert!(
+            (list.len() as u64 * 4) < u64::from(RAW_LIST_FLAG),
+            "vertex {i}: degree {} exceeds the v2 per-block length limit \
+             ({} bytes raw ≥ 2^31); use ImageFormat::Raw for this graph",
+            list.len(),
+            list.len() as u64 * 4,
+        );
+        let raw_bytes = list.len() as u32 * 4;
+        if force_raw {
+            blocks.push(raw_bytes | RAW_LIST_FLAG);
+            continue;
+        }
+        ids.clear();
+        ids.extend(list.iter().map(|v| v.0));
+        scratch.clear();
+        if codec::encode_list(&ids, k, &mut scratch) {
+            debug_assert!((scratch.len() as u64) < u64::from(RAW_LIST_FLAG));
+            blocks.push(scratch.len() as u32);
+        } else {
+            blocks.push(raw_bytes | RAW_LIST_FLAG);
+        }
+    }
+    blocks
+}
+
+/// Computes the section layout (and, for v2, block lengths) for `g`
+/// without writing anything.
+fn plan(g: &Graph, opts: &WriteOptions) -> Plan {
+    assert!(opts.skip_interval > 0, "skip interval must be positive");
     let n = g.num_vertices() as u64;
     let directed = g.is_directed();
     let weighted = g.has_weights();
-    let out_csr = g.csr(EdgeDir::Out);
-    let out_entries = out_csr.num_edges();
-    let in_entries = if directed {
-        g.csr(EdgeDir::In).num_edges()
+    let compressed = opts.format == ImageFormat::Compressed;
+
+    let (out_blocks, in_blocks) = if compressed {
+        let k = opts.skip_interval;
+        (
+            Some(plan_blocks(g, EdgeDir::Out, k, weighted)),
+            directed.then(|| plan_blocks(g, EdgeDir::In, k, weighted)),
+        )
+    } else {
+        (None, None)
+    };
+    let section_bytes = |blocks: &Option<Vec<u32>>, dir: EdgeDir| -> u64 {
+        match blocks {
+            Some(b) => b.iter().map(|&l| (l & !RAW_LIST_FLAG) as u64).sum(),
+            None => g.csr(dir).num_edges() * 4,
+        }
+    };
+    let out_bytes = section_bytes(&out_blocks, EdgeDir::Out);
+    let in_bytes = if directed {
+        section_bytes(&in_blocks, EdgeDir::In)
+    } else {
+        0
+    };
+    let out_attr_bytes = g.csr(EdgeDir::Out).num_edges() * 4;
+    let in_attr_bytes = if directed {
+        g.csr(EdgeDir::In).num_edges() * 4
     } else {
         0
     };
 
+    let dirs: u64 = if directed { 2 } else { 1 };
     let deg_offset = SECTION_ALIGN; // header occupies page 0
-    let deg_bytes = n * 4 * if directed { 2 } else { 1 };
-    let out_edges_offset = align_up(deg_offset + deg_bytes);
-    let out_bytes = out_entries * 4;
+    let deg_bytes = n * 4 * dirs;
+    let (len_offset, after_fixed) = if compressed {
+        let len_offset = align_up(deg_offset + deg_bytes);
+        (len_offset, len_offset + n * 4 * dirs)
+    } else {
+        (0, deg_offset + deg_bytes)
+    };
+    let out_edges_offset = align_up(after_fixed);
     let in_edges_offset = if directed {
         align_up(out_edges_offset + out_bytes)
     } else {
         0
     };
-    let in_bytes = in_entries * 4;
     let after_edges = if directed {
         in_edges_offset + in_bytes
     } else {
@@ -94,36 +292,53 @@ fn layout(g: &Graph) -> ImageMeta {
     };
     let out_attrs_offset = if weighted { align_up(after_edges) } else { 0 };
     let in_attrs_offset = if weighted && directed {
-        align_up(out_attrs_offset + out_bytes)
+        align_up(out_attrs_offset + out_attr_bytes)
     } else {
         0
     };
     let total_bytes = if weighted {
         if directed {
-            align_up(in_attrs_offset + in_bytes)
+            align_up(in_attrs_offset + in_attr_bytes)
         } else {
-            align_up(out_attrs_offset + out_bytes)
+            align_up(out_attrs_offset + out_attr_bytes)
         }
     } else {
         align_up(after_edges)
     };
-    ImageMeta {
-        num_vertices: n,
-        num_edges: g.num_edges(),
-        directed,
-        weighted,
-        deg_offset,
-        out_edges_offset,
-        in_edges_offset,
-        out_attrs_offset,
-        in_attrs_offset,
-        total_bytes,
+    Plan {
+        meta: ImageMeta {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            directed,
+            weighted,
+            format: opts.format,
+            deg_offset,
+            len_offset,
+            out_edges_offset,
+            in_edges_offset,
+            out_attrs_offset,
+            in_attrs_offset,
+            total_bytes,
+            skip_interval: if compressed { opts.skip_interval } else { 0 },
+        },
+        out_blocks,
+        in_blocks,
+        out_bytes,
+        in_bytes,
     }
 }
 
-/// Bytes of array capacity needed to hold the image of `g`.
+/// Bytes of array capacity needed to hold the raw (v1) image of `g`.
 pub fn required_capacity(g: &Graph) -> u64 {
-    layout(g).total_bytes
+    required_capacity_with(g, &WriteOptions::default())
+}
+
+/// Bytes of array capacity needed for the image of `g` under `opts`.
+/// For compressed images this runs the encode pass to size the
+/// variable-length blocks (the write runs it again; the whole-graph
+/// write is a once-per-graph event — §5.4).
+pub fn required_capacity_with(g: &Graph, opts: &WriteOptions) -> u64 {
+    plan(g, opts).meta.total_bytes
 }
 
 /// Streams one section to the array in [`WRITE_CHUNK`]-sized writes.
@@ -166,7 +381,57 @@ where
     })
 }
 
-/// Writes the image of `g` at logical offset 0 of `array`.
+/// Streams one direction's v2 blocks: per vertex, either the raw
+/// `u32` run or the compressed block, exactly as sized by `blocks`.
+fn write_block_section(
+    array: &SsdArray,
+    offset: u64,
+    total: u64,
+    g: &Graph,
+    dir: EdgeDir,
+    blocks: &[u32],
+    k: u32,
+) -> Result<()> {
+    let csr = g.csr(dir);
+    let mut lists = csr.lists().enumerate();
+    let mut ids = Vec::new();
+    write_stream(array, offset, total, |buf| {
+        for (i, list) in lists.by_ref() {
+            let before = buf.len();
+            if blocks[i] & RAW_LIST_FLAG != 0 {
+                for v in list {
+                    buf.extend_from_slice(&v.0.to_le_bytes());
+                }
+            } else {
+                ids.clear();
+                ids.extend(list.iter().map(|v| v.0));
+                let compressed = codec::encode_list(&ids, k, buf);
+                debug_assert!(compressed, "encode decision is deterministic");
+            }
+            debug_assert_eq!(
+                (buf.len() - before) as u32,
+                blocks[i] & !RAW_LIST_FLAG,
+                "block {i} sized differently than planned"
+            );
+            if buf.len() >= WRITE_CHUNK {
+                break;
+            }
+        }
+    })
+}
+
+/// Writes the raw (v1) image of `g` at logical offset 0 of `array` —
+/// shorthand for [`write_image_with`] and the default options.
+///
+/// # Errors
+///
+/// See [`write_image_with`].
+pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
+    write_image_with(g, array, &WriteOptions::default())
+}
+
+/// Writes the image of `g` at logical offset 0 of `array` in the
+/// format `opts` selects.
 ///
 /// This is the single write pass of a graph's life ("the only write
 /// required by FlashGraph is to load a new graph to SSDs", §5.4); all
@@ -175,9 +440,28 @@ where
 /// # Errors
 ///
 /// Returns [`FgError::InvalidRequest`] when the array is too small
-/// (check [`required_capacity`]) and propagates store errors.
-pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
-    let meta = layout(g);
+/// (check [`required_capacity_with`]) and propagates store errors.
+///
+/// # Panics
+///
+/// Panics if a compressed write is asked for a graph whose adjacency
+/// lists are not sorted (the [`fg_graph::GraphBuilder`] invariant;
+/// see [`fg_graph::Csr::lists_sorted`]).
+pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Result<ImageMeta> {
+    if opts.format == ImageFormat::Compressed {
+        assert!(
+            g.csr(EdgeDir::Out).lists_sorted()
+                && (!g.is_directed() || g.csr(EdgeDir::In).lists_sorted()),
+            "delta encoding requires sorted adjacency lists"
+        );
+    }
+    let Plan {
+        meta,
+        out_blocks,
+        in_blocks,
+        out_bytes,
+        in_bytes,
+    } = plan(g, opts);
     if array.capacity() < meta.total_bytes {
         return Err(FgError::InvalidRequest(format!(
             "array capacity {} below image size {}",
@@ -188,7 +472,8 @@ pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
 
     // Header page.
     let mut header = vec![0u8; SECTION_ALIGN as usize];
-    header[..8].copy_from_slice(MAGIC);
+    let v2 = meta.format == ImageFormat::Compressed;
+    header[..8].copy_from_slice(if v2 { MAGIC_V2 } else { MAGIC_V1 });
     let mut flags = 0u32;
     if meta.directed {
         flags |= FLAG_DIRECTED;
@@ -197,7 +482,7 @@ pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
         flags |= FLAG_WEIGHTED;
     }
     header[8..12].copy_from_slice(&flags.to_le_bytes());
-    let fields = [
+    let mut fields = vec![
         meta.num_vertices,
         meta.num_edges,
         meta.deg_offset,
@@ -207,6 +492,10 @@ pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
         meta.in_attrs_offset,
         meta.total_bytes,
     ];
+    if v2 {
+        fields.push(meta.len_offset);
+        fields.push(meta.skip_interval as u64);
+    }
     for (i, f) in fields.iter().enumerate() {
         let at = 16 + i * 8;
         header[at..at + 8].copy_from_slice(&f.to_le_bytes());
@@ -230,30 +519,69 @@ pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
         }
     }
 
-    // Edge sections.
-    let out_bytes = out_csr.num_edges() * 4;
-    if out_bytes > 0 {
-        write_u32_section(
-            array,
-            meta.out_edges_offset,
-            out_bytes,
-            out_csr.neighbor_array().iter().map(|v| v.0),
-        )?;
-    }
-    if meta.directed {
-        let in_csr = g.csr(EdgeDir::In);
-        let in_bytes = in_csr.num_edges() * 4;
-        if in_bytes > 0 {
-            write_u32_section(
+    // Length section (v2): flagged block lengths, out then in.
+    if v2 && deg_total > 0 {
+        let out_it = out_blocks.as_deref().unwrap().iter().copied();
+        match in_blocks.as_deref() {
+            Some(in_b) => write_u32_section(
                 array,
-                meta.in_edges_offset,
-                in_bytes,
-                in_csr.neighbor_array().iter().map(|v| v.0),
-            )?;
+                meta.len_offset,
+                deg_total,
+                out_it.chain(in_b.iter().copied()),
+            )?,
+            None => write_u32_section(array, meta.len_offset, deg_total, out_it)?,
         }
     }
 
-    // Attribute sections (f32 bit patterns as u32).
+    // Edge sections — sized by the plan, so the writer streams
+    // exactly the bytes the header's section table promised.
+    let out_total = out_bytes;
+    if out_total > 0 {
+        match &out_blocks {
+            Some(b) => write_block_section(
+                array,
+                meta.out_edges_offset,
+                out_total,
+                g,
+                EdgeDir::Out,
+                b,
+                meta.skip_interval,
+            )?,
+            None => write_u32_section(
+                array,
+                meta.out_edges_offset,
+                out_total,
+                out_csr.neighbor_array().iter().map(|v| v.0),
+            )?,
+        }
+    }
+    if meta.directed {
+        let in_csr = g.csr(EdgeDir::In);
+        let in_total = in_bytes;
+        if in_total > 0 {
+            match &in_blocks {
+                Some(b) => write_block_section(
+                    array,
+                    meta.in_edges_offset,
+                    in_total,
+                    g,
+                    EdgeDir::In,
+                    b,
+                    meta.skip_interval,
+                )?,
+                None => write_u32_section(
+                    array,
+                    meta.in_edges_offset,
+                    in_total,
+                    in_csr.neighbor_array().iter().map(|v| v.0),
+                )?,
+            }
+        }
+    }
+
+    // Attribute sections (f32 bit patterns as u32). Weighted images
+    // keep every edge block raw, so the runs stay positionally
+    // aligned in both formats.
     if meta.weighted {
         let weights = |dir: EdgeDir| {
             let csr = g.csr(dir);
@@ -265,18 +593,24 @@ pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
                     .collect::<Vec<_>>()
             })
         };
-        if out_bytes > 0 {
+        let out_attr_bytes = out_csr.num_edges() * 4;
+        if out_attr_bytes > 0 {
             write_u32_section(
                 array,
                 meta.out_attrs_offset,
-                out_bytes,
+                out_attr_bytes,
                 weights(EdgeDir::Out),
             )?;
         }
         if meta.directed {
-            let in_bytes = g.csr(EdgeDir::In).num_edges() * 4;
-            if in_bytes > 0 {
-                write_u32_section(array, meta.in_attrs_offset, in_bytes, weights(EdgeDir::In))?;
+            let in_attr_bytes = g.csr(EdgeDir::In).num_edges() * 4;
+            if in_attr_bytes > 0 {
+                write_u32_section(
+                    array,
+                    meta.in_attrs_offset,
+                    in_attr_bytes,
+                    weights(EdgeDir::In),
+                )?;
             }
         }
     }
@@ -293,11 +627,18 @@ pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
 pub fn read_meta(array: &SsdArray) -> Result<ImageMeta> {
     let mut header = vec![0u8; SECTION_ALIGN as usize];
     array.read(0, &mut header)?;
-    if &header[..8] != MAGIC {
-        return Err(FgError::CorruptImage("bad magic".into()));
-    }
+    let format = match &header[..8] {
+        m if m == MAGIC_V1 => ImageFormat::Raw,
+        m if m == MAGIC_V2 => ImageFormat::Compressed,
+        _ => return Err(FgError::CorruptImage("bad magic".into())),
+    };
     let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    let mut fields = [0u64; 8];
+    let nfields = if format == ImageFormat::Compressed {
+        10
+    } else {
+        8
+    };
+    let mut fields = vec![0u64; nfields];
     for (i, f) in fields.iter_mut().enumerate() {
         let at = 16 + i * 8;
         *f = u64::from_le_bytes(header[at..at + 8].try_into().unwrap());
@@ -307,12 +648,23 @@ pub fn read_meta(array: &SsdArray) -> Result<ImageMeta> {
         num_edges: fields[1],
         directed: flags & FLAG_DIRECTED != 0,
         weighted: flags & FLAG_WEIGHTED != 0,
+        format,
         deg_offset: fields[2],
+        len_offset: if format == ImageFormat::Compressed {
+            fields[8]
+        } else {
+            0
+        },
         out_edges_offset: fields[3],
         in_edges_offset: fields[4],
         out_attrs_offset: fields[5],
         in_attrs_offset: fields[6],
         total_bytes: fields[7],
+        skip_interval: if format == ImageFormat::Compressed {
+            fields[9] as u32
+        } else {
+            0
+        },
     };
     if meta.total_bytes > array.capacity() {
         return Err(FgError::CorruptImage(format!(
@@ -330,32 +682,119 @@ pub fn read_meta(array: &SsdArray) -> Result<ImageMeta> {
     if meta.deg_offset != SECTION_ALIGN || meta.out_edges_offset < meta.deg_offset {
         return Err(FgError::CorruptImage("section table out of order".into()));
     }
+    if meta.format == ImageFormat::Compressed {
+        if fields[9] == 0 || fields[9] > MAX_SKIP_INTERVAL as u64 {
+            return Err(FgError::CorruptImage(format!(
+                "skip interval {} out of range",
+                fields[9]
+            )));
+        }
+        if meta.len_offset < meta.deg_offset || meta.len_offset > meta.out_edges_offset {
+            return Err(FgError::CorruptImage("length section out of order".into()));
+        }
+    }
     Ok(meta)
 }
 
+/// Reads `count` little-endian `u32`s starting at `offset`.
+fn read_u32s(array: &SsdArray, offset: u64, count: usize) -> Result<Vec<u32>> {
+    let mut vals = Vec::with_capacity(count);
+    let total = count * 4;
+    let mut done = 0usize;
+    let mut buf = vec![0u8; WRITE_CHUNK.min(total.max(1))];
+    while done < total {
+        let chunk = (total - done).min(buf.len());
+        array.read(offset + done as u64, &mut buf[..chunk])?;
+        for quad in buf[..chunk].chunks_exact(4) {
+            vals.push(u32::from_le_bytes(quad.try_into().unwrap()));
+        }
+        done += chunk;
+    }
+    Ok(vals)
+}
+
+/// One direction's validated block-length table plus the skip tables
+/// of its large compressed lists, keyed by vertex id.
+type PackedDirTables = (Vec<u32>, HashMap<u32, Box<[u32]>>);
+
+/// Validates one direction's v2 block table against its degrees and
+/// section bounds, and loads the skip tables of its large compressed
+/// lists. Returns the inputs [`GraphIndex::build_packed`] needs.
+fn load_packed_dir(
+    array: &SsdArray,
+    meta: &ImageMeta,
+    which: &str,
+    degrees: &[u64],
+    blocks: Vec<u32>,
+    edge_base: u64,
+    section_end: u64,
+) -> Result<PackedDirTables> {
+    let k = meta.skip_interval;
+    let mut offset = edge_base;
+    let mut skips = HashMap::new();
+    for (i, (&d, &b)) in degrees.iter().zip(&blocks).enumerate() {
+        let len = (b & !RAW_LIST_FLAG) as u64;
+        if b & RAW_LIST_FLAG != 0 {
+            if len != d * 4 {
+                return Err(FgError::CorruptImage(format!(
+                    "{which} vertex {i}: raw block of {len} bytes for degree {d}"
+                )));
+            }
+        } else {
+            if meta.weighted {
+                return Err(FgError::CorruptImage(format!(
+                    "{which} vertex {i}: compressed block in a weighted image"
+                )));
+            }
+            let table = skip_entries(d, k) * 4;
+            if (d as usize) < TINY_RAW_DEGREE || len <= table || len >= d * 4 {
+                return Err(FgError::CorruptImage(format!(
+                    "{which} vertex {i}: compressed block of {len} bytes for degree {d}"
+                )));
+            }
+            if d >= crate::index::LARGE_DEGREE && table > 0 {
+                let entries = read_u32s(array, offset, (table / 4) as usize)?;
+                let payload = len - table;
+                let mut prev = 0u64;
+                for (e, &off) in entries.iter().enumerate() {
+                    if (off as u64) <= prev && e > 0 || (off as u64) >= payload || off == 0 {
+                        return Err(FgError::CorruptImage(format!(
+                            "{which} vertex {i}: skip entry {e} offset {off} invalid"
+                        )));
+                    }
+                    prev = off as u64;
+                }
+                skips.insert(i as u32, entries.into_boxed_slice());
+            }
+        }
+        offset += len;
+        if offset > section_end {
+            return Err(FgError::CorruptImage(format!(
+                "{which} blocks overrun their section ({offset} past {section_end})"
+            )));
+        }
+    }
+    Ok((blocks, skips))
+}
+
 /// Loads the header and rebuilds the compact [`GraphIndex`] by
-/// streaming the degree section — the "init" phase of Table 2.
+/// streaming the degree section — plus, for compressed images, the
+/// length section and the skip tables of large lists — the "init"
+/// phase of Table 2.
 ///
 /// # Errors
 ///
-/// Propagates [`read_meta`] failures and degree-section reads.
+/// Propagates [`read_meta`] failures and section reads, and returns
+/// [`FgError::CorruptImage`] when a v2 length table contradicts the
+/// degrees or overruns its section.
 pub fn load_index(array: &SsdArray) -> Result<(ImageMeta, GraphIndex)> {
     let meta = read_meta(array)?;
     let n = meta.num_vertices as usize;
     let read_degrees = |offset: u64| -> Result<Vec<u64>> {
-        let mut degs = Vec::with_capacity(n);
-        let total = n * 4;
-        let mut done = 0usize;
-        let mut buf = vec![0u8; WRITE_CHUNK.min(total.max(1))];
-        while done < total {
-            let chunk = (total - done).min(buf.len());
-            array.read(offset + done as u64, &mut buf[..chunk])?;
-            for quad in buf[..chunk].chunks_exact(4) {
-                degs.push(u32::from_le_bytes(quad.try_into().unwrap()) as u64);
-            }
-            done += chunk;
-        }
-        Ok(degs)
+        Ok(read_u32s(array, offset, n)?
+            .into_iter()
+            .map(|d| d as u64)
+            .collect())
     };
     let out_degrees = if n > 0 {
         read_degrees(meta.deg_offset)?
@@ -369,16 +808,130 @@ pub fn load_index(array: &SsdArray) -> Result<(ImageMeta, GraphIndex)> {
     } else {
         None
     };
-    let index = GraphIndex::build(
+    if meta.format == ImageFormat::Raw {
+        let index = GraphIndex::build(
+            &out_degrees,
+            in_degrees.as_deref(),
+            4,
+            meta.out_edges_offset,
+            meta.in_edges_offset,
+            meta.weighted.then_some(meta.out_attrs_offset),
+            (meta.weighted && meta.directed).then_some(meta.in_attrs_offset),
+        );
+        return Ok((meta, index));
+    }
+
+    // v2: block lengths, then per-direction validation + hub tables.
+    let out_blocks = read_u32s(array, meta.len_offset, n)?;
+    let out_end = if meta.directed {
+        meta.in_edges_offset
+    } else if meta.weighted {
+        meta.out_attrs_offset
+    } else {
+        meta.total_bytes
+    };
+    let (out_blocks, out_skips) = load_packed_dir(
+        array,
+        &meta,
+        "out",
         &out_degrees,
-        in_degrees.as_deref(),
-        4,
+        out_blocks,
         meta.out_edges_offset,
-        meta.in_edges_offset,
-        meta.weighted.then_some(meta.out_attrs_offset),
-        (meta.weighted && meta.directed).then_some(meta.in_attrs_offset),
+        out_end,
+    )?;
+    let in_input = match &in_degrees {
+        Some(in_degrees) => {
+            let in_blocks = read_u32s(array, meta.len_offset + n as u64 * 4, n)?;
+            let in_end = if meta.weighted {
+                meta.out_attrs_offset
+            } else {
+                meta.total_bytes
+            };
+            Some(load_packed_dir(
+                array,
+                &meta,
+                "in",
+                in_degrees,
+                in_blocks,
+                meta.in_edges_offset,
+                in_end,
+            )?)
+        }
+        None => None,
+    };
+    let index = GraphIndex::build_packed(
+        meta.skip_interval,
+        PackedDirInput {
+            degrees: &out_degrees,
+            blocks: out_blocks,
+            skips: out_skips,
+            edge_base: meta.out_edges_offset,
+            attr_base: meta.weighted.then_some(meta.out_attrs_offset),
+        },
+        in_input.map(|(blocks, skips)| PackedDirInput {
+            degrees: in_degrees.as_deref().unwrap(),
+            blocks,
+            skips,
+            edge_base: meta.in_edges_offset,
+            attr_base: (meta.weighted && meta.directed).then_some(meta.in_attrs_offset),
+        }),
     );
     Ok((meta, index))
+}
+
+/// Reads back and fully validates one vertex's edge list from the
+/// image — the fallible decode surface the corrupt-image robustness
+/// tests drive. The engine's hot path instead decodes incrementally
+/// out of the page cache (`flashgraph::PageVertex`); this helper is
+/// for tools, tests, and verification passes.
+///
+/// # Errors
+///
+/// Propagates store read failures and returns
+/// [`FgError::CorruptImage`] when the block does not decode to
+/// exactly `degree` sorted edges (truncated or bit-flipped sections,
+/// over-long varints, inconsistent skip tables).
+///
+/// # Panics
+///
+/// Panics if `v` is out of range (same contract as
+/// [`GraphIndex::locate`]).
+pub fn read_list(
+    array: &SsdArray,
+    meta: &ImageMeta,
+    index: &GraphIndex,
+    v: VertexId,
+    dir: EdgeDir,
+) -> Result<Vec<u32>> {
+    let slice = index.locate_slice(v, dir, 0, u64::MAX);
+    if slice.loc.bytes == 0 {
+        return Ok(Vec::new());
+    }
+    if slice.loc.offset + slice.loc.bytes > meta.total_bytes {
+        return Err(FgError::CorruptImage(format!(
+            "list of {v} ends at {} past image of {} bytes",
+            slice.loc.offset + slice.loc.bytes,
+            meta.total_bytes
+        )));
+    }
+    let mut buf = vec![0u8; slice.loc.bytes as usize];
+    array.read(slice.loc.offset, &mut buf)?;
+    match slice.decode {
+        SliceDecode::Raw => {
+            if buf.len() as u64 != slice.loc.degree * 4 {
+                return Err(FgError::CorruptImage(format!(
+                    "raw list of {v}: {} bytes for degree {}",
+                    buf.len(),
+                    slice.loc.degree
+                )));
+            }
+            Ok(buf
+                .chunks_exact(4)
+                .map(|q| u32::from_le_bytes(q.try_into().unwrap()))
+                .collect())
+        }
+        SliceDecode::Varint(p) => codec::decode_list(&buf, slice.loc.degree, p.k),
+    }
 }
 
 #[cfg(test)]
@@ -387,68 +940,145 @@ mod tests {
     use fg_graph::{fixtures, gen};
     use fg_ssdsim::ArrayConfig;
 
-    fn image_of(g: &Graph) -> (SsdArray, ImageMeta, GraphIndex) {
-        let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(g)).unwrap();
-        let meta = write_image(g, &array).unwrap();
+    fn image_of_with(g: &Graph, opts: &WriteOptions) -> (SsdArray, ImageMeta, GraphIndex) {
+        let array =
+            SsdArray::new_mem(ArrayConfig::small_test(), required_capacity_with(g, opts)).unwrap();
+        let meta = write_image_with(g, &array, opts).unwrap();
         let (meta2, index) = load_index(&array).unwrap();
         assert_eq!(meta, meta2);
         (array, meta, index)
     }
 
-    /// Reads the edge list of `v` back from the raw image.
-    fn read_edges(array: &SsdArray, index: &GraphIndex, v: VertexId, dir: EdgeDir) -> Vec<u32> {
-        let loc = index.locate(v, dir);
-        if loc.bytes == 0 {
-            return Vec::new();
-        }
-        let mut buf = vec![0u8; loc.bytes as usize];
-        array.read(loc.offset, &mut buf).unwrap();
-        buf.chunks_exact(4)
-            .map(|q| u32::from_le_bytes(q.try_into().unwrap()))
-            .collect()
+    fn image_of(g: &Graph) -> (SsdArray, ImageMeta, GraphIndex) {
+        image_of_with(g, &WriteOptions::default())
+    }
+
+    /// Reads the edge list of `v` back from the image, validated.
+    fn read_edges(
+        array: &SsdArray,
+        meta: &ImageMeta,
+        index: &GraphIndex,
+        v: VertexId,
+        dir: EdgeDir,
+    ) -> Vec<u32> {
+        read_list(array, meta, index, v, dir).unwrap()
+    }
+
+    fn both_formats() -> [WriteOptions; 2] {
+        [WriteOptions::default(), WriteOptions::compressed()]
     }
 
     #[test]
     fn round_trip_directed_edges() {
-        let g = fixtures::diamond();
-        let (array, meta, index) = image_of(&g);
-        assert!(meta.directed);
-        for v in g.vertices() {
-            let out: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
-            assert_eq!(read_edges(&array, &index, v, EdgeDir::Out), out, "out {v}");
-            let inn: Vec<u32> = g.in_neighbors(v).iter().map(|n| n.0).collect();
-            assert_eq!(read_edges(&array, &index, v, EdgeDir::In), inn, "in {v}");
+        for opts in both_formats() {
+            let g = fixtures::diamond();
+            let (array, meta, index) = image_of_with(&g, &opts);
+            assert!(meta.directed);
+            for v in g.vertices() {
+                let out: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
+                assert_eq!(
+                    read_edges(&array, &meta, &index, v, EdgeDir::Out),
+                    out,
+                    "out {v} ({:?})",
+                    opts.format
+                );
+                let inn: Vec<u32> = g.in_neighbors(v).iter().map(|n| n.0).collect();
+                assert_eq!(read_edges(&array, &meta, &index, v, EdgeDir::In), inn);
+            }
         }
     }
 
     #[test]
     fn round_trip_undirected() {
-        let g = fixtures::complete(9);
-        let (array, meta, index) = image_of(&g);
-        assert!(!meta.directed);
-        for v in g.vertices() {
-            let want: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
-            assert_eq!(read_edges(&array, &index, v, EdgeDir::Out), want);
-            // In == out for undirected images.
-            assert_eq!(read_edges(&array, &index, v, EdgeDir::In), want);
+        for opts in both_formats() {
+            let g = fixtures::complete(9);
+            let (array, meta, index) = image_of_with(&g, &opts);
+            assert!(!meta.directed);
+            for v in g.vertices() {
+                let want: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
+                assert_eq!(read_edges(&array, &meta, &index, v, EdgeDir::Out), want);
+                // In == out for undirected images.
+                assert_eq!(read_edges(&array, &meta, &index, v, EdgeDir::In), want);
+            }
         }
     }
 
     #[test]
     fn round_trip_rmat_spot_checks() {
-        let g = gen::rmat(9, 8, gen::RmatSkew::default(), 33);
-        let (array, _meta, index) = image_of(&g);
-        for raw in [0u32, 1, 100, 511] {
-            let v = VertexId(raw);
-            let want: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
-            assert_eq!(read_edges(&array, &index, v, EdgeDir::Out), want);
-            let want: Vec<u32> = g.in_neighbors(v).iter().map(|n| n.0).collect();
-            assert_eq!(read_edges(&array, &index, v, EdgeDir::In), want);
+        for opts in both_formats() {
+            let g = gen::rmat(9, 8, gen::RmatSkew::default(), 33);
+            let (array, meta, index) = image_of_with(&g, &opts);
+            for raw in [0u32, 1, 100, 511] {
+                let v = VertexId(raw);
+                let want: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
+                assert_eq!(read_edges(&array, &meta, &index, v, EdgeDir::Out), want);
+                let want: Vec<u32> = g.in_neighbors(v).iter().map(|n| n.0).collect();
+                assert_eq!(read_edges(&array, &meta, &index, v, EdgeDir::In), want);
+            }
+            // Index degrees match the graph everywhere.
+            for v in g.vertices() {
+                assert_eq!(index.degree(v, EdgeDir::Out) as usize, g.out_degree(v));
+            }
         }
-        // Index degrees match the graph everywhere.
+    }
+
+    #[test]
+    fn compressed_rmat_round_trips_everywhere() {
+        let g = gen::rmat(9, 8, gen::RmatSkew::default(), 77);
+        let (array, meta, index) = image_of_with(&g, &WriteOptions::compressed());
+        assert_eq!(meta.format, ImageFormat::Compressed);
+        assert_eq!(meta.skip_interval, DEFAULT_SKIP_INTERVAL);
         for v in g.vertices() {
-            assert_eq!(index.degree(v, EdgeDir::Out) as usize, g.out_degree(v));
+            for dir in [EdgeDir::Out, EdgeDir::In] {
+                let want: Vec<u32> = match dir {
+                    EdgeDir::Out => g.out_neighbors(v).iter().map(|n| n.0).collect(),
+                    _ => g.in_neighbors(v).iter().map(|n| n.0).collect(),
+                };
+                assert_eq!(
+                    read_edges(&array, &meta, &index, v, dir),
+                    want,
+                    "{v} {dir:?}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn compressed_image_shrinks_edge_sections() {
+        let g = gen::rmat(10, 8, gen::RmatSkew::default(), 5);
+        let raw = plan(&g, &WriteOptions::default()).meta;
+        let v2 = plan(&g, &WriteOptions::compressed()).meta;
+        let raw_out = raw.in_edges_offset - raw.out_edges_offset;
+        let v2_out = v2.in_edges_offset - v2.out_edges_offset;
+        assert!(
+            v2_out < raw_out,
+            "compressed out section {v2_out} not below raw {raw_out}"
+        );
+        // Whole image shrinks too (the length section costs less than
+        // delta encoding saves at R-MAT densities).
+        assert!(v2.total_bytes < raw.total_bytes);
+    }
+
+    #[test]
+    fn compressed_weighted_image_keeps_blocks_raw_and_attrs_aligned() {
+        let g = fixtures::weighted_square();
+        let (array, meta, index) = image_of_with(&g, &WriteOptions::compressed());
+        assert!(meta.weighted);
+        assert_eq!(meta.format, ImageFormat::Compressed);
+        // Every list reads back exactly; every block is raw (enforced
+        // at load — a compressed block would fail validation).
+        for v in g.vertices() {
+            let want: Vec<u32> = g.out_neighbors(v).iter().map(|n| n.0).collect();
+            assert_eq!(read_edges(&array, &meta, &index, v, EdgeDir::Out), want);
+        }
+        let loc = index.locate_attrs(VertexId(0), EdgeDir::Out).unwrap();
+        let mut buf = vec![0u8; loc.bytes as usize];
+        array.read(loc.offset, &mut buf).unwrap();
+        let ws: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|q| f32::from_bits(u32::from_le_bytes(q.try_into().unwrap())))
+            .collect();
+        assert_eq!(ws, vec![1.0, 5.0]);
     }
 
     #[test]
@@ -468,14 +1098,21 @@ mod tests {
 
     #[test]
     fn sections_are_aligned_and_ordered() {
-        let g = gen::rmat(8, 4, gen::RmatSkew::default(), 5);
-        let meta = layout(&g);
-        for off in [meta.deg_offset, meta.out_edges_offset, meta.in_edges_offset] {
-            assert_eq!(off % SECTION_ALIGN, 0);
+        for opts in both_formats() {
+            let g = gen::rmat(8, 4, gen::RmatSkew::default(), 5);
+            let meta = plan(&g, &opts).meta;
+            for off in [meta.deg_offset, meta.out_edges_offset, meta.in_edges_offset] {
+                assert_eq!(off % SECTION_ALIGN, 0);
+            }
+            assert!(meta.out_edges_offset > meta.deg_offset);
+            assert!(meta.in_edges_offset > meta.out_edges_offset);
+            assert!(meta.total_bytes >= meta.in_edges_offset);
+            if opts.format == ImageFormat::Compressed {
+                assert_eq!(meta.len_offset % SECTION_ALIGN, 0);
+                assert!(meta.len_offset > meta.deg_offset);
+                assert!(meta.out_edges_offset > meta.len_offset);
+            }
         }
-        assert!(meta.out_edges_offset > meta.deg_offset);
-        assert!(meta.in_edges_offset > meta.out_edges_offset);
-        assert!(meta.total_bytes >= meta.in_edges_offset);
     }
 
     #[test]
@@ -487,43 +1124,120 @@ mod tests {
 
     #[test]
     fn truncated_image_rejected() {
-        let g = fixtures::complete(9);
-        let full = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
-        write_image(&g, &full).unwrap();
-        // Copy only the header into a smaller array.
-        let small = SsdArray::new_mem(ArrayConfig::small_test(), SECTION_ALIGN).unwrap();
-        let mut header = vec![0u8; SECTION_ALIGN as usize];
-        full.read(0, &mut header).unwrap();
-        small.write(0, &header).unwrap();
-        assert!(read_meta(&small).is_err());
+        for opts in both_formats() {
+            let g = fixtures::complete(9);
+            let full =
+                SsdArray::new_mem(ArrayConfig::small_test(), required_capacity_with(&g, &opts))
+                    .unwrap();
+            write_image_with(&g, &full, &opts).unwrap();
+            // Copy only the header into a smaller array.
+            let small = SsdArray::new_mem(ArrayConfig::small_test(), SECTION_ALIGN).unwrap();
+            let mut header = vec![0u8; SECTION_ALIGN as usize];
+            full.read(0, &mut header).unwrap();
+            small.write(0, &header).unwrap();
+            assert!(read_meta(&small).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupt_length_table_rejected_at_load() {
+        let g = gen::rmat(8, 6, gen::RmatSkew::default(), 9);
+        let (array, meta, _) = image_of_with(&g, &WriteOptions::compressed());
+        // A length that contradicts its degree (raw flag, wrong size).
+        let tampered = (8u32 | RAW_LIST_FLAG).to_le_bytes();
+        array.write(meta.len_offset, &tampered).unwrap();
+        assert!(matches!(load_index(&array), Err(FgError::CorruptImage(_))));
+    }
+
+    #[test]
+    fn corrupt_skip_interval_rejected() {
+        let g = gen::rmat(7, 4, gen::RmatSkew::default(), 9);
+        let (array, _, _) = image_of_with(&g, &WriteOptions::compressed());
+        // Field 9 (skip interval) at header offset 16 + 9*8 = 88.
+        array.write(88, &0u64.to_le_bytes()).unwrap();
+        assert!(read_meta(&array).is_err());
+        array
+            .write(88, &((MAX_SKIP_INTERVAL as u64 + 1).to_le_bytes()))
+            .unwrap();
+        assert!(read_meta(&array).is_err());
     }
 
     #[test]
     fn too_small_array_rejected_at_write() {
-        let g = fixtures::complete(9);
-        let array = SsdArray::new_mem(ArrayConfig::small_test(), 4096).unwrap();
-        assert!(write_image(&g, &array).is_err());
+        for opts in both_formats() {
+            let g = fixtures::complete(9);
+            let array = SsdArray::new_mem(ArrayConfig::small_test(), 4096).unwrap();
+            assert!(write_image_with(&g, &array, &opts).is_err());
+        }
     }
 
     #[test]
     fn empty_graph_image() {
-        let g = fg_graph::GraphBuilder::directed().build();
-        let (_array, meta, index) = image_of(&g);
-        assert_eq!(meta.num_vertices, 0);
-        assert_eq!(index.num_vertices(), 0);
+        for opts in both_formats() {
+            let g = fg_graph::GraphBuilder::directed().build();
+            let (_array, meta, index) = image_of_with(&g, &opts);
+            assert_eq!(meta.num_vertices, 0);
+            assert_eq!(index.num_vertices(), 0);
+        }
     }
 
     #[test]
     fn image_write_is_the_only_write() {
         // Wearout check: loading + reading back causes no writes.
-        let g = fixtures::complete(6);
-        let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
-        write_image(&g, &array).unwrap();
-        let wear_after_load = array.stats().snapshot().bytes_written;
-        let (_, index) = load_index(&array).unwrap();
-        for v in g.vertices() {
-            read_edges(&array, &index, v, EdgeDir::Out);
+        for opts in both_formats() {
+            let g = fixtures::complete(6);
+            let array =
+                SsdArray::new_mem(ArrayConfig::small_test(), required_capacity_with(&g, &opts))
+                    .unwrap();
+            write_image_with(&g, &array, &opts).unwrap();
+            let wear_after_load = array.stats().snapshot().bytes_written;
+            let (meta, index) = load_index(&array).unwrap();
+            for v in g.vertices() {
+                read_edges(&array, &meta, &index, v, EdgeDir::Out);
+            }
+            assert_eq!(array.stats().snapshot().bytes_written, wear_after_load);
         }
-        assert_eq!(array.stats().snapshot().bytes_written, wear_after_load);
+    }
+
+    #[test]
+    fn format_from_env_parses() {
+        // Not set in the test environment by default.
+        if std::env::var("FG_IMAGE_FORMAT").is_err() {
+            assert_eq!(ImageFormat::from_env(), ImageFormat::Raw);
+        }
+    }
+
+    #[test]
+    fn hub_skip_tables_are_loaded_and_aligned() {
+        // A star-heavy graph guarantees a hub above LARGE_DEGREE.
+        let g = fixtures::star(400);
+        let (array, meta, index) = image_of_with(&g, &WriteOptions::compressed());
+        let hub = VertexId(0);
+        assert!(index.degree(hub, EdgeDir::Out) >= crate::index::LARGE_DEGREE);
+        // A ranged slice of the hub resolves to a strict subrange.
+        let block = index.locate(hub, EdgeDir::Out);
+        let slice = index.locate_slice(hub, EdgeDir::Out, 100, 50);
+        assert!(slice.loc.bytes < block.bytes);
+        // ... and decoding the subrange yields exactly those edges.
+        let mut buf = vec![0u8; slice.loc.bytes as usize];
+        array.read(slice.loc.offset, &mut buf).unwrap();
+        let SliceDecode::Varint(p) = slice.decode else {
+            panic!("hub block must be compressed");
+        };
+        let mut at = p.header_bytes as usize;
+        let mut gaps = codec::GapDecoder::new(p.stream_pos, p.k);
+        let mut got = Vec::new();
+        while got.len() < (p.skip + 50) as usize {
+            let raw = codec::read_varint(&mut || {
+                let b = buf.get(at).copied();
+                at += 1;
+                b
+            })
+            .unwrap();
+            got.push(gaps.step(raw).unwrap());
+        }
+        let want: Vec<u32> = g.out_neighbors(hub)[100..150].iter().map(|n| n.0).collect();
+        assert_eq!(&got[p.skip as usize..], want);
+        let _ = meta;
     }
 }

@@ -71,13 +71,17 @@ impl GraphBuilder {
         self
     }
 
-    /// Adds an unweighted edge.
+    /// Adds an unweighted edge. The graph stays unweighted (no
+    /// attribute sections in its on-SSD image) unless some edge is
+    /// added through [`GraphBuilder::add_weighted_edge`].
     pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
-        self.add_weighted_edge(src, dst, 1.0)
+        self.push(src, dst, 1.0);
+        self
     }
 
     /// Adds a weighted edge; the graph becomes weighted once any edge
-    /// carries a weight other than the default `1.0` via this method.
+    /// arrives via this method (unweighted-added edges then default to
+    /// weight `1.0`).
     pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, w: f32) -> &mut Self {
         self.weighted = true;
         self.push(src, dst, w);
@@ -91,12 +95,14 @@ impl GraphBuilder {
     }
 
     /// Adds every edge from an iterator of `(src, dst)` pairs.
+    /// Unweighted like [`GraphBuilder::add_edge`] — it no longer
+    /// clears the weighted flag, so mixing with
+    /// [`GraphBuilder::add_weighted_edge`] keeps the graph weighted.
     pub fn extend_edges<I>(&mut self, iter: I) -> &mut Self
     where
         I: IntoIterator<Item = (VertexId, VertexId)>,
     {
         for (s, d) in iter {
-            self.weighted = false;
             self.push(s, d, 1.0);
         }
         self

@@ -123,6 +123,25 @@ impl Csr {
         &self.offsets
     }
 
+    /// Iterates the per-vertex neighbour slices in id order — the
+    /// shape the on-SSD image writer consumes (one block per vertex,
+    /// so delta encoders see each sorted list whole instead of the
+    /// flat [`Csr::neighbor_array`]).
+    pub fn lists(&self) -> impl Iterator<Item = &[VertexId]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.neighbors[w[0] as usize..w[1] as usize])
+    }
+
+    /// Whether every adjacency list is sorted ascending — the
+    /// invariant [`crate::GraphBuilder::build`] establishes and the
+    /// image's delta-varint encoding depends on (gaps must be
+    /// non-negative). Construction paths that bypass the builder can
+    /// use this to validate before writing a compressed image.
+    pub fn lists_sorted(&self) -> bool {
+        self.lists().all(|l| l.windows(2).all(|w| w[0].0 <= w[1].0))
+    }
+
     /// The raw neighbour array.
     #[inline]
     pub fn neighbor_array(&self) -> &[VertexId] {
@@ -332,6 +351,22 @@ mod tests {
                 (VertexId(2), VertexId(1)),
             ]
         );
+    }
+
+    #[test]
+    fn lists_iterate_per_vertex_slices() {
+        let c = Csr::from_parts(
+            vec![0, 2, 2, 3],
+            vec![VertexId(1), VertexId(2), VertexId(0)],
+            None,
+        )
+        .unwrap();
+        let lists: Vec<Vec<u32>> = c.lists().map(|l| l.iter().map(|v| v.0).collect()).collect();
+        assert_eq!(lists, vec![vec![1, 2], vec![], vec![0]]);
+        assert!(c.lists_sorted());
+        // An unsorted list is detected (image compression depends on it).
+        let bad = Csr::from_parts(vec![0, 2], vec![VertexId(5), VertexId(3)], None).unwrap();
+        assert!(!bad.lists_sorted());
     }
 
     #[test]

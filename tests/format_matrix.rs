@@ -1,0 +1,191 @@
+//! Format × mode equivalence matrix.
+//!
+//! {Raw, Compressed} image formats × {Selective, Stream, Adaptive}
+//! scan modes × {BFS, PageRank, WCC, TC}: every cell must produce the
+//! same results as the in-memory oracles, deliver the same number of
+//! edges as the other format (the programming model is
+//! format-transparent), and — the point of the compressed format —
+//! read strictly fewer device bytes from a compressed image than from
+//! a raw one.
+
+use fg_format::{load_index, required_capacity_with, write_image_with, GraphIndex, WriteOptions};
+use fg_graph::{gen, Graph, GraphBuilder};
+use fg_safs::{Safs, SafsConfig};
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use flashgraph::{Engine, EngineConfig, RunStats, ScanMode};
+
+const MODES: [(&str, ScanMode); 3] = [
+    ("selective", ScanMode::Selective),
+    ("stream", ScanMode::Stream),
+    ("adaptive", ScanMode::Adaptive { threshold: 50 }),
+];
+
+fn formats() -> [(&'static str, WriteOptions); 2] {
+    [
+        ("raw", WriteOptions::default()),
+        ("compressed", WriteOptions::compressed()),
+    ]
+}
+
+fn cfg(mode: ScanMode) -> EngineConfig {
+    EngineConfig {
+        num_threads: 2,
+        max_pending: 256,
+        issue_batch: 64,
+        ..EngineConfig::default()
+    }
+    .with_scan_mode(mode)
+}
+
+/// Mounts a fresh image of `g` in the given format over a small page
+/// cache (so device bytes, not cache hits, dominate the comparison).
+fn mount(g: &Graph, opts: &WriteOptions) -> (Safs, GraphIndex) {
+    let array =
+        SsdArray::new_mem(ArrayConfig::small_test(), required_capacity_with(g, opts)).unwrap();
+    write_image_with(g, &array, opts).unwrap();
+    let (_, index) = load_index(&array).unwrap();
+    let safs = Safs::new(SafsConfig::default().with_cache_bytes(8 * 4096), array).unwrap();
+    safs.reset_stats();
+    (safs, index)
+}
+
+/// Runs `f` over a fresh semi-external mount per (format, mode) cell
+/// and over the in-memory engine, then checks the matrix invariants:
+/// oracle-identical results (by `check`), equal `edges_delivered`
+/// across formats within each mode, and strictly fewer compressed
+/// device bytes within each mode.
+fn run_matrix<R>(
+    app: &str,
+    g: &Graph,
+    f: impl Fn(&Engine<'_>) -> (R, RunStats),
+    check: impl Fn(&R, &R, &str),
+) {
+    let (mem_result, _) = f(&Engine::new_mem(g, cfg(ScanMode::Selective)));
+    for (mode_name, mode) in MODES {
+        let mut by_format = Vec::new();
+        for (fmt_name, opts) in formats() {
+            let cell = format!("{app}/{fmt_name}/{mode_name}");
+            let (safs, index) = mount(g, &opts);
+            let engine = Engine::new_sem(&safs, index, cfg(mode));
+            let (result, stats) = f(&engine);
+            check(&result, &mem_result, &cell);
+            let io = stats.io.as_ref().expect("sem run reports io");
+            assert!(io.read_requests > 0, "{cell}: never touched the device");
+            by_format.push((stats.edges_delivered, io.bytes_read));
+        }
+        let (raw_edges, raw_bytes) = by_format[0];
+        let (v2_edges, v2_bytes) = by_format[1];
+        assert_eq!(
+            raw_edges, v2_edges,
+            "{app}/{mode_name}: formats delivered different edge counts"
+        );
+        assert!(
+            v2_bytes < raw_bytes,
+            "{app}/{mode_name}: compressed read {v2_bytes} device bytes, raw {raw_bytes}"
+        );
+    }
+}
+
+fn directed_graph() -> Graph {
+    gen::rmat(10, 8, gen::RmatSkew::default(), 0xC0DE)
+}
+
+fn undirected_graph() -> Graph {
+    let d = gen::rmat(8, 6, gen::RmatSkew::default(), 0xC0DE);
+    let mut b = GraphBuilder::undirected();
+    for (s, t) in d.edges() {
+        b.add_edge(s, t);
+    }
+    b.build()
+}
+
+#[test]
+fn bfs_matrix() {
+    let g = directed_graph();
+    let root = fg_bench::traversal_root(&g);
+    let oracle = fg_baselines::direct::bfs_levels(&g, root);
+    run_matrix(
+        "bfs",
+        &g,
+        |e| fg_apps::bfs(e, root).unwrap(),
+        |got, mem, cell| {
+            assert_eq!(got, mem, "{cell}: differs from FG-mem");
+            assert_eq!(*got, oracle, "{cell}: differs from the direct oracle");
+        },
+    );
+}
+
+#[test]
+fn wcc_matrix() {
+    let g = directed_graph();
+    let oracle = fg_baselines::direct::wcc_labels(&g);
+    run_matrix(
+        "wcc",
+        &g,
+        |e| fg_apps::wcc(e).unwrap(),
+        |got, mem, cell| {
+            assert_eq!(got, mem, "{cell}: differs from FG-mem");
+            assert_eq!(*got, oracle, "{cell}: differs from the direct oracle");
+        },
+    );
+}
+
+#[test]
+fn pagerank_matrix() {
+    let g = directed_graph();
+    // Threshold 0 keeps the active set structural (every vertex that
+    // received a message), so `edges_delivered` is deterministic
+    // across formats; ranks are float sums whose order varies with
+    // message arrival, hence the tolerance.
+    run_matrix(
+        "pagerank",
+        &g,
+        |e| fg_apps::pagerank(e, 0.85, 0.0, 8).unwrap(),
+        |got, mem, cell| {
+            assert_eq!(got.len(), mem.len());
+            for (i, (a, b)) in got.iter().zip(mem.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-3, "{cell}: vertex {i}: {a} vs {b}");
+            }
+        },
+    );
+}
+
+#[test]
+fn tc_matrix() {
+    let g = undirected_graph();
+    let want_total = fg_baselines::direct::triangle_count(&g);
+    let want_per = fg_baselines::direct::triangles_per_vertex(&g);
+    run_matrix(
+        "tc",
+        &g,
+        |e| {
+            let (total, per, stats) = fg_apps::triangle_count(e, true).unwrap();
+            ((total, per), stats)
+        },
+        |got, mem, cell| {
+            assert_eq!(got, mem, "{cell}: differs from FG-mem");
+            assert_eq!(got.0, want_total, "{cell}: total differs from oracle");
+            assert_eq!(got.1, want_per, "{cell}: per-vertex differs from oracle");
+        },
+    );
+}
+
+#[test]
+fn chunked_hub_delivery_matches_across_formats() {
+    // Chunked deliveries slice hub lists by edge positions; under the
+    // compressed format those positions resolve through skip tables.
+    // TC reassembles own lists from chunks, so it exercises both the
+    // ranged-read path and chunk reassembly.
+    let g = undirected_graph();
+    let want = fg_baselines::direct::triangle_count(&g);
+    for (fmt_name, opts) in formats() {
+        let (safs, index) = mount(&g, &opts);
+        let engine = Engine::new_sem(&safs, index, cfg(ScanMode::Selective));
+        for chunk in [7u64, 64] {
+            let chunked =
+                engine.reconfigured(cfg(ScanMode::Selective).with_max_request_edges(chunk));
+            let (total, _, _) = fg_apps::triangle_count(&chunked, false).unwrap();
+            assert_eq!(total, want, "{fmt_name}/chunk={chunk}");
+        }
+    }
+}
