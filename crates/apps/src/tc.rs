@@ -37,52 +37,63 @@ pub struct TcProgram {
 /// arrive as bounded slices under chunked delivery
 /// (`EngineConfig::max_request_edges`), so the per-callback working
 /// set is bounded by the chunk size, not the neighbour's degree.
+///
+/// The state is *pass-order independent*: under the pipelined
+/// scheduler a vertex's vertical passes may interleave with the
+/// deliveries of earlier passes (only per-callback atomicity is
+/// guaranteed), so the own list is requested and assembled exactly
+/// once, passes that run before it lands park themselves in
+/// `deferred`, and `pending_edges` accumulates across passes instead
+/// of being re-armed per pass.
 #[derive(Debug, Default)]
 pub struct TcState {
     /// Triangles counted at or reported to this vertex.
     pub triangles: u64,
-    /// Transient filtered adjacency (entries `> v`), held while
-    /// neighbour intersections are in flight.
+    /// Transient filtered adjacency (entries `> v`), held until every
+    /// pass has fanned out and all intersections finished.
     own: Option<Box<[u32]>>,
     /// Reassembly of the own list across chunked deliveries.
     own_assembly: OwnListAssembly,
-    /// Neighbour-list edges still to arrive this pass.
+    /// Neighbour-list edges still to arrive, over all passes in
+    /// flight.
     pending_edges: u64,
+    /// Passes whose `run` happened before the own list arrived.
+    deferred: Vec<u32>,
+    /// Passes that have fanned out their neighbour requests.
+    fanned: u32,
 }
 
 impl TcProgram {
-    /// Own list fully assembled: filter, fan out neighbour requests.
-    fn finish_own(
-        &self,
-        v: VertexId,
-        own: Vec<u32>,
-        state: &mut TcState,
-        ctx: &mut VertexContext<'_, u32>,
-    ) {
-        // Request higher-id neighbours in this vertical slice. The
-        // intersection filter keeps ids above v only: a triangle
-        // u < w < x is counted at u, so entries ≤ v can never match.
-        let (part, parts) = ctx.vertical_part();
+    /// Fans out pass `part`'s neighbour requests against the
+    /// assembled own list. The intersection filter keeps ids above v
+    /// only: a triangle u < w < x is counted at u, so entries ≤ v
+    /// can never match; pass `part` additionally restricts the
+    /// requests to the `part`-th slice of the id space (§3.8).
+    fn fan_out(&self, state: &mut TcState, part: u32, ctx: &mut VertexContext<'_, u32>) {
+        let (_, parts) = ctx.vertical_part();
         let n = ctx.num_vertices() as u64;
         let span = n.div_ceil(parts as u64).max(1);
         let lo = (part as u64 * span) as u32;
         let hi = ((part as u64 + 1) * span).min(n) as u32;
-        let above: Vec<u32> = own.into_iter().filter(|&w| w > v.0).collect();
-        let wanted: Vec<u32> = above
-            .iter()
-            .copied()
-            .filter(|&w| w >= lo && w < hi)
-            .collect();
-        if wanted.is_empty() {
-            return;
-        }
-        state.pending_edges = wanted
+        let own = state.own.as_deref().expect("own assembled before fan-out");
+        let wanted: Vec<u32> = own.iter().copied().filter(|&w| w >= lo && w < hi).collect();
+        state.fanned += 1;
+        state.pending_edges += wanted
             .iter()
             .map(|&w| ctx.degree(VertexId(w), EdgeDir::Out))
-            .sum();
-        state.own = Some(above.into_boxed_slice());
+            .sum::<u64>();
         for &w in &wanted {
             ctx.request(VertexId(w), Request::edges(EdgeDir::Out));
+        }
+        Self::maybe_release(state, ctx);
+    }
+
+    /// Releases the transient adjacency once every pass has fanned
+    /// out and no neighbour slice is outstanding.
+    fn maybe_release(state: &mut TcState, ctx: &VertexContext<'_, u32>) {
+        let (_, parts) = ctx.vertical_part();
+        if state.fanned >= parts && state.pending_edges == 0 {
+            state.own = None;
         }
     }
 }
@@ -94,9 +105,24 @@ impl VertexProgram for TcProgram {
     fn run(&self, v: VertexId, state: &mut TcState, ctx: &mut VertexContext<'_, u32>) {
         // Skip vertices that cannot close a triangle.
         let d = ctx.degree(v, EdgeDir::Out);
-        if d >= 2 {
-            state.own_assembly.begin(d);
-            ctx.request(v, Request::edges(EdgeDir::Out));
+        if d < 2 {
+            return;
+        }
+        let (part, _) = ctx.vertical_part();
+        if state.own.is_some() {
+            // The own list already arrived (an earlier pass fetched
+            // it): fan this pass's slice out directly.
+            self.fan_out(state, part, ctx);
+        } else {
+            // First pass to run requests the own list, once; every
+            // pass that runs before it lands (later passes always do
+            // under the pipelined scheduler) defers its fan-out to
+            // the assembly-completion callback.
+            if !state.own_assembly.expecting() {
+                state.own_assembly.begin(d);
+                ctx.request(v, Request::edges(EdgeDir::Out));
+            }
+            state.deferred.push(part);
         }
     }
 
@@ -109,9 +135,15 @@ impl VertexProgram for TcProgram {
     ) {
         if vertex.id() == v && state.own_assembly.expecting() {
             // A slice of the own list (whole in the common case,
-            // chunked by offset for hubs).
+            // chunked by offset for hubs). On completion, run the
+            // fan-out of every pass that executed while it was in
+            // flight.
             if let Some(own) = state.own_assembly.absorb(vertex) {
-                self.finish_own(v, own, state, ctx);
+                let above: Vec<u32> = own.into_iter().filter(|&w| w > v.0).collect();
+                state.own = Some(above.into_boxed_slice());
+                for part in std::mem::take(&mut state.deferred) {
+                    self.fan_out(state, part, ctx);
+                }
             }
         } else {
             // A slice of a neighbour's list: count common neighbours
@@ -136,9 +168,7 @@ impl VertexProgram for TcProgram {
                 }
             }
             state.pending_edges -= vertex.degree() as u64;
-            if state.pending_edges == 0 {
-                state.own = None; // release the transient adjacency
-            }
+            Self::maybe_release(state, ctx);
         }
     }
 

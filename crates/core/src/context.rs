@@ -240,6 +240,13 @@ impl<M> VertexContext<'_, M> {
 
     /// `(current vertical pass, total passes)` — `(0, 1)` unless
     /// vertical partitioning is configured (§3.8).
+    ///
+    /// Under the default pipelined scheduler, passes are *not*
+    /// globally ordered: pass `j + 1`'s `run` may execute while pass
+    /// `j`'s deliveries are still arriving (each callback for this
+    /// vertex stays exclusive, whichever pass it belongs to). State
+    /// that spans passes must therefore be pass-order independent —
+    /// see `fg_apps::tc` for the canonical pattern.
     #[inline]
     pub fn vertical_part(&self) -> (u32, u32) {
         (self.vpart, self.shared.vparts)

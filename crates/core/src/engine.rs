@@ -1,10 +1,35 @@
 //! The iteration driver: partitions, schedulers, the asynchronous
-//! issue/poll loop, work stealing, and barriers (§3.3, §3.6–§3.8).
+//! issue/poll loop, work stealing, and the completion-counted
+//! pipeline (§3.3, §3.6–§3.8).
+//!
+//! Each iteration has a build step (collect the partition's active
+//! vertices, decide the scan mode), a compute step, and a boundary
+//! (message delivery, iteration-end callbacks, frontier flip, stats).
+//! Under the default *pipelined* scheduler the compute step runs
+//! without any intra-iteration barrier: workers issue merged covers
+//! into [`SemIo`] without waiting for replies, resolve completions
+//! into per-worker ready deques, and execute `run_on_vertex`
+//! deliveries the moment pages land — their own, or stolen from the
+//! shared injector and other workers' deques when their device queue
+//! is ahead of their CPU. Two counters define the iteration's end
+//! instead of a barrier: every worker has exhausted claiming
+//! (`claims_done == workers`) and every accepted edge request has
+//! been delivered and its follow-on requests absorbed
+//! (`obligations == 0`). Only then do workers synchronize for the
+//! boundary phases. A per-vertex busy bitmap serializes callbacks:
+//! any worker may run a vertex's delivery, but never two at once, so
+//! `SharedStates`' exclusivity contract survives stealing.
+//!
+//! `EngineConfig::pipeline = false` restores the historical lock-step
+//! loop — one barrier per vertical pass, compute fully drained before
+//! anything else proceeds — kept so benchmarks and equivalence
+//! properties can diff the two schedulers; results are bit-identical.
 
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fg_format::{GraphIndex, SliceDecode};
 use fg_graph::Graph;
@@ -214,6 +239,13 @@ impl<'g> Engine<'g> {
         let barrier = Barrier::new(nthreads);
         let control = Control::default();
         let counters = Counters::default();
+        let ready_pool = ReadyPool::new(nthreads);
+        // Per-vertex callback locks of the pipelined scheduler: a
+        // claim or delivery holds the vertex's bit for the duration
+        // of its callback (and any inline cascade), so two workers
+        // never run the same vertex concurrently even when stealing
+        // moves deliveries across threads.
+        let busy = AtomicBitmap::new(n);
         // Per-run cache scope: with many queries sharing one mount, a
         // before/after delta of the global counters would book every
         // tenant's traffic to this run. The scope records only the
@@ -248,6 +280,8 @@ impl<'g> Engine<'g> {
                         barrier: &barrier,
                         control: &control,
                         counters: &counters,
+                        ready: &ready_pool,
+                        busy: &busy,
                         cache_scope: &cache_scope,
                         per_iteration: &per_iteration,
                     };
@@ -367,6 +401,84 @@ impl ActiveSet {
     }
 }
 
+/// The pipelined scheduler's cross-worker delivery pool and its
+/// completion counters.
+///
+/// Resolved [`ReadyVertex`] deliveries land in the resolving worker's
+/// deque, where the owner pops them LIFO (the spans are cache-warm)
+/// and other workers steal them FIFO when their own device queue is
+/// ahead of their CPU. The shared injector takes hand-offs: a stolen
+/// delivery whose requester is busy on another worker goes there
+/// instead of blocking the thief.
+///
+/// Two counters replace the compute-phase barrier. `obligations`
+/// counts edge requests accepted into the I/O layer whose delivery —
+/// including absorbing the follow-on requests the callback queues —
+/// has not finished; it is incremented *before* a request is
+/// enqueued and decremented *after* its delivery returns, so it can
+/// only read zero when no work is hidden in flight. `claims_done`
+/// counts workers that have exhausted claiming for the current
+/// iteration (cursor exhaustion is permanent within an iteration, so
+/// the count is monotonic). The iteration's compute is over exactly
+/// when `claims_done == workers && obligations == 0`.
+struct ReadyPool {
+    injector: parking_lot::Mutex<VecDeque<ReadyVertex>>,
+    deques: Vec<parking_lot::Mutex<VecDeque<ReadyVertex>>>,
+    obligations: AtomicU64,
+    claims_done: AtomicUsize,
+}
+
+impl ReadyPool {
+    fn new(workers: usize) -> Self {
+        ReadyPool {
+            injector: parking_lot::Mutex::new(VecDeque::new()),
+            deques: (0..workers)
+                .map(|_| parking_lot::Mutex::new(VecDeque::new()))
+                .collect(),
+            obligations: AtomicU64::new(0),
+            claims_done: AtomicUsize::new(0),
+        }
+    }
+
+    /// Moves freshly resolved deliveries into worker `w`'s deque.
+    fn push_local(&self, w: usize, items: &mut Vec<ReadyVertex>) {
+        self.deques[w].lock().extend(items.drain(..));
+    }
+
+    /// Hands a delivery whose requester is busy elsewhere to the
+    /// injector, where any worker (including the busy one) picks it
+    /// up once the conflict clears.
+    fn push_injector(&self, r: ReadyVertex) {
+        self.injector.lock().push_back(r);
+    }
+
+    /// Next delivery for worker `w`: own deque (LIFO), then the
+    /// injector, then stealing from the other workers (FIFO).
+    fn pop(&self, w: usize) -> Option<ReadyVertex> {
+        if let Some(r) = self.deques[w].lock().pop_back() {
+            return Some(r);
+        }
+        if let Some(r) = self.injector.lock().pop_front() {
+            return Some(r);
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            if let Some(r) = self.deques[(w + k) % n].lock().pop_front() {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Worker 0 rewinds the claim count between iterations (phase D,
+    /// where every other worker is parked at the barrier).
+    fn begin_iteration(&self) {
+        debug_assert_eq!(self.obligations.load(Ordering::SeqCst), 0);
+        debug_assert!(self.injector.lock().is_empty());
+        self.claims_done.store(0, Ordering::SeqCst);
+    }
+}
+
 /// Cross-worker run control, owned by worker 0 at barriers.
 #[derive(Default)]
 struct Control {
@@ -418,6 +530,8 @@ struct WorkerEnv<'r, 'g, P: VertexProgram> {
     barrier: &'r Barrier,
     control: &'r Control,
     counters: &'r Counters,
+    ready: &'r ReadyPool,
+    busy: &'r AtomicBitmap,
     cache_scope: &'r Option<Arc<CacheStats>>,
     per_iteration: &'r parking_lot::Mutex<Vec<IterStats>>,
 }
@@ -434,6 +548,7 @@ const MSG_FLUSH_FANOUT: u64 = 16 * 1024;
 struct IterSnapshot {
     io: Option<fg_ssdsim::IoStatsSnapshot>,
     bytes_requested: u64,
+    issued_requests: u64,
     edges_delivered: u64,
     stream_partitions: u64,
     stream_stripes: u64,
@@ -483,13 +598,18 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             self.active.install(self.w, list);
             self.barrier.wait();
 
-            // Phase B: vertical passes of compute + I/O. Buffered
-            // messages and notifications must be on the boards before
-            // the barrier so phase C's drains see them.
-            for vp in 0..self.shared.vparts {
+            // Compute phase. The pipelined scheduler runs every
+            // vertical pass in one completion-counted sweep with no
+            // intra-iteration barrier — the device queue never drains
+            // between passes — and synchronizes once, after quiesce,
+            // so every worker's message flush is on the boards before
+            // any worker starts phase C's drains. The barrier-per-pass
+            // loop is the historical lock-step discipline, kept for
+            // scheduler-equivalence diffing.
+            if self.engine.cfg.pipeline {
                 let wait_before = self.counters.wait_ns.load(Ordering::Relaxed);
                 let t = Instant::now();
-                self.compute_pass(iter, vp, &mut scratch, &mut io, stream);
+                self.compute_pipelined(iter, &mut scratch, &mut io, stream);
                 self.flush_boards(&mut scratch);
                 let busy = t.elapsed().as_nanos() as u64;
                 let waited = self.counters.wait_ns.load(Ordering::Relaxed) - wait_before;
@@ -497,6 +617,22 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                     .compute_ns
                     .fetch_add(busy.saturating_sub(waited), Ordering::Relaxed);
                 self.barrier.wait();
+            } else {
+                // Phase B: vertical passes of compute + I/O. Buffered
+                // messages and notifications must be on the boards
+                // before the barrier so phase C's drains see them.
+                for vp in 0..self.shared.vparts {
+                    let wait_before = self.counters.wait_ns.load(Ordering::Relaxed);
+                    let t = Instant::now();
+                    self.compute_pass(iter, vp, &mut scratch, &mut io, stream);
+                    self.flush_boards(&mut scratch);
+                    let busy = t.elapsed().as_nanos() as u64;
+                    let waited = self.counters.wait_ns.load(Ordering::Relaxed) - wait_before;
+                    self.counters
+                        .compute_ns
+                        .fetch_add(busy.saturating_sub(waited), Ordering::Relaxed);
+                    self.barrier.wait();
+                }
             }
 
             // Phase C: message delivery + iteration-end callbacks for
@@ -521,6 +657,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                     || iter + 1 >= self.engine.cfg.max_iterations;
                 self.record_iteration(frontier_count, iter_start, &mut boundary);
                 self.frontiers.swap();
+                self.ready.begin_iteration();
                 self.control.stop.store(done, Ordering::Release);
                 self.control.iteration.store(iter + 1, Ordering::Release);
             }
@@ -552,6 +689,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         Some(IterSnapshot {
             io,
             bytes_requested: self.counters.bytes_requested.load(Ordering::Relaxed),
+            issued_requests: self.counters.issued_requests.load(Ordering::Relaxed),
             edges_delivered: self.counters.edges_delivered.load(Ordering::Relaxed),
             stream_partitions: self.counters.stream_partitions.load(Ordering::Relaxed),
             stream_stripes: self.counters.stream_stripes.load(Ordering::Relaxed),
@@ -585,6 +723,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             read_requests,
             bytes_read,
             bytes_requested: now.bytes_requested.saturating_sub(before.bytes_requested),
+            issued_requests: now.issued_requests.saturating_sub(before.issued_requests),
             edges_delivered: now.edges_delivered.saturating_sub(before.edges_delivered),
             io_busy_ns,
             scan: stream_partitions > 0,
@@ -724,6 +863,199 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         None
     }
 
+    /// The pipelined compute phase: every vertical pass in one
+    /// completion-counted sweep, with no intra-iteration barrier.
+    ///
+    /// The loop keeps three activities interleaved: (a) claiming
+    /// active vertices — own partition first, then stealing — to keep
+    /// up to `max_pending` logical requests on the device, (b)
+    /// harvesting this worker's completions into the shared ready
+    /// pool, and (c) executing ready deliveries, its own or stolen
+    /// from workers whose device queue is ahead of their CPU. Once
+    /// claims are exhausted everywhere the worker announces it on
+    /// `claims_done` and keeps harvesting/stealing until the pool's
+    /// obligation count reaches zero — the iteration's quiesce point.
+    ///
+    /// Unlike the lock-step loop, vertical passes of one vertex may
+    /// run concurrently with deliveries from an earlier pass; the
+    /// per-vertex busy bit serializes the callbacks, but cross-pass
+    /// *order* is no longer global. Programs that keep per-pass
+    /// results independent (all in-tree algorithms) are unaffected.
+    fn compute_pipelined(
+        &self,
+        iter: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+        stream: bool,
+    ) {
+        let nparts = self.shared.pmap.num_partitions();
+        let max_pending = self.engine.cfg.max_pending.max(1);
+        let mut vp = 0u32;
+        let mut claiming = true;
+        loop {
+            if claiming {
+                // (a) Fill the device pipeline with fresh claims.
+                while io.outstanding() < max_pending {
+                    match self.claim(vp as usize, nparts) {
+                        Some(v) => self.run_claimed(iter, vp, v, scratch, io, stream),
+                        None if vp + 1 < self.shared.vparts => vp += 1,
+                        None => {
+                            claiming = false;
+                            // Release the final partial stride and any
+                            // half-filled selective batch, then
+                            // announce: cursors only move forward, so
+                            // exhaustion is permanent this iteration.
+                            io.flush_all(self);
+                            self.ready.claims_done.fetch_add(1, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+            }
+            // (b) Publish our freshly completed covers to the pool.
+            self.harvest(io, false);
+            // (c) Run ready deliveries — ours or stolen.
+            let executed = self.execute_deliveries(iter, scratch, io, stream);
+            if executed == 0 {
+                if !claiming {
+                    // Deliveries may have buffered follow-on requests
+                    // that no size trigger will fire for anymore.
+                    io.flush_all(self);
+                    if io.outstanding() == 0 && self.quiesced() {
+                        break;
+                    }
+                }
+                if io.outstanding() > 0 {
+                    // When `max_pending < issue_batch` the depth gate
+                    // can fill entirely with *buffered* requests that
+                    // the size trigger will never release — nothing is
+                    // at the device and the wait below could never be
+                    // satisfied. Submit the partial batch; this fires
+                    // only at genuine stall points, so merge batching
+                    // is otherwise unaffected.
+                    if io.in_flight() == 0 {
+                        io.flush_selective(self);
+                    }
+                    // Nothing runnable until one of our covers lands:
+                    // block briefly (bounded, so we resume stealing
+                    // even if our own replies are slow).
+                    self.harvest(io, true);
+                } else if !claiming {
+                    // Other workers still hold obligations; retry the
+                    // pool politely.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Runs a freshly claimed vertex's `run` callback under its busy
+    /// bit and absorbs the requests it queued.
+    fn run_claimed(
+        &self,
+        iter: u32,
+        vp: u32,
+        v: VertexId,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+        stream: bool,
+    ) {
+        self.counters.vertices.fetch_add(1, Ordering::Relaxed);
+        self.acquire_busy(v);
+        self.with_ctx(iter, vp, scratch, v, |prog, state, ctx| {
+            prog.run(v, state, ctx);
+        });
+        self.absorb_requests(iter, vp, scratch, io, stream);
+        self.busy.clear_sync(v);
+        io.flush_if_full(self);
+        self.maybe_flush_messages(scratch);
+    }
+
+    /// Polls (or briefly waits on) this worker's session and
+    /// publishes the resolved deliveries to the ready pool.
+    /// Completions only arrive on the session that issued them, so an
+    /// otherwise idle worker bounds its wait instead of blocking —
+    /// stolen work may appear in the pool at any moment.
+    fn harvest(&self, io: &mut IoDriver<'_>, wait: bool) {
+        let IoDriver::Sem(sem) = io else { return };
+        let mut done = Vec::new();
+        let t = Instant::now();
+        if wait {
+            sem.session
+                .wait_timeout(&mut done, Duration::from_micros(200));
+        } else {
+            sem.session.poll(&mut done);
+        }
+        self.counters
+            .wait_ns
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        for c in done {
+            sem.resolve(c);
+        }
+        if !sem.ready.is_empty() {
+            self.ready.push_local(self.w, &mut sem.ready);
+        }
+    }
+
+    /// Executes up to a small budget of ready deliveries from the
+    /// pool (bounded so the device pipeline is re-filled regularly),
+    /// serializing on each requester's busy bit. Returns the number
+    /// of deliveries run.
+    fn execute_deliveries(
+        &self,
+        iter: u32,
+        scratch: &mut WorkerScratch<P::Msg>,
+        io: &mut IoDriver<'_>,
+        stream: bool,
+    ) -> usize {
+        const DELIVERY_BUDGET: usize = 64;
+        let mut executed = 0;
+        while executed < DELIVERY_BUDGET {
+            let Some(r) = self.ready.pop(self.w) else {
+                break;
+            };
+            if self.busy.set_sync(r.requester) {
+                // The requester's callback is running on another
+                // worker right now: hand the delivery to the injector
+                // rather than spin, and stop popping — the next pop
+                // could return the same entry.
+                self.ready.push_injector(r);
+                break;
+            }
+            let requester = r.requester;
+            let vpd = r.vpart;
+            let pv = SemIo::decode_ready(r);
+            self.deliver_vertex(iter, vpd, scratch, requester, &pv);
+            self.absorb_requests(iter, vpd, scratch, io, stream);
+            self.busy.clear_sync(requester);
+            self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
+            executed += 1;
+            io.flush_if_full(self);
+            self.maybe_flush_messages(scratch);
+        }
+        executed
+    }
+
+    /// The pipelined iteration's end condition: every worker has
+    /// exhausted claiming and every accepted request's delivery has
+    /// finished. `claims_done` is monotonic within an iteration and
+    /// cascades keep an outer obligation alive while they spawn inner
+    /// ones, so a true result cannot hide in-flight work (see
+    /// [`ReadyPool`]).
+    fn quiesced(&self) -> bool {
+        self.ready.claims_done.load(Ordering::SeqCst) == self.shared.pmap.num_partitions()
+            && self.ready.obligations.load(Ordering::SeqCst) == 0
+    }
+
+    /// Spins until this worker owns `v`'s busy bit. Contention is
+    /// rare and short-lived: the holder is another worker inside one
+    /// of `v`'s callbacks, which never blocks on someone else's bit.
+    fn acquire_busy(&self, v: VertexId) {
+        while self.busy.set_sync(v) {
+            std::hint::spin_loop();
+        }
+    }
+
     /// Runs a program callback with the vertex's state and a fresh
     /// context. Timing happens at phase granularity (per-callback
     /// clocks would dominate message-heavy algorithms).
@@ -819,11 +1151,21 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                                 sem.stream_region = Some(region);
                             }
                         }
-                        sem.enqueue(req, index, self.counters, via_stream);
+                        // Every accepted request is an obligation
+                        // until its delivery (and the absorption of
+                        // its follow-ons) finishes. The pipelined
+                        // quiesce condition counts these; the barrier
+                        // loop keeps them balanced for free.
+                        self.ready.obligations.fetch_add(1, Ordering::SeqCst);
+                        sem.enqueue(req, index, self.counters, via_stream, vp);
                         // Zero-degree requests become ready
-                        // completions without I/O.
-                        while let Some((requester, pv)) = sem.pop_ready() {
-                            self.deliver_vertex(iter, vp, scratch, requester, &pv);
+                        // completions without I/O. (Under pipelining
+                        // the pool never holds these: `harvest` is
+                        // the only producer of resolved entries, and
+                        // it drains `sem.ready` before returning.)
+                        while let Some((requester, vpd, pv)) = sem.pop_ready() {
+                            self.deliver_vertex(iter, vpd, scratch, requester, &pv);
+                            self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
                     _ => unreachable!("backend and io driver always match"),
@@ -872,8 +1214,10 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         for c in done {
             sem.resolve(c);
-            while let Some((requester, pv)) = sem.pop_ready() {
-                self.deliver_vertex(iter, vp, scratch, requester, &pv);
+            while let Some((requester, vpd, pv)) = sem.pop_ready() {
+                debug_assert_eq!(vpd, vp, "lock-step deliveries stay within their pass");
+                self.deliver_vertex(iter, vpd, scratch, requester, &pv);
+                self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
             }
         }
         // Callbacks may have queued more requests.
@@ -1012,6 +1356,16 @@ impl IoDriver<'_> {
         }
     }
 
+    /// Requests actually submitted to the device and not yet
+    /// harvested — excludes logical requests still buffered in the
+    /// selective queue awaiting a batch-size trigger.
+    fn in_flight(&self) -> usize {
+        match self {
+            IoDriver::Mem => 0,
+            IoDriver::Sem(s) => s.outstanding - s.selective_buffered,
+        }
+    }
+
     /// Flushes whichever queue has reached its trigger: the selective
     /// queue at the issue-batch size, the stream queue once a full
     /// stride of extent is buffered.
@@ -1119,6 +1473,10 @@ enum PartKind {
 struct PartMeta {
     requester: VertexId,
     subject: VertexId,
+    /// Vertical pass the request was issued from. Deliveries carry it
+    /// so a stealing worker runs the callback under the same pass
+    /// context the requester would have used.
+    vpart: u32,
     dir: EdgeDir,
     /// First edge position of the slice within the subject's list.
     start: u64,
@@ -1140,16 +1498,22 @@ struct MergedMeta {
 struct AttrPair {
     requester: VertexId,
     subject: VertexId,
+    vpart: u32,
     dir: EdgeDir,
     start: u64,
     edges: Option<PageSpan>,
     attrs: Option<PageSpan>,
 }
 
-/// A ready-to-deliver edge-list slice.
+/// A ready-to-deliver edge-list slice. Owns its page spans, so it can
+/// cross worker threads: the pipelined scheduler moves these through
+/// per-worker deques and a shared injector, and whichever worker pops
+/// one runs the delivery.
 struct ReadyVertex {
     requester: VertexId,
     subject: VertexId,
+    /// Vertical pass of the originating request (see [`PartMeta`]).
+    vpart: u32,
     dir: EdgeDir,
     start: u64,
     /// Edges delivered (drives `PageVertex::degree` for packed spans).
@@ -1199,6 +1563,12 @@ struct SemIo<'s> {
     pairs_free: Vec<usize>,
     ready: Vec<ReadyVertex>,
     outstanding: usize,
+    /// How many of `outstanding` are still buffered in the selective
+    /// queue rather than submitted. Counted in logical requests, not
+    /// queue entries (a weighted request pushes two parts), so
+    /// `outstanding - selective_buffered` is the number of requests
+    /// actually at the device.
+    selective_buffered: usize,
 }
 
 impl<'s> SemIo<'s> {
@@ -1219,6 +1589,7 @@ impl<'s> SemIo<'s> {
             pairs_free: Vec::new(),
             ready: Vec::new(),
             outstanding: 0,
+            selective_buffered: 0,
         }
     }
 
@@ -1245,11 +1616,19 @@ impl<'s> SemIo<'s> {
     /// clamped to nothing complete without I/O). With `stream` set
     /// the ranges buffer in the stream queue instead, awaiting a
     /// stride-sized sweep cover.
-    fn enqueue(&mut self, req: EdgeRequest, index: &GraphIndex, counters: &Counters, stream: bool) {
+    fn enqueue(
+        &mut self,
+        req: EdgeRequest,
+        index: &GraphIndex,
+        counters: &Counters,
+        stream: bool,
+        vp: u32,
+    ) {
         if req.len == 0 {
             self.ready.push(ReadyVertex {
                 requester: req.requester,
                 subject: req.subject,
+                vpart: vp,
                 dir: req.dir,
                 start: req.start,
                 count: 0,
@@ -1269,6 +1648,7 @@ impl<'s> SemIo<'s> {
             self.stream_buffered += 1;
         } else {
             self.outstanding += 1;
+            self.selective_buffered += 1;
         }
         let pair = if req.attrs {
             debug_assert_eq!(
@@ -1282,6 +1662,7 @@ impl<'s> SemIo<'s> {
             let slot = self.alloc_pair(AttrPair {
                 requester: req.requester,
                 subject: req.subject,
+                vpart: vp,
                 dir: req.dir,
                 start: req.start,
                 edges: None,
@@ -1294,6 +1675,7 @@ impl<'s> SemIo<'s> {
                 PartMeta {
                     requester: req.requester,
                     subject: req.subject,
+                    vpart: vp,
                     dir: req.dir,
                     start: req.start,
                     count: req.len,
@@ -1313,6 +1695,7 @@ impl<'s> SemIo<'s> {
             PartMeta {
                 requester: req.requester,
                 subject: req.subject,
+                vpart: vp,
                 dir: req.dir,
                 start: req.start,
                 count: req.len,
@@ -1397,6 +1780,7 @@ impl<'s> SemIo<'s> {
         }
         let reqs = std::mem::take(&mut self.issue_q);
         let metas = std::mem::take(&mut self.issue_meta);
+        self.selective_buffered = 0;
         for m in merge_requests(reqs, page_bytes, merge, max_merge_bytes) {
             self.submit_cover(m, &metas, false, counters);
         }
@@ -1435,6 +1819,7 @@ impl<'s> SemIo<'s> {
                     self.ready.push(ReadyVertex {
                         requester: pm.requester,
                         subject: pm.subject,
+                        vpart: pm.vpart,
                         dir: pm.dir,
                         start: pm.start,
                         count: pm.count,
@@ -1475,6 +1860,7 @@ impl<'s> SemIo<'s> {
         self.ready.push(ReadyVertex {
             requester: p.requester,
             subject: p.subject,
+            vpart: p.vpart,
             dir: p.dir,
             start: p.start,
             count: edges.len() as u64 / 4,
@@ -1484,10 +1870,19 @@ impl<'s> SemIo<'s> {
         });
     }
 
-    /// Pops one ready delivery as a borrowable [`PageVertex`].
-    fn pop_ready(&mut self) -> Option<(VertexId, PageVertex<'static>)> {
+    /// Pops one ready delivery as a borrowable [`PageVertex`], with
+    /// the requester and the vertical pass it belongs to.
+    fn pop_ready(&mut self) -> Option<(VertexId, u32, PageVertex<'static>)> {
         let r = self.ready.pop()?;
-        let pv = match r.decode {
+        let (requester, vpart) = (r.requester, r.vpart);
+        Some((requester, vpart, Self::decode_ready(r)))
+    }
+
+    /// Decodes one ready entry into a deliverable [`PageVertex`] —
+    /// shared by [`SemIo::pop_ready`] and the pipelined scheduler's
+    /// cross-worker ready pool.
+    fn decode_ready(r: ReadyVertex) -> PageVertex<'static> {
+        match r.decode {
             SliceDecode::Raw => PageVertex::from_span(r.subject, r.dir, r.start, r.edges, r.attrs),
             SliceDecode::Varint(p) => {
                 debug_assert!(r.attrs.is_none(), "packed deliveries never carry attrs");
@@ -1500,7 +1895,6 @@ impl<'s> SemIo<'s> {
                     p,
                 )
             }
-        };
-        Some((r.requester, pv))
+        }
     }
 }

@@ -15,6 +15,12 @@
 //! lock-free vertex-state mutation safe. Messages posted *during*
 //! delivery (by `run_on_message` handlers) stay queued for the next
 //! iteration, and the engine keeps running while any are pending.
+//! This boundary survives the pipelined scheduler unchanged: compute
+//! only reaches the drain once every partition's claims are
+//! exhausted and the delivery-obligation count is zero, so however
+//! callbacks interleaved (or migrated across workers) during the
+//! iteration, every message they posted is in its inbox before the
+//! drain starts.
 
 use fg_types::VertexId;
 use parking_lot::Mutex;

@@ -469,6 +469,49 @@ mod tests {
     }
 
     #[test]
+    fn panicking_tenant_still_books_its_queue_wait() {
+        // Queue-wait is booked at admission time — not at completion —
+        // so a tenant that panics mid-run cannot lose its wait from
+        // the service-wide accounting (and its slot is released).
+        let svc = Arc::new(service(1));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let holder = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.query(|_| {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        let baseline = svc.stats().queue_wait_ns;
+        let crasher = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.query::<()>(|_| panic!("tenant crashed after waiting"));
+            })
+        };
+        // Let the crasher reach the admission queue, then free the
+        // slot so it gets admitted after a measurable wait.
+        std::thread::sleep(Duration::from_millis(20));
+        release_tx.send(()).unwrap();
+        assert!(crasher.join().is_err(), "tenant must have panicked");
+        holder.join().unwrap();
+        let snap = svc.stats();
+        assert_eq!(snap.admitted, 2);
+        assert!(
+            snap.queue_wait_ns > baseline,
+            "the panicking tenant's admission wait must be booked"
+        );
+        // The slot is free again: a follow-up query completes.
+        let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert!(states[15].visited);
+        assert_eq!(svc.inflight(), 0);
+    }
+
+    #[test]
     fn permit_released_on_query_panic() {
         let svc = Arc::new(service(1));
         let svc2 = Arc::clone(&svc);

@@ -4,13 +4,21 @@
 //! array. Workers mutate states without locks under the engine's
 //! exclusivity discipline (§3.4.1, §3.8.1):
 //!
-//! 1. during the compute phase a vertex is claimed by exactly one
-//!    worker (its partition's owner, or a stealing worker, via an
-//!    atomic cursor), and all of its callbacks for that iteration run
-//!    on the claiming worker;
+//! 1. during the compute phase every callback for a vertex runs
+//!    under that vertex's *busy bit* (`AtomicBitmap::set_sync` /
+//!    `clear_sync`, an AcqRel fetch-or/fetch-and pair). Under the
+//!    lock-step scheduler the bit is uncontended — a vertex is
+//!    claimed by exactly one worker via an atomic cursor and all its
+//!    callbacks run there. Under the pipelined scheduler a delivery
+//!    may execute on *any* worker (pulled from the shared ready
+//!    pool), so the bit is load-bearing twice over: it makes
+//!    callbacks for one vertex mutually exclusive, and its
+//!    release/acquire pair publishes each callback's state writes to
+//!    whichever worker runs the next one;
 //! 2. during the barrier phases (message delivery, iteration-end
 //!    callbacks) only the owning partition's worker touches it;
-//! 3. phases are separated by barriers.
+//! 3. phases are separated by barriers (the pipelined scheduler
+//!    keeps exactly the iteration-boundary ones).
 //!
 //! `SharedStates` encodes that contract in one `unsafe` spot instead
 //! of sprinkling `unsafe` through the engine.

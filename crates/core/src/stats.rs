@@ -21,6 +21,13 @@ pub struct IterStats {
     /// (semi-external mode; compare with `bytes_read` for the
     /// page-rounding waste of this iteration's access pattern).
     pub bytes_requested: u64,
+    /// Physical requests this iteration submitted to SAFS after
+    /// engine merging. Derived from the engine's own completion
+    /// counters at quiesced boundaries — not from sampling — so the
+    /// per-iteration values sum exactly to
+    /// [`RunStats::issued_requests`] under both schedulers, work
+    /// stealing included.
+    pub issued_requests: u64,
     /// Edges delivered to `run_on_vertex` callbacks this iteration.
     pub edges_delivered: u64,
     /// Increase of the busiest drive's virtual busy time.
@@ -186,6 +193,10 @@ mod tests {
             per_ssd_busy_ns: vec![50_000_000],
             max_busy_ns: 50_000_000,
             total_busy_ns: 50_000_000,
+            depth_samples: 0,
+            depth_sum: 0,
+            depth_zero_dips: 0,
+            depth_max: 0,
         });
         assert_eq!(s.modeled_runtime_ns(), 50_000_000);
         assert!(s.io_bound());
@@ -211,6 +222,10 @@ mod tests {
             per_ssd_busy_ns: vec![0],
             max_busy_ns: 0,
             total_busy_ns: 0,
+            depth_samples: 0,
+            depth_sum: 0,
+            depth_zero_dips: 0,
+            depth_max: 0,
         });
         // 300 logical bytes cost one 4096-byte page.
         let ratio = s.page_waste_ratio().unwrap();

@@ -479,6 +479,29 @@ fn schedulers_do_not_change_bfs_results() {
     }
 }
 
+/// Regression: with `max_pending < issue_batch` the pipelined claim
+/// loop fills its whole depth budget with requests that are merely
+/// *buffered* in the selective queue — the batch-size flush trigger
+/// can then never fire, and without the stall-point flush the workers
+/// wait forever on completions that were never submitted
+/// (`scan_statistics` ships exactly this shape: `max_pending: 16`
+/// over the default `issue_batch: 256`).
+#[test]
+fn pipeline_survives_max_pending_below_issue_batch() {
+    let g = gen::rmat(8, 6, gen::RmatSkew::default(), 5);
+    let cfg = EngineConfig {
+        max_pending: 2,
+        issue_batch: 64,
+        ..EngineConfig::small()
+    };
+    let (mem, _) = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), cfg, false);
+    let (sem, _) = run_mode(&g, &Bfs, Init::Seeds(vec![VertexId(0)]), cfg, true);
+    for v in g.vertices() {
+        assert_eq!(mem[v.index()].visited, sem[v.index()].visited);
+        assert_eq!(mem[v.index()].level, sem[v.index()].level);
+    }
+}
+
 #[test]
 fn engine_merging_reduces_issued_requests() {
     let g = gen::rmat(9, 8, gen::RmatSkew::default(), 4);
@@ -1172,7 +1195,10 @@ fn streamed_sweep_does_not_evict_or_pollute_the_cache() {
 fn per_iteration_io_sums_to_run_totals_under_stealing() {
     // An unbalanced graph (all edges on low ids) so stealing actually
     // moves I/O between workers mid-iteration; the quiesced boundary
-    // snapshots must still partition the run totals exactly.
+    // snapshots must still partition the run totals exactly. Checked
+    // under both schedulers: the pipelined loop has no intra-iteration
+    // barriers, so its only quiesced points are the completion-counted
+    // iteration boundaries — exactly where the snapshots are taken.
     let mut b = fg_graph::GraphBuilder::directed();
     for i in 0..300u32 {
         for j in 0..8u32 {
@@ -1181,37 +1207,46 @@ fn per_iteration_io_sums_to_run_totals_under_stealing() {
     }
     b.reserve_vertices(2048);
     let g = b.build();
-    let cfg = EngineConfig {
-        num_threads: 4,
-        work_stealing: true,
-        ..EngineConfig::small()
-    };
-    let (safs, index) = sem_fixture(&g, SafsConfig::default());
-    let engine = Engine::new_sem(&safs, index, cfg);
-    let (_, stats) = engine.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
-    let io = stats.io.as_ref().expect("sem mode");
-    let sums = stats
-        .per_iteration
-        .iter()
-        .fold((0u64, 0u64, 0u64, 0u64), |a, it| {
-            (
-                a.0 + it.read_requests,
-                a.1 + it.bytes_read,
-                a.2 + it.bytes_requested,
-                a.3 + it.edges_delivered,
-            )
-        });
-    assert_eq!(sums.0, io.read_requests, "read_requests must sum exactly");
-    assert_eq!(sums.1, io.bytes_read, "bytes_read must sum exactly");
-    assert_eq!(
-        sums.2, stats.bytes_requested,
-        "bytes_requested must sum exactly"
-    );
-    assert_eq!(
-        sums.3, stats.edges_delivered,
-        "edges_delivered must sum exactly"
-    );
-    assert!(stats.per_iteration.len() as u32 == stats.iterations);
+    for pipeline in [true, false] {
+        let cfg = EngineConfig {
+            num_threads: 4,
+            work_stealing: true,
+            vertical_parts: 2,
+            ..EngineConfig::small()
+        }
+        .with_pipeline(pipeline);
+        let (safs, index) = sem_fixture(&g, SafsConfig::default());
+        let engine = Engine::new_sem(&safs, index, cfg);
+        let (_, stats) = engine.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        let io = stats.io.as_ref().expect("sem mode");
+        let sums = stats
+            .per_iteration
+            .iter()
+            .fold((0u64, 0u64, 0u64, 0u64, 0u64), |a, it| {
+                (
+                    a.0 + it.read_requests,
+                    a.1 + it.bytes_read,
+                    a.2 + it.bytes_requested,
+                    a.3 + it.edges_delivered,
+                    a.4 + it.issued_requests,
+                )
+            });
+        assert_eq!(sums.0, io.read_requests, "read_requests must sum exactly");
+        assert_eq!(sums.1, io.bytes_read, "bytes_read must sum exactly");
+        assert_eq!(
+            sums.2, stats.bytes_requested,
+            "bytes_requested must sum exactly"
+        );
+        assert_eq!(
+            sums.3, stats.edges_delivered,
+            "edges_delivered must sum exactly"
+        );
+        assert_eq!(
+            sums.4, stats.issued_requests,
+            "issued_requests must sum exactly (pipeline={pipeline})"
+        );
+        assert!(stats.per_iteration.len() as u32 == stats.iterations);
+    }
 }
 
 #[test]

@@ -69,19 +69,38 @@ pub(crate) fn io_thread_loop(
     let mut batch: Vec<RunRequest> = Vec::with_capacity(MAX_BATCH);
     loop {
         batch.clear();
+        let mut shutdown = false;
         match rx.recv() {
             Ok(IoMsg::Run(r)) => batch.push(r),
-            Ok(IoMsg::Shutdown) | Err(_) => return,
+            Ok(IoMsg::Shutdown) | Err(_) => shutdown = true,
         }
-        while batch.len() < MAX_BATCH {
-            match rx.try_recv() {
-                Ok(IoMsg::Run(r)) => batch.push(r),
-                Ok(IoMsg::Shutdown) => {
-                    serve(&batch, &array, &cache, page_bytes, merge);
-                    return;
+        if !shutdown {
+            while batch.len() < MAX_BATCH {
+                match rx.try_recv() {
+                    Ok(IoMsg::Run(r)) => batch.push(r),
+                    Ok(IoMsg::Shutdown) => {
+                        shutdown = true;
+                        break;
+                    }
+                    Err(_) => break,
                 }
-                Err(_) => break,
             }
+        }
+        if shutdown {
+            // Serve every run still queued behind the shutdown:
+            // dropping one would drop its reply sender and leave the
+            // issuing session blocked forever on a completion that
+            // can never arrive. The final batch may exceed MAX_BATCH;
+            // bounded merge latency no longer matters on exit.
+            loop {
+                match rx.try_recv() {
+                    Ok(IoMsg::Run(r)) => batch.push(r),
+                    Ok(IoMsg::Shutdown) => {}
+                    Err(_) => break,
+                }
+            }
+            serve(&batch, &array, &cache, page_bytes, merge);
+            return;
         }
         serve(&batch, &array, &cache, page_bytes, merge);
     }
@@ -281,6 +300,70 @@ mod tests {
         h.join().unwrap();
         // Two separate device requests.
         assert_eq!(array.stats().snapshot().read_requests, 2);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_runs_before_exit() {
+        // Regression: runs already queued when the shutdown message is
+        // consumed must still be served — dropping them drops their
+        // reply senders and a session waiting on the completion would
+        // block forever. Queue everything before the thread starts so
+        // the receive order is deterministic: Shutdown first, three
+        // runs behind it.
+        let (array, cache) = setup(1 << 16);
+        let (tx, rx) = unbounded();
+        let (reply_tx, reply_rx) = unbounded();
+        tx.send(IoMsg::Shutdown).unwrap();
+        for (req_id, page) in [(1u64, 0u64), (2, 3), (3, 7)] {
+            tx.send(IoMsg::Run(RunRequest {
+                first_page: page,
+                num_pages: 1,
+                req_id,
+                first_slot: 0,
+                insert: true,
+                reply: reply_tx.clone(),
+            }))
+            .unwrap();
+        }
+        let h = std::thread::spawn(move || io_thread_loop(rx, array, cache, 4096, true));
+        h.join().unwrap();
+        drop(reply_tx);
+        let mut ids: Vec<u64> = std::iter::from_fn(|| reply_rx.recv().ok())
+            .map(|d| d.req_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3], "every queued run must be answered");
+    }
+
+    #[test]
+    fn shutdown_mid_batch_drains_the_rest() {
+        // Same property through the inner try_recv path: a run, the
+        // shutdown, then more runs.
+        let (array, cache) = setup(1 << 16);
+        let (tx, rx) = unbounded();
+        let (reply_tx, reply_rx) = unbounded();
+        let mk = |req_id: u64, page: u64| {
+            IoMsg::Run(RunRequest {
+                first_page: page,
+                num_pages: 1,
+                req_id,
+                first_slot: 0,
+                insert: true,
+                reply: reply_tx.clone(),
+            })
+        };
+        tx.send(mk(1, 0)).unwrap();
+        tx.send(IoMsg::Shutdown).unwrap();
+        tx.send(mk(2, 5)).unwrap();
+        tx.send(mk(3, 9)).unwrap();
+        let h = std::thread::spawn(move || io_thread_loop(rx, array, cache, 4096, false));
+        h.join().unwrap();
+        drop(reply_tx);
+        let mut ids: Vec<u64> = std::iter::from_fn(|| reply_rx.recv().ok())
+            .map(|d| d.req_id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
     }
 
     #[test]

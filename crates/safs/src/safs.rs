@@ -334,6 +334,16 @@ impl IoSession<'_> {
                 insert: !stream,
                 reply: self.reply_tx.clone(),
             };
+            // The run is now queued on the device: sample the queue
+            // depth so schedulers can be compared on how well they
+            // keep the array fed. The exit is booked when *this
+            // session harvests the reply* (see [`IoSession::apply`]),
+            // not when the I/O thread posts it — the gauge measures
+            // dispatched-but-unharvested runs, which is exactly the
+            // compute/I/O overlap a scheduler controls: a lock-step
+            // scheduler drains it to zero at every phase boundary,
+            // a pipelined one keeps it open across them.
+            self.safs.array.stats().queue_enter();
             self.safs
                 .route(run.first_page)
                 .send(IoMsg::Run(run))
@@ -369,6 +379,9 @@ impl IoSession<'_> {
     }
 
     fn apply(&mut self, done: RunDone) {
+        // One dispatched run harvested: book the queue-depth exit
+        // (the matching `queue_enter` is in `dispatch`).
+        self.safs.array.stats().queue_exit();
         let finished = {
             let p = self
                 .in_flight
@@ -412,6 +425,25 @@ impl IoSession<'_> {
             match self.reply_rx.recv() {
                 Ok(done) => self.apply(done),
                 Err(_) => return 0,
+            }
+        }
+        self.poll(out)
+    }
+
+    /// Like [`IoSession::wait`] but gives up after `timeout`: the
+    /// completion-notification primitive of the pipelined engine. A
+    /// worker parked on an indefinite `recv` can serve nothing but
+    /// its own replies; a bounded wait lets it wake, steal ready
+    /// deliveries other workers' I/O produced, and come back — no
+    /// completion is lost either way, replies stay queued.
+    pub fn wait_timeout(
+        &mut self,
+        out: &mut Vec<Completion>,
+        timeout: std::time::Duration,
+    ) -> usize {
+        if self.ready.is_empty() && !self.in_flight.is_empty() {
+            if let Ok(done) = self.reply_rx.recv_timeout(timeout) {
+                self.apply(done);
             }
         }
         self.poll(out)
@@ -526,6 +558,39 @@ mod tests {
         assert_eq!(span.len(), 18000);
         assert_eq!(span.read_u32_le(0), (4000 / 4) % 251);
         assert_eq!(span.read_u32_le(17996), ((4000 + 17996) / 4) % 251);
+    }
+
+    #[test]
+    fn wait_timeout_expires_and_delivers() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        let mut s = safs.session();
+        let mut out = Vec::new();
+        // Nothing pending: returns immediately, no completions.
+        assert_eq!(
+            s.wait_timeout(&mut out, std::time::Duration::from_millis(1)),
+            0
+        );
+        s.submit(0, 64, 3).unwrap();
+        while out.is_empty() {
+            s.wait_timeout(&mut out, std::time::Duration::from_millis(5));
+        }
+        assert_eq!(out[0].tag, 3);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn sessions_sample_device_queue_depth() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        let mut s = safs.session();
+        s.submit(0, 4096, 1).unwrap();
+        let mut out = Vec::new();
+        while out.is_empty() {
+            s.wait(&mut out);
+        }
+        let snap = safs.array().stats().snapshot();
+        assert!(snap.depth_samples >= 2, "enter + exit sampled");
+        assert!(snap.depth_max >= 1);
+        assert!(snap.depth_zero_dips >= 1, "queue drained after the run");
     }
 
     #[test]

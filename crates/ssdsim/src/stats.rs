@@ -19,6 +19,14 @@ pub struct IoStats {
     pages_written: AtomicU64,
     bytes_written: AtomicU64,
     busy_ns: Vec<AtomicU64>,
+    /// Logical read requests currently queued on (or being served by)
+    /// the array — a gauge, maintained by the I/O layer above via
+    /// [`IoStats::queue_enter`] / [`IoStats::queue_exit`].
+    inflight: AtomicU64,
+    depth_samples: AtomicU64,
+    depth_sum: AtomicU64,
+    depth_zero_dips: AtomicU64,
+    depth_max: AtomicU64,
 }
 
 impl IoStats {
@@ -34,7 +42,48 @@ impl IoStats {
             pages_written: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             busy_ns,
+            inflight: AtomicU64::new(0),
+            depth_samples: AtomicU64::new(0),
+            depth_sum: AtomicU64::new(0),
+            depth_zero_dips: AtomicU64::new(0),
+            depth_max: AtomicU64::new(0),
         }
+    }
+
+    /// Books one logical read request entering the device queue and
+    /// samples the resulting depth. Called by the I/O layer when it
+    /// dispatches a request to an I/O thread (not by `read` itself:
+    /// the simulator services reads synchronously, so queue depth is
+    /// only observable at the dispatch/completion layer above).
+    pub fn queue_enter(&self) {
+        let d = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sample_depth(d);
+    }
+
+    /// Books one logical read request leaving the device queue,
+    /// samples the resulting depth, and counts a *zero dip* when the
+    /// queue just drained — the scheduler-idle signal the pipelined
+    /// engine exists to eliminate between iteration boundaries.
+    pub fn queue_exit(&self) {
+        // Clamped at zero: an exit without a paired enter (direct
+        // batch serving in tests) must not wrap the gauge.
+        let prev = self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            })
+            .expect("update closure never fails");
+        let d = prev.saturating_sub(1);
+        self.sample_depth(d);
+        if d == 0 {
+            self.depth_zero_dips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn sample_depth(&self, d: u64) {
+        self.depth_samples.fetch_add(1, Ordering::Relaxed);
+        self.depth_sum.fetch_add(d, Ordering::Relaxed);
+        self.depth_max.fetch_max(d, Ordering::Relaxed);
     }
 
     pub(crate) fn record_read(&self, ssd: usize, pages: u64, bytes: u64, service_ns: u64) {
@@ -63,6 +112,13 @@ impl IoStats {
         for b in &self.busy_ns {
             b.store(0, Ordering::Relaxed);
         }
+        // The depth trace restarts but the gauge itself does not: a
+        // reset taken while requests are queued must not make later
+        // `queue_exit` calls underflow.
+        self.depth_samples.store(0, Ordering::Relaxed);
+        self.depth_sum.store(0, Ordering::Relaxed);
+        self.depth_zero_dips.store(0, Ordering::Relaxed);
+        self.depth_max.store(0, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot (exact when no I/O is in
@@ -83,6 +139,10 @@ impl IoStats {
             max_busy_ns: busy.iter().copied().max().unwrap_or(0),
             total_busy_ns: busy.iter().copied().sum(),
             per_ssd_busy_ns: busy,
+            depth_samples: self.depth_samples.load(Ordering::Relaxed),
+            depth_sum: self.depth_sum.load(Ordering::Relaxed),
+            depth_zero_dips: self.depth_zero_dips.load(Ordering::Relaxed),
+            depth_max: self.depth_max.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,6 +168,19 @@ pub struct IoStatsSnapshot {
     pub max_busy_ns: u64,
     /// Sum of all drives' busy time.
     pub total_busy_ns: u64,
+    /// Queue-depth samples taken (one per enter/exit transition).
+    pub depth_samples: u64,
+    /// Sum of sampled depths; `depth_sum / depth_samples` is the mean
+    /// device queue depth over the measured phase.
+    pub depth_sum: u64,
+    /// Times the queue drained to zero — each dip is a window in
+    /// which the device sat idle while the scheduler synchronized.
+    pub depth_zero_dips: u64,
+    /// High-watermark queue depth. Meaningful per measured phase
+    /// (after a [`IoStats::reset`]); its `delta_since` is a
+    /// saturating difference like every other field, not a windowed
+    /// maximum.
+    pub depth_max: u64,
 }
 
 impl IoStatsSnapshot {
@@ -141,6 +214,10 @@ impl IoStatsSnapshot {
                     .unwrap_or(0)
             },
             total_busy_ns: self.total_busy_ns.saturating_sub(earlier.total_busy_ns),
+            depth_samples: self.depth_samples.saturating_sub(earlier.depth_samples),
+            depth_sum: self.depth_sum.saturating_sub(earlier.depth_sum),
+            depth_zero_dips: self.depth_zero_dips.saturating_sub(earlier.depth_zero_dips),
+            depth_max: self.depth_max.saturating_sub(earlier.depth_max),
         }
     }
 
@@ -150,6 +227,15 @@ impl IoStatsSnapshot {
             0.0
         } else {
             self.bytes_read as f64 / self.read_requests as f64
+        }
+    }
+
+    /// Mean sampled device queue depth (0 when never sampled).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.depth_samples as f64
         }
     }
 }
@@ -210,6 +296,39 @@ mod tests {
         assert_eq!(d.per_ssd_busy_ns, vec![0, 40]);
         assert_eq!(d.max_busy_ns, 40);
         assert_eq!(d.total_busy_ns, 0);
+    }
+
+    #[test]
+    fn queue_depth_gauge_and_dips() {
+        let s = IoStats::new(1);
+        // Two requests enter, drain, one more enters and drains:
+        // depths sampled 1,2,1,0,1,0 -> two zero dips, max 2.
+        s.queue_enter();
+        s.queue_enter();
+        s.queue_exit();
+        s.queue_exit();
+        s.queue_enter();
+        s.queue_exit();
+        let snap = s.snapshot();
+        assert_eq!(snap.depth_samples, 6);
+        assert_eq!(snap.depth_sum, 5);
+        assert_eq!(snap.depth_zero_dips, 2);
+        assert_eq!(snap.depth_max, 2);
+        assert!((snap.mean_queue_depth() - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_keeps_inflight_gauge_but_clears_trace() {
+        let s = IoStats::new(1);
+        s.queue_enter();
+        s.reset();
+        assert_eq!(s.snapshot().depth_samples, 0);
+        // The request entered before the reset still exits cleanly
+        // and is counted as a dip of the post-reset trace.
+        s.queue_exit();
+        let snap = s.snapshot();
+        assert_eq!(snap.depth_samples, 1);
+        assert_eq!(snap.depth_zero_dips, 1);
     }
 
     #[test]

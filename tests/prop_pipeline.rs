@@ -64,6 +64,39 @@ fn sem_mount(g: &Graph) -> (Safs, fg_format::GraphIndex) {
     sem_mount_with(g, &WriteOptions::from_env())
 }
 
+/// Frontier-style BFS used by the scheduler/scan-mode equivalence
+/// properties: every newly reached vertex records its level and
+/// requests its out list, so results depend on exact frontier
+/// evolution and delivered edges — a sharp equivalence probe.
+struct LevelBfs;
+
+#[derive(Default, Clone, PartialEq, Debug)]
+struct LState {
+    level: Option<u32>,
+}
+
+impl VertexProgram for LevelBfs {
+    type State = LState;
+    type Msg = ();
+    fn run(&self, v: VertexId, state: &mut LState, ctx: &mut VertexContext<'_, ()>) {
+        if state.level.is_none() {
+            state.level = Some(ctx.iteration());
+            ctx.request(v, Request::edges(EdgeDir::Out));
+        }
+    }
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        _s: &mut LState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, ()>,
+    ) {
+        for dst in vertex.edges() {
+            ctx.activate(dst);
+        }
+    }
+}
+
 fn sem_mount_with(g: &Graph, opts: &WriteOptions) -> (Safs, fg_format::GraphIndex) {
     let array =
         SsdArray::new_mem(ArrayConfig::small_test(), required_capacity_with(g, opts)).unwrap();
@@ -264,33 +297,6 @@ proptest! {
         seeds.sort_unstable();
         seeds.dedup();
 
-        struct LevelBfs;
-        #[derive(Default, Clone, PartialEq, Debug)]
-        struct LState {
-            level: Option<u32>,
-        }
-        impl VertexProgram for LevelBfs {
-            type State = LState;
-            type Msg = ();
-            fn run(&self, v: VertexId, state: &mut LState, ctx: &mut VertexContext<'_, ()>) {
-                if state.level.is_none() {
-                    state.level = Some(ctx.iteration());
-                    ctx.request(v, Request::edges(EdgeDir::Out));
-                }
-            }
-            fn run_on_vertex(
-                &self,
-                _v: VertexId,
-                _s: &mut LState,
-                vertex: &PageVertex<'_>,
-                ctx: &mut VertexContext<'_, ()>,
-            ) {
-                for dst in vertex.edges() {
-                    ctx.activate(dst);
-                }
-            }
-        }
-
         let mem = Engine::new_mem(&g, EngineConfig::small());
         let (want, want_stats) = mem.run(&LevelBfs, Init::Seeds(seeds.clone())).unwrap();
         for mode in [ScanMode::Selective, ScanMode::Stream, ScanMode::adaptive()] {
@@ -298,6 +304,54 @@ proptest! {
             let cfg = EngineConfig::small().with_scan_mode(mode);
             let engine = Engine::new_sem(&safs, index, cfg);
             let (got, stats) = engine.run(&LevelBfs, Init::Seeds(seeds.clone())).unwrap();
+            for v in g.vertices() {
+                prop_assert_eq!(&got[v.index()], &want[v.index()]);
+            }
+            prop_assert_eq!(stats.edges_delivered, want_stats.edges_delivered);
+        }
+    }
+
+    #[test]
+    fn pipeline_equivalent_to_barrier(
+        scale in 5u32..9,
+        factor in 1u32..10,
+        seed in 0u64..1 << 20,
+        raw_seeds in prop::collection::vec(0u32..512, 1..12),
+        nthreads in 1usize..5,
+        vparts in 1u32..4,
+    ) {
+        // The pipelined scheduler relaxes *when* callbacks run (as
+        // pages land, across vertical passes, possibly stolen by
+        // another worker) but must never change *what* a program
+        // observes: against the lock-step barrier scheduler on the
+        // same image, every scan mode must produce bit-identical
+        // per-vertex states and deliver exactly the same edges. The
+        // CI stress job re-runs this with FG_IMAGE_FORMAT=compressed,
+        // covering both image formats.
+        let g = gen::rmat(scale, factor, gen::RmatSkew::default(), seed);
+        let n = g.num_vertices() as u32;
+        let mut seeds: Vec<VertexId> = raw_seeds.iter().map(|&s| VertexId(s % n)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+
+        for mode in [ScanMode::Selective, ScanMode::Stream, ScanMode::adaptive()] {
+            let base = EngineConfig {
+                num_threads: nthreads,
+                work_stealing: true,
+                vertical_parts: vparts,
+                ..EngineConfig::small()
+            }
+            .with_scan_mode(mode);
+
+            let (safs, index) = sem_mount(&g);
+            let barrier = Engine::new_sem(&safs, index, base.with_pipeline(false));
+            let (want, want_stats) =
+                barrier.run(&LevelBfs, Init::Seeds(seeds.clone())).unwrap();
+
+            let (safs, index) = sem_mount(&g);
+            let piped = Engine::new_sem(&safs, index, base.with_pipeline(true));
+            let (got, stats) = piped.run(&LevelBfs, Init::Seeds(seeds.clone())).unwrap();
+
             for v in g.vertices() {
                 prop_assert_eq!(&got[v.index()], &want[v.index()]);
             }
