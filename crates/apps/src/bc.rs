@@ -6,7 +6,7 @@
 //! directions.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+use flashgraph::{GraphEngine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// Level marker for unreached vertices.
 const UNREACHED: u32 = u32::MAX;
@@ -152,7 +152,10 @@ impl VertexProgram for BcBackward {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn bc_single_source(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<f64>, RunStats)> {
+pub fn bc_single_source<E: GraphEngine>(
+    engine: &E,
+    source: VertexId,
+) -> Result<(Vec<f64>, RunStats)> {
     let (states, mut stats) = engine.run(&BcForward { source }, Init::Seeds(vec![source]))?;
     let lmax = states
         .iter()
@@ -190,8 +193,7 @@ pub fn bc_single_source(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<f6
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen};
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     fn assert_close(got: &[f64], want: &[f64]) {
         assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(want).enumerate() {

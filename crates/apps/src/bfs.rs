@@ -3,7 +3,7 @@
 //! `run`, and activates its neighbours in `run_on_vertex`.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+use flashgraph::{GraphEngine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The BFS vertex program.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +68,7 @@ impl VertexProgram for BfsProgram {
 /// assert_eq!(levels, vec![Some(0), Some(1), Some(2), Some(3)]);
 /// # Ok::<(), fg_types::FgError>(())
 /// ```
-pub fn bfs(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<Option<u32>>, RunStats)> {
+pub fn bfs<E: GraphEngine>(engine: &E, source: VertexId) -> Result<(Vec<Option<u32>>, RunStats)> {
     let program = BfsProgram { dir: EdgeDir::Out };
     let (states, stats) = engine.run(&program, Init::Seeds(vec![source]))?;
     Ok((
@@ -84,8 +84,7 @@ pub fn bfs(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<Option<u32>>, R
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen};
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     #[test]
     fn matches_direct_bfs_on_rmat() {
         let g = gen::rmat(9, 5, gen::RmatSkew::default(), 77);

@@ -5,7 +5,7 @@
 //! ignores the edge direction").
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+use flashgraph::{GraphEngine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// BFS over the union of in- and out-edges.
 struct UndirectedBfs;
@@ -48,8 +48,8 @@ impl VertexProgram for UndirectedBfs {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn estimate_diameter(
-    engine: &Engine<'_>,
+pub fn estimate_diameter<E: GraphEngine>(
+    engine: &E,
     probes: usize,
     seed: u64,
 ) -> Result<(usize, RunStats)> {
@@ -85,7 +85,7 @@ pub fn estimate_diameter(
     Ok((best, agg.expect("at least one probe ran")))
 }
 
-fn sweep(engine: &Engine<'_>, start: VertexId) -> Result<(VertexId, usize, RunStats)> {
+fn sweep<E: GraphEngine>(engine: &E, start: VertexId) -> Result<(VertexId, usize, RunStats)> {
     let (states, stats) = engine.run(&UndirectedBfs, Init::Seeds(vec![start]))?;
     let mut far = (start, 0usize);
     for (i, s) in states.iter().enumerate() {
@@ -100,8 +100,7 @@ fn sweep(engine: &Engine<'_>, start: VertexId) -> Result<(VertexId, usize, RunSt
 mod tests {
     use super::*;
     use fg_graph::fixtures;
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     #[test]
     fn path_diameter_exact() {
         let g = fixtures::path(15);

@@ -4,7 +4,7 @@
 //! *not* neighbours of the sender's request subject.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+use flashgraph::{GraphEngine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The k-core vertex program.
 #[derive(Debug, Clone, Copy)]
@@ -72,7 +72,7 @@ impl VertexProgram for KCoreProgram {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn k_core(engine: &Engine<'_>, k: u32) -> Result<(Vec<bool>, RunStats)> {
+pub fn k_core<E: GraphEngine>(engine: &E, k: u32) -> Result<(Vec<bool>, RunStats)> {
     let (states, stats) = engine.run(&KCoreProgram { k }, Init::All)?;
     Ok((states.into_iter().map(|s| !s.removed).collect(), stats))
 }
@@ -81,8 +81,7 @@ pub fn k_core(engine: &Engine<'_>, k: u32) -> Result<(Vec<bool>, RunStats)> {
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen};
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     #[test]
     fn star_peels_completely_at_two() {
         let g = fixtures::star(6);

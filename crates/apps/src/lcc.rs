@@ -29,7 +29,7 @@
 use std::collections::HashSet;
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+use flashgraph::{GraphEngine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The sampled-LCC vertex program (undirected graphs).
 #[derive(Debug, Clone, Copy)]
@@ -198,7 +198,7 @@ impl VertexProgram for LccProgram {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn lcc(engine: &Engine<'_>, k: u32, seed: u64) -> Result<(Vec<f32>, RunStats)> {
+pub fn lcc<E: GraphEngine>(engine: &E, k: u32, seed: u64) -> Result<(Vec<f32>, RunStats)> {
     let (states, stats) = engine.run(&LccProgram { k, seed }, Init::All)?;
     Ok((states.into_iter().map(|s| s.lcc).collect(), stats))
 }
@@ -214,8 +214,8 @@ pub fn lcc(engine: &Engine<'_>, k: u32, seed: u64) -> Result<(Vec<f32>, RunStats
 /// # Errors
 ///
 /// Propagates engine errors (including out-of-range query vertices).
-pub fn lcc_of(
-    engine: &Engine<'_>,
+pub fn lcc_of<E: GraphEngine>(
+    engine: &E,
     queries: &[VertexId],
     k: u32,
     seed: u64,
@@ -228,8 +228,7 @@ pub fn lcc_of(
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen, GraphBuilder};
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     fn symmetrized_rmat(scale: u32, factor: u32, seed: u64) -> fg_graph::Graph {
         let d = gen::rmat(scale, factor, gen::RmatSkew::default(), seed);
         let mut b = GraphBuilder::undirected();

@@ -5,7 +5,7 @@
 
 use fg_types::{EdgeDir, Result, VertexId};
 use flashgraph::{
-    Engine, EngineConfig, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram,
+    EngineConfig, GraphEngine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram,
 };
 
 /// The delta-PageRank vertex program.
@@ -110,8 +110,8 @@ impl VertexProgram for PageRankProgram {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn pagerank(
-    engine: &Engine<'_>,
+pub fn pagerank<E: GraphEngine>(
+    engine: &E,
     damping: f32,
     threshold: f32,
     max_iters: u32,
@@ -128,7 +128,7 @@ pub fn pagerank(
 
 /// Default-parameter convenience used by benches: damping 0.85,
 /// threshold 1e-3, 30 iterations.
-pub fn pagerank_default(engine: &Engine<'_>) -> Result<(Vec<f32>, RunStats)> {
+pub fn pagerank_default<E: GraphEngine>(engine: &E) -> Result<(Vec<f32>, RunStats)> {
     pagerank(engine, 0.85, 1e-3, 30)
 }
 
@@ -136,8 +136,7 @@ pub fn pagerank_default(engine: &Engine<'_>) -> Result<(Vec<f32>, RunStats)> {
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen};
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     #[test]
     fn uniform_on_cycle() {
         let g = fixtures::cycle(10);

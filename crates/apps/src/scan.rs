@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use fg_types::{EdgeDir, Result, VertexId};
 use flashgraph::{
-    Engine, EngineConfig, Init, PageVertex, Request, RunStats, SchedulerKind, VertexContext,
+    EngineConfig, GraphEngine, Init, PageVertex, Request, RunStats, SchedulerKind, VertexContext,
     VertexProgram,
 };
 
@@ -171,7 +171,7 @@ pub struct ScanResult {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn scan_statistics(engine: &Engine<'_>) -> Result<(ScanResult, RunStats)> {
+pub fn scan_statistics<E: GraphEngine>(engine: &E) -> Result<(ScanResult, RunStats)> {
     let cfg = EngineConfig {
         // Scan statistics reads out-lists only (the undirected image
         // keeps one list per vertex), so hubs are ranked by the
@@ -211,6 +211,7 @@ pub fn scan_statistics(engine: &Engine<'_>) -> Result<(ScanResult, RunStats)> {
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen};
+    use flashgraph::Engine;
 
     #[test]
     fn star_max_is_center_degree() {

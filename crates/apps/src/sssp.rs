@@ -9,7 +9,7 @@
 //! its out-neighbours.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+use flashgraph::{GraphEngine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The SSSP vertex program.
 #[derive(Debug, Clone, Copy)]
@@ -92,7 +92,7 @@ impl VertexProgram for SsspProgram {
 ///
 /// Propagates engine errors. Panics inside the run if the graph has
 /// no edge attributes.
-pub fn sssp(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<f32>, RunStats)> {
+pub fn sssp<E: GraphEngine>(engine: &E, source: VertexId) -> Result<(Vec<f32>, RunStats)> {
     let (states, stats) = engine.run(&SsspProgram { source }, Init::Seeds(vec![source]))?;
     Ok((states.into_iter().map(|s| s.dist).collect(), stats))
 }
@@ -101,8 +101,7 @@ pub fn sssp(engine: &Engine<'_>, source: VertexId) -> Result<(Vec<f32>, RunStats
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen};
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     #[test]
     fn weighted_square_distances() {
         let g = fixtures::weighted_square();

@@ -13,7 +13,7 @@
 
 use fg_types::{EdgeDir, Result, VertexId};
 use flashgraph::{
-    Engine, EngineConfig, Init, PageVertex, Request, RunStats, SchedulerKind, VertexContext,
+    EngineConfig, GraphEngine, Init, PageVertex, Request, RunStats, SchedulerKind, VertexContext,
     VertexProgram,
 };
 
@@ -190,7 +190,10 @@ impl VertexProgram for TcProgram {
 /// # Errors
 ///
 /// Propagates engine errors.
-pub fn triangle_count(engine: &Engine<'_>, notify: bool) -> Result<(u64, Vec<u64>, RunStats)> {
+pub fn triangle_count<E: GraphEngine>(
+    engine: &E,
+    notify: bool,
+) -> Result<(u64, Vec<u64>, RunStats)> {
     // Hubs first, ranked by the out-degree TC actually reads (§3.7):
     // the heaviest intersections start — and their neighbour-list I/O
     // overlaps — while the long low-degree tail computes.
@@ -216,8 +219,7 @@ pub fn triangle_count(engine: &Engine<'_>, notify: bool) -> Result<(u64, Vec<u64
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen};
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     #[test]
     fn complete_graph_counts() {
         let g = fixtures::complete(8);

@@ -5,7 +5,7 @@
 //! new stays quiet.
 
 use fg_types::{EdgeDir, Result, VertexId};
-use flashgraph::{Engine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
+use flashgraph::{GraphEngine, Init, PageVertex, Request, RunStats, VertexContext, VertexProgram};
 
 /// The WCC vertex program.
 #[derive(Debug, Clone, Copy, Default)]
@@ -76,7 +76,7 @@ impl VertexProgram for WccProgram {
 /// assert_eq!(labels, vec![0, 0, 0, 3, 3, 3, 3]);
 /// # Ok::<(), fg_types::FgError>(())
 /// ```
-pub fn wcc(engine: &Engine<'_>) -> Result<(Vec<u32>, RunStats)> {
+pub fn wcc<E: GraphEngine>(engine: &E) -> Result<(Vec<u32>, RunStats)> {
     let (states, stats) = engine.run(&WccProgram, Init::All)?;
     Ok((states.into_iter().map(|s| s.label).collect(), stats))
 }
@@ -85,8 +85,7 @@ pub fn wcc(engine: &Engine<'_>) -> Result<(Vec<u32>, RunStats)> {
 mod tests {
     use super::*;
     use fg_graph::{fixtures, gen};
-    use flashgraph::EngineConfig;
-
+    use flashgraph::{Engine, EngineConfig};
     #[test]
     fn matches_union_find_on_rmat() {
         let g = gen::rmat(8, 3, gen::RmatSkew::default(), 19);

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use fg_bench::report::{ratio, secs, Table};
-use fg_bench::{scale_bump, traversal_root};
+use fg_bench::{scale_bump, traversal_root, worker_threads};
 use fg_format::{load_index, required_capacity, write_image};
 use fg_graph::gen::{rmat, RmatSkew};
 use fg_graph::Graph;
@@ -46,7 +46,7 @@ impl Query {
                 svc.query(|e| fg_apps::bfs(e, root)).expect("bfs");
             }
             Query::Wcc => {
-                svc.query(fg_apps::wcc).expect("wcc");
+                svc.query(|e| fg_apps::wcc(e)).expect("wcc");
             }
             Query::Pr => {
                 svc.query(|e| fg_apps::pagerank(e, 0.85, 1e-3, 30))
@@ -70,7 +70,7 @@ fn cold_service(g: &Graph, max_inflight: usize) -> GraphService {
     safs.reset_stats();
     let cfg = ServiceConfig::default()
         .with_max_inflight(max_inflight)
-        .with_engine(EngineConfig::default().with_threads(2));
+        .with_engine(EngineConfig::default().with_threads(worker_threads(2)));
     GraphService::new(safs, index, cfg)
 }
 

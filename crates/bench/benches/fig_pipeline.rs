@@ -32,7 +32,7 @@
 //!    Figure 9's I/O-bound workloads rely on.
 
 use fg_bench::report::{bytes, count, ratio, secs, Table};
-use fg_bench::{build_sem, scale_bump};
+use fg_bench::{build_sem, scale_bump, worker_threads};
 use fg_graph::gen::{rmat, RmatSkew};
 use fg_types::{EdgeDir, VertexId};
 use flashgraph::{
@@ -101,7 +101,7 @@ impl VertexProgram for SlicedWcc {
 
 fn cfg(pipeline: bool) -> EngineConfig {
     EngineConfig {
-        num_threads: 2,
+        num_threads: worker_threads(2),
         range_shift: 11,
         max_pending: 512,
         ..EngineConfig::default()

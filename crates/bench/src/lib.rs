@@ -12,10 +12,11 @@
 pub mod report;
 
 use fg_format::{
-    load_index, required_capacity_with, write_image_with, GraphIndex, ImageMeta, WriteOptions,
+    load_index, required_capacity_with, required_shard_capacities, write_image_with,
+    write_sharded_image, GraphIndex, ImageMeta, ShardedIndex, WriteOptions,
 };
 use fg_graph::{Graph, GraphBuilder};
-use fg_safs::{Safs, SafsConfig};
+use fg_safs::{Safs, SafsConfig, ShardSet};
 use fg_ssdsim::{ArrayConfig, SsdArray};
 use fg_types::Result;
 
@@ -28,6 +29,17 @@ pub fn scale_bump() -> u32 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0)
+}
+
+/// Reads the `FG_WORKERS` environment variable: per-engine worker
+/// thread count for the figure harnesses, falling back to each
+/// harness's own `default` when unset or unparsable.
+pub fn worker_threads(default: usize) -> usize {
+    std::env::var("FG_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(default)
 }
 
 /// The cache fraction equivalent to the paper's "1 GB cache for the
@@ -120,6 +132,54 @@ pub fn build_sem_image(
         image_bytes,
         load_secs,
         init_secs,
+    })
+}
+
+/// A sharded semi-external fixture: one in-memory array, image shard,
+/// and SAFS mount per vertex-range shard.
+pub struct ShardFixture {
+    /// One mount per shard, in shard order.
+    pub set: ShardSet,
+    /// The global index over every shard's local index.
+    pub index: ShardedIndex,
+    /// Each shard image's header, in shard order.
+    pub metas: Vec<ImageMeta>,
+    /// Bytes of the whole on-SSD image, summed over shards.
+    pub image_bytes: u64,
+}
+
+/// Builds a sharded fixture for `g`: `shards` equal vertex ranges,
+/// each written to its own array and mounted with `cache_fraction`
+/// of *its shard's* image bytes as page cache — so the aggregate
+/// cache budget matches a single-mount [`build_sem_image`] fixture
+/// of the same fraction.
+///
+/// # Errors
+///
+/// Propagates image/SAFS errors.
+pub fn build_shard_fixture(
+    g: &Graph,
+    cache_fraction: f64,
+    cfg: SafsConfig,
+    array_cfg: ArrayConfig,
+    opts: &WriteOptions,
+    shards: usize,
+) -> Result<ShardFixture> {
+    let arrays = required_shard_capacities(g, opts, shards)
+        .into_iter()
+        .map(|cap| SsdArray::new_mem(array_cfg, cap.max(4096)))
+        .collect::<Result<Vec<_>>>()?;
+    write_sharded_image(g, &arrays, opts)?;
+    let (metas, index) = ShardedIndex::load(&arrays)?;
+    let image_bytes: u64 = metas.iter().map(|m| m.total_bytes).sum();
+    let per_shard_cache = (image_bytes as f64 * cache_fraction / shards.max(1) as f64) as u64;
+    let set = ShardSet::new(cfg.with_cache_bytes(per_shard_cache), arrays)?;
+    set.reset_stats();
+    Ok(ShardFixture {
+        set,
+        index,
+        metas,
+        image_bytes,
     })
 }
 
@@ -240,5 +300,34 @@ mod tests {
     fn scale_bump_defaults_to_zero() {
         std::env::remove_var("FG_SCALE");
         assert_eq!(scale_bump(), 0);
+    }
+
+    #[test]
+    fn worker_threads_defaults_and_rejects_zero() {
+        std::env::remove_var("FG_WORKERS");
+        assert_eq!(worker_threads(3), 3);
+        std::env::set_var("FG_WORKERS", "0");
+        assert_eq!(worker_threads(3), 3);
+        std::env::set_var("FG_WORKERS", "5");
+        assert_eq!(worker_threads(3), 5);
+        std::env::remove_var("FG_WORKERS");
+    }
+
+    #[test]
+    fn shard_fixture_builds_and_mounts() {
+        let g = fixtures::complete(30);
+        let fx = build_shard_fixture(
+            &g,
+            0.5,
+            SafsConfig::default(),
+            ArrayConfig::small_test(),
+            &WriteOptions::default(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(fx.set.len(), 3);
+        assert_eq!(fx.index.num_shards(), 3);
+        assert_eq!(fx.index.num_vertices(), 30);
+        assert_eq!(fx.image_bytes, fx.metas.iter().map(|m| m.total_bytes).sum());
     }
 }

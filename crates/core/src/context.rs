@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use fg_format::GraphIndex;
+use fg_format::{GraphIndex, ShardedIndex};
 use fg_graph::Graph;
 use fg_types::{AtomicBitmap, EdgeDir, VertexId};
 
@@ -10,15 +10,17 @@ use crate::messages::Batch as Envelope;
 use crate::partition::PartitionMap;
 
 /// Where per-vertex degrees come from: the compact index in
-/// semi-external mode, the CSR in in-memory mode.
+/// semi-external mode, the CSR in in-memory mode, the global router
+/// over per-shard indexes in sharded mode.
 ///
-/// The semi-external arm holds the index by `Arc` rather than
+/// The semi-external arms hold the index by `Arc` rather than
 /// borrowing it from the engine: the index is shared, immutable state
 /// that many concurrent runs (one per [`crate::GraphService`] query)
 /// read simultaneously, each from its own `RunShared`.
 pub(crate) enum DegreeSource<'g> {
     Index(Arc<GraphIndex>),
     Graph(&'g Graph),
+    Sharded(Arc<ShardedIndex>),
 }
 
 impl DegreeSource<'_> {
@@ -45,6 +47,16 @@ impl DegreeSource<'_> {
                 EdgeDir::Out => g.out_degree(v) as u64,
                 EdgeDir::In => g.in_degree(v) as u64,
             },
+            DegreeSource::Sharded(ix) => match dir {
+                EdgeDir::Both => {
+                    if ix.is_directed() {
+                        ix.degree(v, EdgeDir::In) + ix.degree(v, EdgeDir::Out)
+                    } else {
+                        ix.degree(v, EdgeDir::Out)
+                    }
+                }
+                d => ix.degree(v, d),
+            },
         }
     }
 
@@ -52,7 +64,38 @@ impl DegreeSource<'_> {
         match self {
             DegreeSource::Index(ix) => ix.is_directed(),
             DegreeSource::Graph(g) => g.is_directed(),
+            DegreeSource::Sharded(ix) => ix.is_directed(),
         }
+    }
+}
+
+/// A shard engine's view of the sharded run it belongs to: which
+/// shard it is, its owned global id range, and the router to every
+/// other shard. `None` in `RunShared` means the classic single-engine
+/// run, where every vertex is "owned" and no routing happens.
+pub(crate) struct ShardView {
+    /// This engine's shard number.
+    pub me: usize,
+    /// First owned global vertex id.
+    pub lo: u32,
+    /// One past the last owned global vertex id.
+    pub hi: u32,
+    /// The global router (also this run's degree source).
+    pub index: Arc<ShardedIndex>,
+}
+
+impl ShardView {
+    /// Whether this shard's engine owns `v` (collects, computes, and
+    /// delivers for it).
+    #[inline]
+    pub fn owns(&self, v: VertexId) -> bool {
+        (self.lo..self.hi).contains(&v.0)
+    }
+
+    /// The shard owning `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.index.shard_of(v)
     }
 }
 
@@ -65,6 +108,8 @@ pub(crate) struct RunShared<'g> {
     /// Chunked-delivery bound: a request longer than this many edges
     /// is split into multiple chunk requests (0 = unlimited).
     pub max_request_edges: u64,
+    /// Present when this engine executes one shard of a sharded run.
+    pub shard: Option<ShardView>,
 }
 
 /// A first-class vertex I/O request: which list, which slice of it,
@@ -177,6 +222,14 @@ pub(crate) struct WorkerScratch<M> {
     pub buffered_fanout: u64,
     /// End-of-iteration registrations per destination partition.
     pub notifies: Vec<Vec<VertexId>>,
+    /// Foreign outboxes, one triple per *shard* (empty vectors for
+    /// unsharded runs and for this engine's own shard): unicasts,
+    /// multicasts, and activations destined for vertices another
+    /// shard's engine owns. Flushed to the shard bus as batched
+    /// packets alongside the local board flush.
+    pub shard_unicasts: Vec<Vec<(VertexId, M)>>,
+    pub shard_multicasts: Vec<Vec<Envelope<M>>>,
+    pub shard_activates: Vec<Vec<VertexId>>,
     /// New activations performed by this worker (bits actually set).
     pub activations: u64,
     /// Logical requests issued by this worker.
@@ -184,13 +237,16 @@ pub(crate) struct WorkerScratch<M> {
 }
 
 impl<M> WorkerScratch<M> {
-    pub(crate) fn new(partitions: usize) -> Self {
+    pub(crate) fn new(partitions: usize, shards: usize) -> Self {
         WorkerScratch {
             requests: Vec::new(),
             out_unicasts: (0..partitions).map(|_| Vec::new()).collect(),
             out_multicasts: (0..partitions).map(|_| Vec::new()).collect(),
             buffered_fanout: 0,
             notifies: (0..partitions).map(|_| Vec::new()).collect(),
+            shard_unicasts: (0..shards).map(|_| Vec::new()).collect(),
+            shard_multicasts: (0..shards).map(|_| Vec::new()).collect(),
+            shard_activates: (0..shards).map(|_| Vec::new()).collect(),
             activations: 0,
             engine_requests: 0,
         }
@@ -261,9 +317,18 @@ impl<M> VertexContext<'_, M> {
 
     /// Activates `v` for the next iteration. Idempotent; the paper
     /// implements this as an empty multicast message, here it is a
-    /// lock-free bitmap OR.
+    /// lock-free bitmap OR. In a sharded run, activating a vertex
+    /// another shard owns buffers it for a batched bus packet instead
+    /// (its owner performs the OR when it drains the bus).
     #[inline]
     pub fn activate(&mut self, v: VertexId) {
+        if let Some(sv) = &self.shared.shard {
+            if !sv.owns(v) {
+                self.scratch.shard_activates[sv.shard_of(v)].push(v);
+                self.scratch.buffered_fanout += 1;
+                return;
+            }
+        }
         if !self.next_frontier.set(v) {
             self.scratch.activations += 1;
         }
@@ -360,8 +425,18 @@ impl<M> VertexContext<'_, M> {
     }
 
     /// Sends `msg` to vertex `to`, delivered via `run_on_message` at
-    /// the iteration barrier (even if `to` is inactive).
+    /// the iteration barrier (even if `to` is inactive). In a sharded
+    /// run, a message to a vertex another shard owns buffers into
+    /// that shard's outbox for a batched bus packet; its owner
+    /// delivers it at the same barrier a local send would reach.
     pub fn send(&mut self, to: VertexId, msg: M) {
+        if let Some(sv) = &self.shared.shard {
+            if !sv.owns(to) {
+                self.scratch.shard_unicasts[sv.shard_of(to)].push((to, msg));
+                self.scratch.buffered_fanout += 1;
+                return;
+            }
+        }
         let dest = self.shared.pmap.partition_of(to);
         self.scratch.out_unicasts[dest].push((to, msg));
         self.scratch.buffered_fanout += 1;
@@ -369,6 +444,8 @@ impl<M> VertexContext<'_, M> {
 
     /// Sends one payload to many vertices, copying it once per
     /// destination partition instead of once per recipient (§3.4.1).
+    /// In a sharded run the same bundling applies across shards: one
+    /// payload copy per destination shard rides the bus.
     pub fn multicast(&mut self, to: &[VertexId], msg: M)
     where
         M: Clone,
@@ -376,6 +453,38 @@ impl<M> VertexContext<'_, M> {
         if to.is_empty() {
             return;
         }
+        if let Some(sv) = &self.shared.shard {
+            if !to.iter().all(|&v| sv.owns(v)) {
+                let mut local = Vec::new();
+                let mut per_shard: Vec<Vec<VertexId>> = vec![Vec::new(); sv.index.num_shards()];
+                for &v in to {
+                    if sv.owns(v) {
+                        local.push(v);
+                    } else {
+                        per_shard[sv.shard_of(v)].push(v);
+                    }
+                }
+                for (s, vs) in per_shard.into_iter().enumerate() {
+                    if !vs.is_empty() {
+                        self.scratch.buffered_fanout += vs.len() as u64;
+                        self.scratch.shard_multicasts[s].push(Envelope::Multicast(vs, msg.clone()));
+                    }
+                }
+                if !local.is_empty() {
+                    self.multicast_local(&local, msg);
+                }
+                return;
+            }
+        }
+        self.multicast_local(to, msg);
+    }
+
+    /// The owned-vertex half of [`VertexContext::multicast`]: split
+    /// per destination partition and buffer for the local board.
+    fn multicast_local(&mut self, to: &[VertexId], msg: M)
+    where
+        M: Clone,
+    {
         let parts = self.shared.pmap.num_partitions();
         if parts == 1 {
             self.scratch.buffered_fanout += to.len() as u64;

@@ -31,17 +31,20 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use fg_format::{GraphIndex, SliceDecode};
+use fg_format::{GraphIndex, ShardedIndex, SliceDecode};
 use fg_graph::Graph;
-use fg_safs::{CacheStats, Completion, IoSession, PageSpan, Safs};
+use fg_safs::{CacheStats, Completion, IoSession, PageSpan, Safs, ShardSet};
 use fg_types::{AtomicBitmap, Bitmap, EdgeDir, FgError, Result, VertexId};
 
 use crate::config::{EngineConfig, ScanMode, SchedulerKind};
-use crate::context::{DegreeSource, EdgeRequest, RunShared, VertexContext, WorkerScratch};
+use crate::context::{
+    DegreeSource, EdgeRequest, RunShared, ShardView, VertexContext, WorkerScratch,
+};
 use crate::merge::{coalesce_stream, merge_requests, RangeReq};
-use crate::messages::{Batch, MessageBoard, NotifyBoard};
+use crate::messages::{Batch, MessageBoard, NotifyBoard, ShardPacket};
 use crate::partition::PartitionMap;
 use crate::program::VertexProgram;
+use crate::shard::ShardLink;
 use crate::state::SharedStates;
 use crate::stats::{IterStats, RunStats};
 use crate::vertex::PageVertex;
@@ -67,6 +70,16 @@ enum Backend<'g> {
         safs: &'g Safs,
         index: Arc<GraphIndex>,
     },
+    /// One shard of a sharded run: this engine owns the contiguous
+    /// global id range `index.shard_range(me)`, reads its own shard
+    /// image through its own mount (`set.shard(me)`), and reaches
+    /// foreign shards only through the router (synchronous reads of
+    /// foreign subjects) and the shard bus (messages/activations).
+    Shard {
+        set: &'g ShardSet,
+        index: Arc<ShardedIndex>,
+        me: usize,
+    },
 }
 
 /// The FlashGraph engine over one graph, in semi-external-memory or
@@ -86,6 +99,7 @@ impl std::fmt::Debug for Engine<'_> {
                 &match self.backend {
                     Backend::Mem(_) => "in-memory",
                     Backend::Sem { .. } => "semi-external",
+                    Backend::Shard { .. } => "shard",
                 },
             )
             .finish_non_exhaustive()
@@ -121,6 +135,26 @@ impl<'g> Engine<'g> {
         }
     }
 
+    /// One shard engine of a sharded run (`n` stays the *global*
+    /// vertex count: state, frontiers, and every id a program sees
+    /// are global; only collection and I/O are windowed to the owned
+    /// range). Constructed exclusively by [`crate::ShardedEngine`],
+    /// which provides the bus and barrier group the run needs.
+    pub(crate) fn new_shard(
+        set: &'g ShardSet,
+        index: Arc<ShardedIndex>,
+        me: usize,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert_eq!(set.len(), index.num_shards(), "one mount per shard");
+        assert!(me < index.num_shards());
+        Engine {
+            n: index.num_vertices(),
+            backend: Backend::Shard { set, index, me },
+            cfg,
+        }
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.n
@@ -142,6 +176,11 @@ impl<'g> Engine<'g> {
                 Backend::Sem { safs, index } => Backend::Sem {
                     safs,
                     index: Arc::clone(index),
+                },
+                Backend::Shard { set, index, me } => Backend::Shard {
+                    set,
+                    index: Arc::clone(index),
+                    me: *me,
                 },
             },
             cfg,
@@ -182,21 +221,62 @@ impl<'g> Engine<'g> {
         init: Init,
         states_vec: Vec<P::State>,
     ) -> Result<(Vec<P::State>, RunStats)> {
-        let n = self.n;
-        if states_vec.len() != n {
+        if states_vec.len() != self.n {
             return Err(FgError::InvalidRequest(format!(
                 "state vector has {} entries for {} vertices",
                 states_vec.len(),
+                self.n
+            )));
+        }
+        let states = SharedStates::new(states_vec);
+        let stats = self.run_inner(program, init, &states, None)?;
+        Ok((states.into_inner(), stats))
+    }
+
+    /// The run body shared by single-engine and sharded execution.
+    /// `states` is the *global* state vector; in a sharded run every
+    /// shard engine runs against the same `SharedStates` (each only
+    /// ever touches states of vertices it owns, so the exclusivity
+    /// discipline extends across engines). `link` carries the shard
+    /// bus and barrier group, present exactly when the backend is
+    /// [`Backend::Shard`].
+    pub(crate) fn run_inner<P: VertexProgram>(
+        &self,
+        program: &P,
+        init: Init,
+        states: &SharedStates<P::State>,
+        link: Option<&ShardLink<'_, P::Msg>>,
+    ) -> Result<RunStats> {
+        let n = self.n;
+        debug_assert_eq!(
+            matches!(self.backend, Backend::Shard { .. }),
+            link.is_some(),
+            "shard backends run with a link, others without"
+        );
+        if states.len() != n {
+            return Err(FgError::InvalidRequest(format!(
+                "state vector has {} entries for {} vertices",
+                states.len(),
                 n
             )));
         }
         let start = Instant::now();
-        let states = SharedStates::new(states_vec);
+        // The id window this engine collects and computes: the whole
+        // graph, or — for one shard of a sharded run — its owned
+        // contiguous range. Everything indexed by vertex id (states,
+        // frontiers, busy bits) stays global-length either way.
+        let (lo, hi) = match &self.backend {
+            Backend::Shard { index, me, .. } => {
+                let r = index.shard_range(*me);
+                (r.start as usize, r.end as usize)
+            }
+            _ => (0, n),
+        };
 
         let frontiers = Frontiers::new(n);
         match &init {
             Init::All => {
-                for i in 0..n {
+                for i in lo..hi {
                     frontiers.cur().set(VertexId::from_index(i));
                 }
             }
@@ -208,14 +288,18 @@ impl<'g> Engine<'g> {
                             num_vertices: n as u64,
                         });
                     }
-                    frontiers.cur().set(s);
+                    // Every shard of a sharded run receives the same
+                    // seed list; each seeds only what it owns.
+                    if (lo..hi).contains(&s.index()) {
+                        frontiers.cur().set(s);
+                    }
                 }
             }
         }
 
         let nthreads = self.cfg.threads().max(1);
-        let r = self.cfg.resolve_range_shift(n);
-        let pmap = PartitionMap::new(n, nthreads, r);
+        let r = self.cfg.resolve_range_shift(hi - lo);
+        let pmap = PartitionMap::new_window(lo, hi, nthreads, r);
         let vparts = self.cfg.vertical_parts.max(1);
         let shared = RunShared {
             n,
@@ -223,9 +307,19 @@ impl<'g> Engine<'g> {
             degrees: match &self.backend {
                 Backend::Mem(g) => DegreeSource::Graph(g),
                 Backend::Sem { index, .. } => DegreeSource::Index(Arc::clone(index)),
+                Backend::Shard { index, .. } => DegreeSource::Sharded(Arc::clone(index)),
             },
             pmap: pmap.clone(),
             max_request_edges: self.cfg.max_request_edges,
+            shard: match &self.backend {
+                Backend::Shard { index, me, .. } => Some(ShardView {
+                    me: *me,
+                    lo: lo as u32,
+                    hi: hi as u32,
+                    index: Arc::clone(index),
+                }),
+                _ => None,
+            },
         };
         let board: MessageBoard<P::Msg> = MessageBoard::new(nthreads);
         let notify = NotifyBoard::new(nthreads);
@@ -251,13 +345,22 @@ impl<'g> Engine<'g> {
         // tenant's traffic to this run. The scope records only the
         // lookups this run's own sessions performed.
         let cache_scope = match &self.backend {
-            Backend::Sem { .. } => Some(Arc::new(CacheStats::default())),
+            Backend::Sem { .. } | Backend::Shard { .. } => Some(Arc::new(CacheStats::default())),
             Backend::Mem(_) => None,
         };
+        // A shard engine's device/cache deltas cover its *own* mount
+        // only. That is exact for algorithms that request their own
+        // lists (everything but TC-style foreign reads, which land on
+        // the subject owner's array); summed across shards the deltas
+        // are exact regardless, since each array has one owner.
         let (io_before, cache_before) = match &self.backend {
             Backend::Sem { safs, .. } => (
                 Some(safs.array().stats().snapshot()),
                 Some(safs.cache_stats()),
+            ),
+            Backend::Shard { set, me, .. } => (
+                Some(set.shard(*me).array().stats().snapshot()),
+                Some(set.shard(*me).cache_stats()),
             ),
             Backend::Mem(_) => (None, None),
         };
@@ -270,7 +373,7 @@ impl<'g> Engine<'g> {
                         w,
                         engine: self,
                         program,
-                        states: &states,
+                        states,
                         shared: &shared,
                         frontiers: &frontiers,
                         board: &board,
@@ -284,6 +387,7 @@ impl<'g> Engine<'g> {
                         busy: &busy,
                         cache_scope: &cache_scope,
                         per_iteration: &per_iteration,
+                        link,
                     };
                     scope.spawn(move || worker.run_loop());
                 }
@@ -301,6 +405,20 @@ impl<'g> Engine<'g> {
                 ),
                 Some(safs.cache_stats().delta_since(&cache_before.unwrap())),
             ),
+            Backend::Shard { set, me, .. } => (
+                Some(
+                    set.shard(*me)
+                        .array()
+                        .stats()
+                        .snapshot()
+                        .delta_since(&io_before.unwrap()),
+                ),
+                Some(
+                    set.shard(*me)
+                        .cache_stats()
+                        .delta_since(&cache_before.unwrap()),
+                ),
+            ),
             Backend::Mem(_) => (None, None),
         };
         let stats = RunStats {
@@ -316,12 +434,81 @@ impl<'g> Engine<'g> {
             bytes_requested: counters.bytes_requested.load(Ordering::Relaxed),
             edges_delivered: counters.edges_delivered.load(Ordering::Relaxed),
             queue_wait_ns: 0,
+            shard_msg_bytes: counters.shard_msg_bytes.load(Ordering::Relaxed),
             io,
             cache: cache_scope.as_ref().map(|s| s.snapshot()),
             cache_mount,
             per_iteration: per_iteration.into_inner(),
         };
-        Ok((states.into_inner(), stats))
+        Ok(stats)
+    }
+}
+
+/// The engine surface applications program against — implemented by
+/// the single [`Engine`] (in-memory, semi-external) and the sharded
+/// [`crate::ShardedEngine`], so every algorithm in `fg_apps` runs on
+/// any of the three backends unchanged, with bit-identical results.
+pub trait GraphEngine {
+    /// Number of vertices (global, for a sharded engine).
+    fn num_vertices(&self) -> usize;
+
+    /// The configuration runs execute under.
+    fn config(&self) -> &EngineConfig;
+
+    /// The same backend under a different configuration (cheap; see
+    /// [`Engine::reconfigured`]).
+    #[must_use]
+    fn reconfigured(&self, cfg: EngineConfig) -> Self
+    where
+        Self: Sized;
+
+    /// Executes `program` to convergence. See [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FgError::VertexOutOfRange`] for bad seeds; I/O errors
+    /// propagate from SAFS.
+    fn run<P: VertexProgram>(&self, program: &P, init: Init) -> Result<(Vec<P::State>, RunStats)>;
+
+    /// Executes `program` resuming from caller-provided states. See
+    /// [`Engine::run_with_states`].
+    ///
+    /// # Errors
+    ///
+    /// As [`GraphEngine::run`], plus [`FgError::InvalidRequest`] for a
+    /// state vector of the wrong length.
+    fn run_with_states<P: VertexProgram>(
+        &self,
+        program: &P,
+        init: Init,
+        states: Vec<P::State>,
+    ) -> Result<(Vec<P::State>, RunStats)>;
+}
+
+impl GraphEngine for Engine<'_> {
+    fn num_vertices(&self) -> usize {
+        Engine::num_vertices(self)
+    }
+
+    fn config(&self) -> &EngineConfig {
+        Engine::config(self)
+    }
+
+    fn reconfigured(&self, cfg: EngineConfig) -> Self {
+        Engine::reconfigured(self, cfg)
+    }
+
+    fn run<P: VertexProgram>(&self, program: &P, init: Init) -> Result<(Vec<P::State>, RunStats)> {
+        Engine::run(self, program, init)
+    }
+
+    fn run_with_states<P: VertexProgram>(
+        &self,
+        program: &P,
+        init: Init,
+        states: Vec<P::State>,
+    ) -> Result<(Vec<P::State>, RunStats)> {
+        Engine::run_with_states(self, program, init, states)
     }
 }
 
@@ -509,6 +696,8 @@ struct Counters {
     issued_requests: AtomicU64,
     bytes_requested: AtomicU64,
     edges_delivered: AtomicU64,
+    /// Serialized bytes of cross-shard packets this engine posted.
+    shard_msg_bytes: AtomicU64,
     /// Worker-iterations executed as streaming scans.
     stream_partitions: AtomicU64,
     /// Stride covers submitted by the streaming path.
@@ -534,6 +723,8 @@ struct WorkerEnv<'r, 'g, P: VertexProgram> {
     busy: &'r AtomicBitmap,
     cache_scope: &'r Option<Arc<CacheStats>>,
     per_iteration: &'r parking_lot::Mutex<Vec<IterStats>>,
+    /// The shard bus + cross-shard barrier group, in sharded runs.
+    link: Option<&'r ShardLink<'r, P::Msg>>,
 }
 
 /// How far a worker may send messages before flushing buffers to the
@@ -556,11 +747,26 @@ struct IterSnapshot {
 
 impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
     fn run_loop(&self) {
+        let shards = self
+            .shared
+            .shard
+            .as_ref()
+            .map(|sv| sv.index.num_shards())
+            .unwrap_or(0);
         let mut scratch: WorkerScratch<P::Msg> =
-            WorkerScratch::new(self.shared.pmap.num_partitions());
+            WorkerScratch::new(self.shared.pmap.num_partitions(), shards);
         let mut io = match &self.engine.backend {
             Backend::Sem { safs, .. } => {
                 IoDriver::Sem(SemIo::new(safs.session_scoped(self.cache_scope.clone())))
+            }
+            Backend::Shard { set, me, .. } => {
+                // The shard's index speaks local ids; the session
+                // localizes owned subjects by the window base.
+                let base = self.shared.shard.as_ref().expect("shard view").lo;
+                IoDriver::Sem(SemIo::with_base(
+                    set.shard(*me).session_scoped(self.cache_scope.clone()),
+                    base,
+                ))
             }
             Backend::Mem(_) => IoDriver::Mem,
         };
@@ -635,6 +841,20 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 }
             }
 
+            // Cross-shard sync 1: every shard has finished compute, so
+            // every foreign packet of this iteration is on the bus.
+            // Worker 0 rendezvouses with the peer shards, then drains
+            // this shard's lane onto the local boards/frontier — so a
+            // foreign message is delivered in this iteration's phase C,
+            // exactly when a local send would have been.
+            if let Some(link) = self.link {
+                if self.w == 0 {
+                    link.group.rendezvous();
+                    self.drain_shard_bus(link);
+                }
+                self.barrier.wait();
+            }
+
             // Phase C: message delivery + iteration-end callbacks for
             // this partition.
             let t = Instant::now();
@@ -652,9 +872,22 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             // byte to the iteration that read it even when stealing
             // moved the work between partitions.
             if self.w == 0 {
+                // Cross-shard sync 2: collect packets posted during
+                // phase C (they stay pending into the next iteration,
+                // like a local barrier-phase send), then AND-reduce
+                // the quiet votes so every shard stops on the same
+                // iteration — an active peer keeps idle shards in
+                // lockstep running empty iterations.
+                if let Some(link) = self.link {
+                    link.group.rendezvous();
+                    self.drain_shard_bus(link);
+                }
                 let next_count = self.frontiers.next().count_ones() as u64;
-                let done = (next_count == 0 && self.board.pending() == 0)
-                    || iter + 1 >= self.engine.cfg.max_iterations;
+                let quiet = next_count == 0 && self.board.pending() == 0;
+                let done = match self.link {
+                    Some(link) => link.group.vote(quiet),
+                    None => quiet,
+                } || iter + 1 >= self.engine.cfg.max_iterations;
                 self.record_iteration(frontier_count, iter_start, &mut boundary);
                 self.frontiers.swap();
                 self.ready.begin_iteration();
@@ -684,6 +917,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         }
         let io = match &self.engine.backend {
             Backend::Sem { safs, .. } => Some(safs.array().stats().snapshot()),
+            Backend::Shard { set, me, .. } => Some(set.shard(*me).array().stats().snapshot()),
             Backend::Mem(_) => None,
         };
         Some(IterSnapshot {
@@ -1140,8 +1374,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                             // arrive in id order, so flushing at each
                             // range transition seals the previous
                             // range's covers.
-                            let region =
-                                (req.subject.index() / self.shared.pmap.range_len()) as u64;
+                            let region = self.shared.pmap.region_of(req.subject);
                             if sem.stream_region != Some(region) {
                                 sem.flush_stream(
                                     self.engine.safs_page_bytes(),
@@ -1163,6 +1396,86 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                         // the pool never holds these: `harvest` is
                         // the only producer of resolved entries, and
                         // it drains `sem.ready` before returning.)
+                        while let Some((requester, vpd, pv)) = sem.pop_ready() {
+                            self.deliver_vertex(iter, vpd, scratch, requester, &pv);
+                            self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    (Backend::Shard { set, index, me }, IoDriver::Sem(sem)) => {
+                        let sv = self.shared.shard.as_ref().expect("sharded run");
+                        if req.len > 0 && !sv.owns(req.subject) {
+                            // Foreign-subject request (TC-style
+                            // neighbour-list reads): locate on the
+                            // owning shard's index and read its mount
+                            // synchronously — the cross-shard analogue
+                            // of the Mem arm's inline delivery, safe
+                            // because the requester holds the busy bit
+                            // and the subject's *state* is never
+                            // touched, only its on-disk edges.
+                            let (s, slice) =
+                                index.locate_slice(req.subject, req.dir, req.start, req.len);
+                            let loc = slice.loc;
+                            debug_assert_eq!(loc.degree, req.len);
+                            self.counters
+                                .bytes_requested
+                                .fetch_add(loc.bytes, Ordering::Relaxed);
+                            self.counters
+                                .issued_requests
+                                .fetch_add(1, Ordering::Relaxed);
+                            let espan = set
+                                .shard(s)
+                                .read_sync(loc.offset, loc.bytes)
+                                .expect("foreign shard edge read");
+                            let attrs = if req.attrs {
+                                let (sa, aloc) = index
+                                    .locate_attrs_range(req.subject, req.dir, req.start, req.len)
+                                    .expect("attrs requested but image has no attribute section");
+                                self.counters
+                                    .bytes_requested
+                                    .fetch_add(aloc.bytes, Ordering::Relaxed);
+                                self.counters
+                                    .issued_requests
+                                    .fetch_add(1, Ordering::Relaxed);
+                                Some(
+                                    set.shard(sa)
+                                        .read_sync(aloc.offset, aloc.bytes)
+                                        .expect("foreign shard attr read"),
+                                )
+                            } else {
+                                None
+                            };
+                            let pv = SemIo::decode_ready(ReadyVertex {
+                                requester: req.requester,
+                                subject: req.subject,
+                                vpart: vp,
+                                dir: req.dir,
+                                start: req.start,
+                                count: req.len,
+                                decode: slice.decode,
+                                edges: espan,
+                                attrs,
+                            });
+                            self.deliver_vertex(iter, vp, scratch, req.requester, &pv);
+                            continue;
+                        }
+                        // Owned subject: identical to the Sem arm, on
+                        // this shard's own index and mount.
+                        let via_stream = stream
+                            && req.subject == req.requester
+                            && self.shared.pmap.partition_of(req.subject) == self.w;
+                        if via_stream {
+                            let region = self.shared.pmap.region_of(req.subject);
+                            if sem.stream_region != Some(region) {
+                                sem.flush_stream(
+                                    self.engine.safs_page_bytes(),
+                                    self.engine.cfg.stream_stride_bytes(),
+                                    self.counters,
+                                );
+                                sem.stream_region = Some(region);
+                            }
+                        }
+                        self.ready.obligations.fetch_add(1, Ordering::SeqCst);
+                        sem.enqueue(req, index.shard(*me), self.counters, via_stream, vp);
                         while let Some((requester, vpd, pv)) = sem.pop_ready() {
                             self.deliver_vertex(iter, vpd, scratch, requester, &pv);
                             self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
@@ -1248,7 +1561,86 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 self.notify.post(dest, std::mem::take(buf));
             }
         }
+        if let Some(link) = self.link {
+            let post = |dest: usize, pkt: ShardPacket<P::Msg>| {
+                self.counters
+                    .shard_msg_bytes
+                    .fetch_add(pkt.wire_bytes(), Ordering::Relaxed);
+                link.bus.post(dest, pkt);
+            };
+            for (dest, buf) in scratch.shard_unicasts.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    post(dest, ShardPacket::Unicasts(std::mem::take(buf)));
+                }
+            }
+            for (dest, buf) in scratch.shard_multicasts.iter_mut().enumerate() {
+                for env in buf.drain(..) {
+                    match env {
+                        Batch::Unicasts(entries) => post(dest, ShardPacket::Unicasts(entries)),
+                        Batch::Multicast(vs, m) => post(dest, ShardPacket::Multicast(vs, m)),
+                    }
+                }
+            }
+            for (dest, buf) in scratch.shard_activates.iter_mut().enumerate() {
+                if !buf.is_empty() {
+                    post(dest, ShardPacket::Activate(std::mem::take(buf)));
+                }
+            }
+        }
         scratch.buffered_fanout = 0;
+    }
+
+    /// Worker 0's half of a cross-shard sync point: takes everything
+    /// peers queued for this shard and converts it into the exact form
+    /// a local worker would have produced — message batches split by
+    /// destination partition onto the local board, activations OR'd
+    /// into the next frontier.
+    fn drain_shard_bus(&self, link: &ShardLink<'_, P::Msg>) {
+        let me = self.shared.shard.as_ref().expect("sharded run").me;
+        let parts = self.shared.pmap.num_partitions();
+        for pkt in link.bus.drain(me) {
+            match pkt {
+                ShardPacket::Unicasts(entries) => {
+                    let mut split: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); parts];
+                    for (v, m) in entries {
+                        split[self.shared.pmap.partition_of(v)].push((v, m));
+                    }
+                    for (dest, buf) in split.into_iter().enumerate() {
+                        if !buf.is_empty() {
+                            self.board.post(dest, Batch::Unicasts(buf));
+                        }
+                    }
+                }
+                ShardPacket::Multicast(vs, m) => {
+                    let mut split: Vec<Vec<VertexId>> = vec![Vec::new(); parts];
+                    for v in vs {
+                        split[self.shared.pmap.partition_of(v)].push(v);
+                    }
+                    let mut dests: Vec<usize> =
+                        (0..parts).filter(|&p| !split[p].is_empty()).collect();
+                    // The payload moves into the last destination; the
+                    // rest clone, same as a local multicast split.
+                    let last = dests.pop();
+                    for dest in dests {
+                        self.board.post(
+                            dest,
+                            Batch::Multicast(std::mem::take(&mut split[dest]), m.clone()),
+                        );
+                    }
+                    if let Some(dest) = last {
+                        self.board
+                            .post(dest, Batch::Multicast(std::mem::take(&mut split[dest]), m));
+                    }
+                }
+                ShardPacket::Activate(vs) => {
+                    for v in vs {
+                        if !self.frontiers.next().set(v) {
+                            self.counters.activations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn deliver_messages(
@@ -1455,6 +1847,7 @@ impl Engine<'_> {
     fn safs_page_bytes(&self) -> u64 {
         match &self.backend {
             Backend::Sem { safs, .. } => safs.page_bytes(),
+            Backend::Shard { set, .. } => set.page_bytes(),
             Backend::Mem(_) => 4096,
         }
     }
@@ -1569,12 +1962,21 @@ struct SemIo<'s> {
     /// `outstanding - selective_buffered` is the number of requests
     /// actually at the device.
     selective_buffered: usize,
+    /// First global vertex id of the index this session speaks — a
+    /// shard's per-mount index is keyed by local ids, so subjects are
+    /// rebased before locate calls. 0 for a whole-graph image.
+    base: u32,
 }
 
 impl<'s> SemIo<'s> {
     fn new(session: IoSession<'s>) -> Self {
+        Self::with_base(session, 0)
+    }
+
+    fn with_base(session: IoSession<'s>, base: u32) -> Self {
         SemIo {
             session,
+            base,
             issue_q: Vec::new(),
             issue_meta: Vec::new(),
             stream_q: Vec::new(),
@@ -1638,7 +2040,8 @@ impl<'s> SemIo<'s> {
             });
             return;
         }
-        let slice = index.locate_slice(req.subject, req.dir, req.start, req.len);
+        let local = VertexId(req.subject.0 - self.base);
+        let slice = index.locate_slice(local, req.dir, req.start, req.len);
         let loc = slice.loc;
         debug_assert_eq!(
             loc.degree, req.len,
@@ -1657,7 +2060,7 @@ impl<'s> SemIo<'s> {
                 "attribute-bearing blocks are always raw (weighted images force it)"
             );
             let aloc = index
-                .locate_attrs_range(req.subject, req.dir, req.start, req.len)
+                .locate_attrs_range(local, req.dir, req.start, req.len)
                 .expect("attrs requested but image has no attribute section");
             let slot = self.alloc_pair(AttrPair {
                 requester: req.requester,

@@ -96,14 +96,16 @@ mod messages;
 mod partition;
 mod program;
 pub mod serve;
+mod shard;
 mod state;
 mod stats;
 mod vertex;
 
 pub use config::{EngineConfig, ScanMode, SchedulerKind};
 pub use context::{Request, VertexContext};
-pub use engine::{Engine, Init};
+pub use engine::{Engine, GraphEngine, Init};
 pub use program::VertexProgram;
 pub use serve::{GraphService, ServiceConfig, ServiceStatsSnapshot};
+pub use shard::ShardedEngine;
 pub use stats::{IterStats, RunStats};
 pub use vertex::PageVertex;

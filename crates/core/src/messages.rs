@@ -96,6 +96,103 @@ impl<M: Send> MessageBoard<M> {
     }
 }
 
+/// One batched cross-shard transfer: what a worker's foreign outbox
+/// serializes into when its destination vertex lives on another
+/// shard's engine. Mirrors [`Batch`] plus activation (which local
+/// execution performs as a direct bitmap OR but a foreign shard must
+/// be *told* about).
+#[derive(Debug)]
+pub(crate) enum ShardPacket<M> {
+    /// Point-to-point messages, packed.
+    Unicasts(Vec<(VertexId, M)>),
+    /// One payload for many vertices of the destination shard.
+    Multicast(Vec<VertexId>, M),
+    /// Activations for the destination shard's next frontier.
+    Activate(Vec<VertexId>),
+}
+
+impl<M> ShardPacket<M> {
+    /// Serialized size of the packet on the (in-process) wire — the
+    /// cross-shard traffic `RunStats::shard_msg_bytes` accounts.
+    pub(crate) fn wire_bytes(&self) -> u64 {
+        let id = std::mem::size_of::<VertexId>() as u64;
+        match self {
+            ShardPacket::Unicasts(v) => {
+                v.len() as u64 * std::mem::size_of::<(VertexId, M)>() as u64
+            }
+            ShardPacket::Multicast(v, _) => v.len() as u64 * id + std::mem::size_of::<M>() as u64,
+            ShardPacket::Activate(v) => v.len() as u64 * id,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            ShardPacket::Unicasts(v) => v.is_empty(),
+            ShardPacket::Multicast(v, _) => v.is_empty(),
+            ShardPacket::Activate(v) => v.is_empty(),
+        }
+    }
+}
+
+/// The in-process bus connecting a sharded run's engines: one lane of
+/// batched [`ShardPacket`]s per destination shard.
+///
+/// Workers post packets whenever their foreign outboxes flush (same
+/// bundling threshold as local boards); each shard drains its own
+/// lane at the two cross-shard synchronization points of an iteration
+/// — after compute (so foreign messages are delivered at the same
+/// barrier a local send would reach) and at the termination check (so
+/// barrier-phase sends stay pending into the next iteration, exactly
+/// like a local board).
+#[derive(Debug)]
+pub(crate) struct ShardBus<M> {
+    lanes: Vec<Mutex<Vec<ShardPacket<M>>>>,
+    /// Packets currently queued anywhere (termination diagnostics).
+    pending: AtomicU64,
+    /// Serialized bytes ever posted (statistics).
+    bytes: AtomicU64,
+}
+
+impl<M: Send> ShardBus<M> {
+    pub(crate) fn new(shards: usize) -> Self {
+        let mut lanes = Vec::with_capacity(shards);
+        lanes.resize_with(shards, || Mutex::new(Vec::new()));
+        ShardBus {
+            lanes,
+            pending: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Posts one packet to shard `dest`'s lane.
+    pub(crate) fn post(&self, dest: usize, packet: ShardPacket<M>) {
+        if packet.is_empty() {
+            return;
+        }
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(packet.wire_bytes(), Ordering::Relaxed);
+        self.lanes[dest].lock().push(packet);
+    }
+
+    /// Takes everything queued for shard `dest`.
+    pub(crate) fn drain(&self, dest: usize) -> Vec<ShardPacket<M>> {
+        let mut lane = self.lanes[dest].lock();
+        let got = std::mem::take(&mut *lane);
+        self.pending.fetch_sub(got.len() as u64, Ordering::Relaxed);
+        got
+    }
+
+    /// Packets currently queued anywhere.
+    pub(crate) fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Serialized bytes posted since construction.
+    pub(crate) fn bytes_sent(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-partition registrations for end-of-iteration callbacks.
 #[derive(Debug)]
 pub(crate) struct NotifyBoard {
@@ -191,6 +288,30 @@ mod tests {
             8,
             "unicast entries must pack to 8 bytes for f32 payloads"
         );
+    }
+
+    #[test]
+    fn shard_bus_round_trip_and_accounting() {
+        let bus: ShardBus<u32> = ShardBus::new(3);
+        bus.post(
+            1,
+            ShardPacket::Unicasts(vec![(VertexId(9), 7), (VertexId(10), 8)]),
+        );
+        bus.post(
+            2,
+            ShardPacket::Multicast(vec![VertexId(1), VertexId(2), VertexId(3)], 5),
+        );
+        bus.post(0, ShardPacket::Activate(vec![VertexId(4)]));
+        bus.post(0, ShardPacket::Activate(Vec::new())); // no-op
+        assert_eq!(bus.pending(), 3);
+        // 2 packed (id, u32) pairs + 3 ids + 1 payload + 1 id.
+        assert_eq!(bus.bytes_sent(), 2 * 8 + (3 * 4 + 4) + 4);
+        assert_eq!(bus.drain(1).len(), 1);
+        assert_eq!(bus.pending(), 2);
+        assert_eq!(bus.drain(2).len(), 1);
+        assert_eq!(bus.drain(0).len(), 1);
+        assert_eq!(bus.pending(), 0);
+        assert!(bus.drain(0).is_empty());
     }
 
     #[test]

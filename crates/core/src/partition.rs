@@ -11,13 +11,21 @@
 //! Ranges keep the edge lists of a partition's vertices mostly
 //! adjacent on SSDs (lists are sorted by id), which is what lets a
 //! per-thread scheduler issue large merged reads (§3.8).
+//!
+//! Sharded execution adds a *window*: a shard's engine partitions only
+//! its own contiguous global id range `[lo, hi)` across its workers,
+//! applying the formula to the window-relative id `vid - lo`. The
+//! classic whole-graph map is the `[0, n)` window.
 
 use fg_types::VertexId;
 
 /// The horizontal partition map.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionMap {
-    num_vertices: usize,
+    /// First global vertex id of the window.
+    lo: usize,
+    /// One past the last global vertex id of the window.
+    hi: usize,
     num_partitions: usize,
     range_shift: u32,
 }
@@ -25,10 +33,20 @@ pub struct PartitionMap {
 impl PartitionMap {
     /// Builds a map for `num_vertices` over `num_partitions` with
     /// range size `2^range_shift`.
+    #[allow(dead_code)] // the unwindowed form; engine runs always window
     pub fn new(num_vertices: usize, num_partitions: usize, range_shift: u32) -> Self {
+        Self::new_window(0, num_vertices, num_partitions, range_shift)
+    }
+
+    /// Builds a map over the global id window `[lo, hi)` — the form a
+    /// shard's engine uses so its workers only ever own (and collect)
+    /// the shard's vertices.
+    pub fn new_window(lo: usize, hi: usize, num_partitions: usize, range_shift: u32) -> Self {
         assert!(num_partitions > 0, "need at least one partition");
+        assert!(lo <= hi, "window bounds out of order");
         PartitionMap {
-            num_vertices,
+            lo,
+            hi,
             num_partitions,
             range_shift,
         }
@@ -46,24 +64,39 @@ impl PartitionMap {
         1usize << self.range_shift
     }
 
-    /// The partition owning `v`.
+    /// The partition owning `v` (which must lie inside the window).
     #[inline]
     pub fn partition_of(&self, v: VertexId) -> usize {
-        ((v.0 >> self.range_shift) as usize) % self.num_partitions
+        debug_assert!(
+            (self.lo..self.hi).contains(&v.index()),
+            "{v} outside partition window {}..{}",
+            self.lo,
+            self.hi
+        );
+        ((v.index() - self.lo) >> self.range_shift) % self.num_partitions
     }
 
-    /// Iterates over the half-open vertex-index ranges of partition
-    /// `p`, ascending.
+    /// The window-relative range (region) index of `v` — what the
+    /// streaming scan keys its cover-sealing on, so covers never
+    /// bridge from one partition's id-range into the next.
+    #[inline]
+    pub fn region_of(&self, v: VertexId) -> u64 {
+        debug_assert!((self.lo..self.hi).contains(&v.index()));
+        ((v.index() - self.lo) >> self.range_shift) as u64
+    }
+
+    /// Iterates over the half-open global vertex-index ranges of
+    /// partition `p`, ascending.
     pub fn ranges_of(&self, p: usize) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
         let rl = self.range_len();
-        let n = self.num_vertices;
+        let (lo, hi) = (self.lo, self.hi);
         (p..)
             .step_by(self.num_partitions)
             .map(move |range_id| {
-                let start = range_id * rl;
-                start..((start + rl).min(n))
+                let start = lo + range_id * rl;
+                start..((start + rl).min(hi))
             })
-            .take_while(move |r| r.start < n)
+            .take_while(move |r| r.start < hi)
     }
 
     /// Total vertices assigned to partition `p` — the denominator of
@@ -129,6 +162,59 @@ mod tests {
     #[test]
     fn empty_graph_has_empty_ranges() {
         let m = PartitionMap::new(0, 2, 4);
+        assert_eq!(m.ranges_of(0).count(), 0);
+        assert_eq!(m.partition_len(1), 0);
+    }
+
+    #[test]
+    fn window_map_covers_exactly_the_window() {
+        let m = PartitionMap::new_window(100, 357, 3, 4);
+        let mut seen = vec![0u32; 357];
+        for p in 0..3 {
+            for r in m.ranges_of(p) {
+                assert!(r.start >= 100 && r.end <= 357);
+                for v in r {
+                    seen[v] += 1;
+                    assert_eq!(m.partition_of(VertexId(v as u32)), p);
+                }
+            }
+        }
+        assert!(seen[..100].iter().all(|&c| c == 0));
+        assert!(seen[100..].iter().all(|&c| c == 1));
+        let total: usize = (0..3).map(|p| m.partition_len(p)).sum();
+        assert_eq!(total, 257);
+    }
+
+    #[test]
+    fn window_map_matches_shifted_global_map() {
+        // A `[lo, hi)` window behaves exactly like a `[0, hi - lo)`
+        // map on shifted ids — the invariant that makes a 1-shard run
+        // reproduce the unsharded partitioning bit for bit.
+        let global = PartitionMap::new(500, 4, 5);
+        let window = PartitionMap::new_window(1000, 1500, 4, 5);
+        for v in 0..500u32 {
+            assert_eq!(
+                global.partition_of(VertexId(v)),
+                window.partition_of(VertexId(v + 1000))
+            );
+            assert_eq!(
+                global.region_of(VertexId(v)),
+                window.region_of(VertexId(v + 1000))
+            );
+        }
+        for p in 0..4 {
+            let a: Vec<_> = global.ranges_of(p).collect();
+            let b: Vec<_> = window
+                .ranges_of(p)
+                .map(|r| r.start - 1000..r.end - 1000)
+                .collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_window_has_no_ranges() {
+        let m = PartitionMap::new_window(64, 64, 2, 3);
         assert_eq!(m.ranges_of(0).count(), 0);
         assert_eq!(m.partition_len(1), 0);
     }

@@ -20,6 +20,7 @@
 //! | *(extension)* dense-iteration block scan (M-Flash's bimodal model) | `EngineConfig::scan_mode` — programs are unaffected: `run_on_vertex` sees the same slices whether an iteration was served selectively or by a streaming sweep |
 //! | *(extension)* compact external-memory layout (§3.5's motivation, pushed further) | `fg_format::ImageFormat::Compressed` — delta-varint edge blocks decoded inside [`PageVertex`]; programs are unaffected: same callbacks, same slices, strictly fewer device bytes per iteration |
 //! | *(extension)* pipelined callback scheduling (§3.4's async user tasks, taken to its conclusion) | `EngineConfig::pipeline` (default on) — `run_on_vertex` fires the moment its pages land, possibly on another worker, while later covers are already queued on the device; per-vertex callbacks stay serialized (never concurrent for one vertex), but *order across vertices and vertical passes is not global* — programs must not assume one pass's deliveries finish before the next pass's `run` |
+//! | *(extension)* sharded execution (scale-out of §3: one engine per image shard) | [`ShardedEngine`](crate::ShardedEngine) over a `fg_safs::ShardSet` — programs are unaffected: a vertex's handlers still run exclusively on its owning shard against the shared state vector; sends/multicasts/activations to foreign vertices travel as batched packets over the shard bus and are delivered at the same iteration barrier local ones are, and foreign edge-list requests are served from the owning shard's mount |
 
 use fg_types::VertexId;
 

@@ -39,13 +39,14 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use fg_format::GraphIndex;
-use fg_safs::{CacheStatsSnapshot, Safs};
+use fg_format::{GraphIndex, ShardedIndex};
+use fg_safs::{CacheStatsSnapshot, Safs, ShardSet};
 use fg_types::Result;
 
 use crate::config::EngineConfig;
 use crate::engine::{Engine, Init};
 use crate::program::VertexProgram;
+use crate::shard::ShardedEngine;
 use crate::stats::RunStats;
 
 /// Tunables of a [`GraphService`].
@@ -159,8 +160,7 @@ impl Drop for Permit<'_> {
 /// # }
 /// ```
 pub struct GraphService {
-    safs: Arc<Safs>,
-    index: Arc<GraphIndex>,
+    backend: ServeBackend,
     cfg: ServiceConfig,
     gate: Gate,
     admitted: AtomicU64,
@@ -169,10 +169,33 @@ pub struct GraphService {
     queue_wait_ns: AtomicU64,
 }
 
+/// What the service serves from: one shared mount, or one mount per
+/// shard of a sharded image (each admitted query then runs one
+/// [`ShardedEngine`] across all of them).
+enum ServeBackend {
+    Single {
+        safs: Arc<Safs>,
+        index: Arc<GraphIndex>,
+    },
+    Sharded {
+        set: Arc<ShardSet>,
+        index: Arc<ShardedIndex>,
+    },
+}
+
+impl ServeBackend {
+    fn num_vertices(&self) -> usize {
+        match self {
+            ServeBackend::Single { index, .. } => index.num_vertices(),
+            ServeBackend::Sharded { index, .. } => index.num_vertices(),
+        }
+    }
+}
+
 impl std::fmt::Debug for GraphService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GraphService")
-            .field("vertices", &self.index.num_vertices())
+            .field("vertices", &self.backend.num_vertices())
             .field("max_inflight", &self.cfg.max_inflight)
             .field("running", &self.gate.lock().running)
             .finish_non_exhaustive()
@@ -188,9 +211,42 @@ impl GraphService {
     /// A service over already-shared mount and index (when other
     /// subsystems — loaders, snapshotters — keep their own handles).
     pub fn from_shared(safs: Arc<Safs>, index: Arc<GraphIndex>, cfg: ServiceConfig) -> Self {
+        Self::with_backend(ServeBackend::Single { safs, index }, cfg)
+    }
+
+    /// A service over a sharded image: one mount per shard, every
+    /// admitted query running one [`ShardedEngine`] across all of
+    /// them. Concurrent queries share the shard caches and I/O
+    /// threads exactly as single-mount tenants share theirs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mount count differs from the shard count.
+    pub fn new_sharded(set: ShardSet, index: ShardedIndex, cfg: ServiceConfig) -> Self {
+        Self::from_shared_sharded(Arc::new(set), Arc::new(index), cfg)
+    }
+
+    /// [`GraphService::new_sharded`] over already-shared handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mount count differs from the shard count.
+    pub fn from_shared_sharded(
+        set: Arc<ShardSet>,
+        index: Arc<ShardedIndex>,
+        cfg: ServiceConfig,
+    ) -> Self {
+        assert_eq!(
+            set.len(),
+            index.num_shards(),
+            "one mount per shard of the index"
+        );
+        Self::with_backend(ServeBackend::Sharded { set, index }, cfg)
+    }
+
+    fn with_backend(backend: ServeBackend, cfg: ServiceConfig) -> Self {
         GraphService {
-            safs,
-            index,
+            backend,
             cfg,
             gate: Gate {
                 state: Mutex::new(GateState {
@@ -209,7 +265,7 @@ impl GraphService {
 
     /// Number of vertices in the served graph.
     pub fn num_vertices(&self) -> usize {
-        self.index.num_vertices()
+        self.backend.num_vertices()
     }
 
     /// The service configuration.
@@ -219,19 +275,58 @@ impl GraphService {
 
     /// The shared mount (for mount-wide statistics or resets between
     /// experiment phases).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded service (it has no single mount); use
+    /// [`GraphService::shard_set`].
     pub fn safs(&self) -> &Safs {
-        &self.safs
+        match &self.backend {
+            ServeBackend::Single { safs, .. } => safs,
+            ServeBackend::Sharded { .. } => {
+                panic!("sharded service has no single mount; use shard_set()")
+            }
+        }
     }
 
     /// The shared index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded service; use [`GraphService::sharded_index`].
     pub fn index(&self) -> &Arc<GraphIndex> {
-        &self.index
+        match &self.backend {
+            ServeBackend::Single { index, .. } => index,
+            ServeBackend::Sharded { .. } => {
+                panic!("sharded service has no single index; use sharded_index()")
+            }
+        }
+    }
+
+    /// The shard mounts of a sharded service, `None` otherwise.
+    pub fn shard_set(&self) -> Option<&Arc<ShardSet>> {
+        match &self.backend {
+            ServeBackend::Sharded { set, .. } => Some(set),
+            ServeBackend::Single { .. } => None,
+        }
+    }
+
+    /// The sharded index of a sharded service, `None` otherwise.
+    pub fn sharded_index(&self) -> Option<&Arc<ShardedIndex>> {
+        match &self.backend {
+            ServeBackend::Sharded { index, .. } => Some(index),
+            ServeBackend::Single { .. } => None,
+        }
     }
 
     /// Mount-wide page-cache counters — the aggregate across every
-    /// tenant, where cross-query hits show up.
+    /// tenant (and, sharded, across every shard cache), where
+    /// cross-query hits show up.
     pub fn cache_stats(&self) -> CacheStatsSnapshot {
-        self.safs.cache_stats()
+        match &self.backend {
+            ServeBackend::Single { safs, .. } => safs.cache_stats(),
+            ServeBackend::Sharded { set, .. } => set.cache_stats(),
+        }
     }
 
     /// Queries currently past admission.
@@ -279,8 +374,14 @@ impl GraphService {
         init: Init,
     ) -> Result<(Vec<P::State>, RunStats)> {
         let (permit, waited) = self.admit();
-        let engine = Engine::new_sem_shared(&self.safs, Arc::clone(&self.index), cfg);
-        let result = engine.run(program, init);
+        let result = match &self.backend {
+            ServeBackend::Single { safs, index } => {
+                Engine::new_sem_shared(safs, Arc::clone(index), cfg).run(program, init)
+            }
+            ServeBackend::Sharded { set, index } => {
+                ShardedEngine::new_shared(set, Arc::clone(index), cfg).run(program, init)
+            }
+        };
         drop(permit);
         result.map(|(states, mut stats)| {
             stats.queue_wait_ns = waited.as_nanos() as u64;
@@ -304,9 +405,49 @@ impl GraphService {
     }
 
     /// [`GraphService::query`] with a per-query configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded service (the closure is typed against the
+    /// single [`Engine`]); use [`GraphService::query_sharded_with`].
     pub fn query_with<R>(&self, cfg: EngineConfig, f: impl FnOnce(&Engine<'_>) -> R) -> R {
+        let ServeBackend::Single { safs, index } = &self.backend else {
+            panic!("sharded service: use query_sharded / query_sharded_with")
+        };
         let (permit, _waited) = self.admit();
-        let engine = Engine::new_sem_shared(&self.safs, Arc::clone(&self.index), cfg);
+        let engine = Engine::new_sem_shared(safs, Arc::clone(index), cfg);
+        let out = f(&engine);
+        drop(permit);
+        out
+    }
+
+    /// The sharded counterpart of [`GraphService::query`]: hands the
+    /// closure a borrowed [`ShardedEngine`] over the shared shard
+    /// mounts. With `fg_apps` generic over
+    /// [`crate::GraphEngine`], the same closures serve both.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-mount service.
+    pub fn query_sharded<R>(&self, f: impl FnOnce(&ShardedEngine<'_>) -> R) -> R {
+        self.query_sharded_with(self.cfg.engine, f)
+    }
+
+    /// [`GraphService::query_sharded`] with a per-query configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-mount service.
+    pub fn query_sharded_with<R>(
+        &self,
+        cfg: EngineConfig,
+        f: impl FnOnce(&ShardedEngine<'_>) -> R,
+    ) -> R {
+        let ServeBackend::Sharded { set, index } = &self.backend else {
+            panic!("single-mount service: use query / query_with")
+        };
+        let (permit, _waited) = self.admit();
+        let engine = ShardedEngine::new_shared(set, Arc::clone(index), cfg);
         let out = f(&engine);
         drop(permit);
         out

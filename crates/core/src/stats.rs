@@ -47,6 +47,25 @@ pub struct IterStats {
     pub stream_stripes: u64,
 }
 
+impl IterStats {
+    /// Folds another shard's trace of the *same* iteration into this
+    /// one: counters sum, wall/busy times take the slowest shard
+    /// (shards run the iteration concurrently), `scan` ORs.
+    pub fn absorb(&mut self, other: &IterStats) {
+        self.frontier += other.frontier;
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
+        self.read_requests += other.read_requests;
+        self.bytes_read += other.bytes_read;
+        self.bytes_requested += other.bytes_requested;
+        self.issued_requests += other.issued_requests;
+        self.edges_delivered += other.edges_delivered;
+        self.io_busy_ns = self.io_busy_ns.max(other.io_busy_ns);
+        self.scan |= other.scan;
+        self.stream_partitions += other.stream_partitions;
+        self.stream_stripes += other.stream_stripes;
+    }
+}
+
 /// Statistics of one [`crate::Engine::run`].
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -81,6 +100,10 @@ pub struct RunStats {
     /// admission queue before its engine run began. Zero for runs
     /// invoked directly on an [`crate::Engine`].
     pub queue_wait_ns: u64,
+    /// Serialized bytes of batched cross-shard packets this run (or
+    /// this shard of a sharded run) posted to the shard bus. Zero for
+    /// unsharded runs.
+    pub shard_msg_bytes: u64,
     /// Device statistics delta over the run (semi-external mode only).
     pub io: Option<IoStatsSnapshot>,
     /// Page-cache lookups performed by *this run's own* I/O sessions
@@ -98,6 +121,53 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Folds another engine's statistics of the *same concurrent run*
+    /// into this one — how a sharded run rolls its per-shard stats up
+    /// into one aggregate. Work counters (activations, messages,
+    /// requests, bytes, edges, compute time, cross-shard traffic)
+    /// sum; times that elapse concurrently (`elapsed`, `wait_ns`,
+    /// `queue_wait_ns`) take the slowest shard; `iterations` takes
+    /// the max (shards iterate in lockstep, so they agree); I/O and
+    /// cache snapshots absorb (distinct devices concatenate, see
+    /// [`IoStatsSnapshot::absorb`]); per-iteration traces merge row
+    /// by row via [`IterStats::absorb`].
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.iterations = self.iterations.max(other.iterations);
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.compute_ns += other.compute_ns;
+        self.wait_ns = self.wait_ns.max(other.wait_ns);
+        self.activations += other.activations;
+        self.messages_sent += other.messages_sent;
+        self.vertices_processed += other.vertices_processed;
+        self.engine_requests += other.engine_requests;
+        self.issued_requests += other.issued_requests;
+        self.bytes_requested += other.bytes_requested;
+        self.edges_delivered += other.edges_delivered;
+        self.queue_wait_ns = self.queue_wait_ns.max(other.queue_wait_ns);
+        self.shard_msg_bytes += other.shard_msg_bytes;
+        match (&mut self.io, &other.io) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (io @ None, Some(theirs)) => *io = Some(theirs.clone()),
+            _ => {}
+        }
+        match (&mut self.cache, &other.cache) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (cache @ None, Some(theirs)) => *cache = Some(*theirs),
+            _ => {}
+        }
+        match (&mut self.cache_mount, &other.cache_mount) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (cache @ None, Some(theirs)) => *cache = Some(*theirs),
+            _ => {}
+        }
+        for (i, row) in other.per_iteration.iter().enumerate() {
+            match self.per_iteration.get_mut(i) {
+                Some(mine) => mine.absorb(row),
+                None => self.per_iteration.push(row.clone()),
+            }
+        }
+    }
+
     /// The roofline runtime model used throughout the reproduction's
     /// figures: computation and I/O overlap (the engine's async
     /// user-task design), so modeled runtime is the maximum of the
@@ -166,11 +236,113 @@ mod tests {
             bytes_requested: 300,
             edges_delivered: 75,
             queue_wait_ns: 0,
+            shard_msg_bytes: 0,
             io: None,
             cache: None,
             cache_mount: None,
             per_iteration: Vec::new(),
         }
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_waits() {
+        let mut a = base();
+        a.wait_ns = 10;
+        a.shard_msg_bytes = 100;
+        a.per_iteration.push(IterStats {
+            frontier: 5,
+            wall_ns: 50,
+            read_requests: 1,
+            bytes_read: 4096,
+            bytes_requested: 100,
+            issued_requests: 1,
+            edges_delivered: 25,
+            io_busy_ns: 9,
+            scan: false,
+            stream_partitions: 0,
+            stream_stripes: 0,
+        });
+        let mut b = base();
+        b.iterations = 5;
+        b.elapsed = Duration::from_millis(25);
+        b.wait_ns = 7;
+        b.shard_msg_bytes = 40;
+        b.io = Some(IoStatsSnapshot {
+            read_requests: 2,
+            pages_read: 2,
+            bytes_read: 8192,
+            write_requests: 0,
+            pages_written: 0,
+            bytes_written: 0,
+            per_ssd_busy_ns: vec![3, 4],
+            max_busy_ns: 4,
+            total_busy_ns: 7,
+            depth_samples: 0,
+            depth_sum: 0,
+            depth_zero_dips: 0,
+            depth_max: 0,
+        });
+        b.per_iteration.push(IterStats {
+            frontier: 2,
+            wall_ns: 80,
+            read_requests: 3,
+            bytes_read: 4096,
+            bytes_requested: 50,
+            issued_requests: 2,
+            edges_delivered: 10,
+            io_busy_ns: 4,
+            scan: true,
+            stream_partitions: 1,
+            stream_stripes: 2,
+        });
+        a.absorb(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.elapsed, Duration::from_millis(25));
+        assert_eq!(a.compute_ns, 2);
+        assert_eq!(a.wait_ns, 10, "waits elapse concurrently: max, not sum");
+        assert_eq!(a.activations, 6);
+        assert_eq!(a.messages_sent, 8);
+        assert_eq!(a.vertices_processed, 10);
+        assert_eq!(a.engine_requests, 12);
+        assert_eq!(a.issued_requests, 6);
+        assert_eq!(a.bytes_requested, 600);
+        assert_eq!(a.edges_delivered, 150);
+        assert_eq!(a.shard_msg_bytes, 140);
+        let io = a.io.unwrap();
+        assert_eq!(io.read_requests, 2);
+        assert_eq!(io.per_ssd_busy_ns, vec![3, 4]);
+        // Per-iteration rows merged element-wise.
+        assert_eq!(a.per_iteration.len(), 1);
+        let row = &a.per_iteration[0];
+        assert_eq!(row.frontier, 7);
+        assert_eq!(row.wall_ns, 80);
+        assert_eq!(row.read_requests, 4);
+        assert_eq!(row.edges_delivered, 35);
+        assert_eq!(row.io_busy_ns, 9);
+        assert!(row.scan);
+        assert_eq!(row.stream_stripes, 2);
+    }
+
+    #[test]
+    fn absorb_extends_with_longer_traces() {
+        let mut a = base();
+        let mut b = base();
+        b.per_iteration.push(IterStats {
+            frontier: 1,
+            wall_ns: 1,
+            read_requests: 0,
+            bytes_read: 0,
+            bytes_requested: 0,
+            issued_requests: 0,
+            edges_delivered: 0,
+            io_busy_ns: 0,
+            scan: false,
+            stream_partitions: 0,
+            stream_stripes: 0,
+        });
+        a.absorb(&b);
+        assert_eq!(a.per_iteration.len(), 1);
+        assert_eq!(a.per_iteration[0].frontier, 1);
     }
 
     #[test]

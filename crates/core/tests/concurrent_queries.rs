@@ -67,7 +67,7 @@ fn mixed_queries_match_oracles_and_cache_books_balance() {
             let svc = Arc::clone(&svc);
             let oracle = &wcc_oracle;
             s.spawn(move || {
-                let (labels, _) = svc.query(fg_apps::wcc).unwrap();
+                let (labels, _) = svc.query(|e| fg_apps::wcc(e)).unwrap();
                 assert_eq!(&labels, oracle, "WCC diverged from union-find oracle");
             });
         }
@@ -127,7 +127,7 @@ fn concurrent_tenants_hit_each_others_pages() {
     };
     let alone_wcc = {
         let svc = fresh_service(&g, cache_pages, 2);
-        svc.query(fg_apps::wcc).unwrap();
+        svc.query(|e| fg_apps::wcc(e)).unwrap();
         svc.cache_stats().hits
     };
 
@@ -139,7 +139,7 @@ fn concurrent_tenants_hit_each_others_pages() {
         let svc_a = Arc::clone(&svc);
         let svc_b = Arc::clone(&svc);
         let a = s.spawn(move || svc_a.query(|e| fg_apps::bfs(e, VertexId(0))).unwrap());
-        let b = s.spawn(move || svc_b.query(fg_apps::wcc).unwrap());
+        let b = s.spawn(move || svc_b.query(|e| fg_apps::wcc(e)).unwrap());
         assert_eq!(a.join().unwrap().0, bfs_oracle);
         assert_eq!(b.join().unwrap().0, wcc_oracle);
     });
@@ -164,7 +164,7 @@ fn concurrent_tenants_hit_each_others_pages() {
         "cold-mount BFS never went to the device; baseline is vacuous"
     );
     let svc2 = fresh_service(&g, cache_pages, 2);
-    svc2.query(fg_apps::wcc).unwrap();
+    svc2.query(|e| fg_apps::wcc(e)).unwrap();
     let (levels, stats) = svc2.query(|e| fg_apps::bfs(e, VertexId(0))).unwrap();
     assert_eq!(levels, bfs_oracle);
     let warm = stats.cache.unwrap();

@@ -202,12 +202,13 @@ struct Plan {
 /// write a raw (v1) image instead. Without this guard the degree
 /// would silently collide with the flag bit and corrupt the length
 /// table.
-fn plan_blocks(g: &Graph, dir: EdgeDir, k: u32, force_raw: bool) -> Vec<u32> {
+fn plan_blocks(g: &Graph, dir: EdgeDir, k: u32, force_raw: bool, lo: usize, hi: usize) -> Vec<u32> {
     let csr = g.csr(dir);
-    let mut blocks = Vec::with_capacity(csr.num_vertices());
+    let mut blocks = Vec::with_capacity(hi - lo);
     let mut ids = Vec::new();
     let mut scratch = Vec::new();
-    for (i, list) in csr.lists().enumerate() {
+    for i in lo..hi {
+        let list = csr.neighbors(VertexId::from_index(i));
         assert!(
             (list.len() as u64 * 4) < u64::from(RAW_LIST_FLAG),
             "vertex {i}: degree {} exceeds the v2 per-block length limit \
@@ -236,8 +237,23 @@ fn plan_blocks(g: &Graph, dir: EdgeDir, k: u32, force_raw: bool) -> Vec<u32> {
 /// Computes the section layout (and, for v2, block lengths) for `g`
 /// without writing anything.
 fn plan(g: &Graph, opts: &WriteOptions) -> Plan {
+    plan_window(g, opts, 0, g.num_vertices())
+}
+
+/// Windowed [`plan`]: the layout of an image holding only vertices
+/// `[lo, hi)` of `g` — the per-shard building block of
+/// [`write_sharded_image`]. Vertex `lo + i` becomes local id `i` in
+/// the shard image (section positions are local); edge *values* stay
+/// global vertex ids, so shard lists splice back losslessly.
+fn plan_window(g: &Graph, opts: &WriteOptions, lo: usize, hi: usize) -> Plan {
     assert!(opts.skip_interval > 0, "skip interval must be positive");
-    let n = g.num_vertices() as u64;
+    assert!(
+        lo <= hi && hi <= g.num_vertices(),
+        "window [{lo}, {hi}) outside graph of {} vertices",
+        g.num_vertices()
+    );
+    let whole = lo == 0 && hi == g.num_vertices();
+    let n = (hi - lo) as u64;
     let directed = g.is_directed();
     let weighted = g.has_weights();
     let compressed = opts.format == ImageFormat::Compressed;
@@ -245,16 +261,23 @@ fn plan(g: &Graph, opts: &WriteOptions) -> Plan {
     let (out_blocks, in_blocks) = if compressed {
         let k = opts.skip_interval;
         (
-            Some(plan_blocks(g, EdgeDir::Out, k, weighted)),
-            directed.then(|| plan_blocks(g, EdgeDir::In, k, weighted)),
+            Some(plan_blocks(g, EdgeDir::Out, k, weighted, lo, hi)),
+            directed.then(|| plan_blocks(g, EdgeDir::In, k, weighted, lo, hi)),
         )
     } else {
         (None, None)
     };
+    // Edge-list entries the window covers in one direction (a byte
+    // extent of the CSR, like `GraphIndex::locate_extent` over the
+    // on-SSD image).
+    let entries = |dir: EdgeDir| -> u64 {
+        let off = g.csr(dir).offsets();
+        off[hi] - off[lo]
+    };
     let section_bytes = |blocks: &Option<Vec<u32>>, dir: EdgeDir| -> u64 {
         match blocks {
             Some(b) => b.iter().map(|&l| (l & !RAW_LIST_FLAG) as u64).sum(),
-            None => g.csr(dir).num_edges() * 4,
+            None => entries(dir) * 4,
         }
     };
     let out_bytes = section_bytes(&out_blocks, EdgeDir::Out);
@@ -263,9 +286,9 @@ fn plan(g: &Graph, opts: &WriteOptions) -> Plan {
     } else {
         0
     };
-    let out_attr_bytes = g.csr(EdgeDir::Out).num_edges() * 4;
+    let out_attr_bytes = entries(EdgeDir::Out) * 4;
     let in_attr_bytes = if directed {
-        g.csr(EdgeDir::In).num_edges() * 4
+        entries(EdgeDir::In) * 4
     } else {
         0
     };
@@ -308,7 +331,14 @@ fn plan(g: &Graph, opts: &WriteOptions) -> Plan {
     Plan {
         meta: ImageMeta {
             num_vertices: n,
-            num_edges: g.num_edges(),
+            // Shard windows report the edge-list entries they store
+            // (out direction); only the whole image knows the graph's
+            // undirected edge count.
+            num_edges: if whole {
+                g.num_edges()
+            } else {
+                entries(EdgeDir::Out)
+            },
             directed,
             weighted,
             format: opts.format,
@@ -381,8 +411,10 @@ where
     })
 }
 
-/// Streams one direction's v2 blocks: per vertex, either the raw
-/// `u32` run or the compressed block, exactly as sized by `blocks`.
+/// Streams one direction's v2 blocks: per vertex of the window
+/// starting at `lo`, either the raw `u32` run or the compressed
+/// block, exactly as sized by `blocks`.
+#[allow(clippy::too_many_arguments)] // internal writer plumbing, all call sites in this file
 fn write_block_section(
     array: &SsdArray,
     offset: u64,
@@ -391,9 +423,10 @@ fn write_block_section(
     dir: EdgeDir,
     blocks: &[u32],
     k: u32,
+    lo: usize,
 ) -> Result<()> {
     let csr = g.csr(dir);
-    let mut lists = csr.lists().enumerate();
+    let mut lists = (0..blocks.len()).map(|i| (i, csr.neighbors(VertexId::from_index(lo + i))));
     let mut ids = Vec::new();
     write_stream(array, offset, total, |buf| {
         for (i, list) in lists.by_ref() {
@@ -448,6 +481,24 @@ pub fn write_image(g: &Graph, array: &SsdArray) -> Result<ImageMeta> {
 /// lists are not sorted (the [`fg_graph::GraphBuilder`] invariant;
 /// see [`fg_graph::Csr::lists_sorted`]).
 pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Result<ImageMeta> {
+    write_image_window(g, array, opts, 0, g.num_vertices())
+}
+
+/// Writes the image of vertices `[lo, hi)` of `g` — one shard of a
+/// sharded image. Local id `i` in the shard is global vertex
+/// `lo + i`; edge values stay global ids. `write_image_with` is the
+/// `[0, n)` case.
+///
+/// # Errors
+///
+/// See [`write_image_with`].
+pub fn write_image_window(
+    g: &Graph,
+    array: &SsdArray,
+    opts: &WriteOptions,
+    lo: usize,
+    hi: usize,
+) -> Result<ImageMeta> {
     if opts.format == ImageFormat::Compressed {
         assert!(
             g.csr(EdgeDir::Out).lists_sorted()
@@ -461,7 +512,7 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
         in_blocks,
         out_bytes,
         in_bytes,
-    } = plan(g, opts);
+    } = plan_window(g, opts, lo, hi);
     if array.capacity() < meta.total_bytes {
         return Err(FgError::InvalidRequest(format!(
             "array capacity {} below image size {}",
@@ -502,17 +553,16 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
     }
     array.write(0, &header)?;
 
-    let n = g.num_vertices();
     let out_csr = g.csr(EdgeDir::Out);
 
     // Degree section.
     let dirs: u64 = if meta.directed { 2 } else { 1 };
     let deg_total = meta.num_vertices * 4 * dirs;
     if deg_total > 0 {
-        let out_degs = (0..n).map(|i| out_csr.degree(VertexId::from_index(i)) as u32);
+        let out_degs = (lo..hi).map(|i| out_csr.degree(VertexId::from_index(i)) as u32);
         if meta.directed {
             let in_csr = g.csr(EdgeDir::In);
-            let in_degs = (0..n).map(|i| in_csr.degree(VertexId::from_index(i)) as u32);
+            let in_degs = (lo..hi).map(|i| in_csr.degree(VertexId::from_index(i)) as u32);
             write_u32_section(array, meta.deg_offset, deg_total, out_degs.chain(in_degs))?;
         } else {
             write_u32_section(array, meta.deg_offset, deg_total, out_degs)?;
@@ -535,6 +585,11 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
 
     // Edge sections — sized by the plan, so the writer streams
     // exactly the bytes the header's section table promised.
+    let window_entries = |dir: EdgeDir| {
+        let csr = g.csr(dir);
+        let off = csr.offsets();
+        &csr.neighbor_array()[off[lo] as usize..off[hi] as usize]
+    };
     let out_total = out_bytes;
     if out_total > 0 {
         match &out_blocks {
@@ -546,17 +601,17 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
                 EdgeDir::Out,
                 b,
                 meta.skip_interval,
+                lo,
             )?,
             None => write_u32_section(
                 array,
                 meta.out_edges_offset,
                 out_total,
-                out_csr.neighbor_array().iter().map(|v| v.0),
+                window_entries(EdgeDir::Out).iter().map(|v| v.0),
             )?,
         }
     }
     if meta.directed {
-        let in_csr = g.csr(EdgeDir::In);
         let in_total = in_bytes;
         if in_total > 0 {
             match &in_blocks {
@@ -568,12 +623,13 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
                     EdgeDir::In,
                     b,
                     meta.skip_interval,
+                    lo,
                 )?,
                 None => write_u32_section(
                     array,
                     meta.in_edges_offset,
                     in_total,
-                    in_csr.neighbor_array().iter().map(|v| v.0),
+                    window_entries(EdgeDir::In).iter().map(|v| v.0),
                 )?,
             }
         }
@@ -585,7 +641,7 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
     if meta.weighted {
         let weights = |dir: EdgeDir| {
             let csr = g.csr(dir);
-            (0..n).flat_map(move |i| {
+            (lo..hi).flat_map(move |i| {
                 csr.weights_of(VertexId::from_index(i))
                     .expect("weighted graph has weights")
                     .iter()
@@ -593,7 +649,11 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
                     .collect::<Vec<_>>()
             })
         };
-        let out_attr_bytes = out_csr.num_edges() * 4;
+        let attr_bytes = |dir: EdgeDir| {
+            let off = g.csr(dir).offsets();
+            (off[hi] - off[lo]) * 4
+        };
+        let out_attr_bytes = attr_bytes(EdgeDir::Out);
         if out_attr_bytes > 0 {
             write_u32_section(
                 array,
@@ -603,7 +663,7 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
             )?;
         }
         if meta.directed {
-            let in_attr_bytes = g.csr(EdgeDir::In).num_edges() * 4;
+            let in_attr_bytes = attr_bytes(EdgeDir::In);
             if in_attr_bytes > 0 {
                 write_u32_section(
                     array,
@@ -616,6 +676,67 @@ pub fn write_image_with(g: &Graph, array: &SsdArray, opts: &WriteOptions) -> Res
     }
 
     Ok(meta)
+}
+
+/// Even contiguous vertex-range split of `n` vertices into `shards`
+/// parts: `shards + 1` ascending bounds with `bounds[s]..bounds[s+1]`
+/// the global id range of shard `s`. The first `n % shards` shards
+/// take one extra vertex.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_bounds(n: usize, shards: usize) -> Vec<usize> {
+    assert!(shards > 0, "at least one shard");
+    let base = n / shards;
+    let extra = n % shards;
+    let mut bounds = Vec::with_capacity(shards + 1);
+    let mut at = 0usize;
+    bounds.push(0);
+    for s in 0..shards {
+        at += base + usize::from(s < extra);
+        bounds.push(at);
+    }
+    bounds
+}
+
+/// Bytes of array capacity each of `shards` arrays needs for the
+/// sharded image of `g` under `opts` (same split as
+/// [`write_sharded_image`]).
+pub fn required_shard_capacities(g: &Graph, opts: &WriteOptions, shards: usize) -> Vec<u64> {
+    let bounds = shard_bounds(g.num_vertices(), shards);
+    (0..shards)
+        .map(|s| {
+            plan_window(g, opts, bounds[s], bounds[s + 1])
+                .meta
+                .total_bytes
+        })
+        .collect()
+}
+
+/// Writes `g` as one image per array, each holding an even contiguous
+/// vertex range ([`shard_bounds`]) — the on-SSD layout of sharded
+/// execution: shard `s` serves global vertices
+/// `bounds[s]..bounds[s+1]` as local ids `0..len`, with edge values
+/// kept global so cross-shard edges need no translation. Every shard
+/// is itself a complete, self-validating image
+/// ([`load_index`]-compatible); `ShardedIndex::load` reassembles the
+/// global view.
+///
+/// # Errors
+///
+/// See [`write_image_with`] — per shard, against its own array.
+pub fn write_sharded_image(
+    g: &Graph,
+    arrays: &[SsdArray],
+    opts: &WriteOptions,
+) -> Result<Vec<ImageMeta>> {
+    let bounds = shard_bounds(g.num_vertices(), arrays.len());
+    arrays
+        .iter()
+        .enumerate()
+        .map(|(s, array)| write_image_window(g, array, opts, bounds[s], bounds[s + 1]))
+        .collect()
 }
 
 /// Reads and validates the header page.

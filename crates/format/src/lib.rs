@@ -42,12 +42,15 @@
 pub mod codec;
 mod image;
 mod index;
+mod sharded;
 
 pub use image::{
-    load_index, read_list, read_meta, required_capacity, required_capacity_with, write_image,
-    write_image_with, ImageFormat, ImageMeta, WriteOptions, SECTION_ALIGN,
+    load_index, read_list, read_meta, required_capacity, required_capacity_with,
+    required_shard_capacities, shard_bounds, write_image, write_image_window, write_image_with,
+    write_sharded_image, ImageFormat, ImageMeta, WriteOptions, SECTION_ALIGN,
 };
 pub use index::{
     EdgeListLoc, GraphIndex, ListSlice, PackedDirInput, SliceDecode, VarintSlice,
     CHECKPOINT_INTERVAL, LARGE_DEGREE,
 };
+pub use sharded::ShardedIndex;

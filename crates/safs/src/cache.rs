@@ -79,6 +79,16 @@ pub struct CacheStatsSnapshot {
 }
 
 impl CacheStatsSnapshot {
+    /// Folds `other` into `self` — the aggregate view over several
+    /// independent caches (one per shard mount).
+    pub fn absorb(&mut self, other: &CacheStatsSnapshot) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.insertions += other.insertions;
+    }
+
     /// Hit fraction in `[0, 1]`; 0 when no lookups happened.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

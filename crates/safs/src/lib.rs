@@ -56,8 +56,10 @@ mod config;
 mod io_thread;
 mod page;
 mod safs;
+mod shard_set;
 
 pub use cache::{CacheStats, CacheStatsSnapshot, PageCache};
 pub use config::SafsConfig;
 pub use page::{Page, PageSpan};
 pub use safs::{Completion, IoSession, Safs};
+pub use shard_set::ShardSet;

@@ -1,0 +1,156 @@
+//! N independent SAFS mounts, one per shard of a sharded image.
+//!
+//! Sharded execution (ISSUE 7 / the ROADMAP scale-out item) runs one
+//! engine per vertex-range shard, and each shard gets what a single
+//! run used to monopolize: its own array, its own page cache, and its
+//! own I/O threads. [`ShardSet`] owns those mounts. Nothing is shared
+//! between them — aggregate device bandwidth is the point — so the
+//! set is mostly a container, plus the roll-up statistics views the
+//! sharded driver reports from.
+
+use fg_ssdsim::{IoStatsSnapshot, SsdArray};
+use fg_types::Result;
+
+use crate::cache::CacheStatsSnapshot;
+use crate::config::SafsConfig;
+use crate::safs::Safs;
+
+/// One SAFS mount per shard array. Dropping the set shuts every
+/// mount's I/O threads down.
+#[derive(Debug)]
+pub struct ShardSet {
+    mounts: Vec<Safs>,
+}
+
+impl ShardSet {
+    /// Mounts each array under its own copy of `cfg` (same page size,
+    /// cache budget, and I/O thread count per shard — the symmetric
+    /// layout [`crate::Safs`] benchmarks use). The cache budget in
+    /// `cfg` is *per shard*: N shards hold N caches of that size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fg_types::FgError::InvalidConfig`] when `cfg` is
+    /// invalid or `arrays` is empty.
+    pub fn new(cfg: SafsConfig, arrays: Vec<SsdArray>) -> Result<Self> {
+        if arrays.is_empty() {
+            return Err(fg_types::FgError::InvalidConfig(
+                "a shard set needs at least one array".into(),
+            ));
+        }
+        let mounts = arrays
+            .into_iter()
+            .map(|a| Safs::new(cfg, a))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardSet { mounts })
+    }
+
+    /// Wraps already-mounted filesystems, in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mounts` is empty or the mounts disagree on page
+    /// size (one image layout must address all of them).
+    pub fn from_mounts(mounts: Vec<Safs>) -> Self {
+        assert!(!mounts.is_empty(), "a shard set needs at least one mount");
+        let pb = mounts[0].page_bytes();
+        assert!(
+            mounts.iter().all(|m| m.page_bytes() == pb),
+            "shard mounts disagree on page size"
+        );
+        ShardSet { mounts }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mounts.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mounts.is_empty()
+    }
+
+    /// Shard `s`'s mount.
+    #[inline]
+    pub fn shard(&self, s: usize) -> &Safs {
+        &self.mounts[s]
+    }
+
+    /// Iterates the mounts in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = &Safs> {
+        self.mounts.iter()
+    }
+
+    /// Page size shared by every mount.
+    #[inline]
+    pub fn page_bytes(&self) -> u64 {
+        self.mounts[0].page_bytes()
+    }
+
+    /// Resets cache and device statistics on every mount.
+    pub fn reset_stats(&self) {
+        for m in &self.mounts {
+            m.reset_stats();
+        }
+    }
+
+    /// Aggregate device statistics across all shard arrays
+    /// (per-drive busy times concatenated in shard order).
+    pub fn io_stats(&self) -> IoStatsSnapshot {
+        let mut agg = self.mounts[0].array().stats().snapshot();
+        for m in &self.mounts[1..] {
+            agg.absorb(&m.array().stats().snapshot());
+        }
+        agg
+    }
+
+    /// Aggregate page-cache statistics across all shard caches.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        let mut agg = self.mounts[0].cache_stats();
+        for m in &self.mounts[1..] {
+            agg.absorb(&m.cache_stats());
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_ssdsim::ArrayConfig;
+
+    fn set_of(n: usize) -> ShardSet {
+        let arrays = (0..n)
+            .map(|_| SsdArray::new_mem(ArrayConfig::small_test(), 1 << 16).unwrap())
+            .collect();
+        ShardSet::new(SafsConfig::default_test(), arrays).unwrap()
+    }
+
+    #[test]
+    fn mounts_are_independent() {
+        let set = set_of(3);
+        assert_eq!(set.len(), 3);
+        set.shard(1).array().write(0, &[7u8; 4096]).unwrap();
+        let span = set.shard(1).read_sync(0, 16).unwrap();
+        assert_eq!(span.to_vec(), vec![7u8; 16]);
+        // Only shard 1's device saw traffic.
+        let s0 = set.shard(0).array().stats().snapshot();
+        let s1 = set.shard(1).array().stats().snapshot();
+        assert_eq!(s0.read_requests, 0);
+        assert!(s1.read_requests > 0);
+        // ... and the aggregate sees exactly that one shard's reads.
+        assert_eq!(set.io_stats().read_requests, s1.read_requests);
+        assert!(set.cache_stats().misses > 0);
+        set.reset_stats();
+        assert_eq!(set.io_stats().read_requests, 0);
+        assert_eq!(set.cache_stats().lookups, 0);
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert!(ShardSet::new(SafsConfig::default_test(), Vec::new()).is_err());
+    }
+}

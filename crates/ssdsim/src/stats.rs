@@ -221,6 +221,29 @@ impl IoStatsSnapshot {
         }
     }
 
+    /// Folds `other` into `self` as the aggregate of *distinct
+    /// devices* (e.g. one array per shard): counters sum, per-drive
+    /// busy times concatenate (the drives are disjoint), and maxima
+    /// take the max. Queue-depth gauges sum sample-wise, so
+    /// [`IoStatsSnapshot::mean_queue_depth`] of the aggregate is the
+    /// sample-weighted mean across devices.
+    pub fn absorb(&mut self, other: &IoStatsSnapshot) {
+        self.read_requests += other.read_requests;
+        self.pages_read += other.pages_read;
+        self.bytes_read += other.bytes_read;
+        self.write_requests += other.write_requests;
+        self.pages_written += other.pages_written;
+        self.bytes_written += other.bytes_written;
+        self.per_ssd_busy_ns
+            .extend_from_slice(&other.per_ssd_busy_ns);
+        self.max_busy_ns = self.max_busy_ns.max(other.max_busy_ns);
+        self.total_busy_ns += other.total_busy_ns;
+        self.depth_samples += other.depth_samples;
+        self.depth_sum += other.depth_sum;
+        self.depth_zero_dips += other.depth_zero_dips;
+        self.depth_max = self.depth_max.max(other.depth_max);
+    }
+
     /// Mean request size in bytes (0 when no reads happened).
     pub fn mean_read_bytes(&self) -> f64 {
         if self.read_requests == 0 {

@@ -1,0 +1,222 @@
+//! Property tests for sharded execution: N cooperating engines over a
+//! partitioned image must be indistinguishable from one engine over
+//! the whole image — same per-vertex results, same delivered edges —
+//! for arbitrary random graphs, shard counts, image formats, and scan
+//! modes.
+//!
+//! `FG_SHARDS=k` pins the shard count (the CI stress job uses it to
+//! drive every property through a fixed multi-shard layout);
+//! `FG_IMAGE_FORMAT=compressed` flows through
+//! [`WriteOptions::from_env`] exactly as in `prop_pipeline`.
+
+use fg_bench::build_shard_fixture;
+use fg_format::WriteOptions;
+use fg_graph::{gen, Graph, GraphBuilder};
+use fg_safs::{Safs, SafsConfig};
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use fg_types::{EdgeDir, VertexId};
+use flashgraph::{
+    Engine, EngineConfig, Init, PageVertex, Request, ScanMode, ShardedEngine, VertexContext,
+    VertexProgram,
+};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = (Vec<(u32, u32)>, u32)> {
+    (
+        prop::collection::vec((0u32..150, 0u32..150), 1..400),
+        0u32..150,
+    )
+}
+
+fn build_graph(edges: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::directed();
+    for &(s, d) in edges {
+        b.add_edge(VertexId(s), VertexId(d));
+    }
+    b.build()
+}
+
+/// The shard counts every property sweeps: `FG_SHARDS=k` pins one,
+/// otherwise 1 (the degenerate reproduction case) through 4.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("FG_SHARDS").ok().and_then(|s| s.parse().ok()) {
+        Some(k) if k >= 1 => vec![k],
+        _ => vec![1, 2, 3, 4],
+    }
+}
+
+/// One mount per shard over the format `FG_IMAGE_FORMAT` selects.
+fn sharded_fixture(
+    g: &Graph,
+    shards: usize,
+    opts: &WriteOptions,
+) -> (fg_safs::ShardSet, fg_format::ShardedIndex) {
+    let fx = build_shard_fixture(
+        g,
+        0.25,
+        SafsConfig::default(),
+        ArrayConfig::small_test(),
+        opts,
+        shards,
+    )
+    .unwrap();
+    (fx.set, fx.index)
+}
+
+/// Unsharded mount of the same image format — the 1-engine baseline.
+fn sem_mount(g: &Graph, opts: &WriteOptions) -> (Safs, fg_format::GraphIndex) {
+    let array = SsdArray::new_mem(
+        ArrayConfig::small_test(),
+        fg_format::required_capacity_with(g, opts),
+    )
+    .unwrap();
+    fg_format::write_image_with(g, &array, opts).unwrap();
+    let (_, index) = fg_format::load_index(&array).unwrap();
+    let safs = Safs::new(SafsConfig::default().with_cache_bytes(8 * 4096), array).unwrap();
+    (safs, index)
+}
+
+/// Frontier BFS recording discovery levels (same probe as
+/// `prop_pipeline`): results depend on exact frontier evolution, so
+/// any divergence in activation routing across the shard bus shows.
+struct LevelBfs;
+
+#[derive(Default, Clone, PartialEq, Debug)]
+struct LState {
+    level: Option<u32>,
+}
+
+impl VertexProgram for LevelBfs {
+    type State = LState;
+    type Msg = ();
+    fn run(&self, v: VertexId, state: &mut LState, ctx: &mut VertexContext<'_, ()>) {
+        if state.level.is_none() {
+            state.level = Some(ctx.iteration());
+            ctx.request(v, Request::edges(EdgeDir::Out));
+        }
+    }
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        _s: &mut LState,
+        vertex: &PageVertex<'_>,
+        ctx: &mut VertexContext<'_, ()>,
+    ) {
+        for dst in vertex.edges() {
+            ctx.activate(dst);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sharded_bfs_and_wcc_match_oracles((edges, seed) in graph_strategy()) {
+        let g = build_graph(&edges);
+        let root = VertexId(seed % g.num_vertices().max(1) as u32);
+        let bfs_oracle = fg_baselines::direct::bfs_levels(&g, root);
+        let wcc_oracle = fg_baselines::direct::wcc_labels(&g);
+        let mem = Engine::new_mem(&g, EngineConfig::small());
+        let (_, mem_bfs_stats) = fg_apps::bfs(&mem, root).unwrap();
+        let (_, mem_wcc_stats) = fg_apps::wcc(&mem).unwrap();
+        let opts = WriteOptions::from_env();
+        for shards in shard_counts() {
+            let (set, index) = sharded_fixture(&g, shards, &opts);
+            let engine = ShardedEngine::new(&set, index, EngineConfig::small());
+            let (levels, bfs_stats) = fg_apps::bfs(&engine, root).unwrap();
+            prop_assert_eq!(&levels, &bfs_oracle);
+            prop_assert_eq!(bfs_stats.edges_delivered, mem_bfs_stats.edges_delivered);
+            let (labels, wcc_stats) = fg_apps::wcc(&engine).unwrap();
+            prop_assert_eq!(&labels, &wcc_oracle);
+            prop_assert_eq!(wcc_stats.edges_delivered, mem_wcc_stats.edges_delivered);
+        }
+    }
+
+    #[test]
+    fn sharded_pagerank_matches_single_engine((edges, _) in graph_strategy()) {
+        // Threshold 0 keeps the active set structural, so
+        // `edges_delivered` is deterministic; ranks are float sums
+        // whose order varies with message arrival, hence the same
+        // tolerance the format matrix uses.
+        let g = build_graph(&edges);
+        let mem = Engine::new_mem(&g, EngineConfig::small());
+        let (want, mem_stats) = fg_apps::pagerank(&mem, 0.85, 0.0, 8).unwrap();
+        let opts = WriteOptions::from_env();
+        for shards in shard_counts() {
+            let (set, index) = sharded_fixture(&g, shards, &opts);
+            let engine = ShardedEngine::new(&set, index, EngineConfig::small());
+            let (ranks, stats) = fg_apps::pagerank(&engine, 0.85, 0.0, 8).unwrap();
+            prop_assert_eq!(ranks.len(), want.len());
+            for (i, (a, b)) in ranks.iter().zip(want.iter()).enumerate() {
+                prop_assert!((a - b).abs() < 1e-3, "{} shards: vertex {}: {} vs {}",
+                    shards, i, a, b);
+            }
+            prop_assert_eq!(stats.edges_delivered, mem_stats.edges_delivered);
+        }
+    }
+
+    #[test]
+    fn one_shard_reproduces_unsharded_exactly(
+        scale in 5u32..8,
+        factor in 1u32..6,
+        seed in 0u64..1 << 20,
+    ) {
+        // A 1-shard sharded run is the same image, the same index,
+        // and one engine whose window is the whole graph — every
+        // counter must reproduce the unsharded run exactly.
+        let g = gen::rmat(scale, factor, gen::RmatSkew::default(), seed);
+        let root = fg_bench::traversal_root(&g);
+        let opts = WriteOptions::from_env();
+        let (safs, index) = sem_mount(&g, &opts);
+        let single = Engine::new_sem(&safs, index, EngineConfig::small());
+        let (want, want_stats) = single
+            .run(&LevelBfs, Init::Seeds(vec![root]))
+            .unwrap();
+        let (set, index) = sharded_fixture(&g, 1, &opts);
+        let engine = ShardedEngine::new(&set, index, EngineConfig::small());
+        let (got, stats) = engine.run(&LevelBfs, Init::Seeds(vec![root])).unwrap();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(stats.iterations, want_stats.iterations);
+        prop_assert_eq!(stats.edges_delivered, want_stats.edges_delivered);
+        prop_assert_eq!(stats.bytes_requested, want_stats.bytes_requested);
+        prop_assert_eq!(stats.messages_sent, want_stats.messages_sent);
+        prop_assert_eq!(stats.activations, want_stats.activations);
+        prop_assert_eq!(stats.shard_msg_bytes, 0);
+    }
+}
+
+proptest! {
+    // The full cross product below runs formats × modes × shard
+    // counts per case, so it gets fewer cases than the suites above.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_equivalence_across_formats_and_modes(
+        scale in 5u32..7,
+        factor in 1u32..8,
+        seed in 0u64..1 << 20,
+        raw_seeds in prop::collection::vec(0u32..512, 1..8),
+    ) {
+        let g = gen::rmat(scale, factor, gen::RmatSkew::default(), seed);
+        let n = g.num_vertices() as u32;
+        let mut seeds: Vec<VertexId> = raw_seeds.iter().map(|&s| VertexId(s % n)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        let mem = Engine::new_mem(&g, EngineConfig::small());
+        let (want, want_stats) = mem.run(&LevelBfs, Init::Seeds(seeds.clone())).unwrap();
+        for opts in [WriteOptions::default(), WriteOptions::compressed()] {
+            for mode in [ScanMode::Selective, ScanMode::Stream, ScanMode::adaptive()] {
+                for shards in shard_counts() {
+                    let (set, index) = sharded_fixture(&g, shards, &opts);
+                    let cfg = EngineConfig::small().with_scan_mode(mode);
+                    let engine = ShardedEngine::new(&set, index, cfg);
+                    let (got, stats) =
+                        engine.run(&LevelBfs, Init::Seeds(seeds.clone())).unwrap();
+                    prop_assert_eq!(&got, &want);
+                    prop_assert_eq!(stats.edges_delivered, want_stats.edges_delivered);
+                }
+            }
+        }
+    }
+}
