@@ -9,8 +9,7 @@
 //! Wang et al. active-community paper the authors cite reports
 //! exactly this structure.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use fg_types::sync::Counter;
 use fg_types::{EdgeDir, Result, VertexId};
 use flashgraph::{
     EngineConfig, GraphEngine, Init, PageVertex, Request, RunStats, SchedulerKind, VertexContext,
@@ -23,20 +22,24 @@ use crate::assembly::OwnListAssembly;
 #[derive(Debug, Default)]
 pub struct ScanProgram {
     /// Running maximum of the locality statistic (shared incumbent).
-    best: AtomicU64,
+    /// A relaxed [`Counter`] even though it gates the pruning
+    /// decisions: a stale read only weakens a prune bound (more work,
+    /// never a wrong answer), and `max` is an atomic RMW so the
+    /// incumbent itself is never lost.
+    best: Counter,
     /// Vertices that skipped all work thanks to the degree bound.
-    pruned_no_io: AtomicU64,
+    pruned_no_io: Counter,
     /// Vertices pruned after reading only their own list.
-    pruned_after_own: AtomicU64,
+    pruned_after_own: Counter,
 }
 
 impl ScanProgram {
     fn raise(&self, candidate: u64) {
-        self.best.fetch_max(candidate, Ordering::Relaxed);
+        self.best.max(candidate);
     }
 
     fn best(&self) -> u64 {
-        self.best.load(Ordering::Relaxed)
+        self.best.get()
     }
 }
 
@@ -69,7 +72,7 @@ impl ScanProgram {
         }
         let bound = deg + cap / 2;
         if bound <= self.best() {
-            self.pruned_after_own.fetch_add(1, Ordering::Relaxed);
+            self.pruned_after_own.inc();
             return;
         }
         state.pending_edges = own
@@ -102,7 +105,7 @@ impl VertexProgram for ScanProgram {
         // prunes the long power-law tail without any I/O.
         let bound = deg + deg.saturating_mul(deg.saturating_sub(1)) / 2;
         if bound <= self.best() {
-            self.pruned_no_io.fetch_add(1, Ordering::Relaxed);
+            self.pruned_no_io.inc();
             return;
         }
         if deg > 0 {
@@ -200,8 +203,8 @@ pub fn scan_statistics<E: GraphEngine>(engine: &E) -> Result<(ScanResult, RunSta
         ScanResult {
             max_scan: best.1,
             argmax: best.0,
-            pruned_no_io: program.pruned_no_io.load(Ordering::Relaxed),
-            pruned_after_own: program.pruned_after_own.load(Ordering::Relaxed),
+            pruned_no_io: program.pruned_no_io.get(),
+            pruned_after_own: program.pruned_after_own.get(),
         },
         stats,
     ))

@@ -9,10 +9,10 @@
 //! iteration's vertex data, apply produces new data into a write
 //! buffer, and changed data is written back at a barrier.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use fg_graph::Graph;
+use fg_types::sync::Counter;
 use fg_types::{AtomicBitmap, VertexId};
 
 /// A GAS vertex program.
@@ -93,7 +93,7 @@ pub fn run_gas<P: GasProgram>(
         }
     }
     let threads = threads.max(1);
-    let edges_gathered = AtomicU64::new(0);
+    let edges_gathered = Counter::new(0);
     let mut iterations = 0u32;
 
     while iterations < max_iters && active.count_ones() > 0 {
@@ -116,7 +116,7 @@ pub fn run_gas<P: GasProgram>(
                     for &v in slice {
                         let mut acc: Option<P::A> = None;
                         let in_list = g.in_neighbors(v);
-                        edges_gathered.fetch_add(in_list.len() as u64, Ordering::Relaxed);
+                        edges_gathered.add(in_list.len() as u64);
                         for &u in in_list {
                             if let Some(a) = program.gather(u, &data[u.index()], v, iterations) {
                                 acc = Some(match acc {
@@ -454,8 +454,8 @@ pub fn gas_bc(g: &Graph, source: VertexId, threads: usize) -> (Vec<f64>, GasStat
 pub fn gas_triangle_count(g: &Graph, threads: usize) -> (u64, GasStats) {
     let start = Instant::now();
     let n = g.num_vertices();
-    let total = AtomicU64::new(0);
-    let edges_gathered = AtomicU64::new(0);
+    let total = Counter::new(0);
+    let edges_gathered = Counter::new(0);
     let verts: Vec<VertexId> = g.vertices().collect();
     let chunk = n.div_ceil(threads.max(1)).max(1);
     std::thread::scope(|scope| {
@@ -468,7 +468,7 @@ pub fn gas_triangle_count(g: &Graph, threads: usize) -> (u64, GasStats) {
                     let nu = g.out_neighbors(u);
                     for &w in nu.iter().filter(|&&w| w > u) {
                         let nw = g.out_neighbors(w);
-                        edges_gathered.fetch_add(nw.len() as u64, Ordering::Relaxed);
+                        edges_gathered.add(nw.len() as u64);
                         let (mut i, mut j) = (0, 0);
                         while i < nu.len() && j < nw.len() {
                             match nu[i].cmp(&nw[j]) {
@@ -485,7 +485,7 @@ pub fn gas_triangle_count(g: &Graph, threads: usize) -> (u64, GasStats) {
                         }
                     }
                 }
-                total.fetch_add(local, Ordering::Relaxed);
+                total.add(local);
             });
         }
     });

@@ -1,0 +1,426 @@
+//! The workspace concurrency-hygiene lint (`fg_check --lint`).
+//!
+//! Three rules, all aimed at keeping the synchronization story
+//! auditable:
+//!
+//! 1. **`raw-atomic`** — no `std::sync::atomic` (or `core::…`) paths
+//!    outside `crates/types/`. `fg_types::sync` is the one sanctioned
+//!    gateway; a single import surface is what makes the other two
+//!    rules sufficient.
+//! 2. **`unsafe-safety`** — every line containing the `unsafe` keyword
+//!    carries a justification: a `SAFETY:` comment (or a `# Safety`
+//!    doc section for `unsafe fn` declarations) on the same line or in
+//!    the directly-preceding run of comment/attribute lines.
+//! 3. **`ordering-justify`** — every `Ordering::Relaxed` or
+//!    `Ordering::SeqCst` carries an `ordering:` comment the same way.
+//!    (`Acquire`/`Release`/`AcqRel` are the workspace default and need
+//!    no per-site note; `Relaxed` weakens and `SeqCst` hides the real
+//!    edge, so both must say why.)
+//!
+//! The scanner is line-based over a comment/string-stripped view of
+//! each file: rule patterns inside string literals or comments never
+//! fire, and justification keywords are only honoured inside
+//! comments. That is deliberately simpler than a full parse — the
+//! rules are about *adjacent documentation*, which is a line-level
+//! property.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source line.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// A source line split into its code and comment parts, with string
+/// literal contents blanked out of the code part.
+#[derive(Default)]
+struct SplitLine {
+    code: String,
+    comment: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Inside `/* … */`, with nesting depth.
+    Block(u32),
+    /// Inside a `"…"` literal.
+    Str,
+    /// Inside a raw string; the payload is the closing hash count.
+    RawStr(u32),
+}
+
+/// Splits a file into per-line (code, comment) parts. Line comments,
+/// block comments and doc comments land in `comment`; string and char
+/// literal contents are dropped from `code` so patterns inside them
+/// cannot fire.
+fn split_lines(src: &str) -> Vec<SplitLine> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in src.lines() {
+        let b: Vec<char> = raw.chars().collect();
+        let mut line = SplitLine::default();
+        let mut i = 0;
+        while i < b.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(b[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if b[i] == '\\' {
+                        i += 2; // skip the escaped char (may run off the line: \ at EOL)
+                    } else if b[i] == '"' {
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if b[i] == '"' {
+                        let avail = &b[i + 1..];
+                        let n = hashes as usize;
+                        if avail.len() >= n && avail[..n].iter().all(|&c| c == '#') {
+                            mode = Mode::Code;
+                            i += 1 + n;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                Mode::Code => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        line.comment.push_str(&raw[char_byte_off(raw, i)..]);
+                        i = b.len();
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if let Some(adv) = raw_str_open(&b[i..]) {
+                        // r"…", r#"…"#, br#"…"# — count the hashes.
+                        let hashes = b[i..i + adv].iter().filter(|&&c| c == '#').count();
+                        mode = Mode::RawStr(hashes as u32);
+                        i += adv;
+                    } else if c == '\'' {
+                        if let Some(adv) = char_literal(&b[i..]) {
+                            i += adv; // 'x', '\n' — dropped like strings
+                        } else {
+                            line.code.push(c); // lifetime tick
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A line comment ends at the newline.
+        out.push(line);
+    }
+    out
+}
+
+/// Byte offset of char index `i` in `s` (lines are short; linear scan
+/// is fine).
+fn char_byte_off(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map_or(s.len(), |(o, _)| o)
+}
+
+/// If `b` starts a raw string opener (`r`/`br` + hashes + `"`),
+/// returns its length in chars (through the opening quote).
+fn raw_str_open(b: &[char]) -> Option<usize> {
+    let mut i = 0;
+    if b.first() == Some(&'b') {
+        i += 1;
+    }
+    if b.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    while b.get(i) == Some(&'#') {
+        i += 1;
+    }
+    if b.get(i) == Some(&'"') {
+        Some(i + 1)
+    } else {
+        None
+    }
+}
+
+/// If `b` starts a char literal (`'x'` or `'\…'`), returns its length
+/// in chars; `None` means it is a lifetime tick.
+fn char_literal(b: &[char]) -> Option<usize> {
+    debug_assert_eq!(b.first(), Some(&'\''));
+    if b.get(1) == Some(&'\\') {
+        // Escape: scan to the closing quote.
+        let mut i = 2;
+        while i < b.len() && i < 12 {
+            if b[i] == '\'' && !(i == 2 && b[2] == '\'') {
+                return Some(i + 1);
+            }
+            i += 1;
+        }
+        // `'\'` alone is ill-formed; treat as escaped-quote literal.
+        if b.get(2) == Some(&'\'') && b.get(3) == Some(&'\'') {
+            return Some(4);
+        }
+        None
+    } else if b.len() >= 3 && b[2] == '\'' && b[1] != '\'' {
+        Some(3)
+    } else {
+        None
+    }
+}
+
+/// True if the line is only an attribute (`#[…]` / `#![…]`) — these
+/// may sit between a justifying comment and its code line.
+fn is_attr_only(code: &str) -> bool {
+    let t = code.trim();
+    (t.starts_with("#[") || t.starts_with("#![")) && t.ends_with(']')
+}
+
+/// Searches the same line's comment, then the directly-preceding run
+/// of comment-only/attribute-only lines, for any of `keys`.
+fn justified(lines: &[SplitLine], idx: usize, keys: &[&str]) -> bool {
+    let hit = |c: &str| keys.iter().any(|k| c.contains(k));
+    if hit(&lines[idx].comment) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let code_blank = l.code.trim().is_empty();
+        if code_blank && l.comment.trim().is_empty() {
+            break; // blank line ends the run
+        }
+        if code_blank || is_attr_only(&l.code) {
+            if hit(&l.comment) {
+                return true;
+            }
+            continue; // still inside the comment/attribute run
+        }
+        break; // a code line ends the run
+    }
+    false
+}
+
+/// True for a word-boundary occurrence of `word` in `code`.
+fn has_word(code: &str, word: &str) -> bool {
+    let isw = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(p) = code[start..].find(word) {
+        let at = start + p;
+        let before_ok = at == 0 || !code[..at].chars().next_back().is_some_and(isw);
+        let after = at + word.len();
+        let after_ok = after >= code.len() || !code[after..].chars().next().is_some_and(isw);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Lints one file's source. `path_label` is the workspace-relative
+/// path, used both for reporting and for the `crates/types/` gateway
+/// exemption of the raw-atomic rule.
+pub fn lint_source(path_label: &str, src: &str) -> Vec<Violation> {
+    let lines = split_lines(src);
+    let in_types = path_label.replace('\\', "/").starts_with("crates/types/");
+    let mut out = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if !in_types
+            && (l.code.contains("std::sync::atomic") || l.code.contains("core::sync::atomic"))
+        {
+            out.push(Violation {
+                file: path_label.to_string(),
+                line: lineno,
+                rule: "raw-atomic",
+                msg: "raw `std::sync::atomic` path outside `fg_types` — go through \
+                      `fg_types::sync` (the single audited gateway)"
+                    .to_string(),
+            });
+        }
+        if has_word(&l.code, "unsafe") && !justified(&lines, idx, &["SAFETY:", "# Safety"]) {
+            out.push(Violation {
+                file: path_label.to_string(),
+                line: lineno,
+                rule: "unsafe-safety",
+                msg: "`unsafe` without an adjacent `// SAFETY:` comment (or `# Safety` \
+                      doc section)"
+                    .to_string(),
+            });
+        }
+        for pat in ["Ordering::Relaxed", "Ordering::SeqCst"] {
+            if l.code.contains(pat) && !justified(&lines, idx, &["ordering:"]) {
+                out.push(Violation {
+                    file: path_label.to_string(),
+                    line: lineno,
+                    rule: "ordering-justify",
+                    msg: format!(
+                        "`{}` without an adjacent `// ordering:` justification comment",
+                        pat
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Walks `root` for `.rs` files (skipping `target/`, `shims/`,
+/// `.git/`) and lints each. Violations are sorted by path and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let label = rel.to_string_lossy().replace('\\', "/");
+        out.extend(lint_source(&label, &src));
+    }
+    Ok(out)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "shims" || name == ".git" {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint_source("crates/demo/src/lib.rs", src)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn raw_atomic_flagged_outside_types() {
+        assert_eq!(rules("use std::sync::atomic::AtomicU64;\n"), ["raw-atomic"]);
+        assert!(lint_source(
+            "crates/types/src/sync.rs",
+            "use std::sync::atomic::AtomicU64;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn raw_atomic_in_comment_or_string_ignored() {
+        assert!(rules("// std::sync::atomic is banned here\n").is_empty());
+        assert!(rules("let s = \"std::sync::atomic\";\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety() {
+        assert_eq!(rules("unsafe { do_it() }\n"), ["unsafe-safety"]);
+        assert!(rules("// SAFETY: justified.\nunsafe { do_it() }\n").is_empty());
+        assert!(rules("unsafe { do_it() } // SAFETY: same line.\n").is_empty());
+        // Doc `# Safety` section + attribute between comment and code.
+        assert!(rules(
+            "/// # Safety\n/// Caller holds the lock.\n#[inline]\npub unsafe fn f() {}\n"
+        )
+        .is_empty());
+        // A blank line breaks the justification run.
+        assert_eq!(
+            rules("// SAFETY: too far away.\n\nunsafe { do_it() }\n"),
+            ["unsafe-safety"]
+        );
+    }
+
+    #[test]
+    fn unsafe_word_boundary() {
+        assert!(rules("let unsafety = 1;\n").is_empty());
+        assert!(rules("call_unsafe_thing();\n").is_empty());
+    }
+
+    #[test]
+    fn ordering_needs_justification() {
+        assert_eq!(rules("x.load(Ordering::Relaxed);\n"), ["ordering-justify"]);
+        assert_eq!(rules("x.load(Ordering::SeqCst);\n"), ["ordering-justify"]);
+        assert!(rules("// ordering: statistic only.\nx.load(Ordering::Relaxed);\n").is_empty());
+        // Acquire/Release are the default and need no comment.
+        assert!(rules("x.load(Ordering::Acquire);\n").is_empty());
+        assert!(rules("x.store(1, Ordering::Release);\n").is_empty());
+    }
+
+    #[test]
+    fn strings_and_raw_strings_are_stripped() {
+        assert!(rules("let s = \"unsafe Ordering::Relaxed\";\n").is_empty());
+        assert!(rules("let s = r#\"unsafe { Ordering::SeqCst }\"#;\n").is_empty());
+        // An escaped quote does not end the string early.
+        assert!(rules("let s = \"\\\"unsafe\\\"\";\n").is_empty());
+    }
+
+    #[test]
+    fn block_comments_and_lifetimes() {
+        assert!(rules("/* unsafe Ordering::Relaxed */ let x = 1;\n").is_empty());
+        assert!(rules("/* outer /* unsafe */ still comment */ let x = 1;\n").is_empty());
+        // Lifetime ticks are not char literals; the code survives.
+        assert_eq!(
+            rules("fn f<'a>(x: &'a u8) { g(Ordering::Relaxed) }\n"),
+            ["ordering-justify"]
+        );
+        assert!(rules("let c = 'u'; // just a char\n").is_empty());
+    }
+
+    #[test]
+    fn justification_must_be_in_comment_not_code() {
+        // The keyword inside code does not count.
+        assert_eq!(
+            rules("let ordering: u8 = 0; x.load(Ordering::Relaxed);\n"),
+            ["ordering-justify"]
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! `fg_check` — the workspace's concurrency hygiene gate.
+//!
+//! * `fg_check --lint [root]` runs the static lint over every `.rs`
+//!   file (default root: the enclosing workspace) and exits non-zero
+//!   on any violation. CI runs this as a fail-the-build step.
+//! * `fg_check --models` runs every protocol model, unmutated and with
+//!   each seeded mutation, and exits non-zero unless the unmutated
+//!   models pass and every mutation is caught. `FG_CHECK_DEPTH=n`
+//!   deepens the exploration (CI's release stress step raises it).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fg_check::{lint, models, Config};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--lint") => run_lint(args.get(1).map(PathBuf::from)),
+        Some("--models") => run_models(),
+        _ => {
+            eprintln!("usage: fg_check --lint [root] | fg_check --models");
+            eprintln!("  --lint    concurrency-hygiene lint over the workspace's .rs files");
+            eprintln!("  --models  explore every protocol model and its seeded mutations");
+            eprintln!("            (FG_CHECK_DEPTH=n raises the preemption bound)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// outermost ancestor with a `Cargo.toml`).
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut best: Option<PathBuf> = None;
+    let mut cur: Option<&Path> = Some(cwd.as_path());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() {
+            best = Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    best.unwrap_or(cwd)
+}
+
+fn run_lint(root: Option<PathBuf>) -> ExitCode {
+    let root = root.unwrap_or_else(find_workspace_root);
+    match lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("fg_check --lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{}", v);
+            }
+            println!("fg_check --lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fg_check --lint: i/o error under {}: {}", root.display(), e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_models() -> ExitCode {
+    let cfg = Config::from_env();
+    println!(
+        "fg_check --models: preemption bound {}, max {} executions per model",
+        cfg.preemption_bound, cfg.max_executions
+    );
+    let mut bad = 0;
+    for (label, expect_fail, report) in models::run_all(&cfg) {
+        let ok = if expect_fail {
+            report.failure.is_some()
+        } else {
+            report.passed()
+        };
+        let verdict = match (expect_fail, ok) {
+            (false, true) => "pass (exhausted)",
+            (false, false) => "FAIL (unexpected counterexample or incomplete)",
+            (true, true) => "caught (as expected)",
+            (true, false) => "MISSED (mutation not detected)",
+        };
+        println!(
+            "  {:<28} {:>7} executions  {}",
+            label, report.executions, verdict
+        );
+        if !ok {
+            bad += 1;
+            if let Some(f) = &report.failure {
+                println!("{}", f);
+            }
+        }
+    }
+    if bad == 0 {
+        println!("fg_check --models: all protocols verified, all mutations caught");
+        ExitCode::SUCCESS
+    } else {
+        println!("fg_check --models: {} unexpected outcome(s)", bad);
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,76 @@
+//! Faithful miniatures of the engine's five synchronization
+//! protocols, each with seeded mutations the checker must catch.
+//!
+//! Every model follows the same shape:
+//!
+//! * `Mutation` — an enum of deliberate protocol edits: the exact
+//!   ordering downgrades and structural changes the engine's
+//!   `// ordering:` comments and docs claim would be bugs.
+//! * `check(mutation, cfg)` — explores the (possibly mutated) model
+//!   under [`crate::explore`] and returns the [`crate::Report`].
+//!
+//! The unmutated models must pass exhaustive bounded exploration; the
+//! mutated ones must produce a counterexample. `tests/check_models.rs`
+//! at the workspace root pins both directions, and the engine's doc
+//! comments cite these models by name as the referee for their
+//! ordering choices.
+
+pub mod busy_bit;
+pub mod quiesce;
+pub mod ready_pool;
+pub mod rendezvous;
+pub mod sem_flush;
+
+use crate::{Config, Report};
+
+/// Runs every protocol, unmutated and with each seeded mutation.
+/// Returns `(label, expected_failure, report)` triples — the `--models`
+/// smoke run of the `fg_check` binary prints them.
+pub fn run_all(cfg: &Config) -> Vec<(String, bool, Report)> {
+    let mut out = Vec::new();
+    let mut push = |label: &str, expect_fail: bool, r: Report| {
+        out.push((label.to_string(), expect_fail, r));
+    };
+
+    push("busy_bit", false, busy_bit::check(None, cfg));
+    for m in busy_bit::Mutation::ALL {
+        push(
+            &format!("busy_bit+{:?}", m),
+            true,
+            busy_bit::check(Some(m), cfg),
+        );
+    }
+    push("quiesce", false, quiesce::check(None, cfg));
+    for m in quiesce::Mutation::ALL {
+        push(
+            &format!("quiesce+{:?}", m),
+            true,
+            quiesce::check(Some(m), cfg),
+        );
+    }
+    push("ready_pool", false, ready_pool::check(None, cfg));
+    for m in ready_pool::Mutation::ALL {
+        push(
+            &format!("ready_pool+{:?}", m),
+            true,
+            ready_pool::check(Some(m), cfg),
+        );
+    }
+    push("sem_flush", false, sem_flush::check(None, cfg));
+    for m in sem_flush::Mutation::ALL {
+        push(
+            &format!("sem_flush+{:?}", m),
+            true,
+            sem_flush::check(Some(m), cfg),
+        );
+    }
+    push("rendezvous", false, rendezvous::check(None, cfg));
+    for m in rendezvous::Mutation::ALL {
+        push(
+            &format!("rendezvous+{:?}", m),
+            true,
+            rendezvous::check(Some(m), cfg),
+        );
+    }
+    out
+}

@@ -1,0 +1,510 @@
+//! Schedule-instrumented doubles of the primitives the engine builds
+//! its protocols from.
+//!
+//! Models use these instead of `std`/`fg_types` types; every access is
+//! a schedule point (see [`crate::sched`]), and the doubles maintain
+//! the vector-clock bookkeeping that makes `Relaxed`-vs-`Acquire`/
+//! `Release` visibility observable:
+//!
+//! * **Atomics** ([`CAtomicU64`], [`CAtomicUsize`], [`CAtomicBool`])
+//!   have sequentially-consistent *value* semantics but ordering-
+//!   faithful *clock* semantics. A `Release` store publishes the
+//!   writer's clock on the atomic; an `Acquire` load joins it; an
+//!   `AcqRel` RMW does both and accumulates (modelling release
+//!   sequences through RMW chains); `Relaxed` operations move values
+//!   only — a `Relaxed` store severs the release chain, and a
+//!   `Relaxed` RMW continues it without contributing its own clock.
+//! * **[`CCell`]** is non-atomic shared data. Every access is checked
+//!   against the clocks: an access not ordered after the previous
+//!   conflicting access is reported as a data race. This is how a
+//!   "lost publication" from an ordering downgrade actually surfaces.
+//! * **[`CMutex`] / [`CCondvar`]** transfer clocks through lock
+//!   hand-off, block threads scheduler-side, and make lost wakeups
+//!   visible as deadlocks.
+//! * **[`CBitmap`]** mirrors `fg_types::AtomicBitmap`'s `set_sync` /
+//!   `clear_sync` (per-bit try-lock) with a configurable ordering so
+//!   the busy-bit model can seed its downgrade mutation.
+//!
+//! Everything here deliberately avoids real atomics: exactly one model
+//! thread runs at a time, so plain mutex-guarded state is race-free in
+//! the Rust sense while the *model's* races are tracked by clocks.
+
+use std::sync::Mutex;
+
+pub use crate::sched::CJoinHandle;
+use crate::sched::{FailureKind, Scheduler};
+use std::sync::Arc;
+
+/// Memory orderings, re-exported so models read like engine code.
+pub use fg_types::sync::Ordering;
+
+fn acquire_half(ord: Ordering) -> bool {
+    // ordering: classification of a model's ordering, not an access.
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn release_half(ord: Ordering) -> bool {
+    // ordering: classification of a model's ordering, not an access.
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn join_into(dst: &mut [u32], src: &[u32]) {
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// Spawns a model thread. The handle must be joined before the model
+/// body returns (join is also the happens-before edge the final
+/// asserts rely on).
+pub fn cspawn(f: impl FnOnce() + Send + 'static) -> CJoinHandle {
+    crate::sched::spawn_model_thread(f)
+}
+
+/// A spin-loop hint: parks the thread at a schedule point and tells
+/// the scheduler to deprioritize it until no non-yielded thread can
+/// run. Use it wherever the real code spins or parks.
+pub fn cyield() {
+    let (sched, me) = Scheduler::current();
+    sched.yield_point(me);
+}
+
+struct AtomicMeta {
+    value: u64,
+    /// The clock a synchronizing reader acquires; all-zero when the
+    /// release chain is severed.
+    release: Vec<u32>,
+}
+
+/// An instrumented 64-bit atomic.
+pub struct CAtomicU64 {
+    sched: Arc<Scheduler>,
+    name: String,
+    meta: Mutex<AtomicMeta>,
+}
+
+impl CAtomicU64 {
+    pub fn new(name: &str, v: u64) -> Self {
+        let (sched, _) = Scheduler::current();
+        let width = sched.with_clocks(|c| c[0].len());
+        CAtomicU64 {
+            sched,
+            name: name.to_string(),
+            meta: Mutex::new(AtomicMeta {
+                value: v,
+                release: vec![0; width],
+            }),
+        }
+    }
+
+    fn op(&self, me: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let mut m = self.meta.lock().unwrap();
+        let old = m.value;
+        m.value = f(old);
+        self.sched.with_clocks(|clocks| {
+            if acquire_half(ord) {
+                let rel = m.release.clone();
+                join_into(&mut clocks[me], &rel);
+            }
+            if release_half(ord) {
+                let snap = clocks[me].clone();
+                join_into(&mut m.release, &snap);
+            }
+            // A Relaxed RMW continues the release sequence without
+            // adding its own clock: `m.release` is left as-is.
+        });
+        old
+    }
+
+    pub fn load(&self, ord: Ordering) -> u64 {
+        let me = Scheduler::current_tid();
+        self.sched
+            .point(me, &format!("{}.load({:?})", self.name, ord));
+        self.op(me, strip_release(ord), |v| v)
+    }
+
+    pub fn store(&self, v: u64, ord: Ordering) {
+        let me = Scheduler::current_tid();
+        self.sched
+            .point(me, &format!("{}.store({}, {:?})", self.name, v, ord));
+        let mut m = self.meta.lock().unwrap();
+        m.value = v;
+        if release_half(ord) {
+            let snap = self.sched.with_clocks(|clocks| clocks[me].clone());
+            // A plain store *replaces* the release clock: it starts a
+            // fresh release sequence (unlike an RMW, which continues
+            // the old one).
+            m.release = snap;
+        } else {
+            // A Relaxed store severs the chain entirely.
+            for c in m.release.iter_mut() {
+                *c = 0;
+            }
+        }
+    }
+
+    pub fn fetch_add(&self, n: u64, ord: Ordering) -> u64 {
+        let me = Scheduler::current_tid();
+        self.sched
+            .point(me, &format!("{}.fetch_add({}, {:?})", self.name, n, ord));
+        self.op(me, ord, |v| v.wrapping_add(n))
+    }
+
+    pub fn fetch_sub(&self, n: u64, ord: Ordering) -> u64 {
+        let me = Scheduler::current_tid();
+        self.sched
+            .point(me, &format!("{}.fetch_sub({}, {:?})", self.name, n, ord));
+        self.op(me, ord, |v| v.wrapping_sub(n))
+    }
+
+    pub fn fetch_or(&self, n: u64, ord: Ordering) -> u64 {
+        let me = Scheduler::current_tid();
+        self.sched
+            .point(me, &format!("{}.fetch_or({:#x}, {:?})", self.name, n, ord));
+        self.op(me, ord, |v| v | n)
+    }
+
+    pub fn fetch_and(&self, n: u64, ord: Ordering) -> u64 {
+        let me = Scheduler::current_tid();
+        self.sched
+            .point(me, &format!("{}.fetch_and({:#x}, {:?})", self.name, n, ord));
+        self.op(me, ord, |v| v & n)
+    }
+}
+
+/// Loads never release; keep the acquire half only, so `op` does not
+/// misinterpret a `SeqCst` load as publishing.
+fn strip_release(ord: Ordering) -> Ordering {
+    if acquire_half(ord) {
+        Ordering::Acquire
+    } else {
+        // ordering: classification of a model's ordering, not an
+        // access.
+        Ordering::Relaxed
+    }
+}
+
+/// An instrumented `usize` atomic (stored as u64).
+pub struct CAtomicUsize(CAtomicU64);
+
+impl CAtomicUsize {
+    pub fn new(name: &str, v: usize) -> Self {
+        CAtomicUsize(CAtomicU64::new(name, v as u64))
+    }
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.0.load(ord) as usize
+    }
+    pub fn store(&self, v: usize, ord: Ordering) {
+        self.0.store(v as u64, ord)
+    }
+    pub fn fetch_add(&self, n: usize, ord: Ordering) -> usize {
+        self.0.fetch_add(n as u64, ord) as usize
+    }
+    pub fn fetch_sub(&self, n: usize, ord: Ordering) -> usize {
+        self.0.fetch_sub(n as u64, ord) as usize
+    }
+}
+
+/// An instrumented boolean atomic.
+pub struct CAtomicBool(CAtomicU64);
+
+impl CAtomicBool {
+    pub fn new(name: &str, v: bool) -> Self {
+        CAtomicBool(CAtomicU64::new(name, v as u64))
+    }
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.0.load(ord) != 0
+    }
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.0.store(v as u64, ord)
+    }
+}
+
+struct CellMeta<T> {
+    data: T,
+    /// Writer tid and its epoch at the last write.
+    last_write: Option<(usize, u32)>,
+    /// Per-tid epoch of the last read since the last write.
+    reads: Vec<u32>,
+}
+
+/// Non-atomic shared data with FastTrack-style race detection.
+///
+/// Stands in for the engine's `UnsafeCell` state (vertex states, the
+/// `ActiveSet` lists): every read/write checks that it is ordered
+/// after all conflicting accesses, and reports a data race otherwise.
+pub struct CCell<T> {
+    sched: Arc<Scheduler>,
+    name: String,
+    meta: Mutex<CellMeta<T>>,
+}
+
+impl<T> CCell<T> {
+    pub fn new(name: &str, v: T) -> Self {
+        let (sched, _) = Scheduler::current();
+        let width = sched.with_clocks(|c| c[0].len());
+        CCell {
+            sched,
+            name: name.to_string(),
+            meta: Mutex::new(CellMeta {
+                data: v,
+                last_write: None,
+                reads: vec![0; width],
+            }),
+        }
+    }
+
+    /// Reads through `f`. Races with the previous write if that write
+    /// does not happen-before this thread.
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let me = Scheduler::current_tid();
+        self.sched.point(me, &format!("{}.read", self.name));
+        let mut m = self.meta.lock().unwrap();
+        let (hb, my_epoch) = self.sched.with_clocks(|clocks| {
+            let hb = match m.last_write {
+                None => true,
+                Some((w, e)) => clocks[me][w] >= e,
+            };
+            (hb, clocks[me][me])
+        });
+        if !hb {
+            let (w, _) = m.last_write.unwrap();
+            let msg = format!(
+                "`{}`: read by t{} races with write by t{} (no happens-before edge)",
+                self.name, me, w
+            );
+            drop(m);
+            self.sched.fail(FailureKind::DataRace(msg));
+        }
+        m.reads[me] = my_epoch;
+        f(&m.data)
+    }
+
+    /// Writes through `f`. Races with the previous write *or any read
+    /// since it* that does not happen-before this thread.
+    pub fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let me = Scheduler::current_tid();
+        self.sched.point(me, &format!("{}.write", self.name));
+        let mut m = self.meta.lock().unwrap();
+        let (conflict, my_epoch) = self.sched.with_clocks(|clocks| {
+            let mut conflict = None;
+            if let Some((w, e)) = m.last_write {
+                if clocks[me][w] < e {
+                    conflict = Some(w);
+                }
+            }
+            for (t, &e) in m.reads.iter().enumerate() {
+                if e != 0 && clocks[me][t] < e {
+                    conflict = Some(t);
+                }
+            }
+            (conflict, clocks[me][me])
+        });
+        if let Some(other) = conflict {
+            let msg = format!(
+                "`{}`: write by t{} races with access by t{} (no happens-before edge)",
+                self.name, me, other
+            );
+            drop(m);
+            self.sched.fail(FailureKind::DataRace(msg));
+        }
+        m.last_write = Some((me, my_epoch));
+        for r in m.reads.iter_mut() {
+            *r = 0;
+        }
+        f(&mut m.data)
+    }
+}
+
+struct MutexMeta {
+    held_by: Option<usize>,
+    clock: Vec<u32>,
+}
+
+/// An instrumented mutex: blocks scheduler-side, transfers clocks on
+/// hand-off.
+pub struct CMutex<T> {
+    sched: Arc<Scheduler>,
+    id: u64,
+    name: String,
+    meta: Mutex<MutexMeta>,
+    data: Mutex<T>,
+}
+
+/// RAII guard for [`CMutex`]; unlocking is itself a schedule point.
+pub struct CMutexGuard<'a, T> {
+    mutex: &'a CMutex<T>,
+    /// Taken in `Drop`; `None` after a hand-off to `CCondvar::wait`.
+    data: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> CMutex<T> {
+    pub fn new(name: &str, v: T) -> Self {
+        let (sched, _) = Scheduler::current();
+        let width = sched.with_clocks(|c| c[0].len());
+        let id = sched.fresh_obj_id();
+        CMutex {
+            sched,
+            id,
+            name: name.to_string(),
+            meta: Mutex::new(MutexMeta {
+                held_by: None,
+                clock: vec![0; width],
+            }),
+            data: Mutex::new(v),
+        }
+    }
+
+    pub fn lock(&self) -> CMutexGuard<'_, T> {
+        let me = Scheduler::current_tid();
+        self.sched.point(me, &format!("{}.lock", self.name));
+        self.lock_granted(me)
+    }
+
+    /// Acquires while already holding a fresh token grant (lock retry
+    /// and post-`wait` re-acquisition paths).
+    fn lock_granted(&self, me: usize) -> CMutexGuard<'_, T> {
+        loop {
+            {
+                let mut m = self.meta.lock().unwrap();
+                if m.held_by.is_none() {
+                    m.held_by = Some(me);
+                    let clock = m.clock.clone();
+                    self.sched
+                        .with_clocks(|clocks| join_into(&mut clocks[me], &clock));
+                    drop(m);
+                    return CMutexGuard {
+                        mutex: self,
+                        data: Some(self.data.lock().unwrap()),
+                    };
+                }
+            }
+            self.sched
+                .block_on_mutex_edge(me, self.id, &format!("{}.lock (blocked)", self.name));
+        }
+    }
+
+    /// Releases the lock state and wakes blocked lockers; shared by
+    /// guard drop and `CCondvar::wait`.
+    fn unlock_meta(&self, me: usize) {
+        let mut m = self.meta.lock().unwrap();
+        debug_assert_eq!(m.held_by, Some(me), "unlock by non-owner");
+        m.held_by = None;
+        self.sched.with_clocks(|clocks| {
+            let snap = clocks[me].clone();
+            join_into(&mut m.clock, &snap);
+        });
+        drop(m);
+        self.sched.unblock_mutex(self.id);
+    }
+}
+
+impl<T> std::ops::Deref for CMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data.as_ref().expect("guard still holds data")
+    }
+}
+
+impl<T> std::ops::DerefMut for CMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.data.as_mut().expect("guard still holds data")
+    }
+}
+
+impl<T> Drop for CMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.data.is_none() {
+            return; // handed off to CCondvar::wait
+        }
+        if std::thread::panicking() {
+            // Execution is being torn down; release silently so other
+            // unwinding threads are not blocked on the real mutex.
+            self.data = None;
+            let mut m = self.mutex.meta.lock().unwrap();
+            m.held_by = None;
+            return;
+        }
+        let me = Scheduler::current_tid();
+        self.mutex
+            .sched
+            .point(me, &format!("{}.unlock", self.mutex.name));
+        self.data = None;
+        self.mutex.unlock_meta(me);
+    }
+}
+
+/// An instrumented condition variable. No spurious wakeups — which
+/// only *under*-approximates real behaviour, so anything it flags is
+/// reachable with a real condvar too. `notify` without a waiter is
+/// lost, exactly like the real thing: a missing-notify mutation shows
+/// up as a deadlock.
+pub struct CCondvar {
+    sched: Arc<Scheduler>,
+    id: u64,
+    name: String,
+}
+
+impl CCondvar {
+    pub fn new(name: &str) -> Self {
+        let (sched, _) = Scheduler::current();
+        let id = sched.fresh_obj_id();
+        CCondvar {
+            sched,
+            id,
+            name: name.to_string(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and blocks until
+    /// notified, then re-acquires. Returns the re-acquired guard.
+    pub fn wait<'a, T>(&self, mut guard: CMutexGuard<'a, T>) -> CMutexGuard<'a, T> {
+        let me = Scheduler::current_tid();
+        self.sched.point(me, &format!("{}.wait", self.name));
+        let mutex = guard.mutex;
+        // Release without a second schedule point: the unlock is part
+        // of the wait operation.
+        guard.data = None;
+        mutex.unlock_meta(me);
+        drop(guard);
+        self.sched
+            .block_on_cond_edge(me, self.id, &format!("{}.wake", self.name));
+        mutex.lock_granted(me)
+    }
+
+    pub fn notify_all(&self) {
+        let me = Scheduler::current_tid();
+        self.sched.point(me, &format!("{}.notify_all", self.name));
+        self.sched.unblock_cond(self.id);
+    }
+}
+
+/// An instrumented double of `fg_types::AtomicBitmap`'s synchronizing
+/// ops: `set_sync` is a per-bit try-lock (`fetch_or`), `clear_sync`
+/// the unlock (`fetch_and`). The ordering is a parameter so the
+/// busy-bit model can seed its `AcqRel → Relaxed` mutation.
+pub struct CBitmap {
+    words: Vec<CAtomicU64>,
+    ord: Ordering,
+}
+
+impl CBitmap {
+    pub fn new(name: &str, bits: usize, ord: Ordering) -> Self {
+        let words = (0..bits.div_ceil(64))
+            .map(|w| CAtomicU64::new(&format!("{}[{}]", name, w), 0))
+            .collect();
+        CBitmap { words, ord }
+    }
+
+    /// Sets bit `i`; returns the previous bit — `true` means the
+    /// try-lock failed (someone else holds it).
+    pub fn set_sync(&self, i: usize) -> bool {
+        let old = self.words[i / 64].fetch_or(1 << (i % 64), self.ord);
+        old & (1 << (i % 64)) != 0
+    }
+
+    /// Clears bit `i` (the unlock / publication edge).
+    pub fn clear_sync(&self, i: usize) {
+        self.words[i / 64].fetch_and(!(1 << (i % 64)), self.ord);
+    }
+}

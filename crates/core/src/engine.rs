@@ -25,9 +25,9 @@
 //! anything else proceeds — kept so benchmarks and equivalence
 //! properties can diff the two schedulers; results are bit-identical.
 
+use fg_types::sync::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Counter, Ordering};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -422,19 +422,20 @@ impl<'g> Engine<'g> {
             Backend::Mem(_) => (None, None),
         };
         let stats = RunStats {
+            // ordering: read after every worker thread has joined.
             iterations: control.iteration.load(Ordering::Relaxed),
             elapsed,
-            compute_ns: counters.compute_ns.load(Ordering::Relaxed),
-            wait_ns: counters.wait_ns.load(Ordering::Relaxed),
-            activations: counters.activations.load(Ordering::Relaxed),
+            compute_ns: counters.compute_ns.get(),
+            wait_ns: counters.wait_ns.get(),
+            activations: counters.activations.get(),
             messages_sent: board.total_sent(),
-            vertices_processed: counters.vertices.load(Ordering::Relaxed),
-            engine_requests: counters.engine_requests.load(Ordering::Relaxed),
-            issued_requests: counters.issued_requests.load(Ordering::Relaxed),
-            bytes_requested: counters.bytes_requested.load(Ordering::Relaxed),
-            edges_delivered: counters.edges_delivered.load(Ordering::Relaxed),
+            vertices_processed: counters.vertices.get(),
+            engine_requests: counters.engine_requests.get(),
+            issued_requests: counters.issued_requests.get(),
+            bytes_requested: counters.bytes_requested.get(),
+            edges_delivered: counters.edges_delivered.get(),
             queue_wait_ns: 0,
-            shard_msg_bytes: counters.shard_msg_bytes.load(Ordering::Relaxed),
+            shard_msg_bytes: counters.shard_msg_bytes.get(),
             io,
             cache: cache_scope.as_ref().map(|s| s.snapshot()),
             cache_mount,
@@ -572,6 +573,7 @@ impl ActiveSet {
             *self.lists[part].get() = list;
         }
         for c in &self.cursors[part] {
+            // ordering: the phase barrier publishes the reset.
             c.store(0, Ordering::Relaxed);
         }
     }
@@ -580,9 +582,13 @@ impl ActiveSet {
     fn claim(&self, part: usize, vp: usize) -> Option<VertexId> {
         // SAFETY: compute phase — lists are read-only.
         let list = unsafe { &*self.lists[part].get() };
+        // ordering: racy fast-path check; the RMW below is authoritative.
         if self.cursors[part][vp].load(Ordering::Relaxed) >= list.len() {
             return None;
         }
+        // ordering: a claim needs only RMW atomicity — the list being
+        // claimed from was published by the phase barrier, not by the
+        // cursor.
         let c = self.cursors[part][vp].fetch_add(1, Ordering::Relaxed);
         list.get(c).copied()
     }
@@ -660,9 +666,14 @@ impl ReadyPool {
     /// Worker 0 rewinds the claim count between iterations (phase D,
     /// where every other worker is parked at the barrier).
     fn begin_iteration(&self) {
-        debug_assert_eq!(self.obligations.load(Ordering::SeqCst), 0);
+        // ordering: Relaxed — worker 0 runs this in phase D while
+        // every other worker is parked at the barrier, which is the
+        // happens-before edge; there is no concurrent accessor.
+        debug_assert_eq!(self.obligations.load(Ordering::Relaxed), 0);
         debug_assert!(self.injector.lock().is_empty());
-        self.claims_done.store(0, Ordering::SeqCst);
+        // ordering: Relaxed — same phase-D argument; the barrier
+        // publishes the reset to the next iteration's claimants.
+        self.claims_done.store(0, Ordering::Relaxed);
     }
 }
 
@@ -675,7 +686,7 @@ struct Control {
 
 /// `AtomicU32` wrapper defaulting to zero (keeps `Control` derivable).
 #[derive(Default)]
-struct AtomicU64Like(std::sync::atomic::AtomicU32);
+struct AtomicU64Like(AtomicU32);
 
 impl AtomicU64Like {
     fn load(&self, o: Ordering) -> u32 {
@@ -686,22 +697,25 @@ impl AtomicU64Like {
     }
 }
 
+/// Per-run statistics, all relaxed [`Counter`]s: exact reads happen
+/// only at quiesced boundaries (worker-0 phase D) or after the join,
+/// where the barrier/join provides the happens-before edge.
 #[derive(Default)]
 struct Counters {
-    compute_ns: AtomicU64,
-    wait_ns: AtomicU64,
-    activations: AtomicU64,
-    vertices: AtomicU64,
-    engine_requests: AtomicU64,
-    issued_requests: AtomicU64,
-    bytes_requested: AtomicU64,
-    edges_delivered: AtomicU64,
+    compute_ns: Counter,
+    wait_ns: Counter,
+    activations: Counter,
+    vertices: Counter,
+    engine_requests: Counter,
+    issued_requests: Counter,
+    bytes_requested: Counter,
+    edges_delivered: Counter,
     /// Serialized bytes of cross-shard packets this engine posted.
-    shard_msg_bytes: AtomicU64,
+    shard_msg_bytes: Counter,
     /// Worker-iterations executed as streaming scans.
-    stream_partitions: AtomicU64,
+    stream_partitions: Counter,
     /// Stride covers submitted by the streaming path.
-    stream_stripes: AtomicU64,
+    stream_stripes: Counter,
 }
 
 /// Everything one worker thread needs, borrowed from the run.
@@ -794,9 +808,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 // A sweep reads the extent front to back; processing
                 // in id order keeps buffered requests aligned with
                 // the covers, so the scheduler is overridden.
-                self.counters
-                    .stream_partitions
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.stream_partitions.inc();
             } else {
                 self.apply_scheduler(iter, &mut list);
             }
@@ -813,30 +825,26 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             // loop is the historical lock-step discipline, kept for
             // scheduler-equivalence diffing.
             if self.engine.cfg.pipeline {
-                let wait_before = self.counters.wait_ns.load(Ordering::Relaxed);
+                let wait_before = self.counters.wait_ns.get();
                 let t = Instant::now();
                 self.compute_pipelined(iter, &mut scratch, &mut io, stream);
                 self.flush_boards(&mut scratch);
                 let busy = t.elapsed().as_nanos() as u64;
-                let waited = self.counters.wait_ns.load(Ordering::Relaxed) - wait_before;
-                self.counters
-                    .compute_ns
-                    .fetch_add(busy.saturating_sub(waited), Ordering::Relaxed);
+                let waited = self.counters.wait_ns.get() - wait_before;
+                self.counters.compute_ns.add(busy.saturating_sub(waited));
                 self.barrier.wait();
             } else {
                 // Phase B: vertical passes of compute + I/O. Buffered
                 // messages and notifications must be on the boards
                 // before the barrier so phase C's drains see them.
                 for vp in 0..self.shared.vparts {
-                    let wait_before = self.counters.wait_ns.load(Ordering::Relaxed);
+                    let wait_before = self.counters.wait_ns.get();
                     let t = Instant::now();
                     self.compute_pass(iter, vp, &mut scratch, &mut io, stream);
                     self.flush_boards(&mut scratch);
                     let busy = t.elapsed().as_nanos() as u64;
-                    let waited = self.counters.wait_ns.load(Ordering::Relaxed) - wait_before;
-                    self.counters
-                        .compute_ns
-                        .fetch_add(busy.saturating_sub(waited), Ordering::Relaxed);
+                    let waited = self.counters.wait_ns.get() - wait_before;
+                    self.counters.compute_ns.add(busy.saturating_sub(waited));
                     self.barrier.wait();
                 }
             }
@@ -861,9 +869,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             self.deliver_messages(iter, &mut scratch, &mut io);
             self.apply_iteration_end(iter, &mut scratch, &mut io, &mut seen_notify);
             self.flush_boards(&mut scratch);
-            self.counters
-                .compute_ns
-                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.counters.compute_ns.add(t.elapsed().as_nanos() as u64);
             self.barrier.wait();
 
             // Phase D: worker 0 decides continuation and swaps. The
@@ -899,12 +905,8 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 break;
             }
         }
-        self.counters
-            .activations
-            .fetch_add(scratch.activations, Ordering::Relaxed);
-        self.counters
-            .engine_requests
-            .fetch_add(scratch.engine_requests, Ordering::Relaxed);
+        self.counters.activations.add(scratch.activations);
+        self.counters.engine_requests.add(scratch.engine_requests);
     }
 
     /// Worker 0's snapshot of the request-pipeline counters, taken
@@ -922,11 +924,11 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         };
         Some(IterSnapshot {
             io,
-            bytes_requested: self.counters.bytes_requested.load(Ordering::Relaxed),
-            issued_requests: self.counters.issued_requests.load(Ordering::Relaxed),
-            edges_delivered: self.counters.edges_delivered.load(Ordering::Relaxed),
-            stream_partitions: self.counters.stream_partitions.load(Ordering::Relaxed),
-            stream_stripes: self.counters.stream_stripes.load(Ordering::Relaxed),
+            bytes_requested: self.counters.bytes_requested.get(),
+            issued_requests: self.counters.issued_requests.get(),
+            edges_delivered: self.counters.edges_delivered.get(),
+            stream_partitions: self.counters.stream_partitions.get(),
+            stream_stripes: self.counters.stream_stripes.get(),
         })
     }
 
@@ -1051,7 +1053,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                     None => break,
                 };
                 claimed_any = true;
-                self.counters.vertices.fetch_add(1, Ordering::Relaxed);
+                self.counters.vertices.inc();
                 self.with_ctx(iter, vp, scratch, v, |prog, state, ctx| {
                     prog.run(v, state, ctx);
                 });
@@ -1140,7 +1142,14 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                             // announce: cursors only move forward, so
                             // exhaustion is permanent this iteration.
                             io.flush_all(self);
-                            self.ready.claims_done.fetch_add(1, Ordering::SeqCst);
+                            // ordering: AcqRel — the release half
+                            // publishes this worker's final flush to
+                            // whoever's `quiesced` load sees the full
+                            // count; the acquire half joins earlier
+                            // announcements' release sequence through
+                            // the RMW chain. Referee: fg_check's
+                            // `quiesce` model.
+                            self.ready.claims_done.fetch_add(1, Ordering::AcqRel);
                             break;
                         }
                     }
@@ -1194,7 +1203,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         io: &mut IoDriver<'_>,
         stream: bool,
     ) {
-        self.counters.vertices.fetch_add(1, Ordering::Relaxed);
+        self.counters.vertices.inc();
         self.acquire_busy(v);
         self.with_ctx(iter, vp, scratch, v, |prog, state, ctx| {
             prog.run(v, state, ctx);
@@ -1220,9 +1229,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         } else {
             sem.session.poll(&mut done);
         }
-        self.counters
-            .wait_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.counters.wait_ns.add(t.elapsed().as_nanos() as u64);
         for c in done {
             sem.resolve(c);
         }
@@ -1262,7 +1269,14 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             self.deliver_vertex(iter, vpd, scratch, requester, &pv);
             self.absorb_requests(iter, vpd, scratch, io, stream);
             self.busy.clear_sync(requester);
-            self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
+            // ordering: AcqRel — release publishes the delivery's
+            // state writes to the worker whose quiesce load sees
+            // the count reach zero; acquire folds earlier
+            // decrements into this RMW's release sequence. The
+            // RelaxedPublish mutation of fg_check's `quiesce`
+            // model demonstrates the lost publication if this is
+            // weakened.
+            self.ready.obligations.fetch_sub(1, Ordering::AcqRel);
             executed += 1;
             io.flush_if_full(self);
             self.maybe_flush_messages(scratch);
@@ -1277,8 +1291,15 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
     /// ones, so a true result cannot hide in-flight work (see
     /// [`ReadyPool`]).
     fn quiesced(&self) -> bool {
-        self.ready.claims_done.load(Ordering::SeqCst) == self.shared.pmap.num_partitions()
-            && self.ready.obligations.load(Ordering::SeqCst) == 0
+        // ordering: Acquire on both loads pairs with the AcqRel
+        // announcement/decrement RMWs, so a worker that observes the
+        // full claim count and a zero obligation count also observes
+        // every delivered vertex's state writes. These were SeqCst
+        // from PR 6 "to be safe"; fg_check's `quiesce` model passes
+        // exhaustively at Acquire/AcqRel and catches the seeded
+        // downgrades below it.
+        self.ready.claims_done.load(Ordering::Acquire) == self.shared.pmap.num_partitions()
+            && self.ready.obligations.load(Ordering::Acquire) == 0
     }
 
     /// Spins until this worker owns `v`'s busy bit. Contention is
@@ -1389,7 +1410,14 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                         // its follow-ons) finishes. The pipelined
                         // quiesce condition counts these; the barrier
                         // loop keeps them balanced for free.
-                        self.ready.obligations.fetch_add(1, Ordering::SeqCst);
+                        // ordering: Relaxed — publication of this increment to
+                        // the quiesce check rides on the `claims_done` release
+                        // chain (claim phase) or on the enclosing obligation's
+                        // AcqRel decrement (cascades), never on the increment
+                        // itself. fg_check's `quiesce` model is the referee;
+                        // its NoOuterObligation mutation shows what breaks
+                        // when a cascade runs without cover.
+                        self.ready.obligations.fetch_add(1, Ordering::Relaxed);
                         sem.enqueue(req, index, self.counters, via_stream, vp);
                         // Zero-degree requests become ready
                         // completions without I/O. (Under pipelining
@@ -1398,7 +1426,14 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                         // it drains `sem.ready` before returning.)
                         while let Some((requester, vpd, pv)) = sem.pop_ready() {
                             self.deliver_vertex(iter, vpd, scratch, requester, &pv);
-                            self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
+                            // ordering: AcqRel — release publishes the delivery's
+                            // state writes to the worker whose quiesce load sees
+                            // the count reach zero; acquire folds earlier
+                            // decrements into this RMW's release sequence. The
+                            // RelaxedPublish mutation of fg_check's `quiesce`
+                            // model demonstrates the lost publication if this is
+                            // weakened.
+                            self.ready.obligations.fetch_sub(1, Ordering::AcqRel);
                         }
                     }
                     (Backend::Shard { set, index, me }, IoDriver::Sem(sem)) => {
@@ -1416,12 +1451,8 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                                 index.locate_slice(req.subject, req.dir, req.start, req.len);
                             let loc = slice.loc;
                             debug_assert_eq!(loc.degree, req.len);
-                            self.counters
-                                .bytes_requested
-                                .fetch_add(loc.bytes, Ordering::Relaxed);
-                            self.counters
-                                .issued_requests
-                                .fetch_add(1, Ordering::Relaxed);
+                            self.counters.bytes_requested.add(loc.bytes);
+                            self.counters.issued_requests.inc();
                             let espan = set
                                 .shard(s)
                                 .read_sync(loc.offset, loc.bytes)
@@ -1430,12 +1461,8 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                                 let (sa, aloc) = index
                                     .locate_attrs_range(req.subject, req.dir, req.start, req.len)
                                     .expect("attrs requested but image has no attribute section");
-                                self.counters
-                                    .bytes_requested
-                                    .fetch_add(aloc.bytes, Ordering::Relaxed);
-                                self.counters
-                                    .issued_requests
-                                    .fetch_add(1, Ordering::Relaxed);
+                                self.counters.bytes_requested.add(aloc.bytes);
+                                self.counters.issued_requests.inc();
                                 Some(
                                     set.shard(sa)
                                         .read_sync(aloc.offset, aloc.bytes)
@@ -1474,11 +1501,25 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                                 sem.stream_region = Some(region);
                             }
                         }
-                        self.ready.obligations.fetch_add(1, Ordering::SeqCst);
+                        // ordering: Relaxed — publication of this increment to
+                        // the quiesce check rides on the `claims_done` release
+                        // chain (claim phase) or on the enclosing obligation's
+                        // AcqRel decrement (cascades), never on the increment
+                        // itself. fg_check's `quiesce` model is the referee;
+                        // its NoOuterObligation mutation shows what breaks
+                        // when a cascade runs without cover.
+                        self.ready.obligations.fetch_add(1, Ordering::Relaxed);
                         sem.enqueue(req, index.shard(*me), self.counters, via_stream, vp);
                         while let Some((requester, vpd, pv)) = sem.pop_ready() {
                             self.deliver_vertex(iter, vpd, scratch, requester, &pv);
-                            self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
+                            // ordering: AcqRel — release publishes the delivery's
+                            // state writes to the worker whose quiesce load sees
+                            // the count reach zero; acquire folds earlier
+                            // decrements into this RMW's release sequence. The
+                            // RelaxedPublish mutation of fg_check's `quiesce`
+                            // model demonstrates the lost publication if this is
+                            // weakened.
+                            self.ready.obligations.fetch_sub(1, Ordering::AcqRel);
                         }
                     }
                     _ => unreachable!("backend and io driver always match"),
@@ -1495,9 +1536,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         requester: VertexId,
         pv: &PageVertex<'_>,
     ) {
-        self.counters
-            .edges_delivered
-            .fetch_add(pv.degree() as u64, Ordering::Relaxed);
+        self.counters.edges_delivered.add(pv.degree() as u64);
         self.with_ctx(iter, vp, scratch, requester, |prog, state, ctx| {
             prog.run_on_vertex(requester, state, pv, ctx);
         });
@@ -1522,15 +1561,20 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         } else {
             sem.session.poll(&mut done);
         }
-        self.counters
-            .wait_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.counters.wait_ns.add(t.elapsed().as_nanos() as u64);
         for c in done {
             sem.resolve(c);
             while let Some((requester, vpd, pv)) = sem.pop_ready() {
                 debug_assert_eq!(vpd, vp, "lock-step deliveries stay within their pass");
                 self.deliver_vertex(iter, vpd, scratch, requester, &pv);
-                self.ready.obligations.fetch_sub(1, Ordering::SeqCst);
+                // ordering: AcqRel — release publishes the delivery's
+                // state writes to the worker whose quiesce load sees
+                // the count reach zero; acquire folds earlier
+                // decrements into this RMW's release sequence. The
+                // RelaxedPublish mutation of fg_check's `quiesce`
+                // model demonstrates the lost publication if this is
+                // weakened.
+                self.ready.obligations.fetch_sub(1, Ordering::AcqRel);
             }
         }
         // Callbacks may have queued more requests.
@@ -1563,9 +1607,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         }
         if let Some(link) = self.link {
             let post = |dest: usize, pkt: ShardPacket<P::Msg>| {
-                self.counters
-                    .shard_msg_bytes
-                    .fetch_add(pkt.wire_bytes(), Ordering::Relaxed);
+                self.counters.shard_msg_bytes.add(pkt.wire_bytes());
                 link.bus.post(dest, pkt);
             };
             for (dest, buf) in scratch.shard_unicasts.iter_mut().enumerate() {
@@ -1635,7 +1677,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 ShardPacket::Activate(vs) => {
                     for v in vs {
                         if !self.frontiers.next().set(v) {
-                            self.counters.activations.fetch_add(1, Ordering::Relaxed);
+                            self.counters.activations.inc();
                         }
                     }
                 }
@@ -2137,7 +2179,7 @@ impl<'s> SemIo<'s> {
             };
             section.widen(offset, bytes);
         }
-        counters.bytes_requested.fetch_add(bytes, Ordering::Relaxed);
+        counters.bytes_requested.add(bytes);
     }
 
     /// Installs one merged cover in the slab and submits it.
@@ -2166,9 +2208,9 @@ impl<'s> SemIo<'s> {
             }));
             self.slab.len() - 1
         };
-        counters.issued_requests.fetch_add(1, Ordering::Relaxed);
+        counters.issued_requests.inc();
         let submitted = if stream {
-            counters.stream_stripes.fetch_add(1, Ordering::Relaxed);
+            counters.stream_stripes.inc();
             self.session.submit_stream(m.offset, m.bytes, tag as u64)
         } else {
             self.session.submit(m.offset, m.bytes, tag as u64)

@@ -22,9 +22,9 @@
 //! iteration, every message they posted is in its inbox before the
 //! drain starts.
 
+use fg_types::sync::Counter;
 use fg_types::VertexId;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A bundle of buffered messages bound for one partition.
 #[derive(Debug)]
@@ -49,10 +49,12 @@ impl<M> Batch<M> {
 #[derive(Debug)]
 pub(crate) struct MessageBoard<M> {
     inboxes: Vec<Mutex<Vec<Batch<M>>>>,
-    /// Batches currently stored (for the termination check).
-    pending: AtomicU64,
+    /// Batches currently stored. Read by the termination check at
+    /// the iteration boundary, where the quiesce barrier has already
+    /// synchronized all posts — a relaxed [`Counter`] by contract.
+    pending: Counter,
     /// Total per-vertex deliveries ever posted (statistics).
-    total_sent: AtomicU64,
+    total_sent: Counter,
 }
 
 impl<M: Send> MessageBoard<M> {
@@ -61,8 +63,8 @@ impl<M: Send> MessageBoard<M> {
         inboxes.resize_with(partitions, || Mutex::new(Vec::new()));
         MessageBoard {
             inboxes,
-            pending: AtomicU64::new(0),
-            total_sent: AtomicU64::new(0),
+            pending: Counter::default(),
+            total_sent: Counter::default(),
         }
     }
 
@@ -72,8 +74,8 @@ impl<M: Send> MessageBoard<M> {
         if fanout == 0 {
             return;
         }
-        self.pending.fetch_add(1, Ordering::Relaxed);
-        self.total_sent.fetch_add(fanout, Ordering::Relaxed);
+        self.pending.inc();
+        self.total_sent.add(fanout);
         self.inboxes[dest].lock().push(batch);
     }
 
@@ -81,18 +83,18 @@ impl<M: Send> MessageBoard<M> {
     pub(crate) fn drain(&self, dest: usize) -> Vec<Batch<M>> {
         let mut inbox = self.inboxes[dest].lock();
         let got = std::mem::take(&mut *inbox);
-        self.pending.fetch_sub(got.len() as u64, Ordering::Relaxed);
+        self.pending.sub(got.len() as u64);
         got
     }
 
     /// Batches currently queued anywhere.
     pub(crate) fn pending(&self) -> u64 {
-        self.pending.load(Ordering::Relaxed)
+        self.pending.get()
     }
 
     /// Total per-vertex deliveries posted since construction.
     pub(crate) fn total_sent(&self) -> u64 {
-        self.total_sent.load(Ordering::Relaxed)
+        self.total_sent.get()
     }
 }
 
@@ -147,10 +149,11 @@ impl<M> ShardPacket<M> {
 #[derive(Debug)]
 pub(crate) struct ShardBus<M> {
     lanes: Vec<Mutex<Vec<ShardPacket<M>>>>,
-    /// Packets currently queued anywhere (termination diagnostics).
-    pending: AtomicU64,
+    /// Packets currently queued anywhere (termination diagnostics;
+    /// exact reads happen at the shard rendezvous).
+    pending: Counter,
     /// Serialized bytes ever posted (statistics).
-    bytes: AtomicU64,
+    bytes: Counter,
 }
 
 impl<M: Send> ShardBus<M> {
@@ -159,8 +162,8 @@ impl<M: Send> ShardBus<M> {
         lanes.resize_with(shards, || Mutex::new(Vec::new()));
         ShardBus {
             lanes,
-            pending: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
+            pending: Counter::default(),
+            bytes: Counter::default(),
         }
     }
 
@@ -169,8 +172,8 @@ impl<M: Send> ShardBus<M> {
         if packet.is_empty() {
             return;
         }
-        self.pending.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(packet.wire_bytes(), Ordering::Relaxed);
+        self.pending.inc();
+        self.bytes.add(packet.wire_bytes());
         self.lanes[dest].lock().push(packet);
     }
 
@@ -178,18 +181,18 @@ impl<M: Send> ShardBus<M> {
     pub(crate) fn drain(&self, dest: usize) -> Vec<ShardPacket<M>> {
         let mut lane = self.lanes[dest].lock();
         let got = std::mem::take(&mut *lane);
-        self.pending.fetch_sub(got.len() as u64, Ordering::Relaxed);
+        self.pending.sub(got.len() as u64);
         got
     }
 
     /// Packets currently queued anywhere.
     pub(crate) fn pending(&self) -> u64 {
-        self.pending.load(Ordering::Relaxed)
+        self.pending.get()
     }
 
     /// Serialized bytes posted since construction.
     pub(crate) fn bytes_sent(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.get()
     }
 }
 

@@ -35,12 +35,12 @@
 //! (including the [`GraphService::query`] closure paths, whose
 //! arbitrary return type the service cannot patch).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use fg_format::{GraphIndex, ShardedIndex};
 use fg_safs::{CacheStatsSnapshot, Safs, ShardSet};
+use fg_types::sync::Counter;
 use fg_types::Result;
 
 use crate::config::EngineConfig;
@@ -129,7 +129,7 @@ impl Drop for Permit<'_> {
     fn drop(&mut self) {
         let mut st = self.service.gate.lock();
         st.running -= 1;
-        self.service.completed.fetch_add(1, Ordering::Relaxed);
+        self.service.completed.inc();
         drop(st);
         self.service.gate.cv.notify_all();
     }
@@ -163,10 +163,10 @@ pub struct GraphService {
     backend: ServeBackend,
     cfg: ServiceConfig,
     gate: Gate,
-    admitted: AtomicU64,
-    completed: AtomicU64,
-    peak_inflight: AtomicUsize,
-    queue_wait_ns: AtomicU64,
+    admitted: Counter,
+    completed: Counter,
+    peak_inflight: Counter,
+    queue_wait_ns: Counter,
 }
 
 /// What the service serves from: one shared mount, or one mount per
@@ -256,10 +256,10 @@ impl GraphService {
                 }),
                 cv: Condvar::new(),
             },
-            admitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            peak_inflight: AtomicUsize::new(0),
-            queue_wait_ns: AtomicU64::new(0),
+            admitted: Counter::default(),
+            completed: Counter::default(),
+            peak_inflight: Counter::default(),
+            queue_wait_ns: Counter::default(),
         }
     }
 
@@ -337,10 +337,10 @@ impl GraphService {
     /// Service counters so far.
     pub fn stats(&self) -> ServiceStatsSnapshot {
         ServiceStatsSnapshot {
-            admitted: self.admitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            peak_inflight: self.peak_inflight.load(Ordering::Relaxed),
-            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+            admitted: self.admitted.get(),
+            completed: self.completed.get(),
+            peak_inflight: self.peak_inflight.get() as usize,
+            queue_wait_ns: self.queue_wait_ns.get(),
         }
     }
 
@@ -471,10 +471,9 @@ impl GraphService {
         // The next ticket holder may also fit (capacity > 1).
         self.gate.cv.notify_all();
         let waited = t0.elapsed();
-        self.admitted.fetch_add(1, Ordering::Relaxed);
-        self.peak_inflight.fetch_max(running, Ordering::Relaxed);
-        self.queue_wait_ns
-            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+        self.admitted.inc();
+        self.peak_inflight.max(running as u64);
+        self.queue_wait_ns.add(waited.as_nanos() as u64);
         (Permit { service: self }, waited)
     }
 }
@@ -554,8 +553,13 @@ mod tests {
     #[test]
     fn admission_cap_bounds_concurrency() {
         let svc = Arc::new(service(1));
-        let live = Arc::new(AtomicUsize::new(0));
-        let peak = Arc::new(AtomicUsize::new(0));
+        // Formerly SeqCst atomics "to be safe": the peak-overrun
+        // assertion relies only on RMW atomicity, which is
+        // ordering-independent, and the exact final read happens
+        // after the scope joins every worker — a relaxed Counter's
+        // contract exactly.
+        let live = Arc::new(Counter::default());
+        let peak = Arc::new(Counter::default());
         std::thread::scope(|s| {
             for _ in 0..6 {
                 let svc = Arc::clone(&svc);
@@ -563,16 +567,16 @@ mod tests {
                 let peak = Arc::clone(&peak);
                 s.spawn(move || {
                     svc.query(|engine| {
-                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
-                        peak.fetch_max(now, Ordering::SeqCst);
+                        let now = live.inc();
+                        peak.max(now);
                         let out = engine.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
-                        live.fetch_sub(1, Ordering::SeqCst);
+                        live.sub(1);
                         out
                     });
                 });
             }
         });
-        assert_eq!(peak.load(Ordering::SeqCst), 1, "cap of 1 was overrun");
+        assert_eq!(peak.get(), 1, "cap of 1 was overrun");
         let snapshot = svc.stats();
         assert_eq!(snapshot.admitted, 6);
         assert_eq!(snapshot.completed, 6);

@@ -48,6 +48,12 @@ use crate::stats::RunStats;
 /// A thread panic on any shard poisons the group (via the driver's
 /// guard), and every waiter panics instead of deadlocking on a peer
 /// that will never arrive.
+///
+/// Model-checked as `fg_check`'s `rendezvous` model: waiting on the
+/// *generation* (not the `arrived` counter, which the next round
+/// reuses) and notifying on poison are both load-bearing — the seeded
+/// `ArrivedPredicate` and `PoisonNoNotify` mutations each deadlock.
+/// See `crates/check` and `tests/check_models.rs`.
 pub(crate) struct ShardGroup {
     shards: usize,
     state: Mutex<GroupState>,

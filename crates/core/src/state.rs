@@ -23,6 +23,13 @@
 //! `SharedStates` encodes that contract in one `unsafe` spot instead
 //! of sprinkling `unsafe` through the engine.
 //!
+//! The busy-bit half of the contract is model-checked: `fg_check`'s
+//! `busy_bit` model explores the set_sync/clear_sync claim protocol
+//! over all bounded interleavings, and its seeded `RelaxedSync`
+//! mutation shows the AcqRel pair is load-bearing — downgrading it
+//! keeps mutual exclusion but loses publication (a data race on the
+//! protected state). See `crates/check` and `tests/check_models.rs`.
+//!
 //! The contract is strictly *per run*: every run — including each of
 //! the many concurrent queries a [`crate::GraphService`] multiplexes
 //! over one shared mount — owns its own `SharedStates` and its own

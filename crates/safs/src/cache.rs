@@ -7,9 +7,9 @@
 //! paper leans on: "this page cache reduces locking overhead and
 //! incurs little overhead when the cache hit rate is low".
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use fg_types::sync::Counter;
 use parking_lot::Mutex;
 use serde::Serialize;
 
@@ -23,43 +23,43 @@ use crate::page::Page;
 /// one tenant performed against a shared cache.
 #[derive(Debug, Default)]
 pub struct CacheStats {
-    lookups: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    insertions: AtomicU64,
+    lookups: Counter,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    insertions: Counter,
 }
 
 impl CacheStats {
     /// Takes a snapshot of the counters.
     pub fn snapshot(&self) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
-            lookups: self.lookups.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
+            lookups: self.lookups.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            insertions: self.insertions.get(),
         }
     }
 
     /// Records one lookup outcome (used by scoped per-session stats;
     /// the cache's own counters are maintained by [`PageCache::get`]).
     pub fn record_lookup(&self, hit: bool) {
-        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.lookups.inc();
         if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         }
     }
 
     /// Resets the counters.
     pub fn reset(&self) {
-        self.lookups.store(0, Ordering::Relaxed);
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.insertions.store(0, Ordering::Relaxed);
+        self.lookups.set(0);
+        self.hits.set(0);
+        self.misses.set(0);
+        self.evictions.set(0);
+        self.insertions.set(0);
     }
 }
 
@@ -274,9 +274,9 @@ impl PageCache {
         let evicted = self.sets[self.set_of(pageno)]
             .lock()
             .insert(pageno, page, self.ways);
-        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        self.stats.insertions.inc();
         if evicted {
-            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            self.stats.evictions.inc();
         }
     }
 }

@@ -1,52 +1,53 @@
 //! Atomic I/O accounting shared by all threads touching an array.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use fg_types::sync::Counter;
 use serde::Serialize;
 
 /// Live counters for an [`crate::SsdArray`].
 ///
-/// All counters are relaxed atomics: they are statistics, not
-/// synchronization. `busy_ns` is per-drive virtual device time — the
-/// maximum across drives is the array's I/O critical path, used as
-/// the I/O term of the experiments' roofline runtime model.
+/// All counters are [`Counter`]s — relaxed statistics, not
+/// synchronization (the exact-read points are externally
+/// synchronized; see the `Counter` contract). `busy_ns` is per-drive
+/// virtual device time — the maximum across drives is the array's
+/// I/O critical path, used as the I/O term of the experiments'
+/// roofline runtime model.
 #[derive(Debug)]
 pub struct IoStats {
-    read_requests: AtomicU64,
-    pages_read: AtomicU64,
-    bytes_read: AtomicU64,
-    write_requests: AtomicU64,
-    pages_written: AtomicU64,
-    bytes_written: AtomicU64,
-    busy_ns: Vec<AtomicU64>,
+    read_requests: Counter,
+    pages_read: Counter,
+    bytes_read: Counter,
+    write_requests: Counter,
+    pages_written: Counter,
+    bytes_written: Counter,
+    busy_ns: Vec<Counter>,
     /// Logical read requests currently queued on (or being served by)
     /// the array — a gauge, maintained by the I/O layer above via
     /// [`IoStats::queue_enter`] / [`IoStats::queue_exit`].
-    inflight: AtomicU64,
-    depth_samples: AtomicU64,
-    depth_sum: AtomicU64,
-    depth_zero_dips: AtomicU64,
-    depth_max: AtomicU64,
+    inflight: Counter,
+    depth_samples: Counter,
+    depth_sum: Counter,
+    depth_zero_dips: Counter,
+    depth_max: Counter,
 }
 
 impl IoStats {
     /// Creates zeroed stats for `num_ssds` drives.
     pub fn new(num_ssds: usize) -> Self {
         let mut busy_ns = Vec::with_capacity(num_ssds);
-        busy_ns.resize_with(num_ssds, || AtomicU64::new(0));
+        busy_ns.resize_with(num_ssds, Counter::default);
         IoStats {
-            read_requests: AtomicU64::new(0),
-            pages_read: AtomicU64::new(0),
-            bytes_read: AtomicU64::new(0),
-            write_requests: AtomicU64::new(0),
-            pages_written: AtomicU64::new(0),
-            bytes_written: AtomicU64::new(0),
+            read_requests: Counter::default(),
+            pages_read: Counter::default(),
+            bytes_read: Counter::default(),
+            write_requests: Counter::default(),
+            pages_written: Counter::default(),
+            bytes_written: Counter::default(),
             busy_ns,
-            inflight: AtomicU64::new(0),
-            depth_samples: AtomicU64::new(0),
-            depth_sum: AtomicU64::new(0),
-            depth_zero_dips: AtomicU64::new(0),
-            depth_max: AtomicU64::new(0),
+            inflight: Counter::default(),
+            depth_samples: Counter::default(),
+            depth_sum: Counter::default(),
+            depth_zero_dips: Counter::default(),
+            depth_max: Counter::default(),
         }
     }
 
@@ -56,7 +57,7 @@ impl IoStats {
     /// the simulator services reads synchronously, so queue depth is
     /// only observable at the dispatch/completion layer above).
     pub fn queue_enter(&self) {
-        let d = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        let d = self.inflight.inc();
         self.sample_depth(d);
     }
 
@@ -67,82 +68,73 @@ impl IoStats {
     pub fn queue_exit(&self) {
         // Clamped at zero: an exit without a paired enter (direct
         // batch serving in tests) must not wrap the gauge.
-        let prev = self
-            .inflight
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
-            })
-            .expect("update closure never fails");
+        let prev = self.inflight.dec_saturating();
         let d = prev.saturating_sub(1);
         self.sample_depth(d);
         if d == 0 {
-            self.depth_zero_dips.fetch_add(1, Ordering::Relaxed);
+            self.depth_zero_dips.inc();
         }
     }
 
     fn sample_depth(&self, d: u64) {
-        self.depth_samples.fetch_add(1, Ordering::Relaxed);
-        self.depth_sum.fetch_add(d, Ordering::Relaxed);
-        self.depth_max.fetch_max(d, Ordering::Relaxed);
+        self.depth_samples.inc();
+        self.depth_sum.add(d);
+        self.depth_max.max(d);
     }
 
     pub(crate) fn record_read(&self, ssd: usize, pages: u64, bytes: u64, service_ns: u64) {
-        self.read_requests.fetch_add(1, Ordering::Relaxed);
-        self.pages_read.fetch_add(pages, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
-        self.busy_ns[ssd].fetch_add(service_ns, Ordering::Relaxed);
+        self.read_requests.inc();
+        self.pages_read.add(pages);
+        self.bytes_read.add(bytes);
+        self.busy_ns[ssd].add(service_ns);
     }
 
     pub(crate) fn record_write(&self, ssd: usize, pages: u64, bytes: u64, service_ns: u64) {
-        self.write_requests.fetch_add(1, Ordering::Relaxed);
-        self.pages_written.fetch_add(pages, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
-        self.busy_ns[ssd].fetch_add(service_ns, Ordering::Relaxed);
+        self.write_requests.inc();
+        self.pages_written.add(pages);
+        self.bytes_written.add(bytes);
+        self.busy_ns[ssd].add(service_ns);
     }
 
     /// Resets every counter; call between experiment phases so the
     /// measured region excludes graph loading.
     pub fn reset(&self) {
-        self.read_requests.store(0, Ordering::Relaxed);
-        self.pages_read.store(0, Ordering::Relaxed);
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.write_requests.store(0, Ordering::Relaxed);
-        self.pages_written.store(0, Ordering::Relaxed);
-        self.bytes_written.store(0, Ordering::Relaxed);
+        self.read_requests.set(0);
+        self.pages_read.set(0);
+        self.bytes_read.set(0);
+        self.write_requests.set(0);
+        self.pages_written.set(0);
+        self.bytes_written.set(0);
         for b in &self.busy_ns {
-            b.store(0, Ordering::Relaxed);
+            b.set(0);
         }
         // The depth trace restarts but the gauge itself does not: a
         // reset taken while requests are queued must not make later
         // `queue_exit` calls underflow.
-        self.depth_samples.store(0, Ordering::Relaxed);
-        self.depth_sum.store(0, Ordering::Relaxed);
-        self.depth_zero_dips.store(0, Ordering::Relaxed);
-        self.depth_max.store(0, Ordering::Relaxed);
+        self.depth_samples.set(0);
+        self.depth_sum.set(0);
+        self.depth_zero_dips.set(0);
+        self.depth_max.set(0);
     }
 
     /// Takes a consistent-enough snapshot (exact when no I/O is in
     /// flight, which is how the harnesses use it).
     pub fn snapshot(&self) -> IoStatsSnapshot {
-        let busy: Vec<u64> = self
-            .busy_ns
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let busy: Vec<u64> = self.busy_ns.iter().map(|b| b.get()).collect();
         IoStatsSnapshot {
-            read_requests: self.read_requests.load(Ordering::Relaxed),
-            pages_read: self.pages_read.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            write_requests: self.write_requests.load(Ordering::Relaxed),
-            pages_written: self.pages_written.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            read_requests: self.read_requests.get(),
+            pages_read: self.pages_read.get(),
+            bytes_read: self.bytes_read.get(),
+            write_requests: self.write_requests.get(),
+            pages_written: self.pages_written.get(),
+            bytes_written: self.bytes_written.get(),
             max_busy_ns: busy.iter().copied().max().unwrap_or(0),
             total_busy_ns: busy.iter().copied().sum(),
             per_ssd_busy_ns: busy,
-            depth_samples: self.depth_samples.load(Ordering::Relaxed),
-            depth_sum: self.depth_sum.load(Ordering::Relaxed),
-            depth_zero_dips: self.depth_zero_dips.load(Ordering::Relaxed),
-            depth_max: self.depth_max.load(Ordering::Relaxed),
+            depth_samples: self.depth_samples.get(),
+            depth_sum: self.depth_sum.get(),
+            depth_zero_dips: self.depth_zero_dips.get(),
+            depth_max: self.depth_max.get(),
         }
     }
 }

@@ -7,8 +7,7 @@
 //! neighbours in parallel) and a single-threaded version ([`Bitmap`],
 //! used for visited sets inside algorithms).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use crate::sync::{AtomicU64, Ordering};
 use crate::VertexId;
 
 const BITS: usize = 64;
@@ -214,6 +213,8 @@ impl AtomicBitmap {
     pub fn set(&self, v: VertexId) -> bool {
         let i = self.check(v);
         let mask = 1u64 << (i % BITS);
+        // ordering: activation bits carry no payload; the iteration
+        // barrier publishes them (doc contract above).
         self.words[i / BITS].fetch_or(mask, Ordering::Relaxed) & mask != 0
     }
 
@@ -226,6 +227,7 @@ impl AtomicBitmap {
     pub fn clear(&self, v: VertexId) -> bool {
         let i = self.check(v);
         let mask = 1u64 << (i % BITS);
+        // ordering: same contract as [`AtomicBitmap::set`].
         self.words[i / BITS].fetch_and(!mask, Ordering::Relaxed) & mask != 0
     }
 
@@ -236,6 +238,12 @@ impl AtomicBitmap {
     /// pipelined engine guards per-vertex state with exactly this
     /// (relaxed `set`/`clear` only order the bit, not the data the
     /// bit protects).
+    ///
+    /// The exclusivity-plus-publication contract is model-checked:
+    /// `fg_check`'s `busy_bit` protocol model proves it under
+    /// exhaustive small-bound interleaving, and its seeded
+    /// AcqRel→Relaxed mutation shows the downgrade losing the
+    /// publication (`cargo test --test check_models`).
     ///
     /// # Panics
     ///
@@ -269,6 +277,8 @@ impl AtomicBitmap {
     #[inline]
     pub fn get(&self, v: VertexId) -> bool {
         let i = self.check(v);
+        // ordering: racy probe by contract; exact reads happen at
+        // barriers (doc contract above).
         self.words[i / BITS].load(Ordering::Relaxed) & (1u64 << (i % BITS)) != 0
     }
 
@@ -276,6 +286,7 @@ impl AtomicBitmap {
     /// barriers when no other thread touches the map.
     pub fn clear_all(&self) {
         for w in &self.words {
+            // ordering: barrier-only operation (doc contract above).
             w.store(0, Ordering::Relaxed);
         }
     }
@@ -284,6 +295,7 @@ impl AtomicBitmap {
     pub fn count_ones(&self) -> usize {
         self.words
             .iter()
+            // ordering: barrier-only operation (doc contract above).
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
     }
@@ -297,6 +309,7 @@ impl AtomicBitmap {
             current: self
                 .words
                 .first()
+                // ordering: barrier-only operation (doc contract above).
                 .map(|w| w.load(Ordering::Relaxed))
                 .unwrap_or(0),
         }
@@ -315,6 +328,7 @@ impl AtomicBitmap {
         let first_word = lo / BITS;
         let current = if lo < hi {
             // Mask off bits below `lo` in the first word.
+            // ordering: barrier-only operation (doc contract above).
             self.words[first_word].load(Ordering::Relaxed) & (u64::MAX << (lo % BITS))
         } else {
             0
@@ -333,6 +347,7 @@ impl AtomicBitmap {
             words: self
                 .words
                 .iter()
+                // ordering: barrier-only operation (doc contract above).
                 .map(|w| w.load(Ordering::Relaxed))
                 .collect(),
             len: self.len,
@@ -371,6 +386,7 @@ impl Iterator for AtomicIterOnes<'_> {
             if self.word_idx >= self.map.words.len() {
                 return None;
             }
+            // ordering: barrier-only operation (doc contract above).
             self.current = self.map.words[self.word_idx].load(Ordering::Relaxed);
         }
     }
@@ -449,6 +465,7 @@ mod tests {
         struct Shared(std::cell::UnsafeCell<u64>);
         // SAFETY: every access happens under the bit in the test body.
         unsafe impl Send for Shared {}
+        // SAFETY: same discipline as Send above.
         unsafe impl Sync for Shared {}
         let b = std::sync::Arc::new(AtomicBitmap::new(1));
         let counter = std::sync::Arc::new(Shared(std::cell::UnsafeCell::new(0u64)));
@@ -470,6 +487,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // SAFETY: all writer threads are joined; no aliasing remains.
         assert_eq!(unsafe { *counter.0.get() }, 80_000);
     }
 

@@ -24,6 +24,7 @@ mod bitmap;
 mod dir;
 mod error;
 mod id;
+pub mod sync;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
 pub use dir::EdgeDir;
