@@ -128,6 +128,18 @@ fn run_shards(g: &fg_graph::Graph, shards: usize) -> ShardRun {
         .run_detailed(&DenseWcc, Init::All, states)
         .expect("run");
     let wall_secs = t0.elapsed().as_secs_f64();
+    // Deduped reads must sum exactly under sharding: each shard's
+    // in-flight table books its own hits, and the set-wide roll-up is
+    // their sum — nothing double-counted across mounts.
+    let dedup_sum: u64 = set
+        .iter()
+        .map(|m| m.array().stats().snapshot().dedup_bytes)
+        .sum();
+    assert_eq!(
+        dedup_sum,
+        set.io_stats().dedup_bytes,
+        "{shards}-shard per-mount dedup_bytes don't sum to the set roll-up"
+    );
     ShardRun {
         labels: states.into_iter().map(|s| s.label).collect(),
         total,

@@ -1,0 +1,214 @@
+//! In-flight read dedup — the model of the mount-level waiter
+//! protocol (`crates/safs/src/inflight.rs`): one fetcher, N waiters,
+//! cancellation mid-wait.
+//!
+//! Protocol: the first session to miss a page *claims* it (an entry
+//! in the mount-wide table) and queues a device run; later sessions
+//! missing the same page while the claim is open *attach* as waiters
+//! instead of dispatching their own read. The I/O thread serving the
+//! claiming run fills the page buffer, completes the fetcher through
+//! its private reply mailbox, and then — under the table lock —
+//! removes the claim, fans the page out to every attached waiter, and
+//! notifies. A waiter whose query is cancelled mid-wait simply
+//! departs; its reply channel disconnecting turns the fan-out send
+//! into a no-op. Nothing a dying session does can wedge the others,
+//! because resolution lives on the I/O thread, not on any session.
+//!
+//! The model compresses that to: the claim opened at submit time (on
+//! the application thread, before anyone else runs — the real
+//! ownership discipline), one I/O thread, the fetcher session reading
+//! its mailbox, one faithful waiter, and one waiter that cancels
+//! after attaching.
+//!
+//! Invariants checked:
+//! * the fetcher and the surviving waiter both observe the landed
+//!   page bytes — one device read, N completions;
+//! * no claim is left open once the read resolves;
+//! * the fan-out covers every attached waiter, departed or not;
+//! * the cancelled waiter's departure never blocks resolution or the
+//!   surviving waiter (exhaustive exploration finds no deadlock).
+//!
+//! Seeded mutations:
+//! * [`Mutation::DroppedNotify`]: resolve removes the claim but skips
+//!   the waiter notification — the attached waiter sleeps forever on
+//!   the condvar (deadlock), exactly what a dropped `notify_all`
+//!   after the table update would do in `io_thread.rs`.
+//! * [`Mutation::RelaxedPublish`]: the fetcher's mailbox flag is
+//!   published with `Relaxed` instead of `Release` — the mailbox no
+//!   longer carries the page write, and the fetcher's read of the
+//!   page buffer races the device write (data race). This is the
+//!   hazard of replying on a channel without release/acquire
+//!   semantics.
+
+use crate::sync::{cspawn, cyield, CAtomicBool, CCell, CCondvar, CMutex, Ordering};
+use crate::{check_assert, explore, Config, Report};
+use std::sync::Arc;
+
+/// Seeded protocol edits the checker must catch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Resolve updates the table but never notifies the waiters.
+    DroppedNotify,
+    /// The fetcher's completion mailbox is published `Relaxed`.
+    RelaxedPublish,
+}
+
+impl Mutation {
+    pub const ALL: [Mutation; 2] = [Mutation::DroppedNotify, Mutation::RelaxedPublish];
+}
+
+/// The bytes the device read lands.
+const PAGE: u64 = 42;
+
+/// The mount-wide in-flight table, reduced to a single page's claim.
+struct Table {
+    /// The claim entry is present (some session is fetching the page).
+    claim_open: bool,
+    /// The fetching read finished and fan-out ran.
+    resolved: bool,
+    /// Waiters that attached to the claim while it was open.
+    attached: u64,
+    /// Fan-out deliveries performed by resolve (sends, including
+    /// no-op sends to departed waiters).
+    fanned: u64,
+}
+
+struct Model {
+    table: CMutex<Table>,
+    cv: CCondvar,
+    /// The page buffer the device read fills.
+    page: CCell<u64>,
+    /// The fetcher session's private reply mailbox (the model of its
+    /// crossbeam completion channel).
+    mailbox: CAtomicBool,
+    mutation: Option<Mutation>,
+}
+
+impl Model {
+    /// The I/O thread serving the claiming run: device read, fetcher
+    /// completion, then claim resolution + waiter fan-out.
+    fn run_io(&self) {
+        // The device read lands the page bytes.
+        self.page.write(|p| *p = PAGE);
+        // Complete the fetcher through its own mailbox.
+        // ordering: Release — pairs with the fetcher's Acquire load;
+        // the mailbox must carry the page write. The mutation
+        // downgrades exactly this edge.
+        let ord = if self.mutation == Some(Mutation::RelaxedPublish) {
+            // ordering: Relaxed — the seeded bug under test.
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.mailbox.store(true, ord);
+        // Resolve: remove the claim and fan out under the table lock.
+        {
+            let mut t = self.table.lock();
+            t.claim_open = false;
+            t.resolved = true;
+            // One send per attached waiter; a departed waiter's send
+            // is a disconnected-channel no-op but still happens.
+            t.fanned = t.attached;
+        }
+        if self.mutation != Some(Mutation::DroppedNotify) {
+            self.cv.notify_all();
+        }
+    }
+
+    /// The claiming session: its run is already queued (the claim was
+    /// opened at submit time); it only waits for its completion.
+    fn run_fetcher(&self) {
+        // ordering: Acquire — pairs with the I/O thread's Release
+        // publish of the mailbox, making the page bytes visible.
+        while !self.mailbox.load(Ordering::Acquire) {
+            cyield();
+        }
+        self.page.read(|p| {
+            check_assert(*p == PAGE, "the fetcher observes the landed page");
+        });
+    }
+
+    /// A session missing the same page: attaches while the claim is
+    /// open, or reads straight through (the page already landed).
+    fn run_waiter(&self) {
+        let mut t = self.table.lock();
+        if t.claim_open {
+            t.attached += 1;
+            while !t.resolved {
+                t = self.cv.wait(t);
+            }
+        }
+        // Either fanned out to, or a post-landing cache read; the
+        // lock handoff from resolve orders the page bytes here.
+        drop(t);
+        self.page.read(|p| {
+            check_assert(*p == PAGE, "the surviving waiter observes the landed page");
+        });
+    }
+
+    /// A session whose query is cancelled mid-wait: it attaches, then
+    /// departs without waiting — in the real table its reply channel
+    /// drops and the fan-out send to it becomes a no-op.
+    fn run_cancelled_waiter(&self) {
+        let mut t = self.table.lock();
+        if t.claim_open {
+            t.attached += 1;
+        }
+        drop(t);
+        // The token fired: abandon the wait. The entry stays in the
+        // table; resolution must proceed without us.
+    }
+}
+
+/// Explores the protocol; `mutation: None` is the faithful model.
+pub fn check(mutation: Option<Mutation>, cfg: &Config) -> Report {
+    let cfg = cfg.clone();
+    explore(&cfg, move || {
+        let m = Arc::new(Model {
+            table: CMutex::new(
+                "inflight.table",
+                Table {
+                    // The claim opens on the submitting application
+                    // thread, before any concurrency — the table's
+                    // ownership discipline.
+                    claim_open: true,
+                    resolved: false,
+                    attached: 0,
+                    fanned: 0,
+                },
+            ),
+            cv: CCondvar::new("inflight.cv"),
+            page: CCell::new("page", 0u64),
+            mailbox: CAtomicBool::new("mailbox", false),
+            mutation,
+        });
+
+        let io = {
+            let m = m.clone();
+            cspawn(move || m.run_io())
+        };
+        let waiter = {
+            let m = m.clone();
+            cspawn(move || m.run_waiter())
+        };
+        let cancelled = {
+            let m = m.clone();
+            cspawn(move || m.run_cancelled_waiter())
+        };
+        // The root thread is the claiming session itself — it opened
+        // the claim before spawning anyone and now awaits its reply.
+        m.run_fetcher();
+        io.join();
+        waiter.join();
+        cancelled.join();
+
+        // Joins give the root the happens-before edge for these reads.
+        let t = m.table.lock();
+        check_assert(!t.claim_open, "no claim is left open after resolve");
+        check_assert(t.resolved, "the claiming read resolved");
+        check_assert(
+            t.fanned == t.attached,
+            "fan-out covers every attached waiter, departed or not",
+        );
+    })
+}

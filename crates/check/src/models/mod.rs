@@ -1,4 +1,4 @@
-//! Faithful miniatures of the engine's five synchronization
+//! Faithful miniatures of the engine's six synchronization
 //! protocols, each with seeded mutations the checker must catch.
 //!
 //! Every model follows the same shape:
@@ -16,6 +16,7 @@
 //! ordering choices.
 
 pub mod busy_bit;
+pub mod inflight_waiter;
 pub mod quiesce;
 pub mod ready_pool;
 pub mod rendezvous;
@@ -70,6 +71,14 @@ pub fn run_all(cfg: &Config) -> Vec<(String, bool, Report)> {
             &format!("rendezvous+{:?}", m),
             true,
             rendezvous::check(Some(m), cfg),
+        );
+    }
+    push("inflight_waiter", false, inflight_waiter::check(None, cfg));
+    for m in inflight_waiter::Mutation::ALL {
+        push(
+            &format!("inflight_waiter+{:?}", m),
+            true,
+            inflight_waiter::check(Some(m), cfg),
         );
     }
     out

@@ -590,12 +590,19 @@ pub(crate) fn spawn_model_thread(f: impl FnOnce() + Send + 'static) -> CJoinHand
     sched.point(me, "spawn");
     let tid = sched.register_child(me);
     let s2 = sched.clone();
+    let s2_park = sched.clone();
     let os = std::thread::Builder::new()
         .name(format!("fg-check-t{}", tid))
         .spawn(move || {
             set_ctx(s2.clone(), tid);
-            s2.first_park(tid);
-            let r = panic::catch_unwind(AssertUnwindSafe(f));
+            // The birth park sits *inside* the unwind catch: an abort
+            // landing while this thread waits for its first grant must
+            // still reach `finish`, or its status stays `Parked` and
+            // the executor's settle loop waits on it forever.
+            let r = panic::catch_unwind(AssertUnwindSafe(move || {
+                s2_park.first_park(tid);
+                f()
+            }));
             let msg = panic_message(r);
             s2.finish(tid, msg);
         })

@@ -34,13 +34,17 @@ use std::time::{Duration, Instant};
 use fg_format::{GraphIndex, ShardedIndex, SliceDecode};
 use fg_graph::Graph;
 use fg_safs::{CacheStats, Completion, IoSession, PageSpan, Safs, ShardSet};
-use fg_types::{AtomicBitmap, Bitmap, EdgeDir, FgError, Result, VertexId};
+use fg_types::{
+    AtomicBitmap, Bitmap, CancelCause, CancelToken, EdgeDir, FgError, Result, VertexId,
+};
 
 use crate::config::{EngineConfig, ScanMode, SchedulerKind};
 use crate::context::{
     DegreeSource, EdgeRequest, RunShared, ShardView, VertexContext, WorkerScratch,
 };
-use crate::merge::{coalesce_stream, merge_requests, RangeReq};
+use crate::merge::{
+    coalesce_stream_around, merge_requests, subtract_inflight, MergedReq, PageRange, RangeReq,
+};
 use crate::messages::{Batch, MessageBoard, NotifyBoard, ShardPacket};
 use crate::partition::PartitionMap;
 use crate::program::VertexProgram;
@@ -88,6 +92,9 @@ pub struct Engine<'g> {
     backend: Backend<'g>,
     cfg: EngineConfig,
     n: usize,
+    /// Cooperative cancellation, polled at iteration boundaries
+    /// (worker 0, phase D). `None` — the common case — costs nothing.
+    cancel: Option<CancelToken>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -115,6 +122,7 @@ impl<'g> Engine<'g> {
             n: graph.num_vertices(),
             backend: Backend::Mem(graph),
             cfg,
+            cancel: None,
         }
     }
 
@@ -132,6 +140,7 @@ impl<'g> Engine<'g> {
             n: index.num_vertices(),
             backend: Backend::Sem { safs, index },
             cfg,
+            cancel: None,
         }
     }
 
@@ -152,6 +161,7 @@ impl<'g> Engine<'g> {
             n: index.num_vertices(),
             backend: Backend::Shard { set, index, me },
             cfg,
+            cancel: None,
         }
     }
 
@@ -185,7 +195,21 @@ impl<'g> Engine<'g> {
             },
             cfg,
             n: self.n,
+            cancel: self.cancel.clone(),
         }
+    }
+
+    /// Attaches a cancellation token: worker 0 polls it at every
+    /// iteration boundary (phase D, where all workers are quiesced and
+    /// every I/O pipeline is drained), so a fired token stops the run
+    /// at the *next* boundary with all shared state — sessions, cache,
+    /// busy bits — in a consistent between-iterations configuration.
+    /// The run then errors with [`FgError::Cancelled`] or
+    /// [`FgError::DeadlineExpired`].
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Executes `program` until no vertex is active and no message is
@@ -230,6 +254,12 @@ impl<'g> Engine<'g> {
         }
         let states = SharedStates::new(states_vec);
         let stats = self.run_inner(program, init, &states, None)?;
+        if let Some(cause) = stats.cancelled {
+            // Partial states are consistent (the stop happened at an
+            // iteration boundary) but incomplete; the contract is an
+            // error, mirroring what the serving layer reports.
+            return Err(cause.into());
+        }
         Ok((states.into_inner(), stats))
     }
 
@@ -439,6 +469,12 @@ impl<'g> Engine<'g> {
             io,
             cache: cache_scope.as_ref().map(|s| s.snapshot()),
             cache_mount,
+            // ordering: read after every worker thread has joined.
+            cancelled: match control.cancel_kind.load(Ordering::Relaxed) {
+                1 => Some(CancelCause::Cancelled),
+                2 => Some(CancelCause::DeadlineExpired),
+                _ => None,
+            },
             per_iteration: per_iteration.into_inner(),
         };
         Ok(stats)
@@ -682,6 +718,10 @@ impl ReadyPool {
 struct Control {
     iteration: AtomicU64Like,
     stop: AtomicBool,
+    /// Why the run stopped early: 0 = it didn't, 1 = cancelled,
+    /// 2 = deadline expired. Written by worker 0 in phase D, read
+    /// after the join.
+    cancel_kind: AtomicU32,
 }
 
 /// `AtomicU32` wrapper defaulting to zero (keeps `Control` derivable).
@@ -890,10 +930,31 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 }
                 let next_count = self.frontiers.next().count_ones() as u64;
                 let quiet = next_count == 0 && self.board.pending() == 0;
+                // Cancellation is voted exactly like termination: a
+                // shard whose token fired votes "stop" into the same
+                // AND-reduction, so either every shard stops on this
+                // boundary or (when a deadline races the vote) all
+                // continue one more iteration and stop on the next —
+                // no shard ever blocks on a peer that walked away.
+                let cancel_hit = match self.engine.cancel.as_ref().and_then(|t| t.cause()) {
+                    None => 0u32,
+                    Some(CancelCause::Cancelled) => 1,
+                    Some(CancelCause::DeadlineExpired) => 2,
+                };
+                let stop_vote = quiet || cancel_hit != 0;
                 let done = match self.link {
-                    Some(link) => link.group.vote(quiet),
-                    None => quiet,
+                    Some(link) => link.group.vote(stop_vote),
+                    None => stop_vote,
                 } || iter + 1 >= self.engine.cfg.max_iterations;
+                if done && cancel_hit != 0 && !quiet {
+                    // A run that was quiet anyway converged; only an
+                    // actually-cut-short run reports cancellation.
+                    let kind = &self.control.cancel_kind;
+                    // ordering: Relaxed — written while every other
+                    // worker is parked at the barrier, read after the
+                    // thread-scope join; both edges synchronize.
+                    kind.store(cancel_hit, Ordering::Relaxed);
+                }
                 self.record_iteration(frontier_count, iter_start, &mut boundary);
                 self.frontiers.swap();
                 self.ready.begin_iteration();
@@ -1997,6 +2058,15 @@ struct SemIo<'s> {
     pairs: Vec<Option<AttrPair>>,
     pairs_free: Vec<usize>,
     ready: Vec<ReadyVertex>,
+    /// Page ranges `[first, end)` of selective covers submitted and
+    /// not yet resolved, tagged by slab slot. Later flush batches
+    /// subtract these before building covers: a request fully inside
+    /// them is submitted alone and attaches to the in-flight read via
+    /// the mount table instead of joining a new device cover.
+    inflight_sel: Vec<(usize, u64, u64)>,
+    /// Same for in-flight stream covers; stream sweeps refuse to
+    /// bridge gaps across either set (see [`coalesce_stream_around`]).
+    inflight_stream: Vec<(usize, u64, u64)>,
     outstanding: usize,
     /// How many of `outstanding` are still buffered in the selective
     /// queue rather than submitted. Counted in logical requests, not
@@ -2032,9 +2102,29 @@ impl<'s> SemIo<'s> {
             pairs: Vec::new(),
             pairs_free: Vec::new(),
             ready: Vec::new(),
+            inflight_sel: Vec::new(),
+            inflight_stream: Vec::new(),
             outstanding: 0,
             selective_buffered: 0,
         }
+    }
+
+    /// Sorted, disjoint union of the recorded in-flight page ranges —
+    /// the shape [`subtract_inflight`]/[`coalesce_stream_around`]
+    /// require. Ranges from different batches may overlap (a page can
+    /// be re-requested while its first cover is still in flight), so
+    /// overlaps coalesce here.
+    fn inflight_ranges(a: &[(usize, u64, u64)], b: &[(usize, u64, u64)]) -> Vec<PageRange> {
+        let mut r: Vec<PageRange> = a.iter().chain(b).map(|&(_, s, e)| (s, e)).collect();
+        r.sort_unstable();
+        let mut out: Vec<PageRange> = Vec::with_capacity(r.len());
+        for (s, e) in r {
+            match out.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        out
     }
 
     /// Widest per-section byte span of the buffered stream queue (0
@@ -2182,12 +2272,17 @@ impl<'s> SemIo<'s> {
         counters.bytes_requested.add(bytes);
     }
 
-    /// Installs one merged cover in the slab and submits it.
+    /// Installs one merged cover in the slab and submits it. With
+    /// `record` set the cover's page range is remembered as in-flight
+    /// until its completion resolves (attach-only covers pass false:
+    /// their pages are subsets of ranges already recorded).
     fn submit_cover(
         &mut self,
-        m: crate::merge::MergedReq,
+        m: MergedReq,
         metas: &[PartMeta],
         stream: bool,
+        page_bytes: u64,
+        record: bool,
         counters: &Counters,
     ) {
         let parts: Vec<(u64, u64, PartMeta)> = m
@@ -2208,6 +2303,18 @@ impl<'s> SemIo<'s> {
             }));
             self.slab.len() - 1
         };
+        if record {
+            let range = (
+                tag,
+                m.offset / page_bytes,
+                (m.offset + m.bytes - 1) / page_bytes + 1,
+            );
+            if stream {
+                self.inflight_stream.push(range);
+            } else {
+                self.inflight_sel.push(range);
+            }
+        }
         counters.issued_requests.inc();
         let submitted = if stream {
             counters.stream_stripes.inc();
@@ -2226,8 +2333,22 @@ impl<'s> SemIo<'s> {
         let reqs = std::mem::take(&mut self.issue_q);
         let metas = std::mem::take(&mut self.issue_meta);
         self.selective_buffered = 0;
-        for m in merge_requests(reqs, page_bytes, merge, max_merge_bytes) {
-            self.submit_cover(m, &metas, false, counters);
+        // Subtract pages this session is already fetching: fully
+        // covered requests skip cover-building and ride the existing
+        // reads (each page attaches via the mount's in-flight table,
+        // or hits the cache if the cover has landed by then).
+        let inflight = Self::inflight_ranges(&self.inflight_sel, &[]);
+        let (fetch, attached) = subtract_inflight(reqs, page_bytes, &inflight);
+        for m in merge_requests(fetch, page_bytes, merge, max_merge_bytes) {
+            self.submit_cover(m, &metas, false, page_bytes, true, counters);
+        }
+        for r in attached {
+            let single = MergedReq {
+                offset: r.offset,
+                bytes: r.bytes,
+                parts: vec![r],
+            };
+            self.submit_cover(single, &metas, false, page_bytes, false, counters);
         }
     }
 
@@ -2244,8 +2365,13 @@ impl<'s> SemIo<'s> {
         self.stream_attrs = SectionSpan::default();
         self.outstanding += self.stream_buffered;
         self.stream_buffered = 0;
-        for m in coalesce_stream(reqs, page_bytes, stride) {
-            self.submit_cover(m, &metas, true, counters);
+        // Sweeps bridge gaps but never across pages already being
+        // fetched (by earlier covers of either kind): stream reads
+        // bypass the cache and the dedup table, so a bridged
+        // in-flight page is the one genuine duplicate device read.
+        let inflight = Self::inflight_ranges(&self.inflight_sel, &self.inflight_stream);
+        for m in coalesce_stream_around(reqs, page_bytes, stride, &inflight) {
+            self.submit_cover(m, &metas, true, page_bytes, true, counters);
         }
     }
 
@@ -2254,6 +2380,11 @@ impl<'s> SemIo<'s> {
         let tag = c.tag as usize;
         let meta = self.slab[tag].take().expect("completion for a live tag");
         self.slab_free.push(tag);
+        if let Some(i) = self.inflight_sel.iter().position(|&(t, ..)| t == tag) {
+            self.inflight_sel.swap_remove(i);
+        } else if let Some(i) = self.inflight_stream.iter().position(|&(t, ..)| t == tag) {
+            self.inflight_stream.swap_remove(i);
+        }
         for (abs_off, bytes, pm) in meta.parts {
             let span = c
                 .span

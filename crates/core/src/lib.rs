@@ -36,7 +36,9 @@
 //!   [`fg_graph::Graph`] — the paper's FG-mem baseline.
 //! * **Concurrent serving** ([`GraphService`], [`serve`]): one SAFS
 //!   mount and one index shared by many simultaneous queries, with
-//!   FIFO admission control — the multi-tenant layer over §3.1's
+//!   priority-class + weighted-fair-share admission, per-query
+//!   deadlines/cancellation ([`CancelToken`]), and cross-tenant
+//!   in-flight read dedup — the multi-tenant layer over §3.1's
 //!   shared cache and I/O threads.
 //!
 //! # Example: breadth-first search (the paper's Figure 4)
@@ -105,7 +107,13 @@ pub use config::{EngineConfig, ScanMode, SchedulerKind};
 pub use context::{Request, VertexContext};
 pub use engine::{Engine, GraphEngine, Init};
 pub use program::VertexProgram;
-pub use serve::{GraphService, ServiceConfig, ServiceStatsSnapshot};
+pub use serve::{
+    GraphService, Priority, QueryOpts, ServiceConfig, ServiceStatsSnapshot, TenantConfig,
+};
 pub use shard::ShardedEngine;
 pub use stats::{IterStats, RunStats};
 pub use vertex::PageVertex;
+
+// Re-exported so service callers can build tokens without naming
+// `fg_types` directly.
+pub use fg_types::{CancelCause, CancelToken};

@@ -117,6 +117,65 @@ pub fn merge_requests(
     out
 }
 
+/// A half-open page range `[first, end)` currently being fetched from
+/// the device (an in-flight cover of this session or, via the mount's
+/// in-flight table, another tenant's read).
+pub type PageRange = (u64, u64);
+
+/// True when every page of `[first_page, last_page]` lies inside the
+/// sorted, disjoint in-flight set.
+fn covered(inflight: &[PageRange], first_page: u64, last_page: u64) -> bool {
+    // The candidate range is the last one starting at or before
+    // `first_page`; disjointness means no other range can contain it.
+    let i = inflight.partition_point(|&(s, _)| s <= first_page);
+    i > 0 && inflight[i - 1].1 > last_page
+}
+
+/// True when any page of `[first_page, last_page]` is in flight.
+fn touches(inflight: &[PageRange], first_page: u64, last_page: u64) -> bool {
+    let i = inflight.partition_point(|&(_, e)| e <= first_page);
+    i < inflight.len() && inflight[i].0 <= last_page
+}
+
+/// Splits an issue batch around pages already being fetched: requests
+/// whose *entire* page footprint is in flight come back in the second
+/// vector — the caller submits those individually, and every page
+/// attaches to the existing read through the mount's in-flight table,
+/// so no device run is dispatched for them and the covers built from
+/// the remaining (first) vector stay page-disjoint from the in-flight
+/// spans. Partially covered requests stay in the fetch set whole: the
+/// submit layer attaches their in-flight pages and dispatches only
+/// the truly missing runs, so splitting the request here would only
+/// fragment the cover without saving a device read.
+///
+/// `inflight` must be sorted by start page and pairwise disjoint
+/// (what [`merge_requests`]' own page-disjoint covers produce).
+pub fn subtract_inflight(
+    reqs: Vec<RangeReq>,
+    page_bytes: u64,
+    inflight: &[PageRange],
+) -> (Vec<RangeReq>, Vec<RangeReq>) {
+    if inflight.is_empty() {
+        return (reqs, Vec::new());
+    }
+    debug_assert!(
+        inflight.windows(2).all(|w| w[0].1 <= w[1].0),
+        "in-flight ranges must be sorted and disjoint"
+    );
+    let mut fetch = Vec::with_capacity(reqs.len());
+    let mut attached = Vec::new();
+    for r in reqs {
+        let first = r.offset / page_bytes;
+        let last = (r.offset + r.bytes - 1) / page_bytes;
+        if covered(inflight, first, last) {
+            attached.push(r);
+        } else {
+            fetch.push(r);
+        }
+    }
+    (fetch, attached)
+}
+
 /// Coalesces a *streaming-scan* batch into large sequential covers of
 /// roughly `stride` bytes each.
 ///
@@ -131,7 +190,31 @@ pub fn merge_requests(
 /// page-clean exactly like [`merge_requests`]: a request sharing a
 /// page with the current cover is absorbed past the stride rather
 /// than duplicating the page.
-pub fn coalesce_stream(mut reqs: Vec<RangeReq>, page_bytes: u64, stride: u64) -> Vec<MergedReq> {
+pub fn coalesce_stream(reqs: Vec<RangeReq>, page_bytes: u64, stride: u64) -> Vec<MergedReq> {
+    coalesce_stream_around(reqs, page_bytes, stride, &[])
+}
+
+/// [`coalesce_stream`] that additionally refuses to *bridge across*
+/// in-flight pages: a gap between two requests is only swept when no
+/// page of it is already being fetched. Streaming covers bypass both
+/// the page cache and the mount's in-flight dedup table (their pages
+/// are used once and never claimed), so a sweep bridging an in-flight
+/// span is the one path that would genuinely read the same page from
+/// the device twice — the pipelined scheduler hits it when iteration
+/// `i+1`'s sweep starts while iteration `i`'s covers are still in
+/// flight. Splitting the cover at the in-flight span keeps each
+/// batch's covers page-disjoint from what is already on the device
+/// queue. Page-sharing still wins over splitting (a request *itself*
+/// overlapping the cover or an in-flight span must be fetched
+/// regardless; only gap bytes are optional).
+///
+/// `inflight` must be sorted by start page and pairwise disjoint.
+pub fn coalesce_stream_around(
+    mut reqs: Vec<RangeReq>,
+    page_bytes: u64,
+    stride: u64,
+    inflight: &[PageRange],
+) -> Vec<MergedReq> {
     let stride = stride.max(page_bytes);
     reqs.sort_by_key(|r| (r.offset, r.bytes));
     let mut out: Vec<MergedReq> = Vec::with_capacity(1 + reqs.len() / 8);
@@ -141,7 +224,12 @@ pub fn coalesce_stream(mut reqs: Vec<RangeReq>, page_bytes: u64, stride: u64) ->
             let last_end_page = (last.offset + last.bytes - 1) / page_bytes;
             let r_start_page = r.offset / page_bytes;
             let grown = (last.offset + last.bytes).max(r.offset + r.bytes) - last.offset;
-            if grown <= stride || r_start_page <= last_end_page {
+            // Gap pages the bridge would sweep without any part
+            // needing them; an in-flight page among them forces a
+            // split (sharing a page with the cover still absorbs).
+            let bridge_blocked = r_start_page > last_end_page + 1
+                && touches(inflight, last_end_page + 1, r_start_page - 1);
+            if (grown <= stride && !bridge_blocked) || r_start_page <= last_end_page {
                 last.bytes = grown;
                 last.parts.push(r);
                 continue;
@@ -445,6 +533,68 @@ mod tests {
         let merged = merge_requests(reqs, 4096, true, UNLIMITED_MERGE_BYTES);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].parts.len(), 2);
+    }
+
+    #[test]
+    fn subtract_inflight_classifies_by_page_footprint() {
+        let inflight = [(2u64, 5u64), (9, 10)]; // pages 2-4 and 9
+        let reqs = vec![
+            req(2 * 4096 + 100, 200, 0), // inside pages 2-4: attach
+            req(4 * 4096, 2 * 4096, 1),  // pages 4-5: straddles, fetch
+            req(9 * 4096, 64, 2),        // page 9: attach
+            req(0, 64, 3),               // page 0: fetch
+            req(2 * 4096, 3 * 4096, 4),  // exactly pages 2-4: attach
+        ];
+        let (fetch, attached) = subtract_inflight(reqs, 4096, &inflight);
+        let metas = |v: &[RangeReq]| v.iter().map(|r| r.meta).collect::<Vec<_>>();
+        assert_eq!(metas(&attached), vec![0, 2, 4]);
+        assert_eq!(metas(&fetch), vec![1, 3]);
+        // Covers built from the fetch set stay page-disjoint among
+        // themselves, as always.
+        let merged = merge_requests(fetch, 4096, true, UNLIMITED_MERGE_BYTES);
+        assert_page_disjoint(&merged, 4096);
+    }
+
+    #[test]
+    fn subtract_inflight_empty_set_is_identity() {
+        let reqs = vec![req(0, 64, 0), req(8192, 64, 1)];
+        let (fetch, attached) = subtract_inflight(reqs.clone(), 4096, &[]);
+        assert_eq!(fetch, reqs);
+        assert!(attached.is_empty());
+    }
+
+    #[test]
+    fn stream_covers_split_at_inflight_bridges() {
+        // Requests on pages 0 and 6; pages 2-3 already in flight. A
+        // plain stride-sweep bridges the whole gap; the avoiding sweep
+        // splits so the in-flight pages are not fetched twice.
+        let reqs = vec![req(0, 400, 0), req(6 * 4096, 400, 1)];
+        let plain = coalesce_stream(reqs.clone(), 4096, 32 * 4096);
+        assert_eq!(plain.len(), 1, "baseline: one bridged cover");
+        let around = coalesce_stream_around(reqs, 4096, 32 * 4096, &[(2, 4)]);
+        assert_eq!(around.len(), 2, "bridge over in-flight pages refused");
+        assert_eq!(around[0].offset, 0);
+        assert_eq!(around[1].offset, 6 * 4096);
+        assert_page_disjoint(&around, 4096);
+    }
+
+    #[test]
+    fn stream_page_sharing_still_beats_inflight_split() {
+        // A request overlapping the cover's last page must be absorbed
+        // even when an in-flight span sits beyond it: sharing a page
+        // always wins (splitting would duplicate the shared page).
+        let reqs = vec![req(0, 4096 + 100, 0), req(4096 + 200, 300, 1)];
+        let around = coalesce_stream_around(reqs, 4096, 4096, &[(3, 5)]);
+        assert_eq!(around.len(), 1);
+        assert_eq!(around[0].parts.len(), 2);
+    }
+
+    #[test]
+    fn stream_bridge_allowed_when_inflight_elsewhere() {
+        // In-flight pages outside the gap do not block the bridge.
+        let reqs = vec![req(0, 400, 0), req(3 * 4096, 400, 1)];
+        let around = coalesce_stream_around(reqs, 4096, 32 * 4096, &[(10, 12)]);
+        assert_eq!(around.len(), 1);
     }
 
     #[test]

@@ -21,6 +21,25 @@
 //! | *(extension)* compact external-memory layout (§3.5's motivation, pushed further) | `fg_format::ImageFormat::Compressed` — delta-varint edge blocks decoded inside [`PageVertex`]; programs are unaffected: same callbacks, same slices, strictly fewer device bytes per iteration |
 //! | *(extension)* pipelined callback scheduling (§3.4's async user tasks, taken to its conclusion) | `EngineConfig::pipeline` (default on) — `run_on_vertex` fires the moment its pages land, possibly on another worker, while later covers are already queued on the device; per-vertex callbacks stay serialized (never concurrent for one vertex), but *order across vertices and vertical passes is not global* — programs must not assume one pass's deliveries finish before the next pass's `run` |
 //! | *(extension)* sharded execution (scale-out of §3: one engine per image shard) | [`ShardedEngine`](crate::ShardedEngine) over a `fg_safs::ShardSet` — programs are unaffected: a vertex's handlers still run exclusively on its owning shard against the shared state vector; sends/multicasts/activations to foreign vertices travel as batched packets over the shard bus and are delivered at the same iteration barrier local ones are, and foreign edge-list requests are served from the owning shard's mount |
+//! | *(extension)* cooperative cancellation (serving-layer QoS) | `Engine::with_cancel` / `GraphService::run_opts` with a `fg_types::CancelToken` — programs are unaffected and need no cancellation hooks |
+//!
+//! # Cancellation semantics
+//!
+//! Cancellation is *cooperative and iteration-aligned*: the engine
+//! polls the query's `CancelToken` only at iteration boundaries
+//! (sharded runs fold the token into the same rendezvous vote that
+//! decides termination, so every shard stops at the same iteration).
+//! A handler that has started always finishes; a cancelled run never
+//! interrupts `run`/`run_on_vertex` mid-flight. Consequently the
+//! state a cancelled run leaves behind is exactly the state after its
+//! last *completed* iteration — messages delivered, activations
+//! folded, session I/O drained, admission slot released — and shared
+//! structures (page cache, I/O threads, in-flight read table) carry
+//! no trace of the dead query. Programs therefore need no
+//! cancellation handling of their own: there is no partially-applied
+//! iteration to repair. The caller sees
+//! `fg_types::FgError::Cancelled` / `DeadlineExpired` instead of a
+//! result; per-vertex state vectors are dropped with the run.
 
 use fg_types::VertexId;
 

@@ -17,31 +17,67 @@
 //! * **Shared, immutable**: the SAFS mount (page cache + I/O
 //!   threads + SSD array) and the compact graph index, both behind
 //!   `Arc`. Concurrent queries touching the same edge lists hit each
-//!   other's cached pages — the cross-query locality the follow-on
-//!   SSD eigensolver work exploits when multiplexing computations
-//!   over one mount.
+//!   other's cached pages — and when two tenants miss on the *same*
+//!   page at the same time, the mount's in-flight read table merges
+//!   them into one device read (see `fg_safs`'s dedup counters).
 //! * **Per-query**: the vertex program, its [`Init`] activation, an
 //!   optional [`EngineConfig`] override, the per-vertex state vector,
 //!   and a [`RunStats`] whose cache counters come from a per-query
 //!   scope ([`fg_safs::Safs::session_scoped`]) so tenants do not book
 //!   each other's traffic.
 //!
-//! Admission control: at most [`ServiceConfig::max_inflight`] queries
-//! run at once; arrivals beyond that wait in a strict FIFO ticket
-//! queue (no overtaking). The time spent queued is reported in
-//! [`RunStats::queue_wait_ns`] for [`GraphService::run`] /
-//! [`GraphService::run_with`], and accumulated service-wide in
-//! [`ServiceStatsSnapshot::queue_wait_ns`] for every admission
-//! (including the [`GraphService::query`] closure paths, whose
-//! arbitrary return type the service cannot patch).
+//! # Admission: priority classes + weighted fair share
+//!
+//! At most [`ServiceConfig::max_inflight`] queries run at once.
+//! Arrivals beyond that wait in a two-level queue:
+//!
+//! 1. **Priority class** ([`Priority::High`] / [`Priority::Normal`] /
+//!    [`Priority::Low`]): a waiter is only considered once no
+//!    higher-class waiter exists. Classes are strict — a saturating
+//!    stream of high-priority queries starves low ones by design
+//!    (use weights, not classes, for proportional sharing).
+//! 2. **Tenant weight** (stride scheduling): within a class, each
+//!    tenant carries a virtual *pass* that advances by
+//!    `STRIDE / weight` per admission, and the tenant with the
+//!    smallest pass goes next — so over time tenants are admitted in
+//!    proportion to their configured weights, and a single tenant's
+//!    burst cannot monopolize the gate. Queries of one tenant stay
+//!    FIFO among themselves.
+//!
+//! Tenants are declared up front with [`ServiceConfig::with_tenant`]
+//! and referenced per query via [`QueryOpts::with_tenant`]; unknown
+//! tenants get weight 1 at [`Priority::Normal`].
+//!
+//! # Deadlines and cancellation
+//!
+//! A query may carry a [`CancelToken`] ([`QueryOpts::with_cancel`] /
+//! [`QueryOpts::with_deadline`]). The token is honored in *both*
+//! places a query spends time:
+//!
+//! * **in the queue** — a waiter whose token fires leaves the queue,
+//!   books its wait, bumps [`ServiceStatsSnapshot::cancelled`] or
+//!   [`ServiceStatsSnapshot::deadline_expired`], and returns the
+//!   matching error without ever consuming a slot;
+//! * **in the run** — the engine polls the token at iteration
+//!   boundaries (see [`Engine::with_cancel`]) and unwinds at the next
+//!   boundary with every piece of shared state (admission slot,
+//!   session queues, page cache, busy bits) in a consistent
+//!   between-iterations configuration.
+//!
+//! The time spent queued is reported in [`RunStats::queue_wait_ns`]
+//! for the `run*` paths and accumulated service-wide (total plus
+//! log2-bucketed percentiles) for every admission, including the
+//! [`GraphService::query`] closure paths whose arbitrary return type
+//! the service cannot patch.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use fg_format::{GraphIndex, ShardedIndex};
 use fg_safs::{CacheStatsSnapshot, Safs, ShardSet};
 use fg_types::sync::Counter;
-use fg_types::Result;
+use fg_types::{CancelCause, CancelToken, Result};
 
 use crate::config::EngineConfig;
 use crate::engine::{Engine, Init};
@@ -49,27 +85,114 @@ use crate::program::VertexProgram;
 use crate::shard::ShardedEngine;
 use crate::stats::RunStats;
 
+/// Admission priority class of a query. Classes are strict: the gate
+/// never admits a waiter while a higher class has one queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground queries.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Background/batch work that should yield to everything else.
+    Low,
+}
+
+impl Priority {
+    /// Class rank used by the gate (0 admits first).
+    fn class(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Per-tenant admission configuration (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Stride-scheduling weight: a weight-4 tenant is admitted four
+    /// times as often as a weight-1 tenant under contention. Zero is
+    /// treated as 1.
+    pub weight: u32,
+    /// Default priority class for the tenant's queries (a query may
+    /// override it with [`QueryOpts::with_priority`]).
+    pub priority: Priority,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            weight: 1,
+            priority: Priority::Normal,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// Builder-style: sets the fair-share weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Builder-style: sets the default priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
 /// Tunables of a [`GraphService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Maximum queries running concurrently; arrivals beyond this
-    /// queue FIFO. Zero means unlimited (no admission control).
+    /// queue (priority classes, then weighted fair share). Zero means
+    /// unlimited (no admission control).
     pub max_inflight: usize,
     /// Engine configuration queries run with unless they override it.
     pub engine: EngineConfig,
+    /// Declared tenants, in declaration order.
+    tenants: Vec<(String, TenantConfig)>,
 }
 
 impl ServiceConfig {
     /// Builder-style: sets the in-flight cap.
+    #[must_use]
     pub fn with_max_inflight(mut self, n: usize) -> Self {
         self.max_inflight = n;
         self
     }
 
     /// Builder-style: sets the base engine configuration.
+    #[must_use]
     pub fn with_engine(mut self, cfg: EngineConfig) -> Self {
         self.engine = cfg;
         self
+    }
+
+    /// Builder-style: declares (or redeclares) a tenant. Queries name
+    /// tenants via [`QueryOpts::with_tenant`]; undeclared tenants run
+    /// with [`TenantConfig::default`].
+    #[must_use]
+    pub fn with_tenant(mut self, name: impl Into<String>, tc: TenantConfig) -> Self {
+        let name = name.into();
+        match self.tenants.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, existing)) => *existing = tc,
+            None => self.tenants.push((name, tc)),
+        }
+        self
+    }
+
+    /// The declared configuration of `name`, if any.
+    pub fn tenant(&self, name: &str) -> Option<&TenantConfig> {
+        self.tenants
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, tc)| tc)
     }
 }
 
@@ -80,7 +203,69 @@ impl Default for ServiceConfig {
             // letting a burst of queries thrash the shared cache.
             max_inflight: 4,
             engine: EngineConfig::default(),
+            tenants: Vec::new(),
         }
+    }
+}
+
+/// Per-query options: tenant attribution, priority, cancellation,
+/// and an engine-configuration override. `Default` reproduces the
+/// plain [`GraphService::run`] behavior exactly.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOpts {
+    tenant: Option<String>,
+    priority: Option<Priority>,
+    cancel: Option<CancelToken>,
+    engine: Option<EngineConfig>,
+}
+
+impl QueryOpts {
+    /// No tenant, default priority, no token, base engine config.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attributes the query to a tenant declared with
+    /// [`ServiceConfig::with_tenant`] (or an ad-hoc one, which gets
+    /// the default weight and priority).
+    #[must_use]
+    pub fn with_tenant(mut self, name: impl Into<String>) -> Self {
+        self.tenant = Some(name.into());
+        self
+    }
+
+    /// Overrides the priority class for this query only.
+    #[must_use]
+    pub fn with_priority(mut self, p: Priority) -> Self {
+        self.priority = Some(p);
+        self
+    }
+
+    /// Attaches a cancellation token. Keep a clone to cancel from
+    /// outside; a token built with [`CancelToken::with_deadline`]
+    /// enforces its deadline too.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Shorthand for attaching a fresh deadline-only token
+    /// (replaces any previously attached token; to combine an
+    /// external cancel handle with a deadline, build the token with
+    /// [`CancelToken::with_deadline`] and pass it to
+    /// [`QueryOpts::with_cancel`], keeping a clone).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.cancel = Some(CancelToken::with_deadline(deadline));
+        self
+    }
+
+    /// Per-query engine-configuration override.
+    #[must_use]
+    pub fn with_engine(mut self, cfg: EngineConfig) -> Self {
+        self.engine = Some(cfg);
+        self
     }
 }
 
@@ -89,26 +274,126 @@ impl Default for ServiceConfig {
 pub struct ServiceStatsSnapshot {
     /// Queries admitted past the gate so far.
     pub admitted: u64,
-    /// Queries that finished (successfully or not).
+    /// Queries that held a slot and released it (successfully or
+    /// not — including runs that ended cancelled or panicking).
     pub completed: u64,
+    /// Queries whose [`CancelToken`] fired via an explicit cancel —
+    /// while queued (never admitted) or mid-run (`run_opts` paths).
+    pub cancelled: u64,
+    /// Queries whose deadline passed, in the queue or mid-run.
+    pub deadline_expired: u64,
     /// Highest number of queries in flight at once.
     pub peak_inflight: usize,
-    /// Total nanoseconds queries spent waiting for admission.
+    /// Total nanoseconds queries spent waiting for admission
+    /// (admitted *and* abandoned waits both count).
     pub queue_wait_ns: u64,
+    /// Median admission wait, from a log2-bucketed histogram (the
+    /// reported value is the matching bucket's upper bound).
+    pub queue_wait_p50_ns: u64,
+    /// 95th-percentile admission wait (same histogram).
+    pub queue_wait_p95_ns: u64,
+    /// 99th-percentile admission wait (same histogram).
+    pub queue_wait_p99_ns: u64,
 }
 
-/// FIFO admission gate: tickets are handed out in arrival order and
-/// served strictly in ticket order, so a long queue cannot starve an
-/// early arrival.
+/// Log2-bucketed wait histogram: bucket `b` holds samples in
+/// `[2^(b-1), 2^b)` nanoseconds (bucket 0 holds exact zeros). Cheap
+/// enough to record on every admission; percentile reads return the
+/// bucket's upper bound, which is plenty for dashboard-grade p50/p95
+/// numbers.
+struct WaitHistogram {
+    buckets: [Counter; 64],
+}
+
+impl Default for WaitHistogram {
+    fn default() -> Self {
+        WaitHistogram {
+            buckets: std::array::from_fn(|_| Counter::default()),
+        }
+    }
+}
+
+impl WaitHistogram {
+    fn record(&self, ns: u64) {
+        let idx = if ns == 0 {
+            0
+        } else {
+            (64 - ns.leading_zeros() as usize).min(63)
+        };
+        self.buckets[idx].inc();
+    }
+
+    /// The upper bound of the bucket containing the `p`-quantile
+    /// sample (0 when nothing was recorded yet).
+    fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(Counter::get).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64 * p).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if idx == 0 { 0 } else { (1u64 << idx) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Virtual-pass step of a weight-1 tenant; a weight-`w` tenant steps
+/// by `STRIDE / w`, so larger weights advance slower and are picked
+/// more often.
+const STRIDE: u64 = 1 << 20;
+
+/// The two-level admission gate (see the module docs).
 struct Gate {
     state: Mutex<GateState>,
     cv: Condvar,
 }
 
 struct GateState {
-    next_ticket: u64,
-    next_admit: u64,
+    /// Queries currently holding a slot.
     running: usize,
+    /// Arrival stamp handed to the next waiter (FIFO within tenant).
+    next_seq: u64,
+    /// Waiters, in arrival order (the pick scans; queues are short —
+    /// bounded by the caller's thread count).
+    waiters: Vec<Waiter>,
+    /// Per-tenant stride-scheduling passes. Entries persist across
+    /// the service's lifetime so a tenant's share is long-run fair.
+    passes: HashMap<String, u64>,
+}
+
+struct Waiter {
+    seq: u64,
+    class: u8,
+    tenant: String,
+}
+
+impl GateState {
+    /// The waiter the gate would admit next: lowest class, then
+    /// smallest tenant pass, then arrival order.
+    fn pick(&self) -> Option<u64> {
+        self.waiters
+            .iter()
+            .min_by_key(|w| {
+                (
+                    w.class,
+                    self.passes.get(&w.tenant).copied().unwrap_or(0),
+                    w.seq,
+                )
+            })
+            .map(|w| w.seq)
+    }
+
+    fn remove(&mut self, seq: u64) {
+        if let Some(i) = self.waiters.iter().position(|w| w.seq == seq) {
+            self.waiters.swap_remove(i);
+        }
+    }
 }
 
 impl Gate {
@@ -165,8 +450,11 @@ pub struct GraphService {
     gate: Gate,
     admitted: Counter,
     completed: Counter,
+    cancelled: Counter,
+    deadline_expired: Counter,
     peak_inflight: Counter,
     queue_wait_ns: Counter,
+    wait_histo: WaitHistogram,
 }
 
 /// What the service serves from: one shared mount, or one mount per
@@ -250,16 +538,20 @@ impl GraphService {
             cfg,
             gate: Gate {
                 state: Mutex::new(GateState {
-                    next_ticket: 0,
-                    next_admit: 0,
                     running: 0,
+                    next_seq: 0,
+                    waiters: Vec::new(),
+                    passes: HashMap::new(),
                 }),
                 cv: Condvar::new(),
             },
             admitted: Counter::default(),
             completed: Counter::default(),
+            cancelled: Counter::default(),
+            deadline_expired: Counter::default(),
             peak_inflight: Counter::default(),
             queue_wait_ns: Counter::default(),
+            wait_histo: WaitHistogram::default(),
         }
     }
 
@@ -334,13 +626,23 @@ impl GraphService {
         self.gate.lock().running
     }
 
+    /// Queries currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.gate.lock().waiters.len()
+    }
+
     /// Service counters so far.
     pub fn stats(&self) -> ServiceStatsSnapshot {
         ServiceStatsSnapshot {
             admitted: self.admitted.get(),
             completed: self.completed.get(),
+            cancelled: self.cancelled.get(),
+            deadline_expired: self.deadline_expired.get(),
             peak_inflight: self.peak_inflight.get() as usize,
             queue_wait_ns: self.queue_wait_ns.get(),
+            queue_wait_p50_ns: self.wait_histo.percentile(0.50),
+            queue_wait_p95_ns: self.wait_histo.percentile(0.95),
+            queue_wait_p99_ns: self.wait_histo.percentile(0.99),
         }
     }
 
@@ -357,7 +659,7 @@ impl GraphService {
         program: &P,
         init: Init,
     ) -> Result<(Vec<P::State>, RunStats)> {
-        self.run_with(self.cfg.engine, program, init)
+        self.run_opts(program, init, QueryOpts::new())
     }
 
     /// Like [`GraphService::run`] with a per-query engine
@@ -373,20 +675,53 @@ impl GraphService {
         program: &P,
         init: Init,
     ) -> Result<(Vec<P::State>, RunStats)> {
-        let (permit, waited) = self.admit();
+        self.run_opts(program, init, QueryOpts::new().with_engine(cfg))
+    }
+
+    /// The full-control run: tenant attribution, priority,
+    /// cancellation/deadline, engine override — see [`QueryOpts`].
+    ///
+    /// # Errors
+    ///
+    /// [`fg_types::FgError::Cancelled`] /
+    /// [`fg_types::FgError::DeadlineExpired`] when the query's token
+    /// fires while it waits for admission or between iterations of
+    /// its run (the slot is released and all shared state is left at
+    /// a consistent iteration boundary); engine errors otherwise.
+    pub fn run_opts<P: VertexProgram>(
+        &self,
+        program: &P,
+        init: Init,
+        opts: QueryOpts,
+    ) -> Result<(Vec<P::State>, RunStats)> {
+        let token = opts.cancel.clone().unwrap_or_default();
+        let (permit, waited) = self.admit(&opts, &token)?;
+        let cfg = opts.engine.unwrap_or(self.cfg.engine);
         let result = match &self.backend {
             ServeBackend::Single { safs, index } => {
-                Engine::new_sem_shared(safs, Arc::clone(index), cfg).run(program, init)
+                Engine::new_sem_shared(safs, Arc::clone(index), cfg)
+                    .with_cancel(token.clone())
+                    .run(program, init)
             }
             ServeBackend::Sharded { set, index } => {
-                ShardedEngine::new_shared(set, Arc::clone(index), cfg).run(program, init)
+                ShardedEngine::new_shared(set, Arc::clone(index), cfg)
+                    .with_cancel(token.clone())
+                    .run(program, init)
             }
         };
         drop(permit);
-        result.map(|(states, mut stats)| {
-            stats.queue_wait_ns = waited.as_nanos() as u64;
-            (states, stats)
-        })
+        match result {
+            Err(e) => {
+                if let Some(cause) = cancel_cause_of(&e) {
+                    self.book_abort(cause);
+                }
+                Err(e)
+            }
+            Ok((states, mut stats)) => {
+                stats.queue_wait_ns = waited.as_nanos() as u64;
+                Ok((states, stats))
+            }
+        }
     }
 
     /// Admits one query and hands the closure a borrowed [`Engine`]
@@ -411,14 +746,37 @@ impl GraphService {
     /// Panics on a sharded service (the closure is typed against the
     /// single [`Engine`]); use [`GraphService::query_sharded_with`].
     pub fn query_with<R>(&self, cfg: EngineConfig, f: impl FnOnce(&Engine<'_>) -> R) -> R {
+        self.query_opts(QueryOpts::new().with_engine(cfg), f)
+            .expect("admission without a token cannot fail")
+    }
+
+    /// [`GraphService::query`] with full per-query options. The
+    /// engine handed to the closure carries the query's token, so
+    /// `engine.run(...)` calls inside it error with
+    /// [`fg_types::FgError::Cancelled`] at the next iteration
+    /// boundary once the token fires.
+    ///
+    /// # Errors
+    ///
+    /// [`fg_types::FgError::Cancelled`] /
+    /// [`fg_types::FgError::DeadlineExpired`] when the token fires
+    /// before admission (the closure then never runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded service; use
+    /// [`GraphService::query_sharded_opts`].
+    pub fn query_opts<R>(&self, opts: QueryOpts, f: impl FnOnce(&Engine<'_>) -> R) -> Result<R> {
         let ServeBackend::Single { safs, index } = &self.backend else {
-            panic!("sharded service: use query_sharded / query_sharded_with")
+            panic!("sharded service: use query_sharded / query_sharded_opts")
         };
-        let (permit, _waited) = self.admit();
-        let engine = Engine::new_sem_shared(safs, Arc::clone(index), cfg);
+        let token = opts.cancel.clone().unwrap_or_default();
+        let (permit, _waited) = self.admit(&opts, &token)?;
+        let cfg = opts.engine.unwrap_or(self.cfg.engine);
+        let engine = Engine::new_sem_shared(safs, Arc::clone(index), cfg).with_cancel(token);
         let out = f(&engine);
         drop(permit);
-        out
+        Ok(out)
     }
 
     /// The sharded counterpart of [`GraphService::query`]: hands the
@@ -443,38 +801,169 @@ impl GraphService {
         cfg: EngineConfig,
         f: impl FnOnce(&ShardedEngine<'_>) -> R,
     ) -> R {
-        let ServeBackend::Sharded { set, index } = &self.backend else {
-            panic!("single-mount service: use query / query_with")
-        };
-        let (permit, _waited) = self.admit();
-        let engine = ShardedEngine::new_shared(set, Arc::clone(index), cfg);
-        let out = f(&engine);
-        drop(permit);
-        out
+        self.query_sharded_opts(QueryOpts::new().with_engine(cfg), f)
+            .expect("admission without a token cannot fail")
     }
 
-    /// Blocks until this caller holds an admission slot, FIFO.
-    fn admit(&self) -> (Permit<'_>, Duration) {
+    /// [`GraphService::query_sharded`] with full per-query options
+    /// (the sharded twin of [`GraphService::query_opts`]).
+    ///
+    /// # Errors
+    ///
+    /// [`fg_types::FgError::Cancelled`] /
+    /// [`fg_types::FgError::DeadlineExpired`] when the token fires
+    /// before admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-mount service.
+    pub fn query_sharded_opts<R>(
+        &self,
+        opts: QueryOpts,
+        f: impl FnOnce(&ShardedEngine<'_>) -> R,
+    ) -> Result<R> {
+        let ServeBackend::Sharded { set, index } = &self.backend else {
+            panic!("single-mount service: use query / query_opts")
+        };
+        let token = opts.cancel.clone().unwrap_or_default();
+        let (permit, _waited) = self.admit(&opts, &token)?;
+        let cfg = opts.engine.unwrap_or(self.cfg.engine);
+        let engine = ShardedEngine::new_shared(set, Arc::clone(index), cfg).with_cancel(token);
+        let out = f(&engine);
+        drop(permit);
+        Ok(out)
+    }
+
+    /// The tenant identity, fair-share weight, and effective priority
+    /// of a query.
+    fn resolve(&self, opts: &QueryOpts) -> (String, u32, Priority) {
+        let name = opts.tenant.clone().unwrap_or_default();
+        let tc = self.cfg.tenant(&name).copied().unwrap_or_default();
+        let priority = opts.priority.unwrap_or(tc.priority);
+        (name, tc.weight.max(1), priority)
+    }
+
+    /// Books a query that ended on its token (queued or mid-run).
+    fn book_abort(&self, cause: CancelCause) {
+        match cause {
+            CancelCause::Cancelled => self.cancelled.inc(),
+            CancelCause::DeadlineExpired => self.deadline_expired.inc(),
+        };
+    }
+
+    /// Books an admission wait into the total and the histogram.
+    fn book_wait(&self, waited: Duration) {
+        let ns = waited.as_nanos() as u64;
+        self.queue_wait_ns.add(ns);
+        self.wait_histo.record(ns);
+    }
+
+    /// Blocks until this caller holds an admission slot (or its token
+    /// fires): priority classes first, then weighted fair share among
+    /// tenants, FIFO within one tenant.
+    ///
+    /// # Errors
+    ///
+    /// The token's verdict, with the wait booked and the waiter
+    /// removed — an abandoned wait never consumes a slot.
+    fn admit(&self, opts: &QueryOpts, token: &CancelToken) -> Result<(Permit<'_>, Duration)> {
         let t0 = Instant::now();
-        let mut st = self.gate.lock();
-        let ticket = st.next_ticket;
-        st.next_ticket += 1;
-        while st.next_admit != ticket
-            || (self.cfg.max_inflight != 0 && st.running >= self.cfg.max_inflight)
-        {
-            st = self.gate.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        // A token that has already fired never enters the queue.
+        if let Some(cause) = token.cause() {
+            self.book_abort(cause);
+            self.book_wait(t0.elapsed());
+            return Err(cause.into());
         }
-        st.next_admit += 1;
-        st.running += 1;
-        let running = st.running;
-        drop(st);
-        // The next ticket holder may also fit (capacity > 1).
-        self.gate.cv.notify_all();
-        let waited = t0.elapsed();
-        self.admitted.inc();
-        self.peak_inflight.max(running as u64);
-        self.queue_wait_ns.add(waited.as_nanos() as u64);
-        (Permit { service: self }, waited)
+        if self.cfg.max_inflight == 0 {
+            // Unlimited: no queueing, but the books still balance.
+            let mut st = self.gate.lock();
+            st.running += 1;
+            let running = st.running;
+            drop(st);
+            let waited = t0.elapsed();
+            self.admitted.inc();
+            self.peak_inflight.max(running as u64);
+            self.book_wait(waited);
+            return Ok((Permit { service: self }, waited));
+        }
+        let (tenant, weight, priority) = self.resolve(opts);
+        let mut st = self.gate.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.waiters.push(Waiter {
+            seq,
+            class: priority.class(),
+            tenant: tenant.clone(),
+        });
+        loop {
+            if st.running < self.cfg.max_inflight && st.pick() == Some(seq) {
+                st.remove(seq);
+                st.running += 1;
+                // Advance the tenant's pass; lift it to the floor of
+                // its waiting peers first so a long-idle (or brand
+                // new) tenant gets its share promptly without
+                // replaying the whole backlog it never queued for.
+                let floor = st
+                    .waiters
+                    .iter()
+                    .map(|w| st.passes.get(&w.tenant).copied().unwrap_or(0))
+                    .min()
+                    .unwrap_or(0);
+                let pass = st.passes.entry(tenant).or_insert(0);
+                *pass = (*pass).max(floor) + STRIDE / u64::from(weight);
+                let running = st.running;
+                drop(st);
+                // The next pick may also fit (capacity > 1), and our
+                // admission changed the pass landscape.
+                self.gate.cv.notify_all();
+                let waited = t0.elapsed();
+                self.admitted.inc();
+                self.peak_inflight.max(running as u64);
+                self.book_wait(waited);
+                return Ok((Permit { service: self }, waited));
+            }
+            if let Some(cause) = token.cause() {
+                st.remove(seq);
+                drop(st);
+                // Our departure may change the pick for a waiter that
+                // is parked; wake everyone to re-evaluate.
+                self.gate.cv.notify_all();
+                self.book_abort(cause);
+                self.book_wait(t0.elapsed());
+                return Err(cause.into());
+            }
+            // Bounded waits double as the deadline/cancel poll: a
+            // token fired by a thread that never touches the gate is
+            // still noticed within one poll interval.
+            let poll = if opts.cancel.is_none() {
+                // No token at all: only gate events can unblock us.
+                Duration::from_secs(3600)
+            } else {
+                match token.time_left() {
+                    Some(left) => left.clamp(Duration::from_micros(100), QUEUE_POLL),
+                    None => QUEUE_POLL,
+                }
+            };
+            let (g, _) = self
+                .gate
+                .cv
+                .wait_timeout(st, poll)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+        }
+    }
+}
+
+/// How often a queued waiter re-checks its cancellation token when no
+/// gate event wakes it.
+const QUEUE_POLL: Duration = Duration::from_millis(5);
+
+/// The cancellation verdict inside an error, if that is what it is.
+fn cancel_cause_of(e: &fg_types::FgError) -> Option<CancelCause> {
+    match e {
+        fg_types::FgError::Cancelled => Some(CancelCause::Cancelled),
+        fg_types::FgError::DeadlineExpired => Some(CancelCause::DeadlineExpired),
+        _ => None,
     }
 }
 
@@ -487,7 +976,7 @@ mod tests {
     use fg_graph::fixtures;
     use fg_safs::SafsConfig;
     use fg_ssdsim::{ArrayConfig, SsdArray};
-    use fg_types::{EdgeDir, VertexId};
+    use fg_types::{EdgeDir, FgError, VertexId};
 
     struct Bfs;
 
@@ -522,16 +1011,56 @@ mod tests {
         }
     }
 
+    /// A BFS that pulls its own plug in iteration `at`: determinism
+    /// for mid-run cancellation tests without sleeping.
+    struct SelfCancellingBfs {
+        token: CancelToken,
+        at: u32,
+    }
+
+    impl VertexProgram for SelfCancellingBfs {
+        type State = BfsState;
+        type Msg = ();
+
+        fn run(&self, v: VertexId, state: &mut BfsState, ctx: &mut VertexContext<'_, ()>) {
+            if ctx.iteration() >= self.at {
+                self.token.cancel();
+            }
+            if !state.visited {
+                state.visited = true;
+                state.level = ctx.iteration();
+                ctx.request_edges(v, EdgeDir::Out);
+            }
+        }
+
+        fn run_on_vertex(
+            &self,
+            _v: VertexId,
+            _state: &mut BfsState,
+            vertex: &PageVertex<'_>,
+            ctx: &mut VertexContext<'_, ()>,
+        ) {
+            for dst in vertex.edges() {
+                ctx.activate(dst);
+            }
+        }
+    }
+
     fn service(max_inflight: usize) -> GraphService {
+        service_cfg(
+            ServiceConfig::default()
+                .with_max_inflight(max_inflight)
+                .with_engine(EngineConfig::small()),
+        )
+    }
+
+    fn service_cfg(cfg: ServiceConfig) -> GraphService {
         let g = fixtures::path(16);
         let array = SsdArray::new_mem(ArrayConfig::small_test(), required_capacity(&g)).unwrap();
         write_image(&g, &array).unwrap();
         let (_, index) = load_index(&array).unwrap();
         let safs = Safs::new(SafsConfig::default().with_cache_bytes(8 * 4096), array).unwrap();
         safs.reset_stats();
-        let cfg = ServiceConfig::default()
-            .with_max_inflight(max_inflight)
-            .with_engine(EngineConfig::small());
         GraphService::new(safs, index, cfg)
     }
 
@@ -547,6 +1076,8 @@ mod tests {
         let snapshot = svc.stats();
         assert_eq!(snapshot.admitted, 1);
         assert_eq!(snapshot.completed, 1);
+        assert_eq!(snapshot.cancelled, 0);
+        assert_eq!(snapshot.deadline_expired, 0);
         assert_eq!(svc.inflight(), 0);
     }
 
@@ -610,7 +1141,12 @@ mod tests {
         });
         // Total service-side wait is the sum over tenants; with a cap
         // of 1 and 3 queries at least the bookkeeping must have run.
-        assert_eq!(svc.stats().admitted, 3);
+        let snap = svc.stats();
+        assert_eq!(snap.admitted, 3);
+        // Three samples landed in the histogram, so the percentiles
+        // are coherent: p50 <= p95 <= p99.
+        assert!(snap.queue_wait_p50_ns <= snap.queue_wait_p95_ns);
+        assert!(snap.queue_wait_p95_ns <= snap.queue_wait_p99_ns);
     }
 
     #[test]
@@ -640,7 +1176,10 @@ mod tests {
         };
         // Let the crasher reach the admission queue, then free the
         // slot so it gets admitted after a measurable wait.
-        std::thread::sleep(Duration::from_millis(20));
+        while svc.queued() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(5));
         release_tx.send(()).unwrap();
         assert!(crasher.join().is_err(), "tenant must have panicked");
         holder.join().unwrap();
@@ -669,5 +1208,274 @@ mod tests {
         let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
         assert!(states[15].visited);
         assert_eq!(svc.inflight(), 0);
+    }
+
+    #[test]
+    fn cancelled_in_queue_frees_no_slot_and_books_wait() {
+        let svc = Arc::new(service(1));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let holder = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.query(|_| {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        let baseline = svc.stats().queue_wait_ns;
+        let token = CancelToken::new();
+        let waiter = {
+            let svc = Arc::clone(&svc);
+            let token = token.clone();
+            std::thread::spawn(move || {
+                svc.run_opts(
+                    &Bfs,
+                    Init::Seeds(vec![VertexId(0)]),
+                    QueryOpts::new().with_cancel(token),
+                )
+            })
+        };
+        while svc.queued() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        token.cancel();
+        let out = waiter.join().unwrap();
+        assert!(matches!(out, Err(FgError::Cancelled)));
+        let snap = svc.stats();
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.admitted, 1, "the cancelled waiter was never admitted");
+        assert!(
+            snap.queue_wait_ns > baseline,
+            "the abandoned wait must be booked"
+        );
+        assert_eq!(svc.queued(), 0, "the waiter left the queue");
+        // The holder still runs; releasing it leaves a clean gate.
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        assert_eq!(svc.inflight(), 0);
+        let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert!(states[15].visited);
+    }
+
+    #[test]
+    fn deadline_expires_in_queue() {
+        let svc = Arc::new(service(1));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let holder = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.query(|_| {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        let out = svc.run_opts(
+            &Bfs,
+            Init::Seeds(vec![VertexId(0)]),
+            QueryOpts::new().with_deadline(Instant::now() + Duration::from_millis(15)),
+        );
+        assert!(matches!(out, Err(FgError::DeadlineExpired)));
+        assert_eq!(svc.stats().deadline_expired, 1);
+        assert_eq!(svc.queued(), 0);
+        release_tx.send(()).unwrap();
+        holder.join().unwrap();
+        assert_eq!(svc.inflight(), 0);
+    }
+
+    #[test]
+    fn pre_fired_token_is_rejected_before_queueing() {
+        // Also covers the unlimited-cap path: the token verdict comes
+        // before any gate interaction.
+        for cap in [0, 2] {
+            let svc = service(cap);
+            let token = CancelToken::new();
+            token.cancel();
+            let out = svc.run_opts(
+                &Bfs,
+                Init::Seeds(vec![VertexId(0)]),
+                QueryOpts::new().with_cancel(token),
+            );
+            assert!(matches!(out, Err(FgError::Cancelled)));
+            let snap = svc.stats();
+            assert_eq!(snap.cancelled, 1);
+            assert_eq!(snap.admitted, 0);
+            assert_eq!(svc.inflight(), 0);
+        }
+    }
+
+    #[test]
+    fn cancelled_mid_run_frees_slot_and_leaves_consistent_stats() {
+        let svc = service(1);
+        let token = CancelToken::new();
+        let out = svc.run_opts(
+            &Bfs,
+            Init::Seeds(vec![VertexId(0)]),
+            QueryOpts::new().with_cancel(token.clone()),
+        );
+        assert!(out.is_ok(), "an unfired token does not disturb a run");
+        let program = SelfCancellingBfs {
+            token: token.clone(),
+            at: 1,
+        };
+        let out = svc.run_opts(
+            &program,
+            Init::Seeds(vec![VertexId(0)]),
+            QueryOpts::new().with_cancel(token),
+        );
+        assert!(matches!(out, Err(FgError::Cancelled)));
+        let snap = svc.stats();
+        assert_eq!(snap.cancelled, 1);
+        // Both queries were admitted and both released their slot —
+        // the mid-run cancel unwound through the Permit.
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(svc.inflight(), 0);
+        // Shared session/cache state stayed consistent: the mount's
+        // cache books every lookup as a hit or a miss, nothing lost.
+        let cache = svc.cache_stats();
+        assert_eq!(cache.lookups, cache.hits + cache.misses);
+        // And the slot is genuinely reusable.
+        let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert!(states[15].visited);
+    }
+
+    #[test]
+    fn query_opts_hands_the_token_to_the_engine() {
+        let svc = service(2);
+        let token = CancelToken::new();
+        token.cancel();
+        // Fired before admission: closure never runs.
+        let ran = std::cell::Cell::new(false);
+        let out = svc.query_opts(QueryOpts::new().with_cancel(token), |_| ran.set(true));
+        assert!(matches!(out, Err(FgError::Cancelled)));
+        assert!(!ran.get());
+        // Fired mid-closure: runs on the handed engine error out.
+        let token = CancelToken::new();
+        let out = svc
+            .query_opts(QueryOpts::new().with_cancel(token.clone()), |engine| {
+                token.cancel();
+                engine.run(&Bfs, Init::Seeds(vec![VertexId(0)]))
+            })
+            .unwrap();
+        assert!(matches!(out, Err(FgError::Cancelled)));
+        assert_eq!(svc.inflight(), 0);
+    }
+
+    #[test]
+    fn high_priority_overtakes_low_in_the_queue() {
+        let svc = Arc::new(service(1));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let holder = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.query(|_| {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        std::thread::scope(|s| {
+            // Low-priority waiters arrive first...
+            for _ in 0..2 {
+                let svc = Arc::clone(&svc);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    svc.query_opts(QueryOpts::new().with_priority(Priority::Low), |_| {
+                        order.lock().unwrap().push("low");
+                    })
+                    .unwrap();
+                });
+            }
+            while svc.queued() < 2 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // ...then a high-priority one.
+            {
+                let svc = Arc::clone(&svc);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    svc.query_opts(QueryOpts::new().with_priority(Priority::High), |_| {
+                        order.lock().unwrap().push("high");
+                    })
+                    .unwrap();
+                });
+            }
+            while svc.queued() < 3 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            release_tx.send(()).unwrap();
+        });
+        holder.join().unwrap();
+        let order = order.lock().unwrap();
+        assert_eq!(
+            order[0], "high",
+            "the late high-priority waiter is admitted first: {order:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_tenants_share_in_proportion() {
+        let svc = Arc::new(service_cfg(
+            ServiceConfig::default()
+                .with_max_inflight(1)
+                .with_engine(EngineConfig::small())
+                .with_tenant("bulk", TenantConfig::default().with_weight(1))
+                .with_tenant("interactive", TenantConfig::default().with_weight(4)),
+        ));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let holder = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.query(|_| {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        std::thread::scope(|s| {
+            let mut arrived = 0;
+            for (tenant, n) in [("bulk", 4), ("interactive", 4)] {
+                for _ in 0..n {
+                    let svc2 = Arc::clone(&svc);
+                    let order = Arc::clone(&order);
+                    s.spawn(move || {
+                        svc2.query_opts(QueryOpts::new().with_tenant(tenant), |_| {
+                            order.lock().unwrap().push(tenant);
+                        })
+                        .unwrap();
+                    });
+                    // Stagger arrivals so queue order (and thus the
+                    // FIFO tiebreak) is deterministic.
+                    arrived += 1;
+                    while svc.queued() < arrived {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+            release_tx.send(()).unwrap();
+        });
+        holder.join().unwrap();
+        let order = order.lock().unwrap();
+        // Weight 4 vs 1: of the first five admissions, at least three
+        // go to the heavy tenant (stride: B,I,I,I,I,B,... modulo the
+        // first pick's FIFO tiebreak).
+        let heavy = order[..5].iter().filter(|t| **t == "interactive").count();
+        assert!(
+            heavy >= 3,
+            "weight-4 tenant got {heavy}/5 of the first admissions: {order:?}"
+        );
+        assert_eq!(order.len(), 8, "every query was eventually admitted");
     }
 }

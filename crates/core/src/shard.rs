@@ -31,7 +31,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use fg_format::ShardedIndex;
 use fg_safs::ShardSet;
-use fg_types::{FgError, Result, VertexId};
+use fg_types::{CancelToken, FgError, Result, VertexId};
 
 use crate::config::EngineConfig;
 use crate::engine::{Engine, Init};
@@ -166,6 +166,10 @@ pub struct ShardedEngine<'g> {
     set: &'g ShardSet,
     index: Arc<ShardedIndex>,
     cfg: EngineConfig,
+    /// One token shared by every shard engine of a run; each shard
+    /// votes its observation into the stop rendezvous (see
+    /// [`Engine::with_cancel`]), so all shards stop on one iteration.
+    cancel: Option<CancelToken>,
 }
 
 impl std::fmt::Debug for ShardedEngine<'_> {
@@ -195,7 +199,12 @@ impl<'g> ShardedEngine<'g> {
             index.num_shards(),
             "one mount per shard of the index"
         );
-        ShardedEngine { set, index, cfg }
+        ShardedEngine {
+            set,
+            index,
+            cfg,
+            cancel: None,
+        }
     }
 
     /// Global number of vertices.
@@ -220,7 +229,19 @@ impl<'g> ShardedEngine<'g> {
             set: self.set,
             index: Arc::clone(&self.index),
             cfg,
+            cancel: self.cancel.clone(),
         }
+    }
+
+    /// Attaches a cancellation token shared by every shard of a run.
+    /// Cancellation travels through the stop rendezvous exactly like
+    /// termination, so every shard stops on the same iteration and no
+    /// shard blocks on a cancelled peer; the run then errors with
+    /// [`FgError::Cancelled`] / [`FgError::DeadlineExpired`].
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Executes `program` to convergence across all shards, returning
@@ -308,7 +329,11 @@ impl<'g> ShardedEngine<'g> {
                 let (shared, bus, group, per_shard) = (&shared, &bus, &group, &per_shard);
                 scope.spawn(move || {
                     let _guard = PoisonGuard(group);
-                    let engine = Engine::new_shard(self.set, Arc::clone(&self.index), s, self.cfg);
+                    let mut engine =
+                        Engine::new_shard(self.set, Arc::clone(&self.index), s, self.cfg);
+                    if let Some(token) = &self.cancel {
+                        engine = engine.with_cancel(token.clone());
+                    }
                     let link = ShardLink { bus, group };
                     let stats = engine
                         .run_inner(program, init, shared, Some(&link))
@@ -334,6 +359,12 @@ impl<'g> ShardedEngine<'g> {
             bus.bytes_sent(),
             "per-engine byte accounting covers exactly the bus traffic"
         );
+        // Cancellation surfaces here — *after* every shard thread has
+        // joined and the group is retired — never inside a shard
+        // thread, where an early `Err` would poison peers mid-round.
+        if let Some(cause) = total.cancelled {
+            return Err(cause.into());
+        }
         Ok((shared.into_inner(), total, per_shard))
     }
 }

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use fg_safs::CacheStatsSnapshot;
 use fg_ssdsim::IoStatsSnapshot;
+use fg_types::CancelCause;
 
 /// Per-iteration trace (used by Figure 9's PR1/PR2 split and for
 /// debugging convergence).
@@ -116,6 +117,15 @@ pub struct RunStats {
     /// was the mount's only tenant; includes other queries' traffic
     /// when the mount is shared.
     pub cache_mount: Option<CacheStatsSnapshot>,
+    /// Why the run stopped before converging, when it did: a
+    /// [`fg_types::CancelToken`] fired at an iteration boundary.
+    /// `None` for runs that converged (or hit their iteration cap).
+    /// The driver layers (`Engine::run`, `ShardedEngine::run`,
+    /// [`crate::GraphService`]) turn this into the matching
+    /// [`fg_types::FgError`]; it is visible here so sharded per-shard
+    /// stats can carry the verdict out of their threads without
+    /// poisoning the rendezvous group.
+    pub cancelled: Option<CancelCause>,
     /// Per-iteration trace.
     pub per_iteration: Vec<IterStats>,
 }
@@ -145,6 +155,14 @@ impl RunStats {
         self.edges_delivered += other.edges_delivered;
         self.queue_wait_ns = self.queue_wait_ns.max(other.queue_wait_ns);
         self.shard_msg_bytes += other.shard_msg_bytes;
+        // Any shard observing the (shared) token makes the whole run
+        // cancelled; explicit cancellation outranks a deadline.
+        self.cancelled = match (self.cancelled, other.cancelled) {
+            (Some(CancelCause::Cancelled), _) | (_, Some(CancelCause::Cancelled)) => {
+                Some(CancelCause::Cancelled)
+            }
+            (a, b) => a.or(b),
+        };
         match (&mut self.io, &other.io) {
             (Some(mine), Some(theirs)) => mine.absorb(theirs),
             (io @ None, Some(theirs)) => *io = Some(theirs.clone()),
@@ -240,8 +258,25 @@ mod tests {
             io: None,
             cache: None,
             cache_mount: None,
+            cancelled: None,
             per_iteration: Vec::new(),
         }
+    }
+
+    #[test]
+    fn absorb_merges_cancellation_with_explicit_winning() {
+        let mut a = base();
+        let mut b = base();
+        b.cancelled = Some(CancelCause::DeadlineExpired);
+        a.absorb(&b);
+        assert_eq!(a.cancelled, Some(CancelCause::DeadlineExpired));
+        let mut c = base();
+        c.cancelled = Some(CancelCause::Cancelled);
+        a.absorb(&c);
+        assert_eq!(a.cancelled, Some(CancelCause::Cancelled));
+        // Sticky once set; a clean shard does not clear it.
+        a.absorb(&base());
+        assert_eq!(a.cancelled, Some(CancelCause::Cancelled));
     }
 
     #[test]
@@ -281,6 +316,8 @@ mod tests {
             depth_sum: 0,
             depth_zero_dips: 0,
             depth_max: 0,
+            dedup_hits: 0,
+            dedup_bytes: 0,
         });
         b.per_iteration.push(IterStats {
             frontier: 2,
@@ -369,6 +406,8 @@ mod tests {
             depth_sum: 0,
             depth_zero_dips: 0,
             depth_max: 0,
+            dedup_hits: 0,
+            dedup_bytes: 0,
         });
         assert_eq!(s.modeled_runtime_ns(), 50_000_000);
         assert!(s.io_bound());
@@ -398,6 +437,8 @@ mod tests {
             depth_sum: 0,
             depth_zero_dips: 0,
             depth_max: 0,
+            dedup_hits: 0,
+            dedup_bytes: 0,
         });
         // 300 logical bytes cost one 4096-byte page.
         let ratio = s.page_waste_ratio().unwrap();

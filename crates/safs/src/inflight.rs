@@ -1,0 +1,178 @@
+//! Mount-level in-flight read dedup (the serving-layer tentpole).
+//!
+//! The page cache only helps a second tenant *after* a page lands.
+//! Two concurrent sessions missing the same page would both issue a
+//! device read for it — the window is exactly the device service
+//! time, and under many tenants over a hot vertex set it is hit
+//! constantly. This table closes the window: the first session to
+//! miss a page *claims* it and becomes its fetcher; any later session
+//! missing the same page while the claim is open *attaches* as a
+//! waiter instead of dispatching its own run. When an I/O thread
+//! finishes the fetching read it resolves the claim, fanning the
+//! landed page out to every waiter — one device read, N completions.
+//!
+//! Ownership discipline: claims are created on application threads at
+//! submit time, but they are only ever *resolved on I/O threads*, as
+//! part of serving the claiming run. A session that panics or is
+//! cancelled mid-wait therefore cannot wedge anyone: its claimed runs
+//! are already queued on the I/O thread (which serves every queued
+//! run, even across shutdown), and waiter fan-out happens there, not
+//! on the dying tenant's thread. A waiter that dies merely makes the
+//! fan-out `send` a no-op (the reply channel is disconnected).
+//!
+//! The protocol (one fetcher, N waiters, cancellation mid-wait) is
+//! model-checked in `fg_check::models::inflight_waiter`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use crate::io_thread::RunDone;
+use crate::page::Page;
+
+/// One session waiting for another session's in-flight read of a
+/// single page.
+#[derive(Debug)]
+pub(crate) struct PageWaiter {
+    /// Session-local id of the waiter's logical request.
+    pub req_id: u64,
+    /// Slot within that request where the page belongs.
+    pub slot: u32,
+    /// The waiter session's completion mailbox.
+    pub reply: Sender<RunDone>,
+}
+
+/// The mount-wide table of pages currently being fetched from the
+/// device, keyed by page number. An entry's presence *is* the claim;
+/// the `Vec` holds only the waiters (the fetcher serves itself
+/// through its own run reply).
+#[derive(Debug, Default)]
+pub(crate) struct InflightTable {
+    map: Mutex<HashMap<u64, Vec<PageWaiter>>>,
+}
+
+impl InflightTable {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// For each `(pageno, slot)` miss of one logical request, either
+    /// attaches to an open claim (another session is already fetching
+    /// that page) or opens a new claim (the caller becomes the
+    /// fetcher). Returns, aligned with `misses`, `true` for attached
+    /// pages — the caller must *not* dispatch device runs for those —
+    /// and `false` for claimed pages, which the caller must dispatch
+    /// (the I/O thread serving them resolves the claim).
+    ///
+    /// One lock acquisition covers the whole request, so a concurrent
+    /// resolve cannot interleave halfway through: every decision in
+    /// the returned vector is made against a single consistent view.
+    pub(crate) fn claim_or_attach(
+        &self,
+        req_id: u64,
+        reply: &Sender<RunDone>,
+        misses: &[(u64, u32)],
+    ) -> Vec<bool> {
+        let mut map = self.map.lock();
+        misses
+            .iter()
+            .map(|&(pageno, slot)| match map.get_mut(&pageno) {
+                Some(waiters) => {
+                    waiters.push(PageWaiter {
+                        req_id,
+                        slot,
+                        reply: reply.clone(),
+                    });
+                    true
+                }
+                None => {
+                    map.insert(pageno, Vec::new());
+                    false
+                }
+            })
+            .collect()
+    }
+
+    /// Resolves the claims covered by a finished read of
+    /// `pages[0..n]` starting at `first_page`: removes each claim and
+    /// fans its page out to every attached waiter as a one-page
+    /// completion. Pages without a claim (cache-served members of a
+    /// coalesced group, stream spans) are no-ops. Called on I/O
+    /// threads only — see the module docs for why that placement is
+    /// what makes a dying tenant harmless.
+    pub(crate) fn resolve(&self, first_page: u64, pages: &[Arc<Page>]) {
+        let mut map = self.map.lock();
+        for (k, page) in pages.iter().enumerate() {
+            if let Some(waiters) = map.remove(&(first_page + k as u64)) {
+                for w in waiters {
+                    // A disconnected waiter (dropped session) is fine:
+                    // its pages simply go undelivered.
+                    let _ = w.reply.send(RunDone {
+                        req_id: w.req_id,
+                        first_slot: w.slot,
+                        pages: vec![Arc::clone(page)],
+                    });
+                }
+            }
+        }
+    }
+
+    /// Number of open claims (tests and debugging).
+    #[cfg(test)]
+    pub(crate) fn open_claims(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn page(no: u64) -> Arc<Page> {
+        Arc::new(Page::new(no, vec![0u8; 8].into_boxed_slice()))
+    }
+
+    #[test]
+    fn first_claims_second_attaches() {
+        let t = InflightTable::new();
+        let (tx_a, _rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        let a = t.claim_or_attach(1, &tx_a, &[(10, 0), (11, 1)]);
+        assert_eq!(a, vec![false, false], "first session claims both");
+        let b = t.claim_or_attach(7, &tx_b, &[(11, 0), (12, 1)]);
+        assert_eq!(b, vec![true, false], "page 11 attaches, 12 claims");
+        assert_eq!(t.open_claims(), 3);
+
+        // Serving A's run resolves 10 and 11; B's waiter on 11 gets a
+        // one-page completion addressed to its own request.
+        t.resolve(10, &[page(10), page(11)]);
+        assert_eq!(t.open_claims(), 1, "only B's claim on 12 remains");
+        let done = rx_b.try_recv().expect("waiter notified");
+        assert_eq!(done.req_id, 7);
+        assert_eq!(done.first_slot, 0);
+        assert_eq!(done.pages[0].pageno(), 11);
+        assert!(rx_b.try_recv().is_err(), "exactly one delivery");
+    }
+
+    #[test]
+    fn resolve_without_claim_is_noop() {
+        let t = InflightTable::new();
+        t.resolve(5, &[page(5)]);
+        assert_eq!(t.open_claims(), 0);
+    }
+
+    #[test]
+    fn dead_waiter_does_not_wedge_resolution() {
+        let t = InflightTable::new();
+        let (tx_a, _rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        t.claim_or_attach(1, &tx_a, &[(3, 0)]);
+        t.claim_or_attach(2, &tx_b, &[(3, 0)]);
+        drop(rx_b); // waiter session died mid-wait
+        t.resolve(3, &[page(3)]);
+        assert_eq!(t.open_claims(), 0, "claim resolved despite dead waiter");
+    }
+}

@@ -13,6 +13,7 @@ use crossbeam::channel::{Receiver, Sender};
 use fg_ssdsim::SsdArray;
 
 use crate::cache::PageCache;
+use crate::inflight::InflightTable;
 use crate::page::Page;
 
 /// Upper bound on how many queued requests one batch drains; keeps
@@ -63,6 +64,7 @@ pub(crate) fn io_thread_loop(
     rx: Receiver<IoMsg>,
     array: SsdArray,
     cache: Arc<PageCache>,
+    inflight: Arc<InflightTable>,
     page_bytes: u64,
     merge: bool,
 ) {
@@ -99,14 +101,21 @@ pub(crate) fn io_thread_loop(
                     Err(_) => break,
                 }
             }
-            serve(&batch, &array, &cache, page_bytes, merge);
+            serve(&batch, &array, &cache, &inflight, page_bytes, merge);
             return;
         }
-        serve(&batch, &array, &cache, page_bytes, merge);
+        serve(&batch, &array, &cache, &inflight, page_bytes, merge);
     }
 }
 
-fn serve(batch: &[RunRequest], array: &SsdArray, cache: &PageCache, page_bytes: u64, merge: bool) {
+fn serve(
+    batch: &[RunRequest],
+    array: &SsdArray,
+    cache: &PageCache,
+    inflight: &InflightTable,
+    page_bytes: u64,
+    merge: bool,
+) {
     if !merge {
         for r in batch {
             let pages = read_pages_hint(
@@ -117,6 +126,12 @@ fn serve(batch: &[RunRequest], array: &SsdArray, cache: &PageCache, page_bytes: 
                 r.num_pages as u64,
                 r.insert,
             );
+            // Selective runs carry open in-flight claims: resolve
+            // them here, on the I/O thread, so waiter fan-out cannot
+            // depend on the claiming session staying alive.
+            if r.insert {
+                inflight.resolve(r.first_page, &pages);
+            }
             let _ = r.reply.send(RunDone {
                 req_id: r.req_id,
                 first_slot: r.first_slot,
@@ -140,6 +155,13 @@ fn serve(batch: &[RunRequest], array: &SsdArray, cache: &PageCache, page_bytes: 
         // wants insertion; a pure-stream group stays out of it.
         let insert = group.iter().any(|&gi| batch[gi].insert);
         let pages = read_pages_hint(array, cache, page_bytes, lo, hi - lo, insert);
+        // Resolve claims covered by the group (claims only exist on
+        // selective runs, and an all-stream group cannot cover one:
+        // stream submits never claim, and a selective run holding the
+        // claim would have joined this group).
+        if insert {
+            inflight.resolve(lo, &pages);
+        }
         for &gi in group.iter() {
             let r = &batch[gi];
             let off = (r.first_page - lo) as usize;
@@ -280,7 +302,9 @@ mod tests {
         let (reply_tx, reply_rx) = unbounded();
         let a2 = array.clone();
         let c2 = Arc::clone(&cache);
-        let h = std::thread::spawn(move || io_thread_loop(rx, a2, c2, 4096, false));
+        let h = std::thread::spawn(move || {
+            io_thread_loop(rx, a2, c2, Arc::new(InflightTable::new()), 4096, false)
+        });
         for (req_id, page) in [(1u64, 0u64), (2, 5)] {
             tx.send(IoMsg::Run(RunRequest {
                 first_page: page,
@@ -325,7 +349,9 @@ mod tests {
             }))
             .unwrap();
         }
-        let h = std::thread::spawn(move || io_thread_loop(rx, array, cache, 4096, true));
+        let h = std::thread::spawn(move || {
+            io_thread_loop(rx, array, cache, Arc::new(InflightTable::new()), 4096, true)
+        });
         h.join().unwrap();
         drop(reply_tx);
         let mut ids: Vec<u64> = std::iter::from_fn(|| reply_rx.recv().ok())
@@ -356,7 +382,16 @@ mod tests {
         tx.send(IoMsg::Shutdown).unwrap();
         tx.send(mk(2, 5)).unwrap();
         tx.send(mk(3, 9)).unwrap();
-        let h = std::thread::spawn(move || io_thread_loop(rx, array, cache, 4096, false));
+        let h = std::thread::spawn(move || {
+            io_thread_loop(
+                rx,
+                array,
+                cache,
+                Arc::new(InflightTable::new()),
+                4096,
+                false,
+            )
+        });
         h.join().unwrap();
         drop(reply_tx);
         let mut ids: Vec<u64> = std::iter::from_fn(|| reply_rx.recv().ok())
@@ -398,7 +433,7 @@ mod tests {
                 reply: reply_tx.clone(),
             },
         ];
-        serve(&batch, &array, &cache, 4096, true);
+        serve(&batch, &array, &cache, &InflightTable::new(), 4096, true);
         let snap = array.stats().snapshot();
         // Pages 1-2 coalesce; page 9 is separate. Device request count
         // may further split on stripe boundaries, but pages 1,2 share
@@ -432,7 +467,7 @@ mod tests {
                 reply: reply_tx.clone(),
             },
         ];
-        serve(&batch, &array, &cache, 4096, true);
+        serve(&batch, &array, &cache, &InflightTable::new(), 4096, true);
         let mut got = [reply_rx.recv().unwrap(), reply_rx.recv().unwrap()];
         got.sort_by_key(|d| d.req_id);
         assert_eq!(

@@ -53,6 +53,7 @@
 
 mod cache;
 mod config;
+mod inflight;
 mod io_thread;
 mod page;
 mod safs;

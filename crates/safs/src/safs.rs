@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 
 use crate::cache::{CacheStats, CacheStatsSnapshot, PageCache};
 use crate::config::SafsConfig;
+use crate::inflight::InflightTable;
 use crate::io_thread::{io_thread_loop, read_pages, IoMsg, RunDone, RunRequest};
 use crate::page::{Page, PageSpan};
 
@@ -32,6 +33,7 @@ pub struct Safs {
     cfg: SafsConfig,
     array: SsdArray,
     cache: Arc<PageCache>,
+    inflight: Arc<InflightTable>,
     senders: Vec<Sender<IoMsg>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -54,6 +56,7 @@ impl Safs {
     pub fn new(cfg: SafsConfig, array: SsdArray) -> Result<Self> {
         cfg.validate()?;
         let cache = Arc::new(PageCache::new(cfg.cache_pages(), cfg.cache_ways));
+        let inflight = Arc::new(InflightTable::new());
         let nthreads = if cfg.io_threads == 0 {
             array.config().num_ssds
         } else {
@@ -65,10 +68,11 @@ impl Safs {
             let (tx, rx) = unbounded();
             let a = array.clone();
             let c = Arc::clone(&cache);
+            let t = Arc::clone(&inflight);
             let page_bytes = cfg.page_bytes;
             let merge = cfg.safs_merge;
             handles.push(std::thread::spawn(move || {
-                io_thread_loop(rx, a, c, page_bytes, merge)
+                io_thread_loop(rx, a, c, t, page_bytes, merge)
             }));
             senders.push(tx);
         }
@@ -76,6 +80,7 @@ impl Safs {
             cfg,
             array,
             cache,
+            inflight,
             senders,
             handles: Mutex::new(handles),
         })
@@ -315,15 +320,50 @@ impl IoSession<'_> {
         }
         let req_id = self.next_req;
         self.next_req += 1;
-        // Dispatch each contiguous miss run to its drive's thread.
+        // Cross-session in-flight dedup (selective path only): misses
+        // already being fetched by another session attach as waiters
+        // to that read instead of dispatching their own run. Streaming
+        // sweeps stay out of the table on both sides — they neither
+        // claim (their pages bypass cache insertion, so a waiter could
+        // observe a resolve without a cached page) nor attach (a sweep
+        // is once-only traffic, not a hot-set collision).
+        let mut attached = vec![false; slots.len()];
+        if !stream {
+            let misses: Vec<(u64, u32)> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_none())
+                .map(|(k, _)| (first + k as u64, k as u32))
+                .collect();
+            let verdict = self
+                .safs
+                .inflight
+                .claim_or_attach(req_id, &self.reply_tx, &misses);
+            let hits = verdict.iter().filter(|&&a| a).count() as u64;
+            if hits > 0 {
+                for (&(_, slot), &att) in misses.iter().zip(&verdict) {
+                    if att {
+                        attached[slot as usize] = true;
+                        // Each attachment is one queued-but-unharvested
+                        // delivery: enter the depth gauge now, exit in
+                        // `apply` when its one-page RunDone is
+                        // harvested, exactly like a dispatched run.
+                        self.safs.array.stats().queue_enter();
+                    }
+                }
+                self.safs.array.stats().record_dedup(hits, hits * pb);
+            }
+        }
+        // Dispatch each contiguous run of *claimed* misses to its
+        // drive's thread; attached pages arrive via waiter fan-out.
         let mut i = 0usize;
         while i < slots.len() {
-            if slots[i].is_some() {
+            if slots[i].is_some() || attached[i] {
                 i += 1;
                 continue;
             }
             let mut j = i;
-            while j < slots.len() && slots[j].is_none() {
+            while j < slots.len() && slots[j].is_none() && !attached[j] {
                 j += 1;
             }
             let run = RunRequest {
@@ -735,6 +775,105 @@ mod tests {
         assert_eq!(scope.snapshot().lookups, 0);
         // Content still correct.
         assert_eq!(out[0].span.read_u32_le(0), 0);
+    }
+
+    #[test]
+    fn overlapping_session_attaches_to_in_flight_read() {
+        use crate::io_thread::{IoMsg, RunRequest};
+        use crossbeam::channel::unbounded;
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        // Stage a fetcher: claim pages 0-1 as if another session's run
+        // were queued on an I/O thread, but hold the run back so the
+        // in-flight window stays open deterministically.
+        let (fetch_tx, fetch_rx) = unbounded();
+        let claimed = safs
+            .inflight
+            .claim_or_attach(0, &fetch_tx, &[(0, 0), (1, 1)]);
+        assert_eq!(claimed, vec![false, false]);
+
+        // A second session missing page 1 attaches as a waiter instead
+        // of dispatching its own device run.
+        let mut s = safs.session();
+        s.submit(4096, 64, 9).unwrap();
+        let snap = safs.array().stats().snapshot();
+        assert_eq!(snap.dedup_hits, 1);
+        assert_eq!(snap.dedup_bytes, 4096);
+        assert_eq!(snap.read_requests, 0, "the waiter dispatched nothing");
+        assert_eq!(s.pending(), 1);
+
+        // Now the fetcher's run reaches its I/O thread: one device
+        // read serves both sessions.
+        safs.route(0)
+            .send(IoMsg::Run(RunRequest {
+                first_page: 0,
+                num_pages: 2,
+                req_id: 0,
+                first_slot: 0,
+                insert: true,
+                reply: fetch_tx,
+            }))
+            .unwrap();
+        let mut out = Vec::new();
+        while out.is_empty() {
+            s.wait(&mut out);
+        }
+        assert_eq!(out[0].tag, 9);
+        assert_eq!(out[0].span.read_u32_le(0), (4096 / 4) % 251);
+        let fetched = fetch_rx.recv().unwrap();
+        assert_eq!(fetched.pages.len(), 2, "fetcher still gets its pages");
+        let snap = safs.array().stats().snapshot();
+        assert_eq!(snap.read_requests, 1, "exactly one device read total");
+        assert_eq!(safs.inflight.open_claims(), 0, "claims fully resolved");
+    }
+
+    #[test]
+    fn dead_waiter_session_does_not_wedge_the_fetcher() {
+        use crate::io_thread::{IoMsg, RunRequest};
+        use crossbeam::channel::unbounded;
+        let safs = patterned_safs(SafsConfig::default(), 1 << 16);
+        let (fetch_tx, fetch_rx) = unbounded();
+        safs.inflight.claim_or_attach(0, &fetch_tx, &[(2, 0)]);
+        {
+            let mut dying = safs.session();
+            dying.submit(2 * 4096, 16, 1).unwrap();
+            assert_eq!(safs.array().stats().snapshot().dedup_hits, 1);
+            // The waiter session is dropped mid-wait (a cancelled or
+            // panicking tenant).
+        }
+        safs.route(2)
+            .send(IoMsg::Run(RunRequest {
+                first_page: 2,
+                num_pages: 1,
+                req_id: 0,
+                first_slot: 0,
+                insert: true,
+                reply: fetch_tx,
+            }))
+            .unwrap();
+        let fetched = fetch_rx.recv().unwrap();
+        assert_eq!(fetched.pages[0].pageno(), 2);
+        assert_eq!(safs.inflight.open_claims(), 0);
+    }
+
+    #[test]
+    fn stream_submits_stay_out_of_the_inflight_table() {
+        let safs = patterned_safs(SafsConfig::default(), 1 << 20);
+        let (fetch_tx, _fetch_rx) = crossbeam::channel::unbounded();
+        // An open claim on page 0 must not capture a streaming sweep.
+        safs.inflight.claim_or_attach(0, &fetch_tx, &[(0, 0)]);
+        let mut s = safs.session();
+        s.submit_stream(0, 2 * 4096, 5).unwrap();
+        let mut out = Vec::new();
+        while out.is_empty() {
+            s.wait(&mut out);
+        }
+        assert_eq!(out[0].span.len(), 2 * 4096);
+        assert_eq!(safs.array().stats().snapshot().dedup_hits, 0);
+        assert_eq!(
+            safs.inflight.open_claims(),
+            1,
+            "sweep neither attached nor claimed"
+        );
     }
 
     #[test]

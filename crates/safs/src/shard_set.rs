@@ -150,6 +150,22 @@ mod tests {
     }
 
     #[test]
+    fn dedup_counters_sum_across_shards() {
+        let set = set_of(3);
+        set.shard(0).array().stats().record_dedup(2, 8192);
+        set.shard(2).array().stats().record_dedup(1, 4096);
+        let agg = set.io_stats();
+        assert_eq!(agg.dedup_hits, 3);
+        assert_eq!(agg.dedup_bytes, 12288);
+        // And per-shard snapshots sum to exactly the mount total.
+        let sum: u64 = set
+            .iter()
+            .map(|m| m.array().stats().snapshot().dedup_bytes)
+            .sum();
+        assert_eq!(sum, agg.dedup_bytes);
+    }
+
+    #[test]
     fn empty_set_rejected() {
         assert!(ShardSet::new(SafsConfig::default_test(), Vec::new()).is_err());
     }

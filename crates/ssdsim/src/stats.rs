@@ -28,6 +28,8 @@ pub struct IoStats {
     depth_sum: Counter,
     depth_zero_dips: Counter,
     depth_max: Counter,
+    dedup_hits: Counter,
+    dedup_bytes: Counter,
 }
 
 impl IoStats {
@@ -48,7 +50,21 @@ impl IoStats {
             depth_sum: Counter::default(),
             depth_zero_dips: Counter::default(),
             depth_max: Counter::default(),
+            dedup_hits: Counter::default(),
+            dedup_bytes: Counter::default(),
         }
+    }
+
+    /// Books a span of pages that a session *did not* read from the
+    /// device because another session's in-flight read already covers
+    /// them (the mount-level in-flight table attached it as a waiter).
+    /// Device counters (`record_read`) book the bytes once, on the
+    /// fetching request; this books the avoided duplicate delivery, so
+    /// `bytes_read + dedup_bytes` is total bytes *delivered* to
+    /// sessions while `bytes_read` stays total bytes *fetched*.
+    pub fn record_dedup(&self, pages: u64, bytes: u64) {
+        self.dedup_hits.add(pages);
+        self.dedup_bytes.add(bytes);
     }
 
     /// Books one logical read request entering the device queue and
@@ -115,6 +131,8 @@ impl IoStats {
         self.depth_sum.set(0);
         self.depth_zero_dips.set(0);
         self.depth_max.set(0);
+        self.dedup_hits.set(0);
+        self.dedup_bytes.set(0);
     }
 
     /// Takes a consistent-enough snapshot (exact when no I/O is in
@@ -135,6 +153,8 @@ impl IoStats {
             depth_sum: self.depth_sum.get(),
             depth_zero_dips: self.depth_zero_dips.get(),
             depth_max: self.depth_max.get(),
+            dedup_hits: self.dedup_hits.get(),
+            dedup_bytes: self.dedup_bytes.get(),
         }
     }
 }
@@ -173,6 +193,14 @@ pub struct IoStatsSnapshot {
     /// saturating difference like every other field, not a windowed
     /// maximum.
     pub depth_max: u64,
+    /// Pages a session obtained by attaching to *another* session's
+    /// in-flight device read instead of issuing its own (the
+    /// mount-level dedup table). Each hit is a device read avoided.
+    pub dedup_hits: u64,
+    /// Bytes delivered through dedup attachments. Device `bytes_read`
+    /// books fetched bytes once; this books the duplicate deliveries,
+    /// per tenant, that the device never saw.
+    pub dedup_bytes: u64,
 }
 
 impl IoStatsSnapshot {
@@ -210,6 +238,8 @@ impl IoStatsSnapshot {
             depth_sum: self.depth_sum.saturating_sub(earlier.depth_sum),
             depth_zero_dips: self.depth_zero_dips.saturating_sub(earlier.depth_zero_dips),
             depth_max: self.depth_max.saturating_sub(earlier.depth_max),
+            dedup_hits: self.dedup_hits.saturating_sub(earlier.dedup_hits),
+            dedup_bytes: self.dedup_bytes.saturating_sub(earlier.dedup_bytes),
         }
     }
 
@@ -234,6 +264,8 @@ impl IoStatsSnapshot {
         self.depth_sum += other.depth_sum;
         self.depth_zero_dips += other.depth_zero_dips;
         self.depth_max = self.depth_max.max(other.depth_max);
+        self.dedup_hits += other.dedup_hits;
+        self.dedup_bytes += other.dedup_bytes;
     }
 
     /// Mean request size in bytes (0 when no reads happened).
@@ -344,6 +376,26 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.depth_samples, 1);
         assert_eq!(snap.depth_zero_dips, 1);
+    }
+
+    #[test]
+    fn dedup_counters_roll_up_like_counters() {
+        let s = IoStats::new(1);
+        s.record_dedup(2, 8192);
+        let before = s.snapshot();
+        s.record_dedup(1, 4096);
+        let after = s.snapshot();
+        assert_eq!(after.dedup_hits, 3);
+        assert_eq!(after.dedup_bytes, 12288);
+        let d = after.delta_since(&before);
+        assert_eq!(d.dedup_hits, 1);
+        assert_eq!(d.dedup_bytes, 4096);
+        let mut agg = before.clone();
+        agg.absorb(&after);
+        assert_eq!(agg.dedup_hits, 5, "absorb sums dedup counters");
+        s.reset();
+        assert_eq!(s.snapshot().dedup_hits, 0);
+        assert_eq!(s.snapshot().dedup_bytes, 0);
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub enum FgError {
     Io(io::Error),
     /// A graph algorithm was asked to run on input it does not support.
     Unsupported(String),
+    /// The query was cancelled cooperatively (its
+    /// [`crate::CancelToken`] was triggered) before it converged. Any
+    /// partial results are consistent but incomplete.
+    Cancelled,
+    /// The query's deadline passed — either while it waited for
+    /// admission or between iterations of its run.
+    DeadlineExpired,
 }
 
 impl fmt::Display for FgError {
@@ -48,6 +55,8 @@ impl fmt::Display for FgError {
             FgError::InvalidRequest(msg) => write!(f, "invalid I/O request: {msg}"),
             FgError::Io(e) => write!(f, "i/o error: {e}"),
             FgError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            FgError::Cancelled => write!(f, "query cancelled before completion"),
+            FgError::DeadlineExpired => write!(f, "query deadline expired"),
         }
     }
 }
@@ -85,6 +94,8 @@ mod tests {
         assert!(FgError::CorruptImage("bad magic".into())
             .to_string()
             .contains("bad magic"));
+        assert!(FgError::Cancelled.to_string().contains("cancelled"));
+        assert!(FgError::DeadlineExpired.to_string().contains("deadline"));
     }
 
     #[test]

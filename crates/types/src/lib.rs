@@ -21,12 +21,14 @@
 //! ```
 
 mod bitmap;
+mod cancel;
 mod dir;
 mod error;
 mod id;
 pub mod sync;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
+pub use cancel::{CancelCause, CancelToken};
 pub use dir::EdgeDir;
 pub use error::{FgError, Result};
 pub use id::{VertexId, INVALID_VERTEX};

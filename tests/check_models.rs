@@ -154,6 +154,41 @@ fn rendezvous_mutations_caught() {
 }
 
 #[test]
+fn inflight_waiter_protocol_verified() {
+    assert_verified(
+        "inflight_waiter",
+        &models::inflight_waiter::check(None, &cfg()),
+    );
+}
+
+#[test]
+fn inflight_waiter_mutations_caught() {
+    use fg_check::FailureKind;
+    use models::inflight_waiter::{check, Mutation};
+    // Resolve without notify: the attached waiter sleeps forever.
+    let dropped = check(Some(Mutation::DroppedNotify), &cfg());
+    assert_caught("inflight_waiter+DroppedNotify", &dropped);
+    assert!(
+        matches!(
+            dropped.failure.as_ref().unwrap().kind,
+            FailureKind::Deadlock(_)
+        ),
+        "a dropped waiter notify must surface as a deadlock"
+    );
+    // A Relaxed mailbox publish no longer carries the page bytes to
+    // the fetcher: a data race on the page buffer.
+    let relaxed = check(Some(Mutation::RelaxedPublish), &cfg());
+    assert_caught("inflight_waiter+RelaxedPublish", &relaxed);
+    assert!(
+        matches!(
+            relaxed.failure.as_ref().unwrap().kind,
+            FailureKind::DataRace(_)
+        ),
+        "a Relaxed completion publish must surface as a data race"
+    );
+}
+
+#[test]
 fn lint_clean_on_this_workspace() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
     let violations = lint::lint_workspace(root).expect("walk workspace sources");

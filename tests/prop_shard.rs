@@ -130,6 +130,13 @@ proptest! {
             let (labels, wcc_stats) = fg_apps::wcc(&engine).unwrap();
             prop_assert_eq!(&labels, &wcc_oracle);
             prop_assert_eq!(wcc_stats.edges_delivered, mem_wcc_stats.edges_delivered);
+            // Deduped in-flight reads roll up exactly: the per-mount
+            // counters sum to the set-wide aggregate.
+            let dedup_sum: u64 = set
+                .iter()
+                .map(|m| m.array().stats().snapshot().dedup_bytes)
+                .sum();
+            prop_assert_eq!(dedup_sum, set.io_stats().dedup_bytes);
         }
     }
 
