@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use fg_format::{GraphIndex, ShardedIndex};
-use fg_graph::Graph;
+use fg_graph::{DeltaView, Graph};
 use fg_types::{AtomicBitmap, EdgeDir, VertexId};
 
 use crate::messages::Batch as Envelope;
@@ -110,6 +110,22 @@ pub(crate) struct RunShared<'g> {
     pub max_request_edges: u64,
     /// Present when this engine executes one shard of a sharded run.
     pub shard: Option<ShardView>,
+    /// Pinned delta overlay: ingested edges not yet compacted into
+    /// the image this run reads. `None` (frozen image) keeps every
+    /// pre-mutable path byte-identical.
+    pub deltas: Option<Arc<DeltaView>>,
+}
+
+impl RunShared<'_> {
+    /// Degree of `v` in the *logical* graph this run sees: the base
+    /// image degree plus the pinned view's net diff. Requests clamp
+    /// against this, so merged coordinates tile exactly.
+    #[inline]
+    pub(crate) fn merged_degree(&self, v: VertexId, dir: EdgeDir) -> u64 {
+        let base = self.degrees.degree(v, dir) as i64;
+        let diff = self.deltas.as_ref().map_or(0, |d| d.degree_diff(v, dir));
+        (base + diff).max(0) as u64
+    }
 }
 
 /// A first-class vertex I/O request: which list, which slice of it,
@@ -309,10 +325,13 @@ impl<M> VertexContext<'_, M> {
     }
 
     /// Degree of any vertex, from the in-memory index — no I/O.
-    /// [`EdgeDir::Both`] returns in+out for directed graphs.
+    /// [`EdgeDir::Both`] returns in+out for directed graphs. When the
+    /// run carries a pinned delta view, this is the merged degree
+    /// (base image plus uncompacted ingest), matching what a request
+    /// for the full list delivers.
     #[inline]
     pub fn degree(&self, v: VertexId, dir: EdgeDir) -> u64 {
-        self.shared.degrees.degree(v, dir)
+        self.shared.merged_degree(v, dir)
     }
 
     /// Activates `v` for the next iteration. Idempotent; the paper
@@ -374,7 +393,7 @@ impl<M> VertexContext<'_, M> {
         };
         for d in dirs.singles() {
             self.scratch.engine_requests += 1;
-            let degree = self.shared.degrees.degree(v, d);
+            let degree = self.shared.merged_degree(v, d);
             let (start, len) = match req.range {
                 None => (0, degree),
                 Some((s, l)) => {

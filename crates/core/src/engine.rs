@@ -32,7 +32,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use fg_format::{GraphIndex, ShardedIndex, SliceDecode};
-use fg_graph::Graph;
+use fg_graph::{DeltaView, Graph};
 use fg_safs::{CacheStats, Completion, IoSession, PageSpan, Safs, ShardSet};
 use fg_types::{
     AtomicBitmap, Bitmap, CancelCause, CancelToken, EdgeDir, FgError, Result, VertexId,
@@ -95,6 +95,9 @@ pub struct Engine<'g> {
     /// Cooperative cancellation, polled at iteration boundaries
     /// (worker 0, phase D). `None` — the common case — costs nothing.
     cancel: Option<CancelToken>,
+    /// Pinned delta overlay (uncompacted ingest) merged into every
+    /// delivery. `None` — the frozen-image case — is free.
+    deltas: Option<Arc<DeltaView>>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -123,6 +126,7 @@ impl<'g> Engine<'g> {
             backend: Backend::Mem(graph),
             cfg,
             cancel: None,
+            deltas: None,
         }
     }
 
@@ -141,6 +145,7 @@ impl<'g> Engine<'g> {
             backend: Backend::Sem { safs, index },
             cfg,
             cancel: None,
+            deltas: None,
         }
     }
 
@@ -162,6 +167,7 @@ impl<'g> Engine<'g> {
             backend: Backend::Shard { set, index, me },
             cfg,
             cancel: None,
+            deltas: None,
         }
     }
 
@@ -196,6 +202,7 @@ impl<'g> Engine<'g> {
             cfg,
             n: self.n,
             cancel: self.cancel.clone(),
+            deltas: self.deltas.clone(),
         }
     }
 
@@ -209,6 +216,18 @@ impl<'g> Engine<'g> {
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a pinned delta view: every delivery merges the view's
+    /// ops for the subject vertex with its on-SSD (or in-memory) list,
+    /// and `ctx.degree` reports merged degrees. The view is immutable —
+    /// concurrent ingest into the log it came from never changes this
+    /// run's results (snapshot isolation; see [`fg_graph::DeltaLog`]).
+    /// An empty view is dropped so the frozen-image fast paths stay.
+    #[must_use]
+    pub fn with_deltas(mut self, view: Arc<DeltaView>) -> Self {
+        self.deltas = (!view.is_empty()).then_some(view);
         self
     }
 
@@ -341,6 +360,7 @@ impl<'g> Engine<'g> {
             },
             pmap: pmap.clone(),
             max_request_edges: self.cfg.max_request_edges,
+            deltas: self.deltas.clone(),
             shard: match &self.backend {
                 Backend::Shard { index, me, .. } => Some(ShardView {
                     me: *me,
@@ -1326,7 +1346,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
             }
             let requester = r.requester;
             let vpd = r.vpart;
-            let pv = SemIo::decode_ready(r);
+            let pv = SemIo::decode_ready(r, self.shared.deltas.as_deref());
             self.deliver_vertex(iter, vpd, scratch, requester, &pv);
             self.absorb_requests(iter, vpd, scratch, io, stream);
             self.busy.clear_sync(requester);
@@ -1416,22 +1436,45 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                 match (&self.engine.backend, &mut *io) {
                     (Backend::Mem(g), IoDriver::Mem) => {
                         let csr = g.csr(req.dir);
-                        // Ranges were clamped at request time; the CSR
-                        // slice is the oracle the sem path must match.
-                        let lo = req.start as usize;
-                        let hi = lo + req.len as usize;
-                        let edges = &csr.neighbors(req.subject)[lo..hi];
-                        let attrs = if req.attrs {
-                            Some(
-                                &csr.weights_of(req.subject)
+                        let ops = self
+                            .shared
+                            .deltas
+                            .as_ref()
+                            .and_then(|d| d.list(req.subject, req.dir));
+                        let pv = if let Some(ops) = ops {
+                            // Overlaid subject: the range is in merged
+                            // coordinates, so wrap the full CSR list.
+                            let edges = csr.neighbors(req.subject);
+                            let attrs = req.attrs.then(|| {
+                                csr.weights_of(req.subject)
                                     .expect("attrs requested on an unweighted graph")
-                                    [lo..hi],
+                            });
+                            let base =
+                                PageVertex::from_slice(req.subject, req.dir, 0, edges, attrs);
+                            PageVertex::with_overlay(
+                                base,
+                                Arc::clone(ops),
+                                req.start,
+                                req.len as usize,
                             )
                         } else {
-                            None
+                            // Ranges were clamped at request time; the
+                            // CSR slice is the oracle the sem path
+                            // must match.
+                            let lo = req.start as usize;
+                            let hi = lo + req.len as usize;
+                            let edges = &csr.neighbors(req.subject)[lo..hi];
+                            let attrs = if req.attrs {
+                                Some(
+                                    &csr.weights_of(req.subject)
+                                        .expect("attrs requested on an unweighted graph")
+                                        [lo..hi],
+                                )
+                            } else {
+                                None
+                            };
+                            PageVertex::from_slice(req.subject, req.dir, req.start, edges, attrs)
                         };
-                        let pv =
-                            PageVertex::from_slice(req.subject, req.dir, req.start, edges, attrs);
                         self.deliver_vertex(iter, vp, scratch, req.requester, &pv);
                     }
                     (Backend::Sem { index, .. }, IoDriver::Sem(sem)) => {
@@ -1479,13 +1522,22 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                         // its NoOuterObligation mutation shows what breaks
                         // when a cascade runs without cover.
                         self.ready.obligations.fetch_add(1, Ordering::Relaxed);
-                        sem.enqueue(req, index, self.counters, via_stream, vp);
+                        sem.enqueue(
+                            req,
+                            index,
+                            self.counters,
+                            via_stream,
+                            vp,
+                            self.shared.deltas.as_deref(),
+                        );
                         // Zero-degree requests become ready
                         // completions without I/O. (Under pipelining
                         // the pool never holds these: `harvest` is
                         // the only producer of resolved entries, and
                         // it drains `sem.ready` before returning.)
-                        while let Some((requester, vpd, pv)) = sem.pop_ready() {
+                        while let Some((requester, vpd, pv)) =
+                            sem.pop_ready(self.shared.deltas.as_deref())
+                        {
                             self.deliver_vertex(iter, vpd, scratch, requester, &pv);
                             // ordering: AcqRel — release publishes the delivery's
                             // state writes to the worker whose quiesce load sees
@@ -1508,10 +1560,48 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                             // because the requester holds the busy bit
                             // and the subject's *state* is never
                             // touched, only its on-disk edges.
+                            // Overlaid subjects fetch the full base
+                            // list and carry the merged window aside,
+                            // exactly like `enqueue_overlay`.
+                            let overlaid = self
+                                .shared
+                                .deltas
+                                .as_ref()
+                                .is_some_and(|d| d.list(req.subject, req.dir).is_some());
+                            let (fetch_start, fetch_len, overlay) = if overlaid {
+                                (
+                                    0,
+                                    index.degree(req.subject, req.dir),
+                                    Some((req.start, req.len)),
+                                )
+                            } else {
+                                (req.start, req.len, None)
+                            };
+                            if fetch_len == 0 {
+                                // Overlaid subject with an empty base
+                                // list: pure adds, no I/O.
+                                let pv = SemIo::decode_ready(
+                                    ReadyVertex {
+                                        requester: req.requester,
+                                        subject: req.subject,
+                                        vpart: vp,
+                                        dir: req.dir,
+                                        start: 0,
+                                        count: 0,
+                                        decode: SliceDecode::Raw,
+                                        edges: PageSpan::empty(),
+                                        attrs: req.attrs.then(PageSpan::empty),
+                                        overlay,
+                                    },
+                                    self.shared.deltas.as_deref(),
+                                );
+                                self.deliver_vertex(iter, vp, scratch, req.requester, &pv);
+                                continue;
+                            }
                             let (s, slice) =
-                                index.locate_slice(req.subject, req.dir, req.start, req.len);
+                                index.locate_slice(req.subject, req.dir, fetch_start, fetch_len);
                             let loc = slice.loc;
-                            debug_assert_eq!(loc.degree, req.len);
+                            debug_assert_eq!(loc.degree, fetch_len);
                             self.counters.bytes_requested.add(loc.bytes);
                             self.counters.issued_requests.inc();
                             let espan = set
@@ -1520,7 +1610,12 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                                 .expect("foreign shard edge read");
                             let attrs = if req.attrs {
                                 let (sa, aloc) = index
-                                    .locate_attrs_range(req.subject, req.dir, req.start, req.len)
+                                    .locate_attrs_range(
+                                        req.subject,
+                                        req.dir,
+                                        fetch_start,
+                                        fetch_len,
+                                    )
                                     .expect("attrs requested but image has no attribute section");
                                 self.counters.bytes_requested.add(aloc.bytes);
                                 self.counters.issued_requests.inc();
@@ -1532,17 +1627,21 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                             } else {
                                 None
                             };
-                            let pv = SemIo::decode_ready(ReadyVertex {
-                                requester: req.requester,
-                                subject: req.subject,
-                                vpart: vp,
-                                dir: req.dir,
-                                start: req.start,
-                                count: req.len,
-                                decode: slice.decode,
-                                edges: espan,
-                                attrs,
-                            });
+                            let pv = SemIo::decode_ready(
+                                ReadyVertex {
+                                    requester: req.requester,
+                                    subject: req.subject,
+                                    vpart: vp,
+                                    dir: req.dir,
+                                    start: fetch_start,
+                                    count: fetch_len,
+                                    decode: slice.decode,
+                                    edges: espan,
+                                    attrs,
+                                    overlay,
+                                },
+                                self.shared.deltas.as_deref(),
+                            );
                             self.deliver_vertex(iter, vp, scratch, req.requester, &pv);
                             continue;
                         }
@@ -1570,8 +1669,17 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
                         // its NoOuterObligation mutation shows what breaks
                         // when a cascade runs without cover.
                         self.ready.obligations.fetch_add(1, Ordering::Relaxed);
-                        sem.enqueue(req, index.shard(*me), self.counters, via_stream, vp);
-                        while let Some((requester, vpd, pv)) = sem.pop_ready() {
+                        sem.enqueue(
+                            req,
+                            index.shard(*me),
+                            self.counters,
+                            via_stream,
+                            vp,
+                            self.shared.deltas.as_deref(),
+                        );
+                        while let Some((requester, vpd, pv)) =
+                            sem.pop_ready(self.shared.deltas.as_deref())
+                        {
                             self.deliver_vertex(iter, vpd, scratch, requester, &pv);
                             // ordering: AcqRel — release publishes the delivery's
                             // state writes to the worker whose quiesce load sees
@@ -1625,7 +1733,7 @@ impl<P: VertexProgram> WorkerEnv<'_, '_, P> {
         self.counters.wait_ns.add(t.elapsed().as_nanos() as u64);
         for c in done {
             sem.resolve(c);
-            while let Some((requester, vpd, pv)) = sem.pop_ready() {
+            while let Some((requester, vpd, pv)) = sem.pop_ready(self.shared.deltas.as_deref()) {
                 debug_assert_eq!(vpd, vp, "lock-step deliveries stay within their pass");
                 self.deliver_vertex(iter, vpd, scratch, requester, &pv);
                 // ordering: AcqRel — release publishes the delivery's
@@ -1983,6 +2091,10 @@ struct PartMeta {
     /// the compressed image format).
     decode: SliceDecode,
     kind: PartKind,
+    /// Present when the subject carries pinned delta ops: the
+    /// `(start, len)` window in *merged* coordinates the delivery
+    /// must tile (the fetch itself covers the full base list).
+    overlay: Option<(u64, u64)>,
 }
 
 struct MergedMeta {
@@ -1999,6 +2111,8 @@ struct AttrPair {
     start: u64,
     edges: Option<PageSpan>,
     attrs: Option<PageSpan>,
+    /// See [`PartMeta::overlay`].
+    overlay: Option<(u64, u64)>,
 }
 
 /// A ready-to-deliver edge-list slice. Owns its page spans, so it can
@@ -2017,6 +2131,10 @@ struct ReadyVertex {
     decode: SliceDecode,
     edges: PageSpan,
     attrs: Option<PageSpan>,
+    /// See [`PartMeta::overlay`] — when set, decoding wraps the base
+    /// list in [`PageVertex::with_overlay`] against the run's pinned
+    /// [`DeltaView`].
+    overlay: Option<(u64, u64)>,
 }
 
 /// The semi-external per-worker I/O state: selective issue queue,
@@ -2157,6 +2275,7 @@ impl<'s> SemIo<'s> {
         counters: &Counters,
         stream: bool,
         vp: u32,
+        deltas: Option<&DeltaView>,
     ) {
         if req.len == 0 {
             self.ready.push(ReadyVertex {
@@ -2169,10 +2288,15 @@ impl<'s> SemIo<'s> {
                 decode: SliceDecode::Raw,
                 edges: PageSpan::empty(),
                 attrs: req.attrs.then(PageSpan::empty),
+                overlay: None,
             });
             return;
         }
         let local = VertexId(req.subject.0 - self.base);
+        if deltas.is_some_and(|d| d.list(req.subject, req.dir).is_some()) {
+            self.enqueue_overlay(req, local, index, counters, stream, vp);
+            return;
+        }
         let slice = index.locate_slice(local, req.dir, req.start, req.len);
         let loc = slice.loc;
         debug_assert_eq!(
@@ -2202,6 +2326,7 @@ impl<'s> SemIo<'s> {
                 start: req.start,
                 edges: None,
                 attrs: None,
+                overlay: None,
             });
             self.push_part(
                 stream,
@@ -2216,6 +2341,7 @@ impl<'s> SemIo<'s> {
                     count: req.len,
                     decode: SliceDecode::Raw,
                     kind: PartKind::Attrs { pair: slot },
+                    overlay: None,
                 },
                 counters,
             );
@@ -2236,6 +2362,113 @@ impl<'s> SemIo<'s> {
                 count: req.len,
                 decode: slice.decode,
                 kind: PartKind::Edges { pair },
+                overlay: None,
+            },
+            counters,
+        );
+    }
+
+    /// The overlay variant of [`SemIo::enqueue`]: the subject has
+    /// pinned delta ops, so the request's window — already expressed
+    /// in *merged* coordinates by the context's clamp — rides aside in
+    /// the metadata while the fetch covers the *full* base list (the
+    /// delivery-time merge needs every on-SSD edge to map merged
+    /// positions; chunked hubs re-fetch the same pages, which the
+    /// page cache and in-flight dedup table absorb).
+    fn enqueue_overlay(
+        &mut self,
+        req: EdgeRequest,
+        local: VertexId,
+        index: &GraphIndex,
+        counters: &Counters,
+        stream: bool,
+        vp: u32,
+    ) {
+        let overlay = Some((req.start, req.len));
+        let base_degree = index.degree(local, req.dir);
+        if base_degree == 0 {
+            // Nothing on SSD — the merged list is pure adds and
+            // delivers without I/O, like the zero-length fast path.
+            self.ready.push(ReadyVertex {
+                requester: req.requester,
+                subject: req.subject,
+                vpart: vp,
+                dir: req.dir,
+                start: 0,
+                count: 0,
+                decode: SliceDecode::Raw,
+                edges: PageSpan::empty(),
+                attrs: req.attrs.then(PageSpan::empty),
+                overlay,
+            });
+            return;
+        }
+        let slice = index.locate_slice(local, req.dir, 0, u64::MAX);
+        let loc = slice.loc;
+        debug_assert_eq!(
+            loc.degree, base_degree,
+            "an unclamped slice is the whole list"
+        );
+        if stream {
+            self.stream_buffered += 1;
+        } else {
+            self.outstanding += 1;
+            self.selective_buffered += 1;
+        }
+        let pair = if req.attrs {
+            debug_assert_eq!(
+                slice.decode,
+                SliceDecode::Raw,
+                "attribute-bearing blocks are always raw (weighted images force it)"
+            );
+            let aloc = index
+                .locate_attrs_range(local, req.dir, 0, base_degree)
+                .expect("attrs requested but image has no attribute section");
+            let slot = self.alloc_pair(AttrPair {
+                requester: req.requester,
+                subject: req.subject,
+                vpart: vp,
+                dir: req.dir,
+                start: 0,
+                edges: None,
+                attrs: None,
+                overlay,
+            });
+            self.push_part(
+                stream,
+                aloc.offset,
+                aloc.bytes,
+                PartMeta {
+                    requester: req.requester,
+                    subject: req.subject,
+                    vpart: vp,
+                    dir: req.dir,
+                    start: 0,
+                    count: base_degree,
+                    decode: SliceDecode::Raw,
+                    kind: PartKind::Attrs { pair: slot },
+                    overlay,
+                },
+                counters,
+            );
+            Some(slot)
+        } else {
+            None
+        };
+        self.push_part(
+            stream,
+            loc.offset,
+            loc.bytes,
+            PartMeta {
+                requester: req.requester,
+                subject: req.subject,
+                vpart: vp,
+                dir: req.dir,
+                start: 0,
+                count: base_degree,
+                decode: slice.decode,
+                kind: PartKind::Edges { pair },
+                overlay,
             },
             counters,
         );
@@ -2402,6 +2635,7 @@ impl<'s> SemIo<'s> {
                         decode: pm.decode,
                         edges: span,
                         attrs: None,
+                        overlay: pm.overlay,
                     });
                 }
                 PartKind::Edges { pair: Some(slot) } => {
@@ -2443,22 +2677,29 @@ impl<'s> SemIo<'s> {
             decode: SliceDecode::Raw,
             edges,
             attrs: Some(p.attrs.expect("pair complete")),
+            overlay: p.overlay,
         });
     }
 
     /// Pops one ready delivery as a borrowable [`PageVertex`], with
     /// the requester and the vertical pass it belongs to.
-    fn pop_ready(&mut self) -> Option<(VertexId, u32, PageVertex<'static>)> {
+    fn pop_ready(
+        &mut self,
+        deltas: Option<&DeltaView>,
+    ) -> Option<(VertexId, u32, PageVertex<'static>)> {
         let r = self.ready.pop()?;
         let (requester, vpart) = (r.requester, r.vpart);
-        Some((requester, vpart, Self::decode_ready(r)))
+        Some((requester, vpart, Self::decode_ready(r, deltas)))
     }
 
     /// Decodes one ready entry into a deliverable [`PageVertex`] —
     /// shared by [`SemIo::pop_ready`] and the pipelined scheduler's
-    /// cross-worker ready pool.
-    fn decode_ready(r: ReadyVertex) -> PageVertex<'static> {
-        match r.decode {
+    /// cross-worker ready pool. Overlaid entries wrap the decoded
+    /// (full) base list with the subject's pinned delta ops, windowed
+    /// to the request's merged-coordinate slice.
+    fn decode_ready(r: ReadyVertex, deltas: Option<&DeltaView>) -> PageVertex<'static> {
+        let (subject, dir, overlay) = (r.subject, r.dir, r.overlay);
+        let base = match r.decode {
             SliceDecode::Raw => PageVertex::from_span(r.subject, r.dir, r.start, r.edges, r.attrs),
             SliceDecode::Varint(p) => {
                 debug_assert!(r.attrs.is_none(), "packed deliveries never carry attrs");
@@ -2470,6 +2711,15 @@ impl<'s> SemIo<'s> {
                     r.count as usize,
                     p,
                 )
+            }
+        };
+        match overlay {
+            None => base,
+            Some((ws, wl)) => {
+                let ops = deltas
+                    .and_then(|d| d.list(subject, dir))
+                    .expect("overlay deliveries run with the view that created them");
+                PageVertex::with_overlay(base, Arc::clone(ops), ws, wl as usize)
             }
         }
     }

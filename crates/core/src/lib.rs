@@ -108,7 +108,7 @@ pub use context::{Request, VertexContext};
 pub use engine::{Engine, GraphEngine, Init};
 pub use program::VertexProgram;
 pub use serve::{
-    GraphService, Priority, QueryOpts, ServiceConfig, ServiceStatsSnapshot, TenantConfig,
+    Compactor, GraphService, Priority, QueryOpts, ServiceConfig, ServiceStatsSnapshot, TenantConfig,
 };
 pub use shard::ShardedEngine;
 pub use stats::{IterStats, RunStats};

@@ -69,15 +69,43 @@
 //! log2-bucketed percentiles) for every admission, including the
 //! [`GraphService::query`] closure paths whose arbitrary return type
 //! the service cannot patch.
+//!
+//! # Mutable graphs: delta ingest and snapshots
+//!
+//! The on-SSD image is immutable (FlashGraph writes it once, §3), but
+//! the *service* accepts edge mutations: [`GraphService::ingest`]
+//! appends a [`DeltaBatch`] to an in-memory [`DeltaLog`] whose runs
+//! are canonicalized against the base image at ingest time. Queries
+//! get **snapshot isolation** for free: at admission each query pins
+//! the pair (image generation, delta watermark) under the log lock,
+//! and the engine merges the pinned [`DeltaView`] with the on-SSD
+//! lists at delivery time (see `EdgeData::Overlay` in the vertex
+//! layer) — concurrent ingests and compactions never change what a
+//! running query sees. [`QueryOpts::at_watermark`] replays an older
+//! watermark explicitly (time travel within the unfolded window).
+//!
+//! When [`GraphService::pending_deltas`] grows large,
+//! [`GraphService::compact_with`] (or a background [`Compactor`])
+//! rewrites base + deltas into a fresh image stamped with the next
+//! generation and flips the serving handle atomically: the fold of
+//! the log and the flip of the [`Handoff`] happen in one critical
+//! section, so no query can observe the new image *and* the deltas it
+//! already absorbed (or the old image *without* them). Queries pinned
+//! to the old generation keep it alive via `Arc` until they drain.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use fg_format::{GraphIndex, ShardedIndex};
-use fg_safs::{CacheStatsSnapshot, Safs, ShardSet};
+use fg_format::{
+    load_index, read_graph, read_list, read_meta, required_capacity_with, write_image_with,
+    GraphIndex, ImageMeta, ShardedIndex, WriteOptions,
+};
+use fg_graph::{BaseLists, DeltaBatch, DeltaLog, DeltaView};
+use fg_safs::{CacheStatsSnapshot, Handoff, Safs, ShardSet};
+use fg_ssdsim::SsdArray;
 use fg_types::sync::Counter;
-use fg_types::{CancelCause, CancelToken, Result};
+use fg_types::{CancelCause, CancelToken, EdgeDir, FgError, Result, VertexId};
 
 use crate::config::EngineConfig;
 use crate::engine::{Engine, Init};
@@ -180,6 +208,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_tenant(mut self, name: impl Into<String>, tc: TenantConfig) -> Self {
         let name = name.into();
+        // The documented contract is "zero is treated as 1"; enforce
+        // it at declaration so every reader of the stored config sees
+        // a weight the stride division is defined for.
+        let tc = TenantConfig {
+            weight: tc.weight.max(1),
+            ..tc
+        };
         match self.tenants.iter_mut().find(|(n, _)| *n == name) {
             Some((_, existing)) => *existing = tc,
             None => self.tenants.push((name, tc)),
@@ -217,6 +252,7 @@ pub struct QueryOpts {
     priority: Option<Priority>,
     cancel: Option<CancelToken>,
     engine: Option<EngineConfig>,
+    as_of: Option<u64>,
 }
 
 impl QueryOpts {
@@ -265,6 +301,18 @@ impl QueryOpts {
     #[must_use]
     pub fn with_engine(mut self, cfg: EngineConfig) -> Self {
         self.engine = Some(cfg);
+        self
+    }
+
+    /// Pins the query to delta watermark `w` instead of the freshest
+    /// view: it sees the base image plus exactly the ingest runs with
+    /// sequence `<= w`, so replaying the same watermark later yields a
+    /// bit-identical view (watermark 0 = the bare image). Only
+    /// watermarks above the last compaction's fold point are
+    /// replayable — older runs are baked into the image.
+    #[must_use]
+    pub fn at_watermark(mut self, w: u64) -> Self {
+        self.as_of = Some(w);
         self
     }
 }
@@ -394,6 +442,18 @@ impl GateState {
             self.waiters.swap_remove(i);
         }
     }
+
+    /// Drops an undeclared tenant's stride pass once its last waiter
+    /// leaves the queue. Declared tenants keep their pass so their
+    /// share stays long-run fair, but a service whose tenant names
+    /// come from request metadata (one per user, session, ...) must
+    /// not grow the pass map without bound; the admission-time floor
+    /// lift re-seats a returning ad-hoc tenant fairly anyway.
+    fn drain_pass(&mut self, tenant: &str, declared: bool) {
+        if !declared && !self.waiters.iter().any(|w| w.tenant == tenant) {
+            self.passes.remove(tenant);
+        }
+    }
 }
 
 impl Gate {
@@ -445,7 +505,15 @@ impl Drop for Permit<'_> {
 /// # }
 /// ```
 pub struct GraphService {
-    backend: ServeBackend,
+    /// The serving generation: compaction installs a rewritten image
+    /// by flipping this handoff; every query pins it at admission and
+    /// keeps its pinned generation alive until it drains.
+    live: Handoff<ServeBackend>,
+    /// Edge mutations not yet folded into an on-SSD image.
+    delta: DeltaLog,
+    /// Serializes compactions — the flip is atomic, but the rewrite
+    /// is long and must not run twice concurrently.
+    compacting: Mutex<()>,
     cfg: ServiceConfig,
     gate: Gate,
     admitted: Counter,
@@ -478,12 +546,64 @@ impl ServeBackend {
             ServeBackend::Sharded { index, .. } => index.num_vertices(),
         }
     }
+
+    fn is_directed(&self) -> bool {
+        match self {
+            ServeBackend::Single { index, .. } => index.is_directed(),
+            ServeBackend::Sharded { index, .. } => index.is_directed(),
+        }
+    }
+}
+
+/// [`BaseLists`] over one pinned image generation: ingest-time
+/// canonicalization reads base adjacency straight off the device.
+/// This is a cold path — a batch touches few source vertices, and the
+/// page cache absorbs the reads like any query's.
+struct ImageBase<'a> {
+    backend: &'a ServeBackend,
+    /// One meta for a single mount, one per shard otherwise.
+    metas: Vec<ImageMeta>,
+}
+
+impl<'a> ImageBase<'a> {
+    fn over(backend: &'a ServeBackend) -> Result<Self> {
+        let metas = match backend {
+            ServeBackend::Single { safs, .. } => vec![read_meta(safs.array())?],
+            ServeBackend::Sharded { set, .. } => set
+                .iter()
+                .map(|s| read_meta(s.array()))
+                .collect::<Result<_>>()?,
+        };
+        Ok(ImageBase { backend, metas })
+    }
+}
+
+impl BaseLists for ImageBase<'_> {
+    fn base_out_list(&self, v: VertexId) -> Result<Vec<u32>> {
+        match self.backend {
+            ServeBackend::Single { safs, index } => {
+                read_list(safs.array(), &self.metas[0], index, v, EdgeDir::Out)
+            }
+            ServeBackend::Sharded { set, index } => {
+                let (s, local) = index.local(v);
+                read_list(
+                    set.shard(s).array(),
+                    &self.metas[s],
+                    index.shard(s),
+                    local,
+                    EdgeDir::Out,
+                )
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for GraphService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GraphService")
-            .field("vertices", &self.backend.num_vertices())
+            .field("vertices", &self.num_vertices())
+            .field("generation", &self.live.generation())
+            .field("pending_deltas", &self.delta.pending_ops())
             .field("max_inflight", &self.cfg.max_inflight)
             .field("running", &self.gate.lock().running)
             .finish_non_exhaustive()
@@ -533,8 +653,11 @@ impl GraphService {
     }
 
     fn with_backend(backend: ServeBackend, cfg: ServiceConfig) -> Self {
+        let delta = DeltaLog::new(backend.num_vertices(), backend.is_directed());
         GraphService {
-            backend,
+            live: Handoff::new(backend),
+            delta,
+            compacting: Mutex::new(()),
             cfg,
             gate: Gate {
                 state: Mutex::new(GateState {
@@ -557,7 +680,7 @@ impl GraphService {
 
     /// Number of vertices in the served graph.
     pub fn num_vertices(&self) -> usize {
-        self.backend.num_vertices()
+        self.delta.num_vertices()
     }
 
     /// The service configuration.
@@ -565,30 +688,32 @@ impl GraphService {
         &self.cfg
     }
 
-    /// The shared mount (for mount-wide statistics or resets between
-    /// experiment phases).
+    /// The current generation's mount (for mount-wide statistics or
+    /// resets between experiment phases). Compaction replaces the
+    /// mount; the returned handle stays valid but stops being the
+    /// serving one.
     ///
     /// # Panics
     ///
     /// Panics on a sharded service (it has no single mount); use
     /// [`GraphService::shard_set`].
-    pub fn safs(&self) -> &Safs {
-        match &self.backend {
-            ServeBackend::Single { safs, .. } => safs,
+    pub fn safs(&self) -> Arc<Safs> {
+        match self.live.pin().1.as_ref() {
+            ServeBackend::Single { safs, .. } => Arc::clone(safs),
             ServeBackend::Sharded { .. } => {
                 panic!("sharded service has no single mount; use shard_set()")
             }
         }
     }
 
-    /// The shared index.
+    /// The current generation's index.
     ///
     /// # Panics
     ///
     /// Panics on a sharded service; use [`GraphService::sharded_index`].
-    pub fn index(&self) -> &Arc<GraphIndex> {
-        match &self.backend {
-            ServeBackend::Single { index, .. } => index,
+    pub fn index(&self) -> Arc<GraphIndex> {
+        match self.live.pin().1.as_ref() {
+            ServeBackend::Single { index, .. } => Arc::clone(index),
             ServeBackend::Sharded { .. } => {
                 panic!("sharded service has no single index; use sharded_index()")
             }
@@ -596,28 +721,139 @@ impl GraphService {
     }
 
     /// The shard mounts of a sharded service, `None` otherwise.
-    pub fn shard_set(&self) -> Option<&Arc<ShardSet>> {
-        match &self.backend {
-            ServeBackend::Sharded { set, .. } => Some(set),
+    pub fn shard_set(&self) -> Option<Arc<ShardSet>> {
+        match self.live.pin().1.as_ref() {
+            ServeBackend::Sharded { set, .. } => Some(Arc::clone(set)),
             ServeBackend::Single { .. } => None,
         }
     }
 
     /// The sharded index of a sharded service, `None` otherwise.
-    pub fn sharded_index(&self) -> Option<&Arc<ShardedIndex>> {
-        match &self.backend {
-            ServeBackend::Sharded { index, .. } => Some(index),
+    pub fn sharded_index(&self) -> Option<Arc<ShardedIndex>> {
+        match self.live.pin().1.as_ref() {
+            ServeBackend::Sharded { index, .. } => Some(Arc::clone(index)),
             ServeBackend::Single { .. } => None,
         }
     }
 
     /// Mount-wide page-cache counters — the aggregate across every
     /// tenant (and, sharded, across every shard cache), where
-    /// cross-query hits show up.
+    /// cross-query hits show up. Counters reset when compaction
+    /// installs a fresh mount.
     pub fn cache_stats(&self) -> CacheStatsSnapshot {
-        match &self.backend {
+        match self.live.pin().1.as_ref() {
             ServeBackend::Single { safs, .. } => safs.cache_stats(),
             ServeBackend::Sharded { set, .. } => set.cache_stats(),
+        }
+    }
+
+    /// The current image generation (0 until the first compaction).
+    pub fn generation(&self) -> u64 {
+        self.live.generation()
+    }
+
+    /// Sequence number of the latest ingested run (0 = none yet) —
+    /// the value [`QueryOpts::at_watermark`] pins against.
+    pub fn watermark(&self) -> u64 {
+        self.delta.watermark()
+    }
+
+    /// Effective delta ops awaiting compaction — the trigger metric
+    /// for [`GraphService::compact_with`] / [`Compactor`].
+    pub fn pending_deltas(&self) -> u64 {
+        self.delta.pending_ops()
+    }
+
+    /// Ingests one batch of edge mutations under live serving and
+    /// returns the new watermark. The batch becomes one atomic run:
+    /// queries admitted before this call never see any of it, queries
+    /// admitted after see all of it. Works on both backends; the base
+    /// adjacency needed to canonicalize the batch is read through the
+    /// pinned generation's mounts.
+    ///
+    /// # Errors
+    ///
+    /// [`FgError::VertexOutOfRange`] when an endpoint lies outside
+    /// the image's fixed vertex set (the image cannot grow — ingest
+    /// mutates edges, not the vertex space), and I/O errors from the
+    /// base reads.
+    pub fn ingest(&self, batch: &DeltaBatch) -> Result<u64> {
+        let (_, backend) = self.live.pin();
+        let base = ImageBase::over(&backend)?;
+        self.delta.apply(&base, batch)
+    }
+
+    /// Folds every pending delta into a fresh on-SSD image and
+    /// atomically flips serving to it, returning the new generation.
+    /// `provision` supplies a device of at least the requested
+    /// capacity for the rewrite. The fold of the log and the flip of
+    /// the generation happen in one critical section, so concurrent
+    /// admissions pin either (old image, deltas) or (new image, no
+    /// deltas) — never a mix. In-flight queries finish on their
+    /// pinned generation; its mount dies with its last pin.
+    ///
+    /// Returns the current generation without rewriting anything when
+    /// the log is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`FgError::InvalidConfig`] on a sharded service (per-shard
+    /// compaction is future work), read-back/write errors from the
+    /// image pass, and whatever `provision` returns.
+    pub fn compact_with(&self, provision: impl FnOnce(u64) -> Result<SsdArray>) -> Result<u64> {
+        let _guard = self.compacting.lock().unwrap_or_else(|e| e.into_inner());
+        // Pin generation and view at one coherent point; everything
+        // ingested after this snapshot stays in the log for the next
+        // compaction.
+        let ((gen, backend), view) = self.delta.snapshot_with(|| self.live.pin());
+        let ServeBackend::Single { safs, index } = backend.as_ref() else {
+            return Err(FgError::InvalidConfig(
+                "compaction rewrites a single-mount image; shard-wise compaction is not supported"
+                    .into(),
+            ));
+        };
+        if view.is_empty() {
+            return Ok(gen);
+        }
+        let meta = read_meta(safs.array())?;
+        let base = read_graph(safs.array(), &meta, index)?;
+        let merged = DeltaLog::union(&base, &view);
+        let mut opts = WriteOptions {
+            format: meta.format,
+            generation: (gen + 1) as u32,
+            ..WriteOptions::default()
+        };
+        if meta.skip_interval != 0 {
+            opts.skip_interval = meta.skip_interval;
+        }
+        let array = provision(required_capacity_with(&merged, &opts))?;
+        write_image_with(&merged, &array, &opts)?;
+        let (_, new_index) = load_index(&array)?;
+        let new_safs = Safs::new(*safs.config(), array)?;
+        let next = ServeBackend::Single {
+            safs: Arc::new(new_safs),
+            index: Arc::new(new_index),
+        };
+        // Atomic cutover: drop the folded runs and install the new
+        // image inside one log critical section (see the module docs).
+        self.delta.fold(view.watermark(), || {
+            self.live.flip(next);
+        });
+        Ok(gen + 1)
+    }
+
+    /// The (pinned backend, pinned delta view) pair of one admitted
+    /// query — the snapshot it runs against.
+    fn pin_view(&self, opts: &QueryOpts) -> (Arc<ServeBackend>, Arc<DeltaView>) {
+        match opts.as_of {
+            // Time travel: an explicit watermark replays a fixed view.
+            Some(w) => (self.live.pin().1, self.delta.view(w)),
+            // Freshest snapshot: the pin runs under the log lock so a
+            // concurrent compaction's fold+flip cannot interleave.
+            None => {
+                let ((_, backend), view) = self.delta.snapshot_with(|| self.live.pin());
+                (backend, view)
+            }
         }
     }
 
@@ -696,15 +932,21 @@ impl GraphService {
     ) -> Result<(Vec<P::State>, RunStats)> {
         let token = opts.cancel.clone().unwrap_or_default();
         let (permit, waited) = self.admit(&opts, &token)?;
+        // Snapshot isolation: pin (image generation, delta watermark)
+        // at admission — the run sees exactly this view no matter how
+        // much is ingested or compacted while it executes.
+        let (backend, view) = self.pin_view(&opts);
         let cfg = opts.engine.unwrap_or(self.cfg.engine);
-        let result = match &self.backend {
+        let result = match backend.as_ref() {
             ServeBackend::Single { safs, index } => {
                 Engine::new_sem_shared(safs, Arc::clone(index), cfg)
+                    .with_deltas(view)
                     .with_cancel(token.clone())
                     .run(program, init)
             }
             ServeBackend::Sharded { set, index } => {
                 ShardedEngine::new_shared(set, Arc::clone(index), cfg)
+                    .with_deltas(view)
                     .with_cancel(token.clone())
                     .run(program, init)
             }
@@ -767,13 +1009,16 @@ impl GraphService {
     /// Panics on a sharded service; use
     /// [`GraphService::query_sharded_opts`].
     pub fn query_opts<R>(&self, opts: QueryOpts, f: impl FnOnce(&Engine<'_>) -> R) -> Result<R> {
-        let ServeBackend::Single { safs, index } = &self.backend else {
-            panic!("sharded service: use query_sharded / query_sharded_opts")
-        };
         let token = opts.cancel.clone().unwrap_or_default();
         let (permit, _waited) = self.admit(&opts, &token)?;
+        let (backend, view) = self.pin_view(&opts);
+        let ServeBackend::Single { safs, index } = backend.as_ref() else {
+            panic!("sharded service: use query_sharded / query_sharded_opts")
+        };
         let cfg = opts.engine.unwrap_or(self.cfg.engine);
-        let engine = Engine::new_sem_shared(safs, Arc::clone(index), cfg).with_cancel(token);
+        let engine = Engine::new_sem_shared(safs, Arc::clone(index), cfg)
+            .with_deltas(view)
+            .with_cancel(token);
         let out = f(&engine);
         drop(permit);
         Ok(out)
@@ -822,13 +1067,16 @@ impl GraphService {
         opts: QueryOpts,
         f: impl FnOnce(&ShardedEngine<'_>) -> R,
     ) -> Result<R> {
-        let ServeBackend::Sharded { set, index } = &self.backend else {
-            panic!("single-mount service: use query / query_opts")
-        };
         let token = opts.cancel.clone().unwrap_or_default();
         let (permit, _waited) = self.admit(&opts, &token)?;
+        let (backend, view) = self.pin_view(&opts);
+        let ServeBackend::Sharded { set, index } = backend.as_ref() else {
+            panic!("single-mount service: use query / query_opts")
+        };
         let cfg = opts.engine.unwrap_or(self.cfg.engine);
-        let engine = ShardedEngine::new_shared(set, Arc::clone(index), cfg).with_cancel(token);
+        let engine = ShardedEngine::new_shared(set, Arc::clone(index), cfg)
+            .with_deltas(view)
+            .with_cancel(token);
         let out = f(&engine);
         drop(permit);
         Ok(out)
@@ -887,6 +1135,7 @@ impl GraphService {
             return Ok((Permit { service: self }, waited));
         }
         let (tenant, weight, priority) = self.resolve(opts);
+        let declared = self.cfg.tenant(&tenant).is_some();
         let mut st = self.gate.lock();
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -897,6 +1146,20 @@ impl GraphService {
         });
         loop {
             if st.running < self.cfg.max_inflight && st.pick() == Some(seq) {
+                // The grant can arrive long after the token fired —
+                // a slot freeing is what wakes us. Re-check before
+                // taking the slot, so an already-dead query neither
+                // occupies it nor spawns an engine it would
+                // immediately unwind.
+                if let Some(cause) = token.cause() {
+                    st.remove(seq);
+                    st.drain_pass(&tenant, declared);
+                    drop(st);
+                    self.gate.cv.notify_all();
+                    self.book_abort(cause);
+                    self.book_wait(t0.elapsed());
+                    return Err(cause.into());
+                }
                 st.remove(seq);
                 st.running += 1;
                 // Advance the tenant's pass; lift it to the floor of
@@ -909,8 +1172,9 @@ impl GraphService {
                     .map(|w| st.passes.get(&w.tenant).copied().unwrap_or(0))
                     .min()
                     .unwrap_or(0);
-                let pass = st.passes.entry(tenant).or_insert(0);
+                let pass = st.passes.entry(tenant.clone()).or_insert(0);
                 *pass = (*pass).max(floor) + STRIDE / u64::from(weight);
+                st.drain_pass(&tenant, declared);
                 let running = st.running;
                 drop(st);
                 // The next pick may also fit (capacity > 1), and our
@@ -924,6 +1188,7 @@ impl GraphService {
             }
             if let Some(cause) = token.cause() {
                 st.remove(seq);
+                st.drain_pass(&tenant, declared);
                 drop(st);
                 // Our departure may change the pick for a waiter that
                 // is parked; wake everyone to re-evaluate.
@@ -951,6 +1216,92 @@ impl GraphService {
                 .unwrap_or_else(|e| e.into_inner());
             st = g;
         }
+    }
+}
+
+/// A background compaction thread: polls the service's pending-delta
+/// count and rewrites the image into the next generation whenever it
+/// crosses the threshold. The flip is atomic; in-flight queries keep
+/// serving from their pinned generation. Dropping (or
+/// [`Compactor::stop`]ping) the handle signals the thread and joins
+/// it.
+pub struct Compactor {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    compactions: Arc<Counter>,
+}
+
+impl Compactor {
+    /// Spawns a compactor over `svc` that rewrites whenever
+    /// [`GraphService::pending_deltas`] reaches `threshold`, checking
+    /// every `poll`. `provision` supplies a fresh device of at least
+    /// the requested capacity for each rewrite (see
+    /// [`GraphService::compact_with`]); a failed rewrite is retried
+    /// at the next poll.
+    pub fn spawn(
+        svc: Arc<GraphService>,
+        threshold: u64,
+        poll: Duration,
+        provision: impl Fn(u64) -> Result<SsdArray> + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let compactions = Arc::new(Counter::default());
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let done = Arc::clone(&compactions);
+            std::thread::spawn(move || loop {
+                {
+                    let (lock, cv) = &*stop;
+                    let stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    if *stopped {
+                        break;
+                    }
+                    let (stopped, _) = cv
+                        .wait_timeout(stopped, poll)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if *stopped {
+                        break;
+                    }
+                }
+                if svc.pending_deltas() >= threshold.max(1) {
+                    let before = svc.generation();
+                    if svc.compact_with(&provision).is_ok_and(|g| g > before) {
+                        done.inc();
+                    }
+                }
+            })
+        };
+        Compactor {
+            stop,
+            handle: Some(handle),
+            compactions,
+        }
+    }
+
+    /// Generations this compactor has installed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.get()
+    }
+
+    /// Signals the thread and joins it (also done on drop).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -1477,5 +1828,250 @@ mod tests {
             "weight-4 tenant got {heavy}/5 of the first admissions: {order:?}"
         );
         assert_eq!(order.len(), 8, "every query was eventually admitted");
+    }
+
+    #[test]
+    fn zero_weight_tenant_is_clamped_and_served() {
+        let cfg = ServiceConfig::default()
+            .with_max_inflight(1)
+            .with_engine(EngineConfig::small())
+            .with_tenant("zero", TenantConfig::default().with_weight(0));
+        // The declaration itself is already clamped to the documented
+        // "zero is treated as 1".
+        assert_eq!(cfg.tenant("zero").unwrap().weight, 1);
+        let svc = service_cfg(cfg);
+        let (states, _) = svc
+            .run_opts(
+                &Bfs,
+                Init::Seeds(vec![VertexId(0)]),
+                QueryOpts::new().with_tenant("zero"),
+            )
+            .unwrap();
+        assert!(states[15].visited);
+    }
+
+    #[test]
+    fn ad_hoc_tenant_passes_are_evicted_when_their_queue_drains() {
+        // A service naming tenants from request metadata must not
+        // grow the stride-pass map without bound.
+        let svc = service(2);
+        for i in 0..64 {
+            svc.run_opts(
+                &Bfs,
+                Init::Seeds(vec![VertexId(0)]),
+                QueryOpts::new().with_tenant(format!("drive-by-{i}")),
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            svc.gate.lock().passes.len(),
+            0,
+            "undeclared tenants must not leak stride passes"
+        );
+        // Declared tenants keep theirs (long-run fairness).
+        let svc = service_cfg(
+            ServiceConfig::default()
+                .with_max_inflight(1)
+                .with_engine(EngineConfig::small())
+                .with_tenant("regular", TenantConfig::default()),
+        );
+        svc.run_opts(
+            &Bfs,
+            Init::Seeds(vec![VertexId(0)]),
+            QueryOpts::new().with_tenant("regular"),
+        )
+        .unwrap();
+        assert_eq!(svc.gate.lock().passes.len(), 1);
+    }
+
+    #[test]
+    fn token_fired_while_queued_never_takes_the_freed_slot() {
+        // The regression: a waiter whose token fires right before the
+        // slot frees used to win the grant check first, consume the
+        // slot, and spawn an engine that immediately unwound. The
+        // grant branch now re-checks the token.
+        let svc = Arc::new(service(1));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let holder = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.query(|_| {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            })
+        };
+        entered_rx.recv().unwrap();
+        let token = CancelToken::new();
+        let waiter = {
+            let svc = Arc::clone(&svc);
+            let token = token.clone();
+            std::thread::spawn(move || {
+                svc.run_opts(
+                    &Bfs,
+                    Init::Seeds(vec![VertexId(0)]),
+                    QueryOpts::new().with_cancel(token),
+                )
+            })
+        };
+        while svc.queued() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Fire the token and free the slot back-to-back: the freed
+        // slot's notify is (usually) what wakes the waiter, with its
+        // grant condition true and its token already dead.
+        token.cancel();
+        release_tx.send(()).unwrap();
+        let out = waiter.join().unwrap();
+        assert!(matches!(out, Err(FgError::Cancelled)));
+        holder.join().unwrap();
+        let snap = svc.stats();
+        assert_eq!(
+            snap.admitted, 1,
+            "a dead waiter must never consume the freed slot"
+        );
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(svc.inflight(), 0);
+        // The slot is genuinely free for live queries.
+        let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert!(states[15].visited);
+    }
+
+    #[test]
+    fn ingest_is_visible_to_new_queries_and_watermarks_replay() {
+        let svc = service(2);
+        // path(16): 0 -> 1 -> ... -> 15. Splice in a shortcut.
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(VertexId(0), VertexId(15));
+        let w = svc.ingest(&batch).unwrap();
+        assert_eq!(w, 1);
+        assert_eq!(svc.watermark(), 1);
+        assert!(svc.pending_deltas() > 0);
+        // Fresh queries see the shortcut...
+        let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert_eq!(states[15].level, 1, "the ingested shortcut must be taken");
+        assert_eq!(states[1].level, 1, "base edges survive alongside deltas");
+        // ...while a query pinned to watermark 0 replays the bare
+        // image, bit-identical to the pre-ingest world.
+        let (states, _) = svc
+            .run_opts(
+                &Bfs,
+                Init::Seeds(vec![VertexId(0)]),
+                QueryOpts::new().at_watermark(0),
+            )
+            .unwrap();
+        assert_eq!(states[15].level, 15, "watermark 0 is the frozen image");
+    }
+
+    #[test]
+    fn removals_are_honored_at_delivery() {
+        let svc = service(2);
+        let mut batch = DeltaBatch::new();
+        batch.remove_edge(VertexId(0), VertexId(1));
+        svc.ingest(&batch).unwrap();
+        let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert!(states[0].visited);
+        assert!(
+            !states[1].visited,
+            "removing the only out-edge of the root disconnects the chain"
+        );
+    }
+
+    #[test]
+    fn compaction_flips_generation_and_preserves_answers() {
+        let svc = service(2);
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(VertexId(0), VertexId(15));
+        batch.remove_edge(VertexId(7), VertexId(8));
+        svc.ingest(&batch).unwrap();
+        let (before, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        let old_mount = svc.safs();
+        let gen = svc
+            .compact_with(|need| SsdArray::new_mem(ArrayConfig::small_test(), need))
+            .unwrap();
+        assert_eq!(gen, 1);
+        assert_eq!(svc.generation(), 1);
+        assert_eq!(svc.pending_deltas(), 0, "compaction folded every run");
+        // Same answers off the rewritten image, now with no overlay.
+        let (after, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        for v in 0..16 {
+            assert_eq!(before[v].visited, after[v].visited, "vertex {v}");
+            if before[v].visited {
+                assert_eq!(before[v].level, after[v].level, "vertex {v}");
+            }
+        }
+        // The old generation's mount is still a valid handle (pins
+        // keep generations alive), just no longer the serving one.
+        assert!(!Arc::ptr_eq(&old_mount, &svc.safs()));
+        // Ingest keeps working on top of the new generation.
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(VertexId(7), VertexId(8));
+        svc.ingest(&batch).unwrap();
+        let (healed, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert!(healed[8].visited, "re-added edge reconnects the tail");
+        // An empty log makes compaction a no-op that keeps the
+        // current generation.
+        svc.compact_with(|need| SsdArray::new_mem(ArrayConfig::small_test(), need))
+            .unwrap();
+        let gen = svc
+            .compact_with(|_| panic!("empty log must not provision"))
+            .unwrap();
+        assert_eq!(gen, svc.generation());
+    }
+
+    #[test]
+    fn background_compactor_folds_past_the_threshold() {
+        let svc = Arc::new(service(2));
+        let compactor = Compactor::spawn(Arc::clone(&svc), 1, Duration::from_millis(2), |need| {
+            SsdArray::new_mem(ArrayConfig::small_test(), need)
+        });
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(VertexId(0), VertexId(15));
+        svc.ingest(&batch).unwrap();
+        let t0 = Instant::now();
+        while svc.generation() == 0 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(svc.generation(), 1, "the compactor must have flipped");
+        assert_eq!(svc.pending_deltas(), 0);
+        assert!(compactor.compactions() >= 1);
+        compactor.stop();
+        // Queries keep matching the mutated graph afterwards.
+        let (states, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert_eq!(states[15].level, 1);
+    }
+
+    #[test]
+    fn queries_pinned_before_ingest_are_isolated_from_it() {
+        // A query admitted (and pinned) before an ingest completes
+        // must not see it, even if the ingest lands mid-run.
+        let svc = Arc::new(service(2));
+        let (pinned_tx, pinned_rx) = std::sync::mpsc::channel();
+        let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+        let pinned = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                svc.query(|engine| {
+                    // Pinned at admission; the ingest below lands
+                    // while we hold the engine.
+                    pinned_tx.send(()).unwrap();
+                    go_rx.recv().unwrap();
+                    engine.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap().0
+                })
+            })
+        };
+        pinned_rx.recv().unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.add_edge(VertexId(0), VertexId(15));
+        svc.ingest(&batch).unwrap();
+        go_tx.send(()).unwrap();
+        let states = pinned.join().unwrap();
+        assert_eq!(
+            states[15].level, 15,
+            "the pinned query must see the pre-ingest snapshot"
+        );
+        let (fresh, _) = svc.run(&Bfs, Init::Seeds(vec![VertexId(0)])).unwrap();
+        assert_eq!(fresh[15].level, 1, "new queries see the ingest");
     }
 }

@@ -30,6 +30,7 @@
 use std::sync::{Arc, Condvar, Mutex};
 
 use fg_format::ShardedIndex;
+use fg_graph::DeltaView;
 use fg_safs::ShardSet;
 use fg_types::{CancelToken, FgError, Result, VertexId};
 
@@ -170,6 +171,10 @@ pub struct ShardedEngine<'g> {
     /// votes its observation into the stop rendezvous (see
     /// [`Engine::with_cancel`]), so all shards stop on one iteration.
     cancel: Option<CancelToken>,
+    /// One pinned delta view shared by every shard engine (see
+    /// [`Engine::with_deltas`]); each shard overlays the subset of
+    /// ops touching subjects it reads.
+    deltas: Option<Arc<DeltaView>>,
 }
 
 impl std::fmt::Debug for ShardedEngine<'_> {
@@ -204,6 +209,7 @@ impl<'g> ShardedEngine<'g> {
             index,
             cfg,
             cancel: None,
+            deltas: None,
         }
     }
 
@@ -230,6 +236,7 @@ impl<'g> ShardedEngine<'g> {
             index: Arc::clone(&self.index),
             cfg,
             cancel: self.cancel.clone(),
+            deltas: self.deltas.clone(),
         }
     }
 
@@ -241,6 +248,15 @@ impl<'g> ShardedEngine<'g> {
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a pinned delta view, forwarded to every shard engine
+    /// of a run — see [`Engine::with_deltas`]. An empty view is
+    /// dropped so frozen-image runs keep their fast paths.
+    #[must_use]
+    pub fn with_deltas(mut self, view: Arc<DeltaView>) -> Self {
+        self.deltas = (!view.is_empty()).then_some(view);
         self
     }
 
@@ -333,6 +349,9 @@ impl<'g> ShardedEngine<'g> {
                         Engine::new_shard(self.set, Arc::clone(&self.index), s, self.cfg);
                     if let Some(token) = &self.cancel {
                         engine = engine.with_cancel(token.clone());
+                    }
+                    if let Some(view) = &self.deltas {
+                        engine = engine.with_deltas(Arc::clone(view));
                     }
                     let link = ShardLink { bus, group };
                     let stats = engine

@@ -1,9 +1,11 @@
 //! Read-only views of edge lists delivered to vertex programs.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use fg_format::codec::{read_varint, GapDecoder};
 use fg_format::VarintSlice;
+use fg_graph::{DeltaList, DeltaOp};
 use fg_safs::PageSpan;
 use fg_types::{EdgeDir, VertexId};
 
@@ -23,10 +25,48 @@ struct PackedCursor {
     last: u32,
 }
 
+/// Where the attribute of the overlay cursor's last-emitted edge
+/// lives: a position of the base delivery, or a literal weight
+/// carried by a delta op.
+#[derive(Debug, Clone, Copy)]
+enum AttrSrc {
+    Base(usize),
+    Lit(f32),
+}
+
+/// In-order merge memo of an overlay: the next merged position to
+/// emit and the base/op stream positions that produce it, plus the
+/// last emitted edge so `edge(i); attr(i)` costs one merge step.
+#[derive(Debug, Clone, Copy)]
+struct OverlayCursor {
+    /// Merged positions emitted so far (absolute, from position 0 of
+    /// the merged list — windows cannot be jumped into, the streams
+    /// only move forward).
+    pos: usize,
+    base_i: usize,
+    op_i: usize,
+    last: u32,
+    last_attr: AttrSrc,
+}
+
+impl OverlayCursor {
+    fn start() -> Self {
+        OverlayCursor {
+            pos: 0,
+            base_i: 0,
+            op_i: 0,
+            last: 0,
+            last_attr: AttrSrc::Base(0),
+        }
+    }
+}
+
 /// Edge data backing a [`PageVertex`]: a zero-copy span over the SAFS
 /// page cache (semi-external memory) — raw `u32`s or a delta-varint
-/// block of the compressed image format — or borrowed slices of an
-/// in-memory CSR (FG-mem mode).
+/// block of the compressed image format — borrowed slices of an
+/// in-memory CSR (FG-mem mode), or an [`EdgeData::Overlay`] composing
+/// either of those with a vertex's pending delta ops (mutable
+/// graphs).
 #[derive(Debug)]
 enum EdgeData<'a> {
     Span {
@@ -50,6 +90,22 @@ enum EdgeData<'a> {
     Slice {
         edges: &'a [VertexId],
         attrs: Option<&'a [f32]>,
+    },
+    /// A base delivery (always the subject's *full* base list, any of
+    /// the variants above) merged on the fly with the vertex's folded
+    /// delta ops — the delivery-time splice of the mutable-graph
+    /// write path. The merge is a two-pointer walk over two sorted
+    /// streams, so in-order iteration stays O(1) amortized: `Add`
+    /// ops splice in between base edges, `Remove` ops swallow their
+    /// base edge, `Update` ops rewrite its weight in place. `window`
+    /// selects the delivered slice in *merged* coordinates (chunked
+    /// hub deliveries tile the merged list exactly).
+    Overlay {
+        base: Box<PageVertex<'a>>,
+        ops: Arc<DeltaList>,
+        /// `(start, len)` of the delivery within the merged list.
+        window: (u64, usize),
+        cursor: Cell<OverlayCursor>,
     },
 }
 
@@ -146,6 +202,41 @@ impl<'a> PageVertex<'a> {
         }
     }
 
+    /// Composes a full-base-list delivery with the subject's folded
+    /// delta ops (see `fg_graph::DeltaLog`), delivering merged
+    /// positions `[window_start, window_start + window_len)`. The
+    /// caller clamps the window against the merged degree
+    /// (`base degree + ops.diff`), exactly like plain requests are
+    /// clamped against the index.
+    pub(crate) fn with_overlay(
+        base: PageVertex<'a>,
+        ops: Arc<DeltaList>,
+        window_start: u64,
+        window_len: usize,
+    ) -> Self {
+        debug_assert_eq!(
+            base.offset(),
+            0,
+            "overlays merge against the full base list"
+        );
+        debug_assert!(
+            window_start + window_len as u64 <= (base.degree() as i64 + ops.diff).max(0) as u64,
+            "overlay window [{window_start}, +{window_len}) exceeds merged degree {}",
+            (base.degree() as i64 + ops.diff).max(0)
+        );
+        PageVertex {
+            id: base.id,
+            dir: base.dir,
+            offset: window_start,
+            data: EdgeData::Overlay {
+                base: Box::new(base),
+                ops,
+                window: (window_start, window_len),
+                cursor: Cell::new(OverlayCursor::start()),
+            },
+        }
+    }
+
     /// The vertex whose list this is (not necessarily the vertex
     /// receiving the callback).
     #[inline]
@@ -185,7 +276,91 @@ impl<'a> PageVertex<'a> {
             EdgeData::Span { edges, .. } => edges.len() / 4,
             EdgeData::Packed { count, .. } => *count,
             EdgeData::Slice { edges, .. } => edges.len(),
+            EdgeData::Overlay { window, .. } => window.1,
         }
+    }
+
+    /// Advances the overlay merge by one element, returning it. The
+    /// base entry is skipped when its dst carries a `Remove`, emitted
+    /// with an overridden weight on `Update`, and `Add` ops splice in
+    /// at their sorted position; stray ops never matching a base
+    /// entry are consumed silently (they cannot occur for
+    /// canonicalized logs).
+    fn overlay_step(base: &PageVertex<'_>, ops: &DeltaList, c: &mut OverlayCursor) -> bool {
+        let bn = base.degree();
+        loop {
+            let b = (c.base_i < bn).then(|| base.edge(c.base_i).0);
+            let o = ops.ops.get(c.op_i).copied();
+            match (b, o) {
+                (None, None) => return false,
+                (Some(bd), None) => {
+                    c.last = bd;
+                    c.last_attr = AttrSrc::Base(c.base_i);
+                    c.base_i += 1;
+                    c.pos += 1;
+                    return true;
+                }
+                (Some(bd), Some((od, _))) if od > bd => {
+                    c.last = bd;
+                    c.last_attr = AttrSrc::Base(c.base_i);
+                    c.base_i += 1;
+                    c.pos += 1;
+                    return true;
+                }
+                (b, Some((od, op))) if b.is_none_or(|bd| od < bd) => {
+                    c.op_i += 1;
+                    if let DeltaOp::Add(w) = op {
+                        c.last = od;
+                        c.last_attr = AttrSrc::Lit(w.unwrap_or(1.0));
+                        c.pos += 1;
+                        return true;
+                    }
+                }
+                (None, Some(_)) => unreachable!("guarded arm covers od >= bd with no base"),
+                (Some(bd), Some((_, op))) => {
+                    // od == bd: the op owns this base entry.
+                    c.base_i += 1;
+                    match op {
+                        DeltaOp::Remove => {}
+                        DeltaOp::Update(w) => {
+                            c.last = bd;
+                            c.last_attr = AttrSrc::Lit(w);
+                            c.pos += 1;
+                            return true;
+                        }
+                        DeltaOp::Add(w) => {
+                            c.op_i += 1;
+                            c.last = bd;
+                            c.last_attr = AttrSrc::Lit(w.unwrap_or(1.0));
+                            c.pos += 1;
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges forward until absolute merged position `target` has
+    /// been emitted, rewinding first when the memo is past it (like
+    /// [`PageVertex::packed_value_at`]).
+    fn overlay_value_at(
+        &self,
+        base: &PageVertex<'_>,
+        ops: &DeltaList,
+        cursor: &Cell<OverlayCursor>,
+        target: usize,
+    ) -> (u32, AttrSrc) {
+        let mut c = cursor.get();
+        if c.pos > target {
+            c = OverlayCursor::start();
+        }
+        while c.pos <= target {
+            let stepped = Self::overlay_step(base, ops, &mut c);
+            assert!(stepped, "overlay window exceeds the merged list");
+        }
+        cursor.set(c);
+        (c.last, c.last_attr)
     }
 
     /// Decodes forward until `target` stream values have been
@@ -244,6 +419,18 @@ impl<'a> PageVertex<'a> {
                 VertexId(self.packed_value_at(span, params, cursor, params.skip as usize + i + 1))
             }
             EdgeData::Slice { edges, .. } => edges[i],
+            EdgeData::Overlay {
+                base,
+                ops,
+                window,
+                cursor,
+            } => {
+                assert!(i < window.1, "edge index {i} out of {}", window.1);
+                VertexId(
+                    self.overlay_value_at(base, ops, cursor, window.0 as usize + i)
+                        .0,
+                )
+            }
         }
     }
 
@@ -261,6 +448,7 @@ impl<'a> PageVertex<'a> {
             EdgeData::Span { attrs, .. } => attrs.is_some(),
             EdgeData::Packed { .. } => false,
             EdgeData::Slice { attrs, .. } => attrs.is_some(),
+            EdgeData::Overlay { base, .. } => base.has_attrs(),
         }
     }
 
@@ -278,6 +466,24 @@ impl<'a> PageVertex<'a> {
             }
             EdgeData::Packed { .. } => None,
             EdgeData::Slice { attrs, .. } => attrs.map(|a| a[i]),
+            EdgeData::Overlay {
+                base,
+                ops,
+                window,
+                cursor,
+            } => {
+                if !base.has_attrs() {
+                    return None;
+                }
+                assert!(i < window.1, "attr index {i} out of {}", window.1);
+                match self
+                    .overlay_value_at(base, ops, cursor, window.0 as usize + i)
+                    .1
+                {
+                    AttrSrc::Base(bi) => base.attr(bi),
+                    AttrSrc::Lit(w) => Some(w),
+                }
+            }
         }
     }
 
@@ -289,10 +495,14 @@ impl<'a> PageVertex<'a> {
 
     /// Searches the sorted list for `v`: binary search over
     /// random-access data, an early-exit linear scan over packed
-    /// spans (random probes into a varint stream would each cost a
-    /// prefix decode; one forward pass is cheaper).
+    /// spans and overlays (random probes into a varint stream or a
+    /// merge would each cost a prefix decode; one forward pass is
+    /// cheaper).
     pub fn contains(&self, v: VertexId) -> bool {
-        if matches!(self.data, EdgeData::Packed { .. }) {
+        if matches!(
+            self.data,
+            EdgeData::Packed { .. } | EdgeData::Overlay { .. }
+        ) {
             for e in self.edges() {
                 if e >= v {
                     return e == v;
@@ -495,6 +705,126 @@ mod tests {
         let list: Vec<u32> = (0..10u32).collect();
         let pv = packed_pv(&list, 4, 0, 10);
         pv.edge(10);
+    }
+
+    fn list_of(ops: &[(u32, DeltaOp)]) -> Arc<DeltaList> {
+        let diff = ops
+            .iter()
+            .map(|(_, op)| match op {
+                DeltaOp::Add(_) => 1i64,
+                DeltaOp::Update(_) => 0,
+                DeltaOp::Remove => -1,
+            })
+            .sum();
+        Arc::new(DeltaList {
+            ops: ops.to_vec(),
+            diff,
+        })
+    }
+
+    #[test]
+    fn overlay_merges_adds_and_removes_in_order() {
+        let ids: Vec<VertexId> = [2u32, 5, 9, 14].iter().map(|&v| VertexId(v)).collect();
+        let base = slice_pv(&ids);
+        let ops = list_of(&[
+            (1, DeltaOp::Add(None)),
+            (5, DeltaOp::Remove),
+            (9, DeltaOp::Remove),
+            (11, DeltaOp::Add(None)),
+            (20, DeltaOp::Add(None)),
+        ]);
+        // merged: [1, 2, 11, 14, 20]
+        let pv = PageVertex::with_overlay(base, ops, 0, 5);
+        assert_eq!(pv.degree(), 5);
+        let got: Vec<u32> = pv.edges().map(|e| e.0).collect();
+        assert_eq!(got, vec![1, 2, 11, 14, 20]);
+        // Random access rewinds transparently.
+        assert_eq!(pv.edge(4).0, 20);
+        assert_eq!(pv.edge(0).0, 1);
+        assert_eq!(pv.edge(2).0, 11);
+        // contains() over the merged view.
+        assert!(pv.contains(VertexId(11)));
+        assert!(!pv.contains(VertexId(5)));
+        assert!(!pv.contains(VertexId(9)));
+        assert!(pv.contains(VertexId(2)));
+    }
+
+    #[test]
+    fn overlay_window_tiles_the_merged_list() {
+        let ids: Vec<VertexId> = (0..10u32).map(|v| VertexId(v * 2)).collect();
+        let ops = list_of(&[
+            (3, DeltaOp::Add(None)),
+            (4, DeltaOp::Remove),
+            (19, DeltaOp::Add(None)),
+        ]);
+        // base: 0,2,4,…,18 → merged: 0,2,3,6,8,10,12,14,16,18,19
+        let merged: Vec<u32> = vec![0, 2, 3, 6, 8, 10, 12, 14, 16, 18, 19];
+        let mut tiled = Vec::new();
+        for (start, len) in [(0u64, 4usize), (4, 4), (8, 3)] {
+            let pv = PageVertex::with_overlay(slice_pv(&ids), Arc::clone(&ops), start, len);
+            assert_eq!(pv.offset(), start);
+            assert_eq!(pv.degree(), len);
+            tiled.extend(pv.edges().map(|e| e.0));
+        }
+        assert_eq!(tiled, merged);
+    }
+
+    #[test]
+    fn overlay_update_overrides_weight_adds_default() {
+        let ids = [VertexId(1), VertexId(4)];
+        let ws = [0.5f32, 2.0];
+        let base = PageVertex::from_slice(VertexId(0), EdgeDir::Out, 0, &ids, Some(&ws));
+        let ops = list_of(&[
+            (2, DeltaOp::Add(Some(7.5))),
+            (3, DeltaOp::Add(None)),
+            (4, DeltaOp::Update(9.0)),
+        ]);
+        // merged: 1(0.5), 2(7.5), 3(1.0 default), 4(9.0 updated)
+        let pv = PageVertex::with_overlay(base, ops, 0, 4);
+        assert!(pv.has_attrs());
+        let got: Vec<(u32, f32)> = (0..4)
+            .map(|i| (pv.edge(i).0, pv.attr(i).unwrap()))
+            .collect();
+        assert_eq!(got, vec![(1, 0.5), (2, 7.5), (3, 1.0), (4, 9.0)]);
+    }
+
+    #[test]
+    fn overlay_over_packed_base() {
+        // The overlay composes with the compressed decode path: base
+        // edges come out of a varint block, adds splice in between.
+        let list: Vec<u32> = (0..40u32).map(|i| i * 3).collect(); // 0,3,…,117
+        let base = packed_pv(&list, 8, 0, 40);
+        let ops = list_of(&[
+            (1, DeltaOp::Add(None)),
+            (3, DeltaOp::Remove),
+            (118, DeltaOp::Add(None)),
+        ]);
+        let pv = PageVertex::with_overlay(base, ops, 0, 41);
+        let got: Vec<u32> = pv.edges().map(|e| e.0).collect();
+        let mut want: Vec<u32> = list.iter().copied().filter(|&v| v != 3).collect();
+        want.insert(1, 1);
+        want.push(118);
+        assert_eq!(got, want);
+        assert!(!pv.has_attrs());
+        assert_eq!(pv.attr(0), None);
+    }
+
+    #[test]
+    fn overlay_over_empty_base() {
+        let base = slice_pv(&[]);
+        let ops = list_of(&[(3, DeltaOp::Add(None)), (8, DeltaOp::Add(None))]);
+        let pv = PageVertex::with_overlay(base, ops, 0, 2);
+        assert_eq!(pv.degree(), 2);
+        assert_eq!(pv.edges().map(|e| e.0).collect::<Vec<_>>(), vec![3, 8]);
+    }
+
+    #[test]
+    fn overlay_removing_everything_delivers_empty() {
+        let ids = [VertexId(1), VertexId(2)];
+        let ops = list_of(&[(1, DeltaOp::Remove), (2, DeltaOp::Remove)]);
+        let pv = PageVertex::with_overlay(slice_pv(&ids), ops, 0, 0);
+        assert_eq!(pv.degree(), 0);
+        assert_eq!(pv.edges().count(), 0);
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub struct WriteOptions {
     /// over-fetch at most `k - 1` edges per end. Smaller `k` = finer
     /// ranged reads, larger tables. Ignored for [`ImageFormat::Raw`].
     pub skip_interval: u32,
+    /// Image generation stamped into the header (bytes 12..16).
+    /// Frozen images stay at 0; the serving layer's compactor bumps
+    /// it for each rewrite so an atomic index flip can assert which
+    /// image it switched to. Old images read back as generation 0.
+    pub generation: u32,
 }
 
 impl Default for WriteOptions {
@@ -103,6 +108,7 @@ impl Default for WriteOptions {
         WriteOptions {
             format: ImageFormat::Raw,
             skip_interval: DEFAULT_SKIP_INTERVAL,
+            generation: 0,
         }
     }
 }
@@ -133,6 +139,12 @@ impl WriteOptions {
     pub fn with_skip_interval(mut self, k: u32) -> Self {
         assert!(k > 0, "skip interval must be positive");
         self.skip_interval = k;
+        self
+    }
+
+    /// Builder-style: stamps an image generation into the header.
+    pub fn with_generation(mut self, generation: u32) -> Self {
+        self.generation = generation;
         self
     }
 }
@@ -168,6 +180,9 @@ pub struct ImageMeta {
     pub total_bytes: u64,
     /// Restart interval of compressed blocks (v2 only, else 0).
     pub skip_interval: u32,
+    /// Image generation (see [`WriteOptions::generation`]); 0 for
+    /// frozen images and images written before generations existed.
+    pub generation: u32,
 }
 
 fn align_up(x: u64) -> u64 {
@@ -350,6 +365,7 @@ fn plan_window(g: &Graph, opts: &WriteOptions, lo: usize, hi: usize) -> Plan {
             in_attrs_offset,
             total_bytes,
             skip_interval: if compressed { opts.skip_interval } else { 0 },
+            generation: opts.generation,
         },
         out_blocks,
         in_blocks,
@@ -533,6 +549,7 @@ pub fn write_image_window(
         flags |= FLAG_WEIGHTED;
     }
     header[8..12].copy_from_slice(&flags.to_le_bytes());
+    header[12..16].copy_from_slice(&meta.generation.to_le_bytes());
     let mut fields = vec![
         meta.num_vertices,
         meta.num_edges,
@@ -754,6 +771,7 @@ pub fn read_meta(array: &SsdArray) -> Result<ImageMeta> {
         _ => return Err(FgError::CorruptImage("bad magic".into())),
     };
     let flags = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let generation = u32::from_le_bytes(header[12..16].try_into().unwrap());
     let nfields = if format == ImageFormat::Compressed {
         10
     } else {
@@ -786,6 +804,7 @@ pub fn read_meta(array: &SsdArray) -> Result<ImageMeta> {
         } else {
             0
         },
+        generation,
     };
     if meta.total_bytes > array.capacity() {
         return Err(FgError::CorruptImage(format!(
@@ -1055,6 +1074,57 @@ pub fn read_list(
     }
 }
 
+/// Reads the whole graph back out of an image — edge lists via
+/// [`read_list`] plus, for weighted images, the parallel attribute
+/// runs. This is the compactor's input path: it unions the read-back
+/// base with a delta view and writes the result as the next image
+/// generation. Like [`read_list`] it is a cold-path tool: one
+/// sequential pass per direction, every block fully validated.
+///
+/// # Errors
+///
+/// Propagates store read failures and [`FgError::CorruptImage`] from
+/// block validation.
+pub fn read_graph(array: &SsdArray, meta: &ImageMeta, index: &GraphIndex) -> Result<Graph> {
+    let n = meta.num_vertices as usize;
+    let read_dir = |dir: EdgeDir| -> Result<fg_graph::Csr> {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        let mut weights: Option<Vec<f32>> = meta.weighted.then(Vec::new);
+        for i in 0..n {
+            let v = VertexId::from_index(i);
+            let ids = read_list(array, meta, index, v, dir)?;
+            if let Some(ws) = &mut weights {
+                let d = ids.len() as u64;
+                if d > 0 {
+                    let loc = index.locate_attrs_range(v, dir, 0, d).ok_or_else(|| {
+                        FgError::CorruptImage(format!(
+                            "weighted image has no attribute run for {v}"
+                        ))
+                    })?;
+                    let mut buf = vec![0u8; loc.bytes as usize];
+                    array.read(loc.offset, &mut buf)?;
+                    ws.extend(
+                        buf.chunks_exact(4)
+                            .map(|q| f32::from_le_bytes(q.try_into().unwrap())),
+                    );
+                }
+            }
+            neighbors.extend(ids.into_iter().map(VertexId));
+            offsets.push(neighbors.len() as u64);
+        }
+        fg_graph::Csr::from_parts(offsets, neighbors, weights)
+    };
+    let out = read_dir(EdgeDir::Out)?;
+    let in_ = if meta.directed {
+        Some(read_dir(EdgeDir::In)?)
+    } else {
+        None
+    };
+    Graph::from_csr(meta.directed, out, in_)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1087,6 +1157,57 @@ mod tests {
 
     fn both_formats() -> [WriteOptions; 2] {
         [WriteOptions::default(), WriteOptions::compressed()]
+    }
+
+    #[test]
+    fn generation_round_trips_and_defaults_to_zero() {
+        let g = fixtures::diamond();
+        let (_, meta, _) = image_of(&g);
+        assert_eq!(meta.generation, 0);
+        for opts in both_formats() {
+            let opts = opts.with_generation(7);
+            let (array, meta, _) = image_of_with(&g, &opts);
+            assert_eq!(meta.generation, 7);
+            assert_eq!(read_meta(&array).unwrap().generation, 7);
+        }
+    }
+
+    #[test]
+    fn read_graph_round_trips_both_formats() {
+        for opts in both_formats() {
+            for g in [
+                fixtures::diamond(),
+                fixtures::complete(9),
+                gen::rmat(7, 6, gen::RmatSkew::default(), 11),
+            ] {
+                let (array, meta, index) = image_of_with(&g, &opts);
+                let back = read_graph(&array, &meta, &index).unwrap();
+                assert_eq!(back.num_vertices(), g.num_vertices());
+                assert_eq!(back.is_directed(), g.is_directed());
+                for v in g.vertices() {
+                    assert_eq!(back.out_neighbors(v), g.out_neighbors(v), "{v}");
+                    if g.is_directed() {
+                        assert_eq!(back.in_neighbors(v), g.in_neighbors(v), "{v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_graph_preserves_weights() {
+        let g = fixtures::weighted_square();
+        let (array, meta, index) = image_of(&g);
+        assert!(meta.weighted);
+        let back = read_graph(&array, &meta, &index).unwrap();
+        for v in g.vertices() {
+            assert_eq!(back.out_neighbors(v), g.out_neighbors(v));
+            assert_eq!(
+                back.csr(EdgeDir::Out).weights_of(v),
+                g.csr(EdgeDir::Out).weights_of(v),
+                "{v}"
+            );
+        }
     }
 
     #[test]

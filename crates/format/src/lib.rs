@@ -45,7 +45,7 @@ mod index;
 mod sharded;
 
 pub use image::{
-    load_index, read_list, read_meta, required_capacity, required_capacity_with,
+    load_index, read_graph, read_list, read_meta, required_capacity, required_capacity_with,
     required_shard_capacities, shard_bounds, write_image, write_image_window, write_image_with,
     write_sharded_image, ImageFormat, ImageMeta, WriteOptions, SECTION_ALIGN,
 };

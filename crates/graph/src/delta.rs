@@ -1,0 +1,884 @@
+//! The in-memory edge-delta layer of mutable graphs (the ROADMAP's
+//! LSM-style ingest item).
+//!
+//! A [`DeltaLog`] accumulates edge additions and removals against a
+//! *frozen* base graph (the on-SSD image) as a sequence of sorted
+//! runs — one run per applied [`DeltaBatch`], its entries sorted by
+//! `(src, dst)` with a per-source directory, so a query can splice a
+//! vertex's pending ops into its base edge list in one ordered merge.
+//! The vertex set is fixed (ids must stay inside the base graph);
+//! only edges mutate, which is exactly the shape FlashGraph's
+//! semi-external design wants: vertex state lives in RAM, edge lists
+//! on SSD, and an in-memory overlay composes at delivery time.
+//!
+//! Three invariants make delivery-time merging O(1) amortized and
+//! the bookkeeping exact:
+//!
+//! 1. **Ops are effective.** [`DeltaLog::apply`] canonicalizes each
+//!    batch against the current logical graph (base image + earlier
+//!    runs, via a [`BaseLists`] oracle): adding a present edge
+//!    becomes a weight [`DeltaOp::Update`] (or a no-op), removing an
+//!    absent edge is dropped. Every surviving `Add` therefore adds
+//!    exactly one edge and every `Remove` removes exactly one, so a
+//!    vertex's merged degree is `base_degree + Σ(adds - removes)` —
+//!    no membership probe at query time.
+//! 2. **Views are composed, not replayed.** [`DeltaLog::view`] folds
+//!    the runs at or below a watermark into one sorted op list per
+//!    vertex, composing op chains (`Remove` then `Add` ⇒ `Update`,
+//!    `Add` then `Remove` ⇒ nothing) so each folded op is *relative
+//!    to the base image*: `Add` ⇒ dst absent from the base list,
+//!    `Remove`/`Update` ⇒ dst present. The delivery cursor never
+//!    needs run order.
+//! 3. **Views are materialized.** A [`DeltaView`] owns its folded
+//!    ops; once built it is immune to later `apply`/`fold` calls.
+//!    That is what gives `GraphService` snapshot isolation without a
+//!    pin registry: a query holds an `Arc<DeltaView>` and the log can
+//!    compact underneath it freely.
+//!
+//! Directionality follows [`Graph`]: a directed log mirrors each op
+//! into the destination's in-list; an undirected log mirrors it into
+//! both endpoints' (single-direction) lists. Self-loops are dropped,
+//! matching [`crate::GraphBuilder`]'s default.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use fg_types::{EdgeDir, FgError, Result, VertexId};
+
+use crate::{Csr, Graph};
+
+/// One effective, folded edge operation, relative to the base image
+/// (see the module docs for why each kind implies base membership).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaOp {
+    /// The edge is absent from the base list: splice it in, with the
+    /// given weight (`None` ⇒ the default weight 1.0 on weighted
+    /// graphs; ignored on unweighted ones).
+    Add(Option<f32>),
+    /// The edge is present in the base list with a different weight:
+    /// keep it in place, deliver this weight instead. Produced only
+    /// by canonicalization — batches carry `Add`/`Remove`.
+    Update(f32),
+    /// The edge is present in the base list: drop it from delivery.
+    Remove,
+}
+
+impl DeltaOp {
+    /// This op's contribution to the merged degree of its source.
+    #[inline]
+    fn degree_diff(self) -> i64 {
+        match self {
+            DeltaOp::Add(_) => 1,
+            DeltaOp::Update(_) => 0,
+            DeltaOp::Remove => -1,
+        }
+    }
+}
+
+/// What a batch asks for, before canonicalization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BatchOp {
+    Add(Option<f32>),
+    Remove,
+}
+
+/// A group of edge mutations applied atomically as one run. Entries
+/// are replayed in insertion order, so `add(u,v); remove(u,v)` within
+/// one batch nets to nothing.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    entries: Vec<(VertexId, VertexId, BatchOp)>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues the addition of edge `(src, dst)`.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        self.entries.push((src, dst, BatchOp::Add(None)));
+        self
+    }
+
+    /// Queues the addition of edge `(src, dst)` with a weight. On an
+    /// edge that already exists in a weighted graph this becomes a
+    /// weight update; on unweighted graphs the weight is ignored.
+    pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, w: f32) -> &mut Self {
+        self.entries.push((src, dst, BatchOp::Add(Some(w))));
+        self
+    }
+
+    /// Queues the removal of edge `(src, dst)` (a no-op if absent).
+    pub fn remove_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        self.entries.push((src, dst, BatchOp::Remove));
+        self
+    }
+
+    /// Number of queued (uncanonicalized) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The base graph's frozen adjacency, consulted by
+/// [`DeltaLog::apply`] to canonicalize batches. Implemented by
+/// [`Graph`] (in-memory tests) and by the serving layer (reading the
+/// current image generation back through its index).
+pub trait BaseLists {
+    /// The sorted out-neighbour list of `v` in the base graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from image-backed implementations.
+    fn base_out_list(&self, v: VertexId) -> Result<Vec<u32>>;
+}
+
+impl BaseLists for Graph {
+    fn base_out_list(&self, v: VertexId) -> Result<Vec<u32>> {
+        Ok(self.out_neighbors(v).iter().map(|u| u.0).collect())
+    }
+}
+
+/// One applied batch, canonicalized: per-direction effective ops,
+/// sorted by `(src, dst)` with a per-source directory.
+#[derive(Debug)]
+struct DeltaRun {
+    seq: u64,
+    /// Out-direction ops (the only direction for undirected logs).
+    out: HashMap<u32, Vec<(u32, DeltaOp)>>,
+    /// In-direction mirror (directed logs only).
+    in_: HashMap<u32, Vec<(u32, DeltaOp)>>,
+}
+
+/// A vertex's folded delta ops in one direction: sorted by
+/// destination, each op effective relative to the base image, plus
+/// the net degree change they imply.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaList {
+    /// `(dst, op)` sorted ascending by `dst`.
+    pub ops: Vec<(u32, DeltaOp)>,
+    /// `Σ adds - removes`: merged degree = base degree + `diff`.
+    pub diff: i64,
+}
+
+/// A materialized, immutable fold of the log's runs in
+/// `(folded, watermark]` — the per-query snapshot. Keys are only the
+/// vertices with pending ops, so the common no-delta vertex costs one
+/// hash probe.
+#[derive(Debug, Default)]
+pub struct DeltaView {
+    watermark: u64,
+    directed: bool,
+    out: HashMap<u32, Arc<DeltaList>>,
+    in_: HashMap<u32, Arc<DeltaList>>,
+}
+
+impl DeltaView {
+    /// The run sequence number this view folds up to.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Whether the view carries no ops at all (queries skip the
+    /// overlay machinery entirely).
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty() && self.in_.is_empty()
+    }
+
+    /// Number of vertices with pending out-direction ops.
+    pub fn touched_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// The folded ops of `v` in `dir`, if any. Undirected views
+    /// resolve every direction to the single stored one, like
+    /// [`Graph::csr`].
+    pub fn list(&self, v: VertexId, dir: EdgeDir) -> Option<&Arc<DeltaList>> {
+        let map = if self.directed && dir == EdgeDir::In {
+            &self.in_
+        } else {
+            &self.out
+        };
+        map.get(&v.0)
+    }
+
+    /// Net degree change of `v` in `dir` (`Both` sums like
+    /// `GraphIndex::degree`).
+    pub fn degree_diff(&self, v: VertexId, dir: EdgeDir) -> i64 {
+        match dir {
+            EdgeDir::Both if self.directed => {
+                let o = self.out.get(&v.0).map_or(0, |l| l.diff);
+                let i = self.in_.get(&v.0).map_or(0, |l| l.diff);
+                o + i
+            }
+            d => self.list(v, d).map_or(0, |l| l.diff),
+        }
+    }
+
+    /// The merged (base + deltas) edge list of `v` in `dir`, with
+    /// weights when `weights` are supplied for the base list — the
+    /// reference merge the delivery cursor must agree with.
+    pub fn merged_list(
+        &self,
+        v: VertexId,
+        dir: EdgeDir,
+        base: &[u32],
+        weights: Option<&[f32]>,
+    ) -> (Vec<u32>, Option<Vec<f32>>) {
+        let Some(list) = self.list(v, dir) else {
+            return (base.to_vec(), weights.map(<[f32]>::to_vec));
+        };
+        let mut ids = Vec::with_capacity((base.len() as i64 + list.diff).max(0) as usize);
+        let mut ws = weights.map(|_| Vec::with_capacity(ids.capacity()));
+        fn emit(ids: &mut Vec<u32>, ws: &mut Option<Vec<f32>>, id: u32, w: f32) {
+            ids.push(id);
+            if let Some(ws) = ws {
+                ws.push(w);
+            }
+        }
+        let (mut bi, mut oi) = (0usize, 0usize);
+        loop {
+            let b = base.get(bi).copied();
+            let o = list.ops.get(oi).copied();
+            let base_w = |i: usize| weights.map_or(0.0, |w| w[i]);
+            match (b, o) {
+                (None, None) => break,
+                (Some(bd), None) => {
+                    emit(&mut ids, &mut ws, bd, base_w(bi));
+                    bi += 1;
+                }
+                (bd, Some((od, op))) if bd.is_none_or(|bd| od < bd) => {
+                    // Op ahead of the base stream: adds splice in;
+                    // stray Remove/Update ops (their base entry is
+                    // behind us, i.e. absent) are consumed silently.
+                    if let DeltaOp::Add(w) = op {
+                        emit(&mut ids, &mut ws, od, w.unwrap_or(1.0));
+                    }
+                    oi += 1;
+                }
+                (Some(bd), Some((od, op))) => {
+                    if od > bd {
+                        emit(&mut ids, &mut ws, bd, base_w(bi));
+                        bi += 1;
+                        continue;
+                    }
+                    // od == bd: the op owns this base entry.
+                    match op {
+                        DeltaOp::Remove => {}
+                        DeltaOp::Update(w) => emit(&mut ids, &mut ws, bd, w),
+                        DeltaOp::Add(w) => {
+                            // Canonicalization forbids this, but fold
+                            // it safely: emit once with the weight.
+                            emit(&mut ids, &mut ws, bd, w.unwrap_or(1.0));
+                            oi += 1;
+                        }
+                    }
+                    bi += 1;
+                }
+                (None, Some(_)) => unreachable!("guarded arm covers bd = None"),
+            }
+        }
+        (ids, ws)
+    }
+}
+
+/// Composes a folded op with the next run's effective op on the same
+/// edge. `prev == None` means "no net change relative to base yet".
+fn compose(prev: Option<DeltaOp>, next: DeltaOp) -> Option<DeltaOp> {
+    match (prev, next) {
+        (None, op) => Some(op),
+        // Edge added by an earlier run...
+        (Some(DeltaOp::Add(_)), DeltaOp::Update(w)) => Some(DeltaOp::Add(Some(w))),
+        (Some(DeltaOp::Add(_)), DeltaOp::Remove) => None,
+        // Edge removed by an earlier run, re-added now: present in
+        // base, present after — a weight override (re-adds take the
+        // new weight, defaulting to 1.0).
+        (Some(DeltaOp::Remove), DeltaOp::Add(w)) => Some(DeltaOp::Update(w.unwrap_or(1.0))),
+        // Weight overridden again, or the overridden edge removed.
+        (Some(DeltaOp::Update(_)), DeltaOp::Update(w)) => Some(DeltaOp::Update(w)),
+        (Some(DeltaOp::Update(_)), DeltaOp::Remove) => Some(DeltaOp::Remove),
+        // Remaining pairs (Add∘Add, Remove∘Remove, Update∘Add,
+        // Remove∘Update) cannot be produced by canonicalized runs;
+        // keep the latest op so a bug degrades instead of panicking.
+        (Some(_), op) => Some(op),
+    }
+}
+
+struct LogInner {
+    runs: Vec<Arc<DeltaRun>>,
+    /// Sequence the next applied batch gets (`watermark + 1`).
+    next_seq: u64,
+    /// Runs with `seq <= folded` have been compacted into a new base
+    /// image and dropped; views fold only `(folded, watermark]`.
+    folded: u64,
+    /// Lazily rebuilt full-watermark view (the common pin target);
+    /// invalidated by `apply` and `fold`.
+    cached: Option<Arc<DeltaView>>,
+}
+
+/// The log: an ordered sequence of canonicalized runs over a fixed
+/// vertex set. See the module docs for the invariants.
+pub struct DeltaLog {
+    n: usize,
+    directed: bool,
+    inner: Mutex<LogInner>,
+}
+
+impl std::fmt::Debug for DeltaLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock().unwrap();
+        f.debug_struct("DeltaLog")
+            .field("vertices", &self.n)
+            .field("directed", &self.directed)
+            .field("runs", &g.runs.len())
+            .field("watermark", &(g.next_seq - 1))
+            .finish()
+    }
+}
+
+impl DeltaLog {
+    /// An empty log over `n` vertices.
+    pub fn new(n: usize, directed: bool) -> Self {
+        DeltaLog {
+            n,
+            directed,
+            inner: Mutex::new(LogInner {
+                runs: Vec::new(),
+                next_seq: 1,
+                folded: 0,
+                cached: None,
+            }),
+        }
+    }
+
+    /// An empty log shaped like `g`.
+    pub fn for_graph(g: &Graph) -> Self {
+        Self::new(g.num_vertices(), g.is_directed())
+    }
+
+    /// Vertex count of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Whether ops mirror into in-lists (directed) or into both
+    /// endpoints' single lists (undirected).
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Sequence number of the latest applied run (0 = none).
+    pub fn watermark(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq - 1
+    }
+
+    /// Number of effective ops not yet folded into a base image —
+    /// the compactor's trigger metric.
+    pub fn pending_ops(&self) -> u64 {
+        let g = self.inner.lock().unwrap();
+        g.runs
+            .iter()
+            .map(|r| r.out.values().map(|v| v.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Canonicalizes `batch` against the current logical graph (the
+    /// `base` oracle plus every earlier run) and appends it as one
+    /// run. Returns the new watermark. Batches that canonicalize to
+    /// nothing still advance the watermark (the run is recorded
+    /// empty), so callers can rely on `watermark()` ordering ingests.
+    ///
+    /// Ingest is serialized on the log's lock; `base` is consulted
+    /// inside the critical section so canonicalization and the fold
+    /// point (see [`DeltaLog::fold`]) stay coherent under concurrent
+    /// compaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FgError::VertexOutOfRange`] when an endpoint is
+    /// outside the fixed vertex set, and propagates `base` read
+    /// errors.
+    pub fn apply(&self, base: &dyn BaseLists, batch: &DeltaBatch) -> Result<u64> {
+        let mut g = self.inner.lock().unwrap();
+        // Per-source canonicalization state: the base list (fetched
+        // once per touched source) and the net ops so far (earlier
+        // runs folded, then this batch's entries replayed in order).
+        let mut bases: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut pending: HashMap<u32, HashMap<u32, Option<DeltaOp>>> = HashMap::new();
+        for &(s, d, op) in &batch.entries {
+            for v in [s, d] {
+                if v.index() >= self.n {
+                    return Err(FgError::VertexOutOfRange {
+                        vertex: v.0 as u64,
+                        num_vertices: self.n as u64,
+                    });
+                }
+            }
+            if s == d {
+                continue; // self-loops dropped, the builder convention
+            }
+            // Undirected edges mutate both endpoints' lists; the two
+            // mirrored entries canonicalize identically because the
+            // base is symmetric.
+            let mirrors: &[(u32, u32)] = if self.directed {
+                &[(s.0, d.0)]
+            } else {
+                &[(s.0, d.0), (d.0, s.0)]
+            };
+            for &(src, dst) in mirrors {
+                if let std::collections::hash_map::Entry::Vacant(e) = bases.entry(src) {
+                    e.insert(base.base_out_list(VertexId(src))?);
+                }
+                let list = &bases[&src];
+                let ops = pending.entry(src).or_default();
+                if let std::collections::hash_map::Entry::Vacant(e) = ops.entry(dst) {
+                    // Fold the edge's history from earlier runs so
+                    // this batch sees the current logical state.
+                    let mut folded = None;
+                    for run in &g.runs {
+                        if let Some(v) = run.out.get(&src) {
+                            if let Ok(i) = v.binary_search_by_key(&dst, |e| e.0) {
+                                folded = compose(folded, v[i].1);
+                            }
+                        }
+                    }
+                    e.insert(folded);
+                }
+                let cur = ops.get_mut(&dst).unwrap();
+                let in_base = list.binary_search(&dst).is_ok();
+                let present = match *cur {
+                    None => in_base,
+                    Some(DeltaOp::Add(_)) | Some(DeltaOp::Update(_)) => true,
+                    Some(DeltaOp::Remove) => false,
+                };
+                let next = match op {
+                    BatchOp::Add(w) if !present => Some(DeltaOp::Add(w)),
+                    BatchOp::Add(Some(w)) => Some(DeltaOp::Update(w)),
+                    BatchOp::Add(None) => None, // duplicate add: no-op
+                    BatchOp::Remove if present => Some(DeltaOp::Remove),
+                    BatchOp::Remove => None, // absent: no-op
+                };
+                if let Some(next) = next {
+                    *cur = compose(*cur, next);
+                }
+            }
+        }
+        // Extract this batch's *net* effect: the difference between
+        // the folded state before the batch and after. Re-fold the
+        // prior runs per touched edge and diff.
+        let mut out: HashMap<u32, Vec<(u32, DeltaOp)>> = HashMap::new();
+        let mut in_: HashMap<u32, Vec<(u32, DeltaOp)>> = HashMap::new();
+        for (src, ops) in pending {
+            let list = &bases[&src];
+            for (dst, after) in ops {
+                let mut before = None;
+                for run in &g.runs {
+                    if let Some(v) = run.out.get(&src) {
+                        if let Ok(i) = v.binary_search_by_key(&dst, |e| e.0) {
+                            before = compose(before, v[i].1);
+                        }
+                    }
+                }
+                let Some(eff) = net_op(before, after, list.binary_search(&dst).is_ok()) else {
+                    continue;
+                };
+                out.entry(src).or_default().push((dst, eff));
+                if self.directed {
+                    in_.entry(dst).or_default().push((src, eff));
+                }
+            }
+        }
+        for v in out.values_mut().chain(in_.values_mut()) {
+            v.sort_unstable_by_key(|e| e.0);
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.runs.push(Arc::new(DeltaRun { seq, out, in_ }));
+        g.cached = None;
+        Ok(seq)
+    }
+
+    /// A materialized snapshot folding runs `(folded, watermark]`.
+    /// The full-watermark view is cached until the next mutation.
+    pub fn view(&self, watermark: u64) -> Arc<DeltaView> {
+        let mut g = self.inner.lock().unwrap();
+        let full = watermark >= g.next_seq - 1;
+        if full {
+            if let Some(v) = &g.cached {
+                return Arc::clone(v);
+            }
+        }
+        let v = Arc::new(Self::build_view(&g.runs, watermark, self.directed));
+        if full {
+            g.cached = Some(Arc::clone(&v));
+        }
+        v
+    }
+
+    /// The current-watermark snapshot.
+    pub fn current_view(&self) -> Arc<DeltaView> {
+        self.view(u64::MAX)
+    }
+
+    /// Atomically: run `commit` (e.g. flip the serving layer's image
+    /// generation), then drop every run with `seq <= up_to` — they
+    /// are folded into the new base. Views built before this call
+    /// keep their runs alive via `Arc`.
+    pub fn fold(&self, up_to: u64, commit: impl FnOnce()) {
+        let mut g = self.inner.lock().unwrap();
+        commit();
+        g.runs.retain(|r| r.seq > up_to);
+        g.folded = g.folded.max(up_to);
+        g.cached = None;
+    }
+
+    /// Snapshot coherent with the log's fold point: `pin` runs under
+    /// the log lock, so the base it captures (an image generation)
+    /// matches the view's fold floor exactly even under concurrent
+    /// [`DeltaLog::fold`].
+    pub fn snapshot_with<T>(&self, pin: impl FnOnce() -> T) -> (T, Arc<DeltaView>) {
+        let mut g = self.inner.lock().unwrap();
+        let pinned = pin();
+        let v = match &g.cached {
+            Some(v) => Arc::clone(v),
+            None => {
+                let v = Arc::new(Self::build_view(&g.runs, u64::MAX, self.directed));
+                g.cached = Some(Arc::clone(&v));
+                v
+            }
+        };
+        (pinned, v)
+    }
+
+    fn build_view(runs: &[Arc<DeltaRun>], watermark: u64, directed: bool) -> DeltaView {
+        let mut wm = 0;
+        let mut out: HashMap<u32, Vec<(u32, Option<DeltaOp>)>> = HashMap::new();
+        let mut in_: HashMap<u32, Vec<(u32, Option<DeltaOp>)>> = HashMap::new();
+        for run in runs.iter().filter(|r| r.seq <= watermark) {
+            wm = wm.max(run.seq);
+            for (maps, folded) in [(&run.out, &mut out), (&run.in_, &mut in_)] {
+                for (&src, ops) in maps {
+                    let acc = folded.entry(src).or_default();
+                    for &(dst, op) in ops {
+                        match acc.binary_search_by_key(&dst, |e| e.0) {
+                            Ok(i) => acc[i].1 = compose(acc[i].1, op),
+                            Err(i) => acc.insert(i, (dst, Some(op))),
+                        }
+                    }
+                }
+            }
+        }
+        let finish = |m: HashMap<u32, Vec<(u32, Option<DeltaOp>)>>| {
+            m.into_iter()
+                .filter_map(|(src, acc)| {
+                    let ops: Vec<(u32, DeltaOp)> = acc
+                        .into_iter()
+                        .filter_map(|(d, op)| op.map(|op| (d, op)))
+                        .collect();
+                    if ops.is_empty() {
+                        return None;
+                    }
+                    let diff = ops.iter().map(|(_, op)| op.degree_diff()).sum();
+                    Some((src, Arc::new(DeltaList { ops, diff })))
+                })
+                .collect()
+        };
+        DeltaView {
+            watermark: wm,
+            directed,
+            out: finish(out),
+            in_: finish(in_),
+        }
+    }
+
+    /// The union graph (base + this view) — the oracle the acceptance
+    /// tests compare engine deliveries against, and the graph the
+    /// compactor writes as the next image generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base`'s shape (vertex count, directedness) does
+    /// not match the log the view came from.
+    pub fn union(base: &Graph, view: &DeltaView) -> Graph {
+        let n = base.num_vertices();
+        let weighted = base.has_weights();
+        let build = |dir: EdgeDir| -> Csr {
+            let csr = base.csr(dir);
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut neighbors: Vec<VertexId> = Vec::new();
+            let mut weights: Option<Vec<f32>> = weighted.then(Vec::new);
+            offsets.push(0u64);
+            for i in 0..n {
+                let v = VertexId::from_index(i);
+                let ids: Vec<u32> = csr.neighbors(v).iter().map(|u| u.0).collect();
+                let (merged, ws) = view.merged_list(v, dir, &ids, csr.weights_of(v));
+                neighbors.extend(merged.into_iter().map(VertexId));
+                if let (Some(all), Some(ws)) = (&mut weights, ws) {
+                    all.extend(ws);
+                }
+                offsets.push(neighbors.len() as u64);
+            }
+            Csr::from_parts(offsets, neighbors, weights).expect("merged CSR is well-formed")
+        };
+        if base.is_directed() {
+            Graph::from_csr(true, build(EdgeDir::Out), Some(build(EdgeDir::In)))
+                .expect("merged graph is well-formed")
+        } else {
+            Graph::from_csr(false, build(EdgeDir::Out), None).expect("merged graph is well-formed")
+        }
+    }
+}
+
+/// The net op of one edge across a batch: `before` is the folded
+/// state from earlier runs, `after` the folded state including the
+/// batch. Returns what the *run* must record so that folding
+/// `before ∘ recorded == after`.
+fn net_op(before: Option<DeltaOp>, after: Option<DeltaOp>, in_base: bool) -> Option<DeltaOp> {
+    if op_eq(before, after) {
+        return None;
+    }
+    let present_before = match before {
+        None => in_base,
+        Some(DeltaOp::Add(_)) | Some(DeltaOp::Update(_)) => true,
+        Some(DeltaOp::Remove) => false,
+    };
+    match after {
+        // Batch nets to "back to the pre-run state": record the
+        // inverse of `before` so composition cancels.
+        None => match before {
+            Some(DeltaOp::Add(_)) => Some(DeltaOp::Remove),
+            // before Remove/Update with after None cannot happen
+            // (re-adding yields Update, not None), but stay safe:
+            Some(DeltaOp::Remove) => Some(DeltaOp::Add(None)),
+            Some(DeltaOp::Update(_)) | None => None,
+        },
+        Some(DeltaOp::Add(w)) => {
+            if present_before {
+                Some(DeltaOp::Update(w.unwrap_or(1.0)))
+            } else {
+                Some(DeltaOp::Add(w))
+            }
+        }
+        Some(DeltaOp::Update(w)) => {
+            if present_before {
+                Some(DeltaOp::Update(w))
+            } else {
+                Some(DeltaOp::Add(Some(w)))
+            }
+        }
+        Some(DeltaOp::Remove) => {
+            if present_before {
+                Some(DeltaOp::Remove)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn op_eq(a: Option<DeltaOp>, b: Option<DeltaOp>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fixtures, GraphBuilder};
+
+    fn ids(v: &[u32]) -> Vec<u32> {
+        v.to_vec()
+    }
+
+    fn merged(g: &Graph, log: &DeltaLog, v: u32, dir: EdgeDir) -> Vec<u32> {
+        let view = log.current_view();
+        let base: Vec<u32> = g
+            .csr(dir)
+            .neighbors(VertexId(v))
+            .iter()
+            .map(|u| u.0)
+            .collect();
+        view.merged_list(VertexId(v), dir, &base, None).0
+    }
+
+    #[test]
+    fn add_and_remove_merge_in_order() {
+        let g = fixtures::path(6); // directed 0→1→…→5
+        let log = DeltaLog::for_graph(&g);
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(0), VertexId(3))
+            .add_edge(VertexId(0), VertexId(5))
+            .remove_edge(VertexId(0), VertexId(1));
+        assert_eq!(log.apply(&g, &b).unwrap(), 1);
+        assert_eq!(merged(&g, &log, 0, EdgeDir::Out), ids(&[3, 5]));
+        // In-direction mirrors.
+        assert_eq!(merged(&g, &log, 3, EdgeDir::In), ids(&[0, 2]));
+        assert_eq!(merged(&g, &log, 1, EdgeDir::In), ids(&[]));
+        // Degree diffs agree.
+        let view = log.current_view();
+        assert_eq!(view.degree_diff(VertexId(0), EdgeDir::Out), 1);
+        assert_eq!(view.degree_diff(VertexId(1), EdgeDir::In), -1);
+    }
+
+    #[test]
+    fn duplicate_and_absent_ops_are_noops() {
+        let g = fixtures::path(4);
+        let log = DeltaLog::for_graph(&g);
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(0), VertexId(1)) // already in base
+            .remove_edge(VertexId(0), VertexId(3)); // absent
+        log.apply(&g, &b).unwrap();
+        let view = log.current_view();
+        assert!(view.is_empty(), "no effective ops: {view:?}");
+        assert_eq!(merged(&g, &log, 0, EdgeDir::Out), ids(&[1]));
+    }
+
+    #[test]
+    fn add_then_remove_within_batch_cancels() {
+        let g = fixtures::path(4);
+        let log = DeltaLog::for_graph(&g);
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(0), VertexId(2))
+            .remove_edge(VertexId(0), VertexId(2));
+        log.apply(&g, &b).unwrap();
+        assert!(log.current_view().is_empty());
+    }
+
+    #[test]
+    fn remove_then_readd_across_runs_is_update() {
+        let g = fixtures::path(4);
+        let log = DeltaLog::for_graph(&g);
+        let mut b1 = DeltaBatch::new();
+        b1.remove_edge(VertexId(1), VertexId(2));
+        log.apply(&g, &b1).unwrap();
+        assert_eq!(merged(&g, &log, 1, EdgeDir::Out), ids(&[]));
+        let mut b2 = DeltaBatch::new();
+        b2.add_edge(VertexId(1), VertexId(2));
+        log.apply(&g, &b2).unwrap();
+        // Present again; count math must give base degree exactly.
+        assert_eq!(merged(&g, &log, 1, EdgeDir::Out), ids(&[2]));
+        let view = log.current_view();
+        assert_eq!(view.degree_diff(VertexId(1), EdgeDir::Out), 0);
+    }
+
+    #[test]
+    fn undirected_ops_mirror_symmetrically() {
+        let g = fixtures::star(4); // undirected: 0 — {1,2,3,4}
+        let log = DeltaLog::for_graph(&g);
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(1), VertexId(2));
+        b.remove_edge(VertexId(0), VertexId(3));
+        log.apply(&g, &b).unwrap();
+        assert_eq!(merged(&g, &log, 1, EdgeDir::Out), ids(&[0, 2]));
+        assert_eq!(merged(&g, &log, 2, EdgeDir::Out), ids(&[0, 1]));
+        assert_eq!(merged(&g, &log, 0, EdgeDir::Out), ids(&[1, 2, 4]));
+        assert_eq!(merged(&g, &log, 3, EdgeDir::Out), ids(&[]));
+        // In resolves to the single stored direction.
+        assert_eq!(merged(&g, &log, 2, EdgeDir::In), ids(&[0, 1]));
+    }
+
+    #[test]
+    fn out_of_range_rejected_self_loops_dropped() {
+        let g = fixtures::path(3);
+        let log = DeltaLog::for_graph(&g);
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(0), VertexId(9));
+        assert!(matches!(
+            log.apply(&g, &b),
+            Err(FgError::VertexOutOfRange { .. })
+        ));
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(1), VertexId(1));
+        log.apply(&g, &b).unwrap();
+        assert!(log.current_view().is_empty());
+    }
+
+    #[test]
+    fn weight_updates_compose() {
+        let g = fixtures::weighted_square();
+        let log = DeltaLog::for_graph(&g);
+        let (v0, v1) = (VertexId(0), VertexId(1));
+        let base_ids: Vec<u32> = g.out_neighbors(v0).iter().map(|u| u.0).collect();
+        assert!(base_ids.contains(&1));
+        let mut b = DeltaBatch::new();
+        b.add_weighted_edge(v0, v1, 9.5);
+        log.apply(&g, &b).unwrap();
+        let view = log.current_view();
+        let ws = g.csr(EdgeDir::Out).weights_of(v0).unwrap();
+        let (m, mw) = view.merged_list(v0, EdgeDir::Out, &base_ids, Some(ws));
+        assert_eq!(m, base_ids, "update keeps the id list");
+        let i = m.iter().position(|&d| d == 1).unwrap();
+        assert_eq!(mw.unwrap()[i], 9.5);
+    }
+
+    #[test]
+    fn fold_drops_runs_but_views_survive() {
+        let g = fixtures::path(5);
+        let log = DeltaLog::for_graph(&g);
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(0), VertexId(4));
+        let w = log.apply(&g, &b).unwrap();
+        let pinned = log.current_view();
+        log.fold(w, || {});
+        assert!(log.current_view().is_empty(), "folded runs drop out");
+        // The pinned snapshot still sees the op.
+        assert_eq!(pinned.degree_diff(VertexId(0), EdgeDir::Out), 1);
+        assert_eq!(log.watermark(), w, "watermark is monotone across folds");
+    }
+
+    #[test]
+    fn union_matches_builder_on_random_edits() {
+        // Base: a small deterministic graph; edits: a scripted mix.
+        let g = fixtures::two_components(3, 8);
+        let log = DeltaLog::for_graph(&g);
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(0), VertexId(7))
+            .add_edge(VertexId(4), VertexId(6))
+            .remove_edge(VertexId(0), VertexId(1))
+            .add_edge(VertexId(5), VertexId(3));
+        log.apply(&g, &b).unwrap();
+        let u = DeltaLog::union(&g, &log.current_view());
+        // Rebuild the same union with the builder for comparison.
+        let mut bld = GraphBuilder::directed();
+        bld.reserve_vertices(g.num_vertices());
+        for (s, d) in g.edges() {
+            if (s.0, d.0) == (0, 1) {
+                continue;
+            }
+            bld.add_edge(s, d);
+        }
+        bld.add_edge(VertexId(0), VertexId(7));
+        bld.add_edge(VertexId(4), VertexId(6));
+        bld.add_edge(VertexId(5), VertexId(3));
+        let want = bld.build();
+        for v in u.vertices() {
+            assert_eq!(u.out_neighbors(v), want.out_neighbors(v), "out list of {v}");
+            assert_eq!(u.in_neighbors(v), want.in_neighbors(v), "in list of {v}");
+        }
+    }
+
+    #[test]
+    fn snapshot_with_is_coherent_under_fold() {
+        let g = fixtures::path(4);
+        let log = DeltaLog::for_graph(&g);
+        let mut b = DeltaBatch::new();
+        b.add_edge(VertexId(0), VertexId(2));
+        let w = log.apply(&g, &b).unwrap();
+        let (gen, view) = log.snapshot_with(|| 7u32);
+        assert_eq!(gen, 7);
+        assert_eq!(view.degree_diff(VertexId(0), EdgeDir::Out), 1);
+        log.fold(w, || {});
+        let (_, view2) = log.snapshot_with(|| 8u32);
+        assert!(view2.is_empty());
+    }
+}

@@ -32,6 +32,7 @@
 
 mod builder;
 mod csr;
+mod delta;
 pub mod fixtures;
 pub mod gen;
 mod io;
@@ -39,5 +40,6 @@ mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, Graph};
+pub use delta::{BaseLists, DeltaBatch, DeltaList, DeltaLog, DeltaOp, DeltaView};
 pub use io::{read_edge_list, write_edge_list};
 pub use stats::{degree_histogram, estimate_diameter, DegreeStats};

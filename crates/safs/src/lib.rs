@@ -53,6 +53,7 @@
 
 mod cache;
 mod config;
+mod handoff;
 mod inflight;
 mod io_thread;
 mod page;
@@ -61,6 +62,7 @@ mod shard_set;
 
 pub use cache::{CacheStats, CacheStatsSnapshot, PageCache};
 pub use config::SafsConfig;
+pub use handoff::Handoff;
 pub use page::{Page, PageSpan};
 pub use safs::{Completion, IoSession, Safs};
 pub use shard_set::ShardSet;

@@ -1,0 +1,377 @@
+//! Property tests for mutable graphs: LSM-style delta ingest under
+//! live serving. For arbitrary random base graphs and arbitrary
+//! add/remove batches, every list the engine delivers from
+//! (image + pinned deltas) must equal the union-graph oracle —
+//! across both image formats, every scan mode, and both serving
+//! backends — and `edges_delivered` must be *exact* (the merged
+//! degree, counted once per delivered window). Snapshot isolation is
+//! checked by replaying a pinned watermark while ingest races: the
+//! replays must be bit-identical.
+//!
+//! CI's release stress step drives this suite at `PROPTEST_CASES=256`
+//! alongside `prop_serve`.
+
+use std::sync::Arc;
+
+use fg_bench::build_shard_fixture;
+use fg_format::{load_index, required_capacity_with, write_image_with, WriteOptions};
+use fg_graph::{DeltaBatch, DeltaLog, Graph, GraphBuilder};
+use fg_safs::{Safs, SafsConfig};
+use fg_ssdsim::{ArrayConfig, SsdArray};
+use fg_types::{EdgeDir, VertexId};
+use flashgraph::{
+    EngineConfig, GraphService, Init, PageVertex, QueryOpts, Request, ScanMode, ServiceConfig,
+    VertexContext, VertexProgram,
+};
+use proptest::prelude::*;
+
+const N: u32 = 60;
+
+fn base_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..N, 0u32..N), 1..150)
+}
+
+/// 1–3 ingest batches of (src, dst, op) entries; `op == 0` removes,
+/// anything else adds — biased 3:1 toward adds so batches mutate
+/// lists instead of mostly missing them.
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<(u32, u32, u32)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..N, 0u32..N, 0u32..4), 1..40),
+        1..4,
+    )
+}
+
+fn build_graph(edges: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::directed();
+    // Deltas address the full [0, N) id space regardless of which
+    // vertices the base edges happen to touch.
+    b.reserve_vertices(N as usize);
+    for &(s, d) in edges {
+        b.add_edge(VertexId(s), VertexId(d));
+    }
+    b.build()
+}
+
+fn to_batch(entries: &[(u32, u32, u32)]) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    for &(s, d, op) in entries {
+        if op == 0 {
+            batch.remove_edge(VertexId(s), VertexId(d));
+        } else {
+            batch.add_edge(VertexId(s), VertexId(d));
+        }
+    }
+    batch
+}
+
+fn single_service(g: &Graph, opts: &WriteOptions) -> GraphService {
+    let array =
+        SsdArray::new_mem(ArrayConfig::small_test(), required_capacity_with(g, opts)).unwrap();
+    write_image_with(g, &array, opts).unwrap();
+    let (_, index) = load_index(&array).unwrap();
+    // Tiny cache: stress partial hits on the overlaid full-list reads.
+    let safs = Safs::new(SafsConfig::default().with_cache_bytes(8 * 4096), array).unwrap();
+    let cfg = ServiceConfig::default()
+        .with_max_inflight(2)
+        .with_engine(EngineConfig::small());
+    GraphService::new(safs, index, cfg)
+}
+
+fn sharded_service(g: &Graph, opts: &WriteOptions, shards: usize) -> GraphService {
+    let fx = build_shard_fixture(
+        g,
+        0.25,
+        SafsConfig::default(),
+        ArrayConfig::small_test(),
+        opts,
+        shards,
+    )
+    .unwrap();
+    let cfg = ServiceConfig::default()
+        .with_max_inflight(2)
+        .with_engine(EngineConfig::small());
+    GraphService::new_sharded(fx.set, fx.index, cfg)
+}
+
+/// Ingests every batch into the service and, in parallel bookkeeping,
+/// into an in-memory oracle log over the same base — returning the
+/// union graph the service's deliveries must now match. The two logs
+/// canonicalize identically because [`Graph`]'s `BaseLists` and the
+/// service's image-backed one read the same adjacency.
+fn ingest_all(base: &Graph, batches: &[Vec<(u32, u32, u32)>], svc: &GraphService) -> Graph {
+    let oracle = DeltaLog::for_graph(base);
+    for entries in batches {
+        let batch = to_batch(entries);
+        oracle.apply(base, &batch).unwrap();
+        svc.ingest(&batch).unwrap();
+    }
+    DeltaLog::union(base, &oracle.current_view())
+}
+
+/// Requests every vertex's full out-list once and records the
+/// delivered edges in delivery order (chunked hubs append in offset
+/// order — the engine delivers chunks of one vertex in order).
+struct Collect;
+
+#[derive(Default, Clone)]
+struct CState {
+    started: bool,
+    got: Vec<u32>,
+}
+
+impl VertexProgram for Collect {
+    type State = CState;
+    type Msg = ();
+
+    fn run(&self, v: VertexId, state: &mut CState, ctx: &mut VertexContext<'_, ()>) {
+        if !state.started {
+            state.started = true;
+            ctx.request(v, Request::edges(EdgeDir::Out));
+        }
+    }
+
+    fn run_on_vertex(
+        &self,
+        _v: VertexId,
+        state: &mut CState,
+        vertex: &PageVertex<'_>,
+        _ctx: &mut VertexContext<'_, ()>,
+    ) {
+        state.got.extend(vertex.edges().map(|e| e.0));
+    }
+}
+
+/// Asserts every delivered list equals the union oracle's and that
+/// `edges_delivered` is exactly the sum of merged degrees.
+fn check_against(
+    svc: &GraphService,
+    union: &Graph,
+    mode: ScanMode,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let cfg = EngineConfig::small().with_scan_mode(mode);
+    let (states, stats) = svc
+        .run_opts(&Collect, Init::All, QueryOpts::new().with_engine(cfg))
+        .unwrap();
+    let mut want_delivered = 0u64;
+    for v in union.vertices() {
+        let want: Vec<u32> = union.out_neighbors(v).iter().map(|e| e.0).collect();
+        want_delivered += want.len() as u64;
+        prop_assert!(
+            states[v.index()].got == want,
+            "vertex {} diverged ({}, {:?}): got {:?} want {:?}",
+            v,
+            label,
+            mode,
+            states[v.index()].got,
+            want
+        );
+    }
+    prop_assert!(
+        stats.edges_delivered == want_delivered,
+        "edges_delivered must be the exact merged-degree sum ({}, {:?}): got {} want {}",
+        label,
+        mode,
+        stats.edges_delivered,
+        want_delivered
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn single_mount_delivery_matches_union_oracle(
+        edges in base_strategy(),
+        batches in batches_strategy(),
+    ) {
+        let base = build_graph(&edges);
+        for opts in [WriteOptions::default(), WriteOptions::compressed()] {
+            let svc = single_service(&base, &opts);
+            let union = ingest_all(&base, &batches, &svc);
+            let label = format!("single/{:?}", opts.format);
+            for mode in [ScanMode::Selective, ScanMode::Stream, ScanMode::adaptive()] {
+                check_against(&svc, &union, mode, &label)?;
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_delivery_matches_union_oracle(
+        edges in base_strategy(),
+        batches in batches_strategy(),
+        shards in 2usize..4,
+    ) {
+        let base = build_graph(&edges);
+        for opts in [WriteOptions::default(), WriteOptions::compressed()] {
+            let svc = sharded_service(&base, &opts, shards);
+            let union = ingest_all(&base, &batches, &svc);
+            let label = format!("sharded({})/{:?}", shards, opts.format);
+            for mode in [ScanMode::Selective, ScanMode::Stream, ScanMode::adaptive()] {
+                check_against(&svc, &union, mode, &label)?;
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_watermark_replays_bit_identical_under_racing_ingest(
+        edges in base_strategy(),
+        batches in batches_strategy(),
+    ) {
+        let base = build_graph(&edges);
+        let svc = Arc::new(single_service(&base, &WriteOptions::default()));
+        // Oracle state after the first batch only.
+        let oracle = DeltaLog::for_graph(&base);
+        oracle.apply(&base, &to_batch(&batches[0])).unwrap();
+        let pinned_union = DeltaLog::union(&base, &oracle.current_view());
+        svc.ingest(&to_batch(&batches[0])).unwrap();
+        let w = svc.watermark();
+        let (first, _) = svc
+            .run_opts(&Collect, Init::All, QueryOpts::new().at_watermark(w))
+            .unwrap();
+        // Replay the pinned watermark while later batches ingest on
+        // another thread; collect the replays, compare after joining.
+        let replays: Vec<Vec<CState>> = std::thread::scope(|s| {
+            let ingester = {
+                let svc = Arc::clone(&svc);
+                let rest = &batches[1..];
+                s.spawn(move || {
+                    for entries in rest {
+                        svc.ingest(&to_batch(entries)).unwrap();
+                    }
+                })
+            };
+            let out = (0..3)
+                .map(|_| {
+                    svc.run_opts(&Collect, Init::All, QueryOpts::new().at_watermark(w))
+                        .unwrap()
+                        .0
+                })
+                .collect();
+            ingester.join().unwrap();
+            out
+        });
+        for states in &replays {
+            for v in base.vertices() {
+                prop_assert!(
+                    states[v.index()].got == first[v.index()].got,
+                    "pinned watermark {} replay diverged at {}",
+                    w,
+                    v
+                );
+            }
+        }
+        // The pinned view is exactly the union-after-batch-0 oracle...
+        for v in pinned_union.vertices() {
+            let want: Vec<u32> = pinned_union.out_neighbors(v).iter().map(|e| e.0).collect();
+            prop_assert!(
+                first[v.index()].got == want,
+                "pinned view wrong at {}: got {:?} want {:?}",
+                v,
+                first[v.index()].got,
+                want
+            );
+        }
+        // ...and once the racing ingest drains, a fresh (unpinned)
+        // query matches the full union.
+        let oracle_rest = DeltaLog::for_graph(&base);
+        for entries in &batches {
+            oracle_rest.apply(&base, &to_batch(entries)).unwrap();
+        }
+        let full_union = DeltaLog::union(&base, &oracle_rest.current_view());
+        check_against(&svc, &full_union, ScanMode::Selective, "single/after-race")?;
+    }
+}
+
+/// The acceptance matrix: BFS, PageRank, WCC, and triangle count on
+/// (image + deltas) match the same apps run over a frozen image of
+/// the union graph — both formats, both backends, with an ingest
+/// thread racing the queries (each query pins its snapshot at
+/// admission, so the pinned watermark's oracle applies).
+#[test]
+fn apps_match_union_oracle_across_backends_and_formats() {
+    let base = build_graph(&[
+        (0, 1),
+        (1, 2),
+        (2, 0),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 3),
+        (6, 7),
+        (8, 8),
+        (1, 9),
+        (9, 2),
+        (7, 6),
+        (0, 4),
+        (5, 9),
+    ]);
+    let batch_a: &[(u32, u32, u32)] = &[(9, 0, 1), (3, 4, 0), (6, 9, 1), (2, 7, 1)];
+    let batch_b: &[(u32, u32, u32)] = &[(4, 6, 1), (2, 0, 0), (9, 3, 1)];
+    let noise: &[(u32, u32, u32)] = &[(0, 8, 1), (8, 1, 1), (5, 5, 1)];
+
+    // Union oracle after batches a+b, served from a frozen image.
+    let oracle = DeltaLog::for_graph(&base);
+    oracle.apply(&base, &to_batch(batch_a)).unwrap();
+    oracle.apply(&base, &to_batch(batch_b)).unwrap();
+    let union = DeltaLog::union(&base, &oracle.current_view());
+    let want_bfs = fg_baselines::direct::bfs_levels(&union, VertexId(0));
+    let want_pr = fg_baselines::direct::pagerank(&union, 0.85, 30);
+    let want_wcc = fg_baselines::direct::wcc_labels(&union);
+    let want_tc = fg_baselines::direct::triangle_count(&union);
+
+    for opts in [WriteOptions::default(), WriteOptions::compressed()] {
+        for sharded in [false, true] {
+            let svc = if sharded {
+                Arc::new(sharded_service(&base, &opts, 2))
+            } else {
+                Arc::new(single_service(&base, &opts))
+            };
+            svc.ingest(&to_batch(batch_a)).unwrap();
+            svc.ingest(&to_batch(batch_b)).unwrap();
+            let w = svc.watermark();
+            let label = format!("{:?}/sharded={}", opts.format, sharded);
+            std::thread::scope(|s| {
+                // Racing ingest the pinned queries must not observe.
+                let svc2 = Arc::clone(&svc);
+                s.spawn(move || {
+                    svc2.ingest(&to_batch(noise)).unwrap();
+                });
+                let at_w = || QueryOpts::new().at_watermark(w);
+                let (bfs, pr, wcc, tc) = if sharded {
+                    svc.query_sharded_opts(at_w(), |e| {
+                        (
+                            fg_apps::bfs(e, VertexId(0)).unwrap().0,
+                            fg_apps::pagerank(e, 0.85, 0.0, 30).unwrap().0,
+                            fg_apps::wcc(e).unwrap().0,
+                            fg_apps::triangle_count(e, false).unwrap().0,
+                        )
+                    })
+                    .unwrap()
+                } else {
+                    svc.query_opts(at_w(), |e| {
+                        (
+                            fg_apps::bfs(e, VertexId(0)).unwrap().0,
+                            fg_apps::pagerank(e, 0.85, 0.0, 30).unwrap().0,
+                            fg_apps::wcc(e).unwrap().0,
+                            fg_apps::triangle_count(e, false).unwrap().0,
+                        )
+                    })
+                    .unwrap()
+                };
+                assert_eq!(bfs, want_bfs, "bfs diverged ({label})");
+                for v in union.vertices() {
+                    assert!(
+                        (pr[v.index()] as f64 - want_pr[v.index()]).abs() < 1e-3,
+                        "pagerank diverged at {v} ({label}): {} vs {}",
+                        pr[v.index()],
+                        want_pr[v.index()]
+                    );
+                }
+                assert_eq!(wcc, want_wcc, "wcc diverged ({label})");
+                assert_eq!(tc, want_tc, "triangle count diverged ({label})");
+            });
+        }
+    }
+}
